@@ -1,0 +1,117 @@
+//! Criterion benches for the design-choice ablations called out in
+//! DESIGN.md: error recovery (A1), commit frequency (A3), presorting (A4)
+//! and cache sizing (A5). Full-scale tables: `repro -- ablate-*`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use skydb::config::DbConfig;
+use skyloader::{load_catalog_file, CommitPolicy, LoaderConfig};
+use skyloader_bench::setup::{server_with, OBS_ID};
+use skyloader_bench::workload::file_with_rows;
+use skysim::time::TimeScale;
+
+fn bench_error_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_error_rate");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for pct in [0u32, 10] {
+        let file = file_with_rows(11_000, OBS_ID, 1500, pct as f64 / 100.0, true);
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &file, |b, file| {
+            b.iter_batched(
+                || server_with(DbConfig::paper(TimeScale::ZERO)),
+                |server| {
+                    let session = server.connect();
+                    let report =
+                        load_catalog_file(&session, &LoaderConfig::paper(), file).expect("load");
+                    black_box((report.rows_loaded, report.rows_skipped))
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit_policy(c: &mut Criterion) {
+    let file = file_with_rows(13_000, OBS_ID, 1500, 0.0, true);
+    let mut group = c.benchmark_group("ablate_commit_policy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let policies = [
+        ("per_file", CommitPolicy::PerFile),
+        ("every_batch", CommitPolicy::EveryBatches(1)),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter_batched(
+                || server_with(DbConfig::paper(TimeScale::ZERO)),
+                |server| {
+                    let session = server.connect();
+                    let cfg = LoaderConfig::paper().with_commit_policy(policy);
+                    let report = load_catalog_file(&session, &cfg, &file).expect("load");
+                    black_box(report.commits)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_presort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_presort");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, presorted) in [("presorted", true), ("shuffled", false)] {
+        let file = file_with_rows(14_000, OBS_ID, 1500, 0.0, presorted);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &file, |b, file| {
+            b.iter_batched(
+                || server_with(DbConfig::paper(TimeScale::ZERO)),
+                |server| {
+                    let session = server.connect();
+                    let report =
+                        load_catalog_file(&session, &LoaderConfig::paper(), file).expect("load");
+                    black_box(report.rows_loaded)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_size(c: &mut Criterion) {
+    let file = file_with_rows(15_000, OBS_ID, 1500, 0.0, true);
+    let mut group = c.benchmark_group("ablate_cache_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for pages in [512usize, 32_768] {
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, &pages| {
+            b.iter_batched(
+                || server_with(DbConfig::paper(TimeScale::ZERO).with_cache_pages(pages)),
+                |server| {
+                    let session = server.connect();
+                    let report =
+                        load_catalog_file(&session, &LoaderConfig::paper(), &file).expect("load");
+                    black_box(report.rows_loaded)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_error_rates,
+    bench_commit_policy,
+    bench_presort,
+    bench_cache_size
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for paper Fig. 4: bulk vs non-bulk loading.
+//!
+//! Measures the real end-to-end cost of loading a small catalog file with
+//! batched inserts (the paper's algorithm, batch 40) versus one call per
+//! row. The full-scale series with modeled 2005 hardware comes from
+//! `cargo run -p skyloader-bench --bin repro -- fig4`; this bench tracks
+//! regressions in the actual code paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use skydb::config::DbConfig;
+use skyloader::{load_catalog_file, ExecMode, LoaderConfig};
+use skyloader_bench::setup::{server_with, OBS_ID};
+use skyloader_bench::workload::file_with_rows;
+
+fn bench_fig4(c: &mut Criterion) {
+    let file = file_with_rows(4000, OBS_ID, 1500, 0.0, true);
+    let mut group = c.benchmark_group("fig4_bulk_vs_nonbulk");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("bulk_batch40", |b| {
+        b.iter_batched(
+            || server_with(DbConfig::paper(skysim::time::TimeScale::ZERO)),
+            |server| {
+                let session = server.connect();
+                let report =
+                    load_catalog_file(&session, &LoaderConfig::paper(), &file).expect("load");
+                black_box(report.rows_loaded)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("non_bulk", |b| {
+        b.iter_batched(
+            || server_with(DbConfig::paper(skysim::time::TimeScale::ZERO)),
+            |server| {
+                let session = server.connect();
+                let cfg = LoaderConfig {
+                    mode: ExecMode::Singleton,
+                    ..LoaderConfig::paper()
+                };
+                let report = load_catalog_file(&session, &cfg, &file).expect("load");
+                black_box(report.rows_loaded)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for paper Fig. 6: effect of array size on load cost.
+//!
+//! Full-scale series: `repro -- fig6`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use skydb::config::DbConfig;
+use skyloader::{load_catalog_file, LoaderConfig};
+use skyloader_bench::setup::{server_with, OBS_ID};
+use skyloader_bench::workload::file_with_rows;
+use skysim::time::TimeScale;
+
+fn bench_fig6(c: &mut Criterion) {
+    let file = file_with_rows(6000, OBS_ID, 2000, 0.0, true);
+    let mut group = c.benchmark_group("fig6_array_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for array in [250usize, 1000, 1500] {
+        group.bench_with_input(BenchmarkId::from_parameter(array), &array, |b, &array| {
+            b.iter_batched(
+                || server_with(DbConfig::paper(TimeScale::ZERO)),
+                |server| {
+                    let session = server.connect();
+                    let cfg = LoaderConfig::paper().with_array_size(array);
+                    let report = load_catalog_file(&session, &cfg, &file).expect("load");
+                    black_box(report.cycles)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for paper Fig. 7: parallel loading throughput.
+//!
+//! Runs a miniature night with real scaled waits at 1, 4 and 8 loader
+//! nodes. Full-scale series: `repro -- fig7`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use skyloader::{load_night, LoaderConfig};
+use skyloader_bench::setup::{paper_server, OBS_ID};
+use skyloader_bench::workload::night_with_rows;
+use skysim::cluster::AssignmentPolicy;
+use skysim::time::TimeScale;
+
+fn bench_fig7(c: &mut Criterion) {
+    let files = night_with_rows(7000, OBS_ID, 6000, 14, 0.0);
+    let mut group = c.benchmark_group("fig7_parallelism");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for nodes in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter_batched(
+                || paper_server(TimeScale::new(0.02)),
+                |server| {
+                    let report = load_night(
+                        &server,
+                        &files,
+                        &LoaderConfig::paper(),
+                        nodes,
+                        AssignmentPolicy::Dynamic,
+                    );
+                    black_box(report.rows_loaded())
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for paper Fig. 8: index maintenance drag on loading.
+//!
+//! Full-scale series: `repro -- fig8`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use skydb::config::DbConfig;
+use skyloader::{load_catalog_file, LoaderConfig};
+use skyloader_bench::setup::{server_with, OBS_ID};
+use skyloader_bench::workload::file_with_rows;
+use skysim::time::TimeScale;
+
+fn bench_fig8(c: &mut Criterion) {
+    let file = file_with_rows(8000, OBS_ID, 1500, 0.0, true);
+    let scenarios: [(&str, &[&str]); 3] = [
+        ("no_index", &[]),
+        ("int_index", &["htmid"]),
+        ("float3_index", &["ra", "dec", "flux"]),
+    ];
+    let mut group = c.benchmark_group("fig8_indices");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, cols) in scenarios {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cols, |b, cols| {
+            b.iter_batched(
+                || {
+                    let server = server_with(DbConfig::paper(TimeScale::ZERO));
+                    if !cols.is_empty() {
+                        server
+                            .engine()
+                            .create_index("objects", "bench_idx", cols, false)
+                            .expect("index");
+                    }
+                    server
+                },
+                |server| {
+                    let session = server.connect();
+                    let report =
+                        load_catalog_file(&session, &LoaderConfig::paper(), &file).expect("load");
+                    black_box(report.rows_loaded)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for paper Fig. 9: load cost vs pre-existing DB size.
+//!
+//! Full-scale series: `repro -- fig9`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use skydb::config::DbConfig;
+use skyloader::{load_catalog_file, LoaderConfig};
+use skyloader_bench::setup::{server_with, OBS_ID, PREPOP_OBS_ID};
+use skyloader_bench::workload::{file_with_rows, night_with_rows};
+use skysim::time::TimeScale;
+
+fn bench_fig9(c: &mut Criterion) {
+    let file = file_with_rows(9000, OBS_ID, 1500, 0.0, true);
+    let mut group = c.benchmark_group("fig9_db_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for prepop_rows in [0u64, 60_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(prepop_rows),
+            &prepop_rows,
+            |b, &prepop_rows| {
+                b.iter_batched(
+                    || {
+                        let server = server_with(DbConfig::paper(TimeScale::ZERO));
+                        if prepop_rows > 0 {
+                            let prepop =
+                                night_with_rows(90_000, PREPOP_OBS_ID, prepop_rows, 4, 0.0);
+                            let session = server.connect();
+                            for f in &prepop {
+                                load_catalog_file(&session, &LoaderConfig::test(), f)
+                                    .expect("prepop");
+                            }
+                        }
+                        server
+                    },
+                    |server| {
+                        let session = server.connect();
+                        let report = load_catalog_file(&session, &LoaderConfig::paper(), &file)
+                            .expect("load");
+                        black_box(report.rows_loaded)
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

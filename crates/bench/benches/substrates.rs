@@ -1,0 +1,135 @@
+//! Microbenches for the substrates the loader sits on: B+-tree
+//! maintenance, HTM computation, wire marshaling, and the catalog
+//! parse/transform pipeline — the per-row work of paper §3.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bytes::BytesMut;
+use skycat::format::parse_line;
+use skycat::transform::transform;
+use skydb::btree::BPlusTree;
+use skydb::schema::TableId;
+use skydb::value::{Key, Value};
+use skydb::wire::Request;
+use skyhtm::{htmid, CATALOG_DEPTH};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("insert_1k_sequential", |b| {
+        b.iter_batched(
+            || BPlusTree::new(true, 64),
+            |mut tree| {
+                for i in 0..1000i64 {
+                    tree.insert(Key(vec![Value::Int(i)]), i as u64).unwrap();
+                }
+                black_box(tree.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("insert_1k_random", |b| {
+        let mut rng = skysim::rng::SplitMix64::new(7);
+        let mut keys: Vec<i64> = (0..1000).collect();
+        rng.shuffle(&mut keys);
+        b.iter_batched(
+            || (BPlusTree::new(true, 64), keys.clone()),
+            |(mut tree, keys)| {
+                for i in keys {
+                    tree.insert(Key(vec![Value::Int(i)]), i as u64).unwrap();
+                }
+                black_box(tree.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("bulk_build_10k", |b| {
+        let entries: Vec<(Key, u64)> = (0..10_000i64)
+            .map(|i| (Key(vec![Value::Int(i)]), i as u64))
+            .collect();
+        b.iter(|| {
+            let tree = BPlusTree::bulk_build(true, 64, entries.clone());
+            black_box(tree.height())
+        })
+    });
+    group.bench_function("point_lookup", |b| {
+        let mut tree = BPlusTree::new(true, 64);
+        for i in 0..100_000i64 {
+            tree.insert(Key(vec![Value::Int(i)]), i as u64).unwrap();
+        }
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 37_501) % 100_000;
+            black_box(tree.get_first(&Key(vec![Value::Int(i)])))
+        })
+    });
+    group.finish();
+}
+
+fn bench_htm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("htm");
+    group.bench_function("htmid_depth20", |b| {
+        let mut ra = 0.0f64;
+        b.iter(|| {
+            ra = (ra + 0.37) % 360.0;
+            black_box(htmid(ra, 12.3, CATALOG_DEPTH))
+        })
+    });
+    group.bench_function("cone_cover_30arcmin_depth12", |b| {
+        let cone = skyhtm::Cone::from_radec_arcmin(150.0, 22.0, 30.0);
+        b.iter(|| black_box(skyhtm::cone_cover(&cone, 12).len()))
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let row: Vec<Value> = vec![
+        Value::Int(1),
+        Value::Int(2),
+        Value::Float(180.0),
+        Value::Float(0.5),
+        Value::Int(0x7fff_ffff),
+        Value::Float(0.0),
+        Value::Float(0.0),
+        Value::Float(18.5),
+        Value::Null,
+        Value::Float(1234.0),
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        Value::Int(0),
+        Value::Float(1.0),
+        Value::Float(2.0),
+    ];
+    let request = Request::InsertBatch {
+        table: TableId(8),
+        rows: vec![row; 40],
+    };
+    let mut group = c.benchmark_group("wire");
+    group.bench_function("encode_decode_batch40", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(8192);
+            request.encode(&mut buf);
+            let mut rd = buf.freeze();
+            black_box(Request::decode(&mut rd).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let obj_line =
+        "OBJ|50000|100|180.05|0.5|2345|4.8|18912|43|1.3|0.12|30.0|0|512.2|1033.8";
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("parse_transform_object_row", |b| {
+        b.iter(|| {
+            let rec = parse_line(black_box(obj_line)).unwrap();
+            black_box(transform(&rec).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_htm, bench_wire, bench_pipeline);
+criterion_main!(benches);

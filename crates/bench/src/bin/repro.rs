@@ -1,0 +1,130 @@
+//! Regenerate the paper's evaluation: `repro [experiment …]`.
+//!
+//! Experiments: `fig4 fig5 fig6 fig7 fig8 fig9 ablate-errors ablate-assign
+//! ablate-commit ablate-presort ablate-cache ablate-devices headline`, or
+//! `all` (default), or `quick` (reduced scale smoke run).
+//!
+//! Results print as text tables and are also written as JSON under
+//! `repro-results/`.
+
+use std::time::Instant;
+
+use skyloader_bench::figures::{self, Figure};
+use skyloader_bench::workload::Scale;
+
+struct Plan {
+    scale: Scale,
+    wall_time_scale: f64,
+    fig7_mb: f64,
+    headline_mb: f64,
+}
+
+impl Plan {
+    fn full() -> Plan {
+        Plan {
+            scale: Scale::full(),
+            wall_time_scale: 0.3,
+            fig7_mb: 1120.0,
+            headline_mb: 560.0,
+        }
+    }
+
+    fn quick() -> Plan {
+        Plan {
+            scale: Scale::quick(),
+            wall_time_scale: 0.3,
+            fig7_mb: 560.0,
+            headline_mb: 140.0,
+        }
+    }
+
+    fn wall_scale(&self) -> Scale {
+        Scale {
+            data: self.scale.data,
+            time: self.wall_time_scale,
+        }
+    }
+}
+
+const ALL: [&str; 14] = [
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablate-errors",
+    "ablate-assign",
+    "ablate-commit",
+    "ablate-presort",
+    "ablate-cache",
+    "ablate-devices",
+    "ablate-two-phase",
+    "headline",
+];
+
+fn run_one(name: &str, plan: &Plan) -> Option<Figure> {
+    let scale = plan.scale;
+    let fig = match name {
+        "fig4" => figures::fig4(scale, &figures::SIZE_SWEEP_MB),
+        "fig5" => figures::fig5(scale, &[10, 20, 30, 40, 50, 60]),
+        "fig6" => figures::fig6(scale, &[250, 500, 750, 1000, 1250, 1500]),
+        "fig7" => figures::fig7(plan.wall_scale(), 8, plan.fig7_mb, 3),
+        "fig8" => figures::fig8(scale, &figures::SIZE_SWEEP_MB),
+        "fig9" => figures::fig9(scale, &[50.0, 100.0, 150.0, 200.0, 250.0, 300.0]),
+        "ablate-errors" => figures::ablate_errors(scale, &[0.0, 0.01, 0.05, 0.1, 0.2]),
+        "ablate-assign" => figures::ablate_assignment(plan.wall_scale(), 4, 280.0),
+        "ablate-commit" => figures::ablate_commit(scale),
+        "ablate-presort" => figures::ablate_presort(scale),
+        "ablate-cache" => figures::ablate_cache(scale, &[512, 2048, 8192, 32768]),
+        "ablate-devices" => figures::ablate_devices(plan.wall_scale(), 5, 280.0),
+        "ablate-two-phase" => figures::ablate_two_phase(scale, &[200.0, 600.0, 1200.0]),
+        "headline" => figures::headline(plan.wall_scale(), plan.headline_mb),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!("known: {} all quick", ALL.join(" "));
+            return None;
+        }
+    };
+    Some(fig)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (plan, requested): (Plan, Vec<String>) = if args.iter().any(|a| a == "quick") {
+        (
+            Plan::quick(),
+            args.iter().filter(|a| *a != "quick").cloned().collect(),
+        )
+    } else {
+        (Plan::full(), args.clone())
+    };
+    let requested: Vec<String> = if requested.is_empty() || requested.iter().any(|a| a == "all") {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        requested
+    };
+
+    std::fs::create_dir_all("repro-results").ok();
+    println!(
+        "SkyLoader reproduction harness — data scale 1:{:.0}, wall-time scale {:.2}",
+        1.0 / plan.scale.data,
+        plan.wall_time_scale
+    );
+    println!();
+
+    for name in &requested {
+        let start = Instant::now();
+        let Some(fig) = run_one(name, &plan) else {
+            std::process::exit(2);
+        };
+        println!("{}", fig.render());
+        println!("  [{name} completed in {:.1?}]", start.elapsed());
+        println!();
+        let json = serde_json::to_string_pretty(&fig).expect("figure serializes");
+        let path = format!("repro-results/{name}.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}

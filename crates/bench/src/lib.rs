@@ -1,0 +1,22 @@
+//! # skyloader-bench — the evaluation harness
+//!
+//! Regenerates every figure of the SC 2005 SkyLoader evaluation (§5,
+//! Figs. 4–9), the headline 20h→3h claim, and six ablations of the §4.2 /
+//! §4.4 / §4.5 design choices. See `DESIGN.md` for the experiment index
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! Two entry points share the runners in [`figures`]:
+//!
+//! * the `repro` binary (`cargo run -p skyloader-bench --bin repro --release`)
+//!   runs the full-scale sweeps and prints paper-style tables;
+//! * the Criterion benches (`cargo bench`) run representative points at a
+//!   reduced scale for regression tracking.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod setup;
+pub mod workload;
+
+pub use figures::{Figure, Point, Series};
+pub use workload::Scale;

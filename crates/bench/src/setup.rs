@@ -1,0 +1,42 @@
+//! Server construction for experiments.
+
+use std::sync::Arc;
+
+use skydb::config::DbConfig;
+use skydb::server::Server;
+use skysim::time::TimeScale;
+
+/// Observation id used by single-observation workloads.
+pub const OBS_ID: i64 = 100;
+
+/// Observation id used for database pre-population (Fig. 9).
+pub const PREPOP_OBS_ID: i64 = 200;
+
+/// A fresh paper-environment server with the 23-table schema, static
+/// dimensions, and the standard observation headers seeded.
+pub fn paper_server(scale: TimeScale) -> Arc<Server> {
+    server_with(DbConfig::paper(scale))
+}
+
+/// A fresh server from an explicit configuration, schema + seeds included.
+pub fn server_with(cfg: DbConfig) -> Arc<Server> {
+    let server = Server::start(cfg);
+    skycat::create_all(server.engine()).expect("schema");
+    skycat::seed_static(server.engine()).expect("static seed");
+    skycat::seed_observation(server.engine(), 1, OBS_ID).expect("obs seed");
+    skycat::seed_observation(server.engine(), 2, PREPOP_OBS_ID).expect("prepop obs seed");
+    server
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_server_is_ready_to_load() {
+        let s = paper_server(TimeScale::ZERO);
+        assert_eq!(s.engine().table_count(), 23);
+        let obs = s.engine().table_id("observations").unwrap();
+        assert_eq!(s.engine().row_count(obs), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Workload sizing: mapping the paper's data sizes to generated catalogs.
+//!
+//! The paper reports data sizes in megabytes of catalog data. We cannot
+//! know their exact row widths, but the text (§2, §4.1) implies dense ASCII
+//! catalogs; we adopt **4000 rows per paper-MB** (≈250 bytes/row) as the
+//! conversion and scale every experiment down by a configurable
+//! `data_scale` (default 1:100), reporting results in *paper-equivalent*
+//! units. Because the cost model's constants are calibrated in real 2005
+//! terms, `modeled_time / data_scale` is directly comparable to the
+//! paper's reported seconds.
+
+use skycat::gen::{generate_file, generate_observation, CatalogFile, GenConfig};
+
+/// Catalog rows per paper megabyte (≈250 ASCII bytes per row).
+pub const ROWS_PER_PAPER_MB: f64 = 4000.0;
+
+/// Experiment scaling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Fraction of the paper's data volume actually generated.
+    pub data: f64,
+    /// Fraction of modeled waits actually slept (wall-clock experiments).
+    pub time: f64,
+}
+
+impl Scale {
+    /// The repro harness default: 1% of the data, waits off (modeled time).
+    pub fn full() -> Scale {
+        Scale {
+            data: 0.01,
+            time: 0.0,
+        }
+    }
+
+    /// A small scale for Criterion benches and smoke tests.
+    pub fn quick() -> Scale {
+        Scale {
+            data: 0.002,
+            time: 0.0,
+        }
+    }
+
+    /// Rows representing `paper_mb` megabytes at this scale.
+    pub fn rows_for_mb(&self, paper_mb: f64) -> u64 {
+        (paper_mb * ROWS_PER_PAPER_MB * self.data).round().max(300.0) as u64
+    }
+
+    /// Convert a modeled duration to paper-equivalent seconds.
+    pub fn to_paper_seconds(&self, modeled: std::time::Duration) -> f64 {
+        modeled.as_secs_f64() / self.data
+    }
+
+    /// Convert a *wall-clock* duration from a run whose waits were scaled
+    /// by `self.time` to paper-equivalent seconds.
+    pub fn wall_to_paper_seconds(&self, wall: std::time::Duration) -> f64 {
+        assert!(self.time > 0.0, "wall conversion needs a nonzero time scale");
+        wall.as_secs_f64() / self.time / self.data
+    }
+}
+
+/// Rows per generated frame with the default 50 objects/frame
+/// (1 FRM + 4 APR + FST + AST + ZPT + QCH + 50×(OBJ + 4 FNG) + ~5 OFL).
+const ROWS_PER_FRAME: f64 = 264.0;
+
+/// Generate a single catalog file of approximately `rows` rows.
+///
+/// `size_skew` is disabled so sizing is exact; object counts still vary
+/// per frame.
+pub fn file_with_rows(
+    seed: u64,
+    obs_id: i64,
+    rows: u64,
+    error_rate: f64,
+    presorted: bool,
+) -> CatalogFile {
+    let ccds = 4usize;
+    let frames_per_ccd =
+        (((rows as f64 / ccds as f64) - 2.0) / ROWS_PER_FRAME).round().max(1.0) as usize;
+    let cfg = GenConfig {
+        seed,
+        obs_id,
+        files: 1,
+        ccds_per_file: ccds,
+        frames_per_ccd,
+        objects_per_frame: 50,
+        error_rate,
+        presorted,
+        size_skew: 0.0,
+    };
+    generate_file(&cfg, 0)
+}
+
+/// Generate an observation's worth of files totalling ~`total_rows`, with
+/// the paper's 28-file layout and size skew.
+pub fn night_with_rows(
+    seed: u64,
+    obs_id: i64,
+    total_rows: u64,
+    files: usize,
+    error_rate: f64,
+) -> Vec<CatalogFile> {
+    let ccds = 4usize;
+    let per_file = (total_rows as f64 / files as f64).max(ROWS_PER_FRAME * 4.0);
+    let frames_per_ccd = ((per_file / ccds as f64) / ROWS_PER_FRAME).round().max(1.0) as usize;
+    let cfg = GenConfig {
+        seed,
+        obs_id,
+        files,
+        ccds_per_file: ccds,
+        frames_per_ccd,
+        objects_per_frame: 50,
+        error_rate,
+        presorted: true,
+        size_skew: 0.4,
+    };
+    generate_observation(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_is_close_to_target() {
+        for target in [2000u64, 8000, 48_000] {
+            let f = file_with_rows(1, 100, target, 0.0, true);
+            let got = f.expected.total_emitted();
+            let ratio = got as f64 / target as f64;
+            assert!(
+                (0.7..1.3).contains(&ratio),
+                "target {target} produced {got} rows"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_conversions() {
+        let s = Scale::full();
+        assert_eq!(s.rows_for_mb(200.0), 8000);
+        let paper_s = s.to_paper_seconds(std::time::Duration::from_secs(3));
+        assert!((paper_s - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn night_splits_rows_across_files() {
+        let files = night_with_rows(2, 100, 20_000, 8, 0.0);
+        assert_eq!(files.len(), 8);
+        let total: u64 = files.iter().map(|f| f.expected.total_emitted()).sum();
+        assert!((0.6..1.5).contains(&(total as f64 / 20_000.0)), "total {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero time scale")]
+    fn wall_conversion_requires_time_scale() {
+        Scale::full().wall_to_paper_seconds(std::time::Duration::from_secs(1));
+    }
+}

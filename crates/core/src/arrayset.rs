@@ -1,0 +1,297 @@
+//! The `array-set` data structure (paper §4.3).
+//!
+//! "The array-set data structure consists of a dynamically maintained set
+//! of two-dimensional arrays, each associated with a destination table in
+//! the database. One dimension of each array corresponds to table rows, and
+//! the other to table attributes. Arrays are cached in memory … the
+//! framework creates a new array in array-set whenever it reads an input
+//! row targeted for a database table for which no array is currently
+//! maintained. When any of the arrays in array-set are fully populated,
+//! bulk loading occurs. At the end of the bulk-loading cycle, the arrays in
+//! array-set are destroyed and their memory released."
+//!
+//! Beyond the paper's implementation, the two §4.3 *future work* items are
+//! supported: per-table array capacities (from the loader's config file)
+//! and an aggregate **memory high-water mark** that triggers a cycle when
+//! total buffered footprint crosses a byte threshold.
+//!
+//! Buffered memory is registered with a client [`MemoryModel`] so that an
+//! oversized array-set produces paging penalties (the Fig. 6 knee).
+
+use skydb::value::{Row, Value};
+use skysim::mem::MemoryModel;
+
+use crate::config::LoaderConfig;
+
+/// One table's buffered rows (a "2-D array": rows × attributes).
+#[derive(Debug)]
+struct TableArray {
+    table: String,
+    capacity: usize,
+    rows: Vec<Row>,
+    footprint: u64,
+}
+
+/// The set of per-table buffer arrays, flushed in parent-before-child order.
+#[derive(Debug)]
+pub struct ArraySet {
+    /// Arrays in parent-before-child order (fixed at construction from the
+    /// catalog's topological order).
+    arrays: Vec<TableArray>,
+    /// Aggregate buffered footprint in bytes (with overhead factor).
+    total_footprint: u64,
+    overhead_factor: f64,
+    high_water: Option<u64>,
+    mem: MemoryModel,
+    cycles: u64,
+    rows_buffered: u64,
+}
+
+impl ArraySet {
+    /// Build an array-set for `tables` (parent-before-child order), sized
+    /// per `cfg`, accounting against `mem`.
+    pub fn new(tables: &[String], cfg: &LoaderConfig, mem: MemoryModel) -> Self {
+        let arrays = tables
+            .iter()
+            .map(|t| TableArray {
+                capacity: cfg.array_size_for(t),
+                table: t.clone(),
+                rows: Vec::new(),
+                footprint: 0,
+            })
+            .collect();
+        ArraySet {
+            arrays,
+            total_footprint: 0,
+            overhead_factor: cfg.client_overhead_factor,
+            high_water: cfg.memory_high_water_bytes,
+            mem,
+            cycles: 0,
+            rows_buffered: 0,
+        }
+    }
+
+    /// Number of tables this set covers.
+    pub fn table_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Index of a table's array, if it is one of ours.
+    pub fn index_of(&self, table: &str) -> Option<usize> {
+        self.arrays.iter().position(|a| a.table == table)
+    }
+
+    /// Buffer a row for the array at `idx` (from [`ArraySet::index_of`]).
+    /// Returns `true` if the set should now be flushed.
+    pub fn push(&mut self, idx: usize, row: Row) -> bool {
+        let footprint = (row_footprint(&row) as f64 * self.overhead_factor) as u64;
+        let a = &mut self.arrays[idx];
+        if a.rows.is_empty() {
+            // "creates a new array … whenever it reads an input row targeted
+            // for a database table for which no array is currently
+            // maintained": allocate at declared capacity, like the Java
+            // original.
+            a.rows.reserve(a.capacity);
+        }
+        a.rows.push(row);
+        a.footprint += footprint;
+        self.total_footprint += footprint;
+        self.rows_buffered += 1;
+        self.mem.allocate(footprint);
+        // Touching the newly written row pays paging cost if the client is
+        // over budget.
+        self.mem.touch(footprint);
+        self.should_flush_after(idx)
+    }
+
+    fn should_flush_after(&self, idx: usize) -> bool {
+        let a = &self.arrays[idx];
+        if a.rows.len() >= a.capacity {
+            return true;
+        }
+        if let Some(hwm) = self.high_water {
+            if self.total_footprint >= hwm {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `true` if any array is at capacity (or the high-water mark is hit).
+    pub fn wants_flush(&self) -> bool {
+        (0..self.arrays.len()).any(|i| self.should_flush_after(i))
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.iter().all(|a| a.rows.is_empty())
+    }
+
+    /// Rows currently buffered for the array at `idx`.
+    pub fn len_at(&self, idx: usize) -> usize {
+        self.arrays[idx].rows.len()
+    }
+
+    /// The table name of the array at `idx`.
+    pub fn table_at(&self, idx: usize) -> &str {
+        &self.arrays[idx].table
+    }
+
+    /// Drain one table's rows for a bulk-loading cycle. Reading the rows
+    /// out touches their memory (paging cost when over budget); the array
+    /// itself is destroyed and its memory released, per §4.3.
+    pub fn take(&mut self, idx: usize) -> Vec<Row> {
+        let a = &mut self.arrays[idx];
+        if a.rows.is_empty() {
+            return Vec::new();
+        }
+        self.mem.touch(a.footprint);
+        self.mem.release(a.footprint);
+        self.total_footprint -= a.footprint;
+        a.footprint = 0;
+        std::mem::take(&mut a.rows)
+    }
+
+    /// Mark the end of a bulk-loading cycle.
+    pub fn end_cycle(&mut self) {
+        debug_assert!(self.is_empty(), "cycle ended with rows still buffered");
+        self.cycles += 1;
+    }
+
+    /// Completed bulk-loading cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total rows that have passed through the set.
+    pub fn rows_buffered(&self) -> u64 {
+        self.rows_buffered
+    }
+
+    /// Current aggregate footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.total_footprint
+    }
+
+    /// The client memory model (for paging statistics).
+    pub fn memory(&self) -> &MemoryModel {
+        &self.mem
+    }
+}
+
+/// Raw in-memory footprint of one row.
+fn row_footprint(row: &[Value]) -> usize {
+    std::mem::size_of::<Row>() + row.iter().map(Value::footprint).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysim::time::TimeScale;
+    use std::time::Duration;
+
+    fn mem() -> MemoryModel {
+        MemoryModel::unconstrained()
+    }
+
+    fn tables() -> Vec<String> {
+        vec!["frames".into(), "objects".into(), "fingers".into()]
+    }
+
+    fn row() -> Row {
+        vec![Value::Int(1), Value::Float(2.0)]
+    }
+
+    #[test]
+    fn fills_and_triggers_at_capacity() {
+        let cfg = LoaderConfig::test().with_array_size(3);
+        let mut a = ArraySet::new(&tables(), &cfg, mem());
+        let obj = a.index_of("objects").unwrap();
+        assert!(!a.push(obj, row()));
+        assert!(!a.push(obj, row()));
+        assert!(a.push(obj, row()), "third row hits capacity 3");
+        assert!(a.wants_flush());
+        assert_eq!(a.len_at(obj), 3);
+    }
+
+    #[test]
+    fn per_table_capacity_respected() {
+        let cfg = LoaderConfig::test()
+            .with_array_size(100)
+            .with_table_array_size("fingers", 2);
+        let mut a = ArraySet::new(&tables(), &cfg, mem());
+        let fng = a.index_of("fingers").unwrap();
+        assert!(!a.push(fng, row()));
+        assert!(a.push(fng, row()), "fingers capacity 2");
+    }
+
+    #[test]
+    fn take_releases_memory_and_preserves_order() {
+        let cfg = LoaderConfig::test().with_array_size(10);
+        let m = mem();
+        let mut a = ArraySet::new(&tables(), &cfg, m.clone());
+        let obj = a.index_of("objects").unwrap();
+        for i in 0..5i64 {
+            a.push(obj, vec![Value::Int(i)]);
+        }
+        assert!(a.footprint() > 0);
+        assert!(m.resident() > 0);
+        let rows = a.take(obj);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], vec![Value::Int(0)]);
+        assert_eq!(rows[4], vec![Value::Int(4)]);
+        assert_eq!(a.footprint(), 0);
+        assert_eq!(m.resident(), 0);
+        assert!(a.is_empty());
+        a.end_cycle();
+        assert_eq!(a.cycles(), 1);
+        // Array is re-created on the next push.
+        assert!(!a.push(obj, row()));
+        assert_eq!(a.len_at(obj), 1);
+    }
+
+    #[test]
+    fn high_water_mark_triggers_before_capacity() {
+        let cfg = LoaderConfig::test().with_array_size(1_000_000);
+        let mut cfg = cfg;
+        cfg.memory_high_water_bytes = Some(4000);
+        let mut a = ArraySet::new(&tables(), &cfg, mem());
+        let obj = a.index_of("objects").unwrap();
+        let mut triggered = false;
+        for _ in 0..100 {
+            if a.push(obj, row()) {
+                triggered = true;
+                break;
+            }
+        }
+        assert!(triggered, "high-water mark should trigger a cycle");
+        assert!(a.len_at(obj) < 1000, "well before array capacity");
+    }
+
+    #[test]
+    fn overcommitted_client_pays_paging() {
+        let model = MemoryModel::new(
+            2_000,
+            256,
+            Duration::from_micros(10),
+            TimeScale::ZERO,
+        );
+        let cfg = LoaderConfig::test().with_array_size(1000);
+        let mut a = ArraySet::new(&tables(), &cfg, model.clone());
+        let obj = a.index_of("objects").unwrap();
+        for _ in 0..200 {
+            a.push(obj, row());
+        }
+        assert!(model.faults() > 0, "overcommit should fault");
+        assert!(model.modeled_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn unknown_table_has_no_index() {
+        let cfg = LoaderConfig::test();
+        let a = ArraySet::new(&tables(), &cfg, mem());
+        assert_eq!(a.index_of("nope"), None);
+        assert_eq!(a.table_at(0), "frames");
+        assert_eq!(a.table_count(), 3);
+    }
+}

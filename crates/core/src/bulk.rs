@@ -1,0 +1,567 @@
+//! The `bulk-loading` algorithm (paper Fig. 3) and the non-bulk baseline.
+//!
+//! The loader reads a catalog file line by line, parses / validates /
+//! transforms / computes each row (§3), and buffers it into the
+//! [`ArraySet`]. When any array fills (or the memory high-water mark is
+//! hit), a **bulk-loading cycle** flushes every array in parent-before-
+//! child order (paper Fig. 2), each as a sequence of `batch-size` batched
+//! inserts via the internal `batch_rows` — which implements Fig. 3's `batch_row`
+//! recovery exactly: on a batch error, rows before the failing offset have
+//! persisted (JDBC semantics), the failing row is skipped and logged, and
+//! loading resumes at the row after it.
+//!
+//! The same driver also implements the Fig. 4 baseline ([`ExecMode::
+//! Singleton`]): identical parsing, buffering and ordering, but one
+//! database call per row.
+
+use std::time::Instant;
+
+use skycat::format::parse_line;
+use skycat::transform::transform;
+use skycat::CatalogFile;
+use skydb::error::DbResult;
+use skydb::server::{PreparedInsert, Session};
+use skydb::value::Row;
+use skysim::mem::MemoryModel;
+
+use crate::arrayset::ArraySet;
+use crate::config::{CommitPolicy, ExecMode, LoaderConfig};
+use crate::recovery::LoadJournal;
+use crate::report::{FileReport, SkipKind};
+
+/// Load one in-memory catalog file through a session.
+pub fn load_catalog_file(
+    session: &Session,
+    cfg: &LoaderConfig,
+    file: &CatalogFile,
+) -> DbResult<FileReport> {
+    load_catalog_text(session, cfg, &file.name, &file.text)
+}
+
+/// Load catalog text through a session.
+pub fn load_catalog_text(
+    session: &Session,
+    cfg: &LoaderConfig,
+    name: &str,
+    text: &str,
+) -> DbResult<FileReport> {
+    Loader::new(session, cfg, name)?.run(text, None)
+}
+
+/// Load catalog text with checkpoint/resume support: previously committed
+/// lines (per the journal) are skipped, and the journal is updated at every
+/// commit so a crashed load can resume where it left off.
+pub fn load_catalog_text_with_journal(
+    session: &Session,
+    cfg: &LoaderConfig,
+    name: &str,
+    text: &str,
+    journal: &LoadJournal,
+) -> DbResult<FileReport> {
+    Loader::new(session, cfg, name)?.run(text, Some(journal))
+}
+
+struct Loader<'a> {
+    session: &'a Session,
+    cfg: &'a LoaderConfig,
+    /// Checkpoint journal; every commit records progress here.
+    journal: Option<&'a LoadJournal>,
+    /// Prepared statements, parallel to the array-set's table order.
+    stmts: Vec<PreparedInsert>,
+    arrays: ArraySet,
+    report: FileReport,
+    batches_since_commit: u64,
+    /// Line number one past the last line whose rows are all committed.
+    committed_lines: u64,
+    current_line: u64,
+}
+
+impl<'a> Loader<'a> {
+    fn new(session: &'a Session, cfg: &'a LoaderConfig, name: &str) -> DbResult<Loader<'a>> {
+        cfg.validate().map_err(skydb::error::DbError::InvalidSchema)?;
+        // Flush order is parent-before-child; CATALOG_TABLES is declared in
+        // the data model's topological order ("this processing sequence
+        // depends entirely on the data model", §4.2).
+        let tables: Vec<String> = skycat::CATALOG_TABLES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let stmts = tables
+            .iter()
+            .map(|t| session.prepare_insert(t))
+            .collect::<DbResult<Vec<_>>>()?;
+        let scale = session.server().engine().scale();
+        let mem = MemoryModel::new(
+            cfg.client_heap_budget,
+            4096,
+            cfg.client_fault_penalty,
+            scale,
+        );
+        let arrays = ArraySet::new(&tables, cfg, mem);
+        let report = FileReport {
+            file: name.to_owned(),
+            ..FileReport::default()
+        };
+        Ok(Loader {
+            session,
+            cfg,
+            journal: None,
+            stmts,
+            arrays,
+            report,
+            batches_since_commit: 0,
+            committed_lines: 0,
+            current_line: 0,
+        })
+    }
+
+    fn run(mut self, text: &str, journal: Option<&'a LoadJournal>) -> DbResult<FileReport> {
+        let start = Instant::now();
+        self.journal = journal;
+        let resume_at = journal
+            .map(|j| j.committed_lines(&self.report.file))
+            .unwrap_or(0);
+        self.report.lines_resumed = resume_at;
+        self.committed_lines = resume_at;
+
+        for (line_no, line) in text.lines().enumerate() {
+            let line_no = line_no as u64;
+            if line_no < resume_at {
+                continue; // already committed by a previous run
+            }
+            // Any commit during this iteration happens inside a flush cycle
+            // triggered *after* this line's row was buffered — the line is
+            // consumed, so line_no + 1 is the safe resume point.
+            self.current_line = line_no + 1;
+            self.report.bytes_read += line.len() as u64 + 1;
+            let rec = match parse_line(line) {
+                Ok(rec) => rec,
+                Err(e) => {
+                    self.report.note_skipped(
+                        self.cfg.max_skip_details,
+                        "?",
+                        Some(line_no),
+                        SkipKind::Parse,
+                        e.to_string(),
+                    );
+                    continue;
+                }
+            };
+            let (table, row) = match transform(&rec) {
+                Ok(x) => x,
+                Err(e) => {
+                    self.report.note_skipped(
+                        self.cfg.max_skip_details,
+                        rec.tag.table_name(),
+                        Some(line_no),
+                        SkipKind::Transform,
+                        e.to_string(),
+                    );
+                    continue;
+                }
+            };
+            let idx = self
+                .arrays
+                .index_of(table)
+                .expect("transform only emits catalog tables");
+            if self.arrays.push(idx, row) {
+                self.flush_cycle()?;
+            }
+        }
+
+        // Final partial cycle + end-of-file commit.
+        self.current_line = text.lines().count() as u64;
+        if !self.arrays.is_empty() {
+            self.flush_cycle()?;
+        }
+        self.commit()?;
+
+        self.report.cycles = self.arrays.cycles();
+        self.report.elapsed = start.elapsed();
+        self.report.client_paging = self.arrays.memory().modeled_time();
+        self.report.client_faults = self.arrays.memory().faults();
+        Ok(self.report)
+    }
+
+    /// One bulk-loading cycle: flush every array in parent-before-child
+    /// order, then destroy the arrays (handled by `take`).
+    fn flush_cycle(&mut self) -> DbResult<()> {
+        for idx in 0..self.arrays.table_count() {
+            let rows = self.arrays.take(idx);
+            if rows.is_empty() {
+                continue;
+            }
+            match self.cfg.mode {
+                ExecMode::Bulk => self.batch_rows(idx, &rows)?,
+                ExecMode::Singleton => self.singleton_rows(idx, &rows)?,
+            }
+        }
+        self.arrays.end_cycle();
+        if self.cfg.commit_policy == CommitPolicy::PerFlush {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Fig. 3 `batch_row`: pack `batch-size` chunks, insert, skip exactly
+    /// the failing row on error, resume at the row after it.
+    fn batch_rows(&mut self, idx: usize, rows: &[Row]) -> DbResult<()> {
+        let stmt = self.stmts[idx];
+        let table = self.arrays.table_at(idx).to_owned();
+        let mut first = 0usize;
+        while first < rows.len() {
+            let end = (first + self.cfg.batch_size).min(rows.len());
+            let outcome = self.session.execute_batch(&stmt, &rows[first..end])?;
+            self.report.batch_calls += 1;
+            self.batches_since_commit += 1;
+            if outcome.applied > 0 {
+                self.report.note_loaded(&table, outcome.applied as u64);
+            }
+            match outcome.failed {
+                None => first = end,
+                Some((offset, err)) => {
+                    let failed_idx = first + offset;
+                    self.report.note_skipped(
+                        self.cfg.max_skip_details,
+                        &table,
+                        None,
+                        SkipKind::from_db_error(&err),
+                        format!("row {} of flushed array: {err}", failed_idx),
+                    );
+                    // skip_one_row; continue from the next index.
+                    first = failed_idx + 1;
+                }
+            }
+            if let CommitPolicy::EveryBatches(n) = self.cfg.commit_policy {
+                if self.batches_since_commit >= n {
+                    self.commit_without_journal()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The non-bulk baseline: one database call per row.
+    fn singleton_rows(&mut self, idx: usize, rows: &[Row]) -> DbResult<()> {
+        let stmt = self.stmts[idx];
+        let table = self.arrays.table_at(idx).to_owned();
+        for row in rows {
+            self.report.single_calls += 1;
+            match self.session.execute(&stmt, row.clone()) {
+                Ok(()) => self.report.note_loaded(&table, 1),
+                Err(e) => {
+                    // Protocol-level failures abort; row-level errors skip.
+                    if matches!(e, skydb::error::DbError::Protocol(_)) {
+                        return Err(e);
+                    }
+                    self.report.note_skipped(
+                        self.cfg.max_skip_details,
+                        &table,
+                        None,
+                        SkipKind::from_db_error(&e),
+                        e.to_string(),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Commit and, at cycle boundaries, checkpoint the journal: every line
+    /// read so far is either loaded or skipped, so `current_line` is a safe
+    /// resume point.
+    fn commit(&mut self) -> DbResult<()> {
+        self.session.commit()?;
+        self.report.commits += 1;
+        self.batches_since_commit = 0;
+        self.committed_lines = self.current_line;
+        if let Some(j) = self.journal {
+            j.record(&self.report.file, self.committed_lines);
+        }
+        Ok(())
+    }
+
+    /// Mid-cycle commit (`EveryBatches`): rows are durable, but buffered
+    /// arrays mean `current_line` is NOT a safe resume point — the journal
+    /// is deliberately not advanced.
+    fn commit_without_journal(&mut self) -> DbResult<()> {
+        self.session.commit()?;
+        self.report.commits += 1;
+        self.batches_since_commit = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycat::gen::{generate_file, GenConfig};
+    use skydb::config::DbConfig;
+    use skydb::server::Server;
+    use std::sync::Arc;
+
+    fn fresh_server() -> Arc<Server> {
+        let server = Server::start(DbConfig::test());
+        skycat::create_all(server.engine()).unwrap();
+        skycat::seed_static(server.engine()).unwrap();
+        skycat::seed_observation(server.engine(), 1, 100).unwrap();
+        server
+    }
+
+    #[test]
+    fn clean_file_loads_exactly() {
+        let server = fresh_server();
+        let session = server.connect();
+        let file = generate_file(&GenConfig::small(42, 100), 0);
+        let report = load_catalog_file(&session, &LoaderConfig::test(), &file).unwrap();
+        assert_eq!(report.rows_skipped, 0);
+        assert_eq!(report.rows_loaded, file.expected.total_loadable());
+        for (table, expect) in &file.expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(
+                server.engine().row_count(tid),
+                *expect,
+                "row count mismatch for {table}"
+            );
+        }
+        assert!(report.commits >= 1);
+        assert!(report.batch_calls > 0);
+        assert_eq!(report.single_calls, 0);
+    }
+
+    #[test]
+    fn dirty_file_skips_exactly_the_corrupted_cascade() {
+        let server = fresh_server();
+        let session = server.connect();
+        let file = generate_file(&GenConfig::night(7, 100).with_error_rate(0.08), 0);
+        assert!(file.expected.corrupted_objects > 0);
+        let report = load_catalog_file(&session, &LoaderConfig::test(), &file).unwrap();
+        // Loaded rows must match the generator's exact expectation.
+        for (table, expect) in &file.expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(
+                server.engine().row_count(tid),
+                *expect,
+                "row count mismatch for {table}"
+            );
+        }
+        assert_eq!(report.rows_loaded, file.expected.total_loadable());
+        assert_eq!(
+            report.rows_skipped,
+            file.expected.total_emitted() - file.expected.total_loadable()
+        );
+        // Malformed lines were skipped at parse time.
+        assert_eq!(
+            report.skipped_by_kind.get("parse").copied().unwrap_or(0),
+            file.expected.malformed_lines
+        );
+        // And the error mix includes database-detected kinds.
+        assert!(report.skipped_by_kind.contains_key("foreign_key"));
+    }
+
+    #[test]
+    fn singleton_mode_matches_bulk_results_with_more_calls() {
+        let file = generate_file(&GenConfig::small(5, 100).with_error_rate(0.05), 0);
+
+        let bulk_server = fresh_server();
+        let bulk = load_catalog_file(
+            &bulk_server.connect(),
+            &LoaderConfig::test(),
+            &file,
+        )
+        .unwrap();
+
+        let single_server = fresh_server();
+        let single = load_catalog_file(
+            &single_server.connect(),
+            &LoaderConfig::non_bulk(),
+            &file,
+        )
+        .unwrap();
+
+        assert_eq!(bulk.rows_loaded, single.rows_loaded);
+        assert_eq!(bulk.rows_skipped, single.rows_skipped);
+        assert_eq!(single.batch_calls, 0);
+        assert!(
+            single.single_calls > bulk.batch_calls * 10,
+            "singleton {} calls vs bulk {} batches",
+            single.single_calls,
+            bulk.batch_calls
+        );
+    }
+
+    #[test]
+    fn best_case_call_count_is_rows_over_batch_size() {
+        // §4.2: "In the best case … the algorithm will generate
+        // N/batch-size database calls."
+        let server = fresh_server();
+        let session = server.connect();
+        let cfg = LoaderConfig::test().with_batch_size(40).with_array_size(400);
+        let file = generate_file(&GenConfig::small(9, 100), 0);
+        let report = load_catalog_file(&session, &cfg, &file).unwrap();
+        let n = report.rows_loaded;
+        let ideal = n.div_ceil(40);
+        // Partial batches at array boundaries add calls; stay within 2× of
+        // ideal and well below N.
+        assert!(report.batch_calls >= ideal);
+        assert!(
+            report.batch_calls < ideal * 2 + 64,
+            "calls {} vs ideal {ideal}",
+            report.batch_calls
+        );
+        assert!(report.batch_calls < n / 10);
+    }
+
+    #[test]
+    fn smaller_arrays_mean_more_cycles_and_calls() {
+        let file = generate_file(&GenConfig::night(3, 100), 0);
+        let run = |array: usize| {
+            let server = fresh_server();
+            let session = server.connect();
+            let cfg = LoaderConfig::test().with_array_size(array).with_batch_size(40);
+            load_catalog_file(&session, &cfg, &file).unwrap()
+        };
+        let small = run(100);
+        let large = run(2000);
+        assert_eq!(small.rows_loaded, large.rows_loaded);
+        assert!(small.cycles > large.cycles);
+        assert!(
+            small.batch_calls > large.batch_calls,
+            "small arrays {} calls should exceed large arrays {}",
+            small.batch_calls,
+            large.batch_calls
+        );
+    }
+
+    #[test]
+    fn commit_policies_commit_at_different_rates() {
+        let file = generate_file(&GenConfig::small(11, 100), 0);
+        let run = |policy: CommitPolicy| {
+            let server = fresh_server();
+            let session = server.connect();
+            let cfg = LoaderConfig::test()
+                .with_array_size(200)
+                .with_commit_policy(policy);
+            (
+                load_catalog_file(&session, &cfg, &file).unwrap(),
+                server.engine().stats().snapshot().commits,
+            )
+        };
+        let (per_file, c1) = run(CommitPolicy::PerFile);
+        let (per_flush, c2) = run(CommitPolicy::PerFlush);
+        let (per_batch, c3) = run(CommitPolicy::EveryBatches(1));
+        assert_eq!(per_file.commits, 1);
+        assert!(per_flush.commits > per_file.commits);
+        assert!(per_batch.commits > per_flush.commits);
+        assert!(c1 < c2 && c2 < c3);
+        // All load the same rows regardless of commit cadence.
+        assert_eq!(per_file.rows_loaded, per_flush.rows_loaded);
+        assert_eq!(per_file.rows_loaded, per_batch.rows_loaded);
+    }
+
+    #[test]
+    fn paper_example_one_error_recovery_shape() {
+        // Example 1 in §4.2: batch of 40, an error at array row 45 (0-based
+        // 44) ⇒ batches are rows 0..40, 40..44 fail at offset 4, then
+        // resume at row 45: 45..85, 85..125, …
+        let server = fresh_server();
+        let session = server.connect();
+        // Build a frames parent + objects with a dup at position 44.
+        let fstmt = session.prepare_insert("ccd_frames").unwrap();
+        let istmt = session.prepare_insert("ccd_images").unwrap();
+        let cstmt = session.prepare_insert("ccd_columns").unwrap();
+        use skydb::value::Value;
+        session
+            .execute(
+                &cstmt,
+                vec![
+                    Value::Int(900_000),
+                    Value::Int(100),
+                    Value::Int(1),
+                    Value::Int(0),
+                    Value::Float(0.0),
+                    Value::Float(1.0),
+                    Value::Float(0.0),
+                    Value::Float(1.0),
+                ],
+            )
+            .unwrap();
+        session
+            .execute(
+                &istmt,
+                vec![
+                    Value::Int(900_001),
+                    Value::Int(900_000),
+                    Value::Int(0),
+                    Value::Float(53000.0),
+                    Value::Float(140.0),
+                    Value::Float(2.5),
+                    Value::Float(11.0),
+                ],
+            )
+            .unwrap();
+        session
+            .execute(
+                &fstmt,
+                vec![
+                    Value::Int(900_002),
+                    Value::Int(900_001),
+                    Value::Int(0),
+                    Value::Float(0.0),
+                    Value::Float(1.0),
+                    Value::Float(0.0),
+                    Value::Float(1.0),
+                    Value::Null,
+                    Value::Null,
+                ],
+            )
+            .unwrap();
+        session.commit().unwrap();
+
+        let object = |id: i64| -> Row {
+            vec![
+                Value::Int(id),
+                Value::Int(900_002),
+                Value::Float(0.5),
+                Value::Float(0.5),
+                Value::Int((8i64) << 40),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(18.0),
+                Value::Null,
+                Value::Float(100.0),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Int(0),
+                Value::Float(1.0),
+                Value::Float(1.0),
+            ]
+        };
+        let mut rows: Vec<Row> = (0..1000).map(|i| object(1_000_000 + i)).collect();
+        rows[44] = object(1_000_000); // duplicate PK at row 45 (1-based)
+
+        let baseline = server.engine().stats().snapshot().batch_calls;
+        let cfg = LoaderConfig::test().with_batch_size(40);
+        let mut loader = Loader::new(&session, &cfg, "example1").unwrap();
+        loader.batch_rows(8, &rows).unwrap(); // index 8 = objects
+        let report = loader.report;
+        assert_eq!(report.rows_loaded, 999);
+        assert_eq!(report.rows_skipped, 1);
+        // Call count: 1000 rows in batches of 40 with one mid-array error:
+        // 0..40, 40..44(fail), 45..85, …, i.e. ceil(999/40)+1 = 26 calls.
+        let calls = server.engine().stats().snapshot().batch_calls - baseline;
+        assert_eq!(calls, 26);
+        session.commit().unwrap();
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_work() {
+        let server = fresh_server();
+        let session = server.connect();
+        let cfg = LoaderConfig::test().with_batch_size(0);
+        let file = generate_file(&GenConfig::small(1, 100), 0);
+        assert!(load_catalog_file(&session, &cfg, &file).is_err());
+    }
+}

@@ -1,0 +1,579 @@
+//! The `skyload` command-line driver: generate catalog files on disk, load
+//! a directory of them into a repository, inspect files, and verify loads
+//! against generator manifests.
+//!
+//! Logic lives here (testable); `src/bin/skyload.rs` is a thin shell.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use skycat::gen::{generate_observation, CatalogFile, ExpectedCounts, GenConfig};
+use skydb::{DbConfig, Server};
+use skysim::cluster::AssignmentPolicy;
+use skysim::time::TimeScale;
+
+use crate::config::LoaderConfig;
+use crate::parallel::load_night_with_journal;
+use crate::recovery::LoadJournal;
+
+/// A manifest written next to generated files so later loads can be
+/// verified to the row.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Manifest {
+    /// Rows a correct loader commits, per table.
+    pub loadable: BTreeMap<String, u64>,
+    /// Lines emitted per table (including corrupted ones).
+    pub emitted: BTreeMap<String, u64>,
+    /// Observation id the files reference.
+    pub obs_id: i64,
+}
+
+impl Manifest {
+    fn from_expected(e: &ExpectedCounts, obs_id: i64) -> Manifest {
+        Manifest {
+            loadable: e
+                .loadable
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            emitted: e.emitted.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+            obs_id,
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate an observation into a directory.
+    Generate {
+        /// Output directory.
+        out: PathBuf,
+        /// Generator seed.
+        seed: u64,
+        /// Number of catalog files.
+        files: usize,
+        /// Object-row corruption rate.
+        error_rate: f64,
+        /// Observation id.
+        obs_id: i64,
+    },
+    /// Load every `*.cat` file in a directory into a fresh repository.
+    Load {
+        /// Input directory.
+        dir: PathBuf,
+        /// Parallel loader nodes.
+        nodes: usize,
+        /// Loader configuration file (JSON), if any.
+        config: Option<PathBuf>,
+        /// Journal path for checkpoint/resume.
+        journal: Option<PathBuf>,
+        /// Write the night report as JSON here.
+        report: Option<PathBuf>,
+        /// Verify final row counts against the directory's manifest.
+        verify: bool,
+        /// Run the full integrity audit after loading.
+        audit: bool,
+    },
+    /// Parse one catalog file and summarize its contents.
+    Inspect {
+        /// File to inspect.
+        file: PathBuf,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let mut flags: BTreeMap<String, String> = BTreeMap::new();
+    let mut positional = Vec::new();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match name {
+                "verify" | "audit" => {
+                    flags.insert(name.to_owned(), "true".into());
+                }
+                _ => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    flags.insert(name.to_owned(), v.clone());
+                }
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    let get = |k: &str| flags.get(k).cloned();
+    let parse_num = |k: &str, default: u64| -> Result<u64, String> {
+        get(k)
+            .map(|v| v.parse::<u64>().map_err(|e| format!("--{k}: {e}")))
+            .unwrap_or(Ok(default))
+    };
+    match cmd.as_str() {
+        "generate" => Ok(Command::Generate {
+            out: PathBuf::from(get("out").ok_or("generate needs --out DIR")?),
+            seed: parse_num("seed", 2005)?,
+            files: parse_num("files", 28)? as usize,
+            error_rate: get("error-rate")
+                .map(|v| v.parse::<f64>().map_err(|e| format!("--error-rate: {e}")))
+                .unwrap_or(Ok(0.0))?,
+            obs_id: parse_num("obs-id", 100)? as i64,
+        }),
+        "load" => Ok(Command::Load {
+            dir: PathBuf::from(get("dir").ok_or("load needs --dir DIR")?),
+            nodes: parse_num("nodes", 5)? as usize,
+            config: get("config").map(PathBuf::from),
+            journal: get("journal").map(PathBuf::from),
+            report: get("report").map(PathBuf::from),
+            verify: flags.contains_key("verify"),
+            audit: flags.contains_key("audit"),
+        }),
+        "inspect" => {
+            let file = positional
+                .first()
+                .cloned()
+                .or_else(|| get("file"))
+                .ok_or("inspect needs a FILE")?;
+            Ok(Command::Inspect {
+                file: PathBuf::from(file),
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command {other:?}; try `skyload help`")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+skyload — parallel bulk loading for sky-survey catalogs (SC 2005 reproduction)
+
+USAGE:
+  skyload generate --out DIR [--seed N] [--files N] [--error-rate F] [--obs-id N]
+      Write a synthetic observation (catalog files + manifest.json).
+
+  skyload load --dir DIR [--nodes N] [--config loader.json]
+               [--journal J.json] [--report out.json] [--verify] [--audit]
+      Load every *.cat file in DIR into a fresh repository with N
+      parallel loaders. --journal enables checkpoint/resume; --verify
+      checks final row counts against DIR/manifest.json; --audit runs
+      the full post-load integrity audit (FKs, PK indexes, CHECKs,
+      recomputed htmid/galactic columns).
+
+  skyload inspect FILE
+      Parse a catalog file and summarize rows per table and bad lines.
+
+  skyload help
+      This message.
+";
+
+/// Execute a command, writing human output through `out`. Returns the
+/// process exit code.
+pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
+            Ok(0)
+        }
+        Command::Generate {
+            out: dir,
+            seed,
+            files,
+            error_rate,
+            obs_id,
+        } => {
+            std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+            let cfg = GenConfig::night(seed, obs_id)
+                .with_files(files)
+                .with_error_rate(error_rate);
+            let generated = generate_observation(&cfg);
+            let mut total = ExpectedCounts::default();
+            for f in &generated {
+                f.write_to(&dir).map_err(|e| format!("write {}: {e}", f.name))?;
+                total.merge(&f.expected);
+            }
+            let manifest = Manifest::from_expected(&total, obs_id);
+            std::fs::write(
+                dir.join("manifest.json"),
+                serde_json::to_string_pretty(&manifest).expect("manifest serializes"),
+            )
+            .map_err(|e| format!("write manifest: {e}"))?;
+            writeln!(
+                out,
+                "wrote {} files ({} rows, {} loadable) + manifest.json to {}",
+                generated.len(),
+                total.total_emitted(),
+                total.total_loadable(),
+                dir.display()
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(0)
+        }
+        Command::Inspect { file } => {
+            let text =
+                std::fs::read_to_string(&file).map_err(|e| format!("read {file:?}: {e}"))?;
+            let mut by_table: BTreeMap<&'static str, u64> = BTreeMap::new();
+            let mut bad = 0u64;
+            for line in text.lines() {
+                match skycat::parse_line(line) {
+                    Ok(rec) => *by_table.entry(rec.tag.table_name()).or_insert(0) += 1,
+                    Err(_) => bad += 1,
+                }
+            }
+            writeln!(out, "{}:", file.display()).map_err(|e| e.to_string())?;
+            for (t, n) in &by_table {
+                writeln!(out, "  {t:<24} {n:>7}").map_err(|e| e.to_string())?;
+            }
+            writeln!(out, "  unparseable lines: {bad}").map_err(|e| e.to_string())?;
+            Ok(0)
+        }
+        Command::Load {
+            dir,
+            nodes,
+            config,
+            journal,
+            report,
+            verify,
+            audit,
+        } => {
+            let loader_cfg = match config {
+                Some(path) => {
+                    let json = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("read {path:?}: {e}"))?;
+                    LoaderConfig::from_json(&json).map_err(|e| format!("parse {path:?}: {e}"))?
+                }
+                None => LoaderConfig::paper(),
+            };
+            loader_cfg.validate()?;
+
+            let files = read_catalog_dir(&dir)?;
+            if files.is_empty() {
+                return Err(format!("no *.cat files in {}", dir.display()));
+            }
+            let manifest: Option<Manifest> = {
+                let path = dir.join("manifest.json");
+                match std::fs::read_to_string(&path) {
+                    Ok(json) => Some(
+                        serde_json::from_str(&json)
+                            .map_err(|e| format!("parse {path:?}: {e}"))?,
+                    ),
+                    Err(_) => None,
+                }
+            };
+            let obs_id = manifest.as_ref().map_or(100, |m| m.obs_id);
+
+            let server: Arc<Server> = Server::start(DbConfig::paper(TimeScale::ZERO));
+            skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
+            skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
+            skycat::seed_observation(server.engine(), 1, obs_id).map_err(|e| e.to_string())?;
+
+            let journal_store = match &journal {
+                Some(path) => Some(LoadJournal::load(path).map_err(|e| e.to_string())?),
+                None => None,
+            };
+            let night = load_night_with_journal(
+                &server,
+                &files,
+                &loader_cfg,
+                nodes,
+                AssignmentPolicy::Dynamic,
+                journal_store.as_ref(),
+            );
+            if let (Some(path), Some(j)) = (&journal, &journal_store) {
+                j.save(path).map_err(|e| e.to_string())?;
+            }
+
+            writeln!(
+                out,
+                "loaded {} rows ({} skipped) from {} files on {} nodes in {:.2?}",
+                night.rows_loaded(),
+                night.rows_skipped(),
+                night.files.len(),
+                nodes,
+                night.makespan
+            )
+            .map_err(|e| e.to_string())?;
+            // A load where *everything* was skipped is an operational error
+            // (wrong file, wrong format), not a successful night.
+            if night.rows_loaded() == 0 && night.rows_skipped() > 0 {
+                return Err(format!(
+                    "all {} rows were skipped — wrong files or a format mismatch? \
+                     (re-running an already-loaded night with --journal reports 0 skipped)",
+                    night.rows_skipped()
+                ));
+            }
+            for (t, n) in night.loaded_by_table() {
+                writeln!(out, "  {t:<24} {n:>7}").map_err(|e| e.to_string())?;
+            }
+
+            if let Some(path) = report {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&night).expect("report serializes"),
+                )
+                .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "report written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+
+            if verify {
+                let Some(manifest) = manifest else {
+                    return Err("--verify requires manifest.json in the directory".into());
+                };
+                let mut mismatches = 0;
+                for (table, expect) in &manifest.loadable {
+                    let tid = server.engine().table_id(table).map_err(|e| e.to_string())?;
+                    let got = server.engine().row_count(tid);
+                    if got != *expect {
+                        writeln!(out, "MISMATCH {table}: expected {expect}, got {got}")
+                            .map_err(|e| e.to_string())?;
+                        mismatches += 1;
+                    }
+                }
+                if mismatches > 0 {
+                    return Err(format!("{mismatches} table(s) mismatched the manifest"));
+                }
+                writeln!(out, "verified against manifest: exact match")
+                    .map_err(|e| e.to_string())?;
+            }
+
+            if audit {
+                let audit_report =
+                    crate::audit::audit_repository(server.engine()).map_err(|e| e.to_string())?;
+                writeln!(
+                    out,
+                    "audit: {} rows, {} FK checks, {} CHECK evaluations, {} recomputations",
+                    audit_report.rows_checked,
+                    audit_report.fk_checks,
+                    audit_report.check_evaluations,
+                    audit_report.recomputations
+                )
+                .map_err(|e| e.to_string())?;
+                if !audit_report.is_clean() {
+                    for f in audit_report.findings.iter().take(20) {
+                        writeln!(out, "  AUDIT FINDING [{}] {}", f.table, f.detail)
+                            .map_err(|e| e.to_string())?;
+                    }
+                    return Err(format!(
+                        "audit found {} problem(s)",
+                        audit_report.findings.len()
+                    ));
+                }
+                writeln!(out, "audit: repository is clean").map_err(|e| e.to_string())?;
+            }
+            Ok(0)
+        }
+    }
+}
+
+/// Read every `*.cat` file in a directory, sorted by name.
+fn read_catalog_dir(dir: &Path) -> Result<Vec<CatalogFile>, String> {
+    let mut files = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read dir {dir:?}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "cat") {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("unknown.cat")
+                .to_owned();
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+            files.push(CatalogFile {
+                name,
+                text,
+                expected: ExpectedCounts::default(),
+            });
+        }
+    }
+    files.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("skyload-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+        let g = parse_args(&args(
+            "generate --out /tmp/x --seed 7 --files 3 --error-rate 0.05",
+        ))
+        .unwrap();
+        assert_eq!(
+            g,
+            Command::Generate {
+                out: PathBuf::from("/tmp/x"),
+                seed: 7,
+                files: 3,
+                error_rate: 0.05,
+                obs_id: 100,
+            }
+        );
+        let l = parse_args(&args("load --dir /tmp/x --nodes 3 --verify --audit")).unwrap();
+        match l {
+            Command::Load { nodes, verify, audit, .. } => {
+                assert_eq!(nodes, 3);
+                assert!(verify);
+                assert!(audit);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("bogus")).is_err());
+        assert!(parse_args(&args("generate")).is_err());
+        assert!(parse_args(&args("load --dir")).is_err());
+    }
+
+    #[test]
+    fn generate_load_verify_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "generate --out {} --seed 9 --files 3 --error-rate 0.05",
+                dir.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(dir.join("manifest.json").exists());
+        assert_eq!(
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "cat"))
+                .count(),
+            3
+        );
+
+        let mut buf = Vec::new();
+        let report_path = dir.join("report.json");
+        let code = execute(
+            parse_args(&args(&format!(
+                "load --dir {} --nodes 2 --report {} --verify --audit",
+                dir.display(),
+                report_path.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("verified against manifest: exact match"), "{text}");
+        assert!(text.contains("audit: repository is clean"), "{text}");
+        assert!(report_path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inspect_summarizes_tables() {
+        let dir = tmpdir("inspect");
+        let mut buf = Vec::new();
+        execute(
+            parse_args(&args(&format!(
+                "generate --out {} --seed 3 --files 1",
+                dir.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let cat = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "cat"))
+            .unwrap();
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!("inspect {}", cat.display()))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("objects"));
+        assert!(text.contains("unparseable lines: 0"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_errors_cleanly() {
+        let mut buf = Vec::new();
+        let err = execute(
+            parse_args(&args("load --dir /definitely/not/here")).unwrap(),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("read dir"));
+    }
+
+    #[test]
+    fn load_with_journal_resumes_across_invocations() {
+        let dir = tmpdir("journal");
+        let mut buf = Vec::new();
+        execute(
+            parse_args(&args(&format!(
+                "generate --out {} --seed 5 --files 2",
+                dir.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let journal = dir.join("load.journal");
+        // First full load records the journal…
+        execute(
+            parse_args(&args(&format!(
+                "load --dir {} --nodes 1 --journal {} --verify",
+                dir.display(),
+                journal.display()
+            )))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        assert!(journal.exists());
+        // …and a second invocation (fresh repository, completed journal)
+        // loads zero rows: everything is already recorded as committed.
+        let mut buf = Vec::new();
+        execute(
+            parse_args(&args(&format!(
+                "load --dir {} --nodes 1 --journal {}",
+                dir.display(),
+                journal.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("loaded 0 rows"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,365 @@
+//! Load reports: per-file and per-night outcomes, skip accounting, and the
+//! modeled-cost breakdown the experiments report.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use skydb::error::{ConstraintKind, DbError};
+use skydb::server::Server;
+
+/// Why a row was skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum SkipKind {
+    /// The line could not be parsed (tag/field-count).
+    Parse,
+    /// The fields could not be transformed into a typed row.
+    Transform,
+    /// Duplicate primary key at the database.
+    PrimaryKey,
+    /// Missing foreign-key parent at the database.
+    ForeignKey,
+    /// Unique-constraint violation at the database.
+    Unique,
+    /// CHECK-constraint violation at the database.
+    Check,
+    /// NOT NULL violation at the database.
+    NotNull,
+    /// Type or arity error at the database.
+    Type,
+    /// Anything else.
+    Other,
+}
+
+impl SkipKind {
+    /// Classify a database error.
+    pub fn from_db_error(e: &DbError) -> SkipKind {
+        match e.constraint_kind() {
+            Some(ConstraintKind::PrimaryKey) => SkipKind::PrimaryKey,
+            Some(ConstraintKind::ForeignKey) => SkipKind::ForeignKey,
+            Some(ConstraintKind::Unique) => SkipKind::Unique,
+            Some(ConstraintKind::Check) => SkipKind::Check,
+            Some(ConstraintKind::NotNull) => SkipKind::NotNull,
+            None => match e {
+                DbError::TypeMismatch { .. } | DbError::ArityMismatch { .. } => SkipKind::Type,
+                _ => SkipKind::Other,
+            },
+        }
+    }
+
+    /// Stable label for report maps.
+    pub fn label(self) -> &'static str {
+        match self {
+            SkipKind::Parse => "parse",
+            SkipKind::Transform => "transform",
+            SkipKind::PrimaryKey => "primary_key",
+            SkipKind::ForeignKey => "foreign_key",
+            SkipKind::Unique => "unique",
+            SkipKind::Check => "check",
+            SkipKind::NotNull => "not_null",
+            SkipKind::Type => "type",
+            SkipKind::Other => "other",
+        }
+    }
+}
+
+/// Detail of one skipped row (kept up to the config's cap).
+#[derive(Debug, Clone, Serialize)]
+pub struct SkipRecord {
+    /// Destination table (or tag) of the skipped row.
+    pub table: String,
+    /// Zero-based line number in the source file, when known.
+    pub line: Option<u64>,
+    /// Why it was skipped.
+    pub kind: SkipKind,
+    /// Human-readable detail.
+    pub reason: String,
+}
+
+/// Outcome of loading one catalog file.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FileReport {
+    /// Source file name.
+    pub file: String,
+    /// Rows committed per table.
+    pub loaded_by_table: BTreeMap<String, u64>,
+    /// Skips per kind label.
+    pub skipped_by_kind: BTreeMap<&'static str, u64>,
+    /// Total rows committed.
+    pub rows_loaded: u64,
+    /// Total rows skipped (parse + transform + database).
+    pub rows_skipped: u64,
+    /// Batched database calls issued.
+    pub batch_calls: u64,
+    /// Singleton database calls issued.
+    pub single_calls: u64,
+    /// Commits issued.
+    pub commits: u64,
+    /// Bulk-loading cycles completed.
+    pub cycles: u64,
+    /// Bytes of catalog text consumed.
+    pub bytes_read: u64,
+    /// Wall-clock time on the loader.
+    #[serde(with = "ser_duration")]
+    pub elapsed: Duration,
+    /// Modeled client paging time (Fig. 6's effect).
+    #[serde(with = "ser_duration")]
+    pub client_paging: Duration,
+    /// Client page faults.
+    pub client_faults: u64,
+    /// Detailed skip records (capped).
+    pub skip_details: Vec<SkipRecord>,
+    /// Lines resumed past (when loading with a journal).
+    pub lines_resumed: u64,
+}
+
+impl FileReport {
+    /// Record a successfully loaded row.
+    pub fn note_loaded(&mut self, table: &str, n: u64) {
+        *self.loaded_by_table.entry(table.to_owned()).or_insert(0) += n;
+        self.rows_loaded += n;
+    }
+
+    /// Record a skipped row.
+    pub fn note_skipped(
+        &mut self,
+        cap: usize,
+        table: &str,
+        line: Option<u64>,
+        kind: SkipKind,
+        reason: String,
+    ) {
+        *self.skipped_by_kind.entry(kind.label()).or_insert(0) += 1;
+        self.rows_skipped += 1;
+        if self.skip_details.len() < cap {
+            self.skip_details.push(SkipRecord {
+                table: table.to_owned(),
+                line,
+                kind,
+                reason,
+            });
+        }
+    }
+
+    /// Total database calls.
+    pub fn total_calls(&self) -> u64 {
+        self.batch_calls + self.single_calls
+    }
+}
+
+/// Outcome of loading a whole observation (many files, possibly parallel).
+#[derive(Debug, Clone, Serialize)]
+pub struct NightReport {
+    /// Per-file reports, in completion order.
+    pub files: Vec<FileReport>,
+    /// Wall-clock makespan of the run.
+    #[serde(with = "ser_duration")]
+    pub makespan: Duration,
+    /// Worker nodes used.
+    pub nodes: usize,
+    /// Busiest/idlest node busy-time ratio (1.0 = perfectly balanced).
+    pub node_imbalance: f64,
+}
+
+impl NightReport {
+    /// Total rows committed.
+    pub fn rows_loaded(&self) -> u64 {
+        self.files.iter().map(|f| f.rows_loaded).sum()
+    }
+
+    /// Total rows skipped.
+    pub fn rows_skipped(&self) -> u64 {
+        self.files.iter().map(|f| f.rows_skipped).sum()
+    }
+
+    /// Total catalog bytes consumed.
+    pub fn bytes_read(&self) -> u64 {
+        self.files.iter().map(|f| f.bytes_read).sum()
+    }
+
+    /// Wall-clock throughput in MB/s (the Fig. 7 metric).
+    pub fn throughput_mb_per_s(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        (self.bytes_read() as f64 / 1e6) / self.makespan.as_secs_f64()
+    }
+
+    /// Sum of loaded rows per table across files.
+    pub fn loaded_by_table(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for f in &self.files {
+            for (t, n) in &f.loaded_by_table {
+                *out.entry(t.clone()).or_insert(0) += n;
+            }
+        }
+        out
+    }
+}
+
+/// The modeled serial cost of a load, broken down by resource.
+///
+/// At `TimeScale::ZERO` nothing is actually waited, but every model still
+/// accounts its charges; for a single loader the components are serial, so
+/// their sum is the deterministic "runtime" the single-loader experiments
+/// (Figs. 4, 5, 6, 8, 9) report.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ModeledCost {
+    /// Network round-trip + transfer time (micros).
+    pub network_us: u64,
+    /// Server CPU service time (micros).
+    pub server_cpu_us: u64,
+    /// Disk service time across devices (micros).
+    pub disk_us: u64,
+    /// Lock-wait penalties (micros).
+    pub lock_wait_us: u64,
+    /// Cache-writer scan CPU (micros).
+    pub cache_scan_us: u64,
+    /// Client paging (micros).
+    pub client_paging_us: u64,
+}
+
+impl ModeledCost {
+    /// Snapshot a server's accumulated modeled costs, adding client-side
+    /// paging time measured by the loader.
+    pub fn measure(server: &Server, client_paging: Duration) -> ModeledCost {
+        let engine = server.engine();
+        ModeledCost {
+            network_us: server.network().modeled_time().as_micros() as u64,
+            server_cpu_us: (server.cpu().modeled_time() + engine.row_service_time()).as_micros()
+                as u64,
+            disk_us: engine.farm().modeled_time().as_micros() as u64,
+            lock_wait_us: engine.lock_wait_time().as_micros() as u64,
+            cache_scan_us: engine.cache().scan_cpu().as_micros() as u64,
+            client_paging_us: client_paging.as_micros() as u64,
+        }
+    }
+
+    /// The difference `self - baseline` (for measuring one run on a shared
+    /// server).
+    pub fn since(self, baseline: ModeledCost) -> ModeledCost {
+        ModeledCost {
+            network_us: self.network_us - baseline.network_us,
+            server_cpu_us: self.server_cpu_us - baseline.server_cpu_us,
+            disk_us: self.disk_us - baseline.disk_us,
+            lock_wait_us: self.lock_wait_us - baseline.lock_wait_us,
+            cache_scan_us: self.cache_scan_us - baseline.cache_scan_us,
+            client_paging_us: self.client_paging_us - baseline.client_paging_us,
+        }
+    }
+
+    /// Total modeled time.
+    pub fn total(&self) -> Duration {
+        Duration::from_micros(
+            self.network_us
+                + self.server_cpu_us
+                + self.disk_us
+                + self.lock_wait_us
+                + self.cache_scan_us
+                + self.client_paging_us,
+        )
+    }
+}
+
+mod ser_duration {
+    use serde::{Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        (d.as_micros() as u64).serialize(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_kind_classifies_db_errors() {
+        let pk = DbError::constraint(ConstraintKind::PrimaryKey, "p", "t", "d");
+        assert_eq!(SkipKind::from_db_error(&pk), SkipKind::PrimaryKey);
+        let arity = DbError::ArityMismatch {
+            table: "t".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert_eq!(SkipKind::from_db_error(&arity), SkipKind::Type);
+        assert_eq!(SkipKind::from_db_error(&DbError::NoTransaction), SkipKind::Other);
+    }
+
+    #[test]
+    fn file_report_accounting() {
+        let mut r = FileReport::default();
+        r.note_loaded("objects", 10);
+        r.note_loaded("objects", 5);
+        r.note_loaded("fingers", 40);
+        r.note_skipped(10, "objects", Some(3), SkipKind::PrimaryKey, "dup".into());
+        r.note_skipped(10, "objects", None, SkipKind::Parse, "bad".into());
+        assert_eq!(r.rows_loaded, 55);
+        assert_eq!(r.rows_skipped, 2);
+        assert_eq!(r.loaded_by_table["objects"], 15);
+        assert_eq!(r.skipped_by_kind["primary_key"], 1);
+        assert_eq!(r.skip_details.len(), 2);
+    }
+
+    #[test]
+    fn skip_details_capped_but_counted() {
+        let mut r = FileReport::default();
+        for i in 0..100 {
+            r.note_skipped(5, "t", Some(i), SkipKind::Check, "x".into());
+        }
+        assert_eq!(r.rows_skipped, 100);
+        assert_eq!(r.skip_details.len(), 5);
+    }
+
+    #[test]
+    fn night_report_aggregates() {
+        let mut f1 = FileReport::default();
+        f1.note_loaded("objects", 10);
+        f1.bytes_read = 1_000_000;
+        let mut f2 = FileReport::default();
+        f2.note_loaded("objects", 20);
+        f2.bytes_read = 2_000_000;
+        let night = NightReport {
+            files: vec![f1, f2],
+            makespan: Duration::from_secs(3),
+            nodes: 2,
+            node_imbalance: 1.1,
+        };
+        assert_eq!(night.rows_loaded(), 30);
+        assert_eq!(night.bytes_read(), 3_000_000);
+        assert!((night.throughput_mb_per_s() - 1.0).abs() < 1e-9);
+        assert_eq!(night.loaded_by_table()["objects"], 30);
+    }
+
+    #[test]
+    fn modeled_cost_arithmetic() {
+        let a = ModeledCost {
+            network_us: 100,
+            server_cpu_us: 50,
+            disk_us: 25,
+            lock_wait_us: 5,
+            cache_scan_us: 10,
+            client_paging_us: 10,
+        };
+        let b = ModeledCost {
+            network_us: 40,
+            ..Default::default()
+        };
+        let d = a.since(b);
+        assert_eq!(d.network_us, 60);
+        assert_eq!(d.total(), Duration::from_micros(160));
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let mut r = FileReport {
+            file: "f.cat".into(),
+            ..Default::default()
+        };
+        r.note_loaded("objects", 1);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"rows_loaded\":1"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Observation reprocessing: delete a night's derived rows and reload.
+//!
+//! The survey reality behind §2: the extraction pipeline evolves ("The
+//! format of catalog file varies depending on the extraction program
+//! used"), and when a pipeline bug is found, a night's *derived* catalog
+//! rows must be replaced — raw images are re-extracted and reloaded. The
+//! repository's FK graph makes that deletion order-sensitive: children
+//! must go before parents (the mirror image of Fig. 2's load order).
+//!
+//! [`delete_observation`] walks the FK chains downward from an
+//! observation's `ccd_columns`, collecting the exact key set at each level,
+//! then deletes in **child-before-parent** order so every RESTRICT check
+//! passes. [`reprocess_observation`] composes that with a normal bulk load
+//! of the replacement files.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use skycat::CatalogFile;
+use skydb::engine::Engine;
+use skydb::error::DbResult;
+use skydb::expr::{CmpOp, Expr};
+use skydb::server::Server;
+use skydb::value::Key;
+use skydb::TableId;
+
+use crate::config::LoaderConfig;
+use crate::report::NightReport;
+
+/// Rows deleted per table by a reprocessing pass.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PurgeReport {
+    /// Deleted row counts in deletion (child-before-parent) order.
+    pub deleted_by_table: Vec<(String, u64)>,
+}
+
+impl PurgeReport {
+    /// Total rows deleted.
+    pub fn total(&self) -> u64 {
+        self.deleted_by_table.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Collect the primary keys of `table` rows whose FK column set (projected
+/// by `fk_cols`) hits `parent_keys`.
+fn child_keys_of(
+    engine: &Engine,
+    table: TableId,
+    fk_cols: &[usize],
+    pk_cols: &[usize],
+    parent_keys: &BTreeSet<Key>,
+) -> DbResult<BTreeSet<Key>> {
+    let rows = engine.scan_where(table, None)?;
+    Ok(rows
+        .into_iter()
+        .filter(|row| parent_keys.contains(&Key::project(row, fk_cols)))
+        .map(|row| Key::project(&row, pk_cols))
+        .collect())
+}
+
+/// Build, for every catalog table, the set of primary keys that belong to
+/// `obs_id`'s derivation chain.
+fn collect_observation_keys(
+    engine: &Engine,
+    obs_id: i64,
+) -> DbResult<Vec<(&'static str, BTreeSet<Key>)>> {
+    // Seed: ccd_columns rows referencing the observation.
+    let mut keys: Vec<(&'static str, BTreeSet<Key>)> = Vec::new();
+    // Table metadata we need: schema (fk cols / pk cols) by name.
+    let schema_of = |name: &str| -> DbResult<(TableId, Arc<skydb::TableSchema>)> {
+        let tid = engine.table_id(name)?;
+        Ok((tid, engine.schema(tid)))
+    };
+
+    let (ccd_tid, ccd_schema) = schema_of("ccd_columns")?;
+    let obs_col = ccd_schema
+        .column_index("obs_id")
+        .expect("ccd_columns.obs_id");
+    let mut seed_keys = BTreeSet::new();
+    for row in engine.scan_where(ccd_tid, Some(&Expr::cmp(obs_col, CmpOp::Eq, obs_id)))? {
+        seed_keys.insert(Key::project(&row, &ccd_schema.primary_key));
+    }
+    keys.push(("ccd_columns", seed_keys));
+
+    // Walk each catalog table below ccd_columns in FK order; a table's keys
+    // are the child rows of any already-collected parent.
+    for name in skycat::CATALOG_TABLES {
+        if name == "ccd_columns" {
+            continue;
+        }
+        let (tid, schema) = schema_of(name)?;
+        let mut collected = BTreeSet::new();
+        for fk in &schema.foreign_keys {
+            if let Some((_, parent_keys)) =
+                keys.iter().find(|(n, _)| *n == fk.parent_table.as_str())
+            {
+                collected.append(&mut child_keys_of(
+                    engine,
+                    tid,
+                    &fk.columns,
+                    &schema.primary_key,
+                    parent_keys,
+                )?);
+            }
+        }
+        keys.push((name, collected));
+    }
+    Ok(keys)
+}
+
+/// Delete every derived row of `obs_id` (ccd_columns downward), in
+/// child-before-parent order, in one transaction.
+pub fn delete_observation(engine: &Engine, obs_id: i64) -> DbResult<PurgeReport> {
+    let keys = collect_observation_keys(engine, obs_id)?;
+    let txn = engine.begin();
+    let mut report = PurgeReport::default();
+    // Children first: reverse of CATALOG_TABLES order.
+    for (name, key_set) in keys.iter().rev() {
+        if key_set.is_empty() {
+            report.deleted_by_table.push(((*name).to_owned(), 0));
+            continue;
+        }
+        let tid = engine.table_id(name)?;
+        // Set-based PK deletion: O(rows · log victims), not a linear
+        // IN-list scan per row.
+        let n = match engine.delete_by_pks(txn, tid, key_set) {
+            Ok(n) => n,
+            Err(e) => {
+                engine.rollback(txn)?;
+                return Err(e);
+            }
+        };
+        report.deleted_by_table.push(((*name).to_owned(), n));
+    }
+    engine.commit(txn)?;
+    Ok(report)
+}
+
+/// Full reprocessing: purge `obs_id`'s derived rows, then load the
+/// re-extracted files with `nodes` parallel loaders.
+pub fn reprocess_observation(
+    server: &Arc<Server>,
+    obs_id: i64,
+    new_files: &[CatalogFile],
+    cfg: &LoaderConfig,
+    nodes: usize,
+) -> DbResult<(PurgeReport, NightReport)> {
+    let purge = delete_observation(server.engine(), obs_id)?;
+    let night = crate::parallel::load_night(
+        server,
+        new_files,
+        cfg,
+        nodes,
+        skysim::cluster::AssignmentPolicy::Dynamic,
+    );
+    Ok((purge, night))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::load_catalog_file;
+    use skycat::gen::{generate_file, GenConfig};
+    use skydb::DbConfig;
+
+    fn loaded_server(seed: u64, error_rate: f64) -> (Arc<Server>, skycat::CatalogFile) {
+        let server = Server::start(DbConfig::test());
+        skycat::create_all(server.engine()).unwrap();
+        skycat::seed_static(server.engine()).unwrap();
+        skycat::seed_observation(server.engine(), 1, 100).unwrap();
+        let file = generate_file(&GenConfig::small(seed, 100).with_error_rate(error_rate), 0);
+        let session = server.connect();
+        load_catalog_file(&session, &LoaderConfig::test(), &file).unwrap();
+        (server, file)
+    }
+
+    #[test]
+    fn purge_removes_exactly_the_observation_chain() {
+        let (server, file) = loaded_server(701, 0.0);
+        let engine = server.engine();
+        let report = delete_observation(engine, 100).unwrap();
+        assert_eq!(report.total(), file.expected.total_loadable());
+        for name in skycat::CATALOG_TABLES {
+            let tid = engine.table_id(name).unwrap();
+            assert_eq!(engine.row_count(tid), 0, "{name} should be empty");
+        }
+        // Dimension tables untouched.
+        let chips = engine.table_id("ccd_chips").unwrap();
+        assert_eq!(engine.row_count(chips), 112);
+        let obs = engine.table_id("observations").unwrap();
+        assert_eq!(engine.row_count(obs), 1, "observation header remains");
+    }
+
+    #[test]
+    fn purge_leaves_other_observations_alone() {
+        let (server, file) = loaded_server(703, 0.0);
+        let engine = server.engine();
+        // A second observation's data loaded alongside.
+        skycat::seed_observation(engine, 2, 200).unwrap();
+        let other = generate_file(&GenConfig::small(704, 200), 0);
+        let session = server.connect();
+        load_catalog_file(&session, &LoaderConfig::test(), &other).unwrap();
+
+        let report = delete_observation(engine, 100).unwrap();
+        assert_eq!(report.total(), file.expected.total_loadable());
+        // Observation 200's rows are intact.
+        for (table, expect) in &other.expected.loadable {
+            let tid = engine.table_id(table).unwrap();
+            assert_eq!(engine.row_count(tid), *expect, "{table}");
+        }
+    }
+
+    #[test]
+    fn reprocess_swaps_v1_for_v2_exactly() {
+        // v1 was extracted with a buggy pipeline (10% corrupt rows); v2 is
+        // the fixed re-extraction of the same observation.
+        let (server, _v1) = loaded_server(705, 0.10);
+        let v2 = generate_file(&GenConfig::small(705, 100), 0); // clean
+        let (purge, night) =
+            reprocess_observation(&server, 100, std::slice::from_ref(&v2), &LoaderConfig::test(), 2)
+                .unwrap();
+        assert!(purge.total() > 0);
+        assert_eq!(night.rows_loaded(), v2.expected.total_loadable());
+        for (table, expect) in &v2.expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(server.engine().row_count(tid), *expect, "{table}");
+        }
+    }
+
+    #[test]
+    fn purge_of_unknown_observation_is_a_noop() {
+        let (server, file) = loaded_server(707, 0.0);
+        let report = delete_observation(server.engine(), 999).unwrap();
+        assert_eq!(report.total(), 0);
+        let objects = server.engine().table_id("objects").unwrap();
+        assert_eq!(
+            server.engine().row_count(objects),
+            file.expected.loadable["objects"]
+        );
+    }
+}

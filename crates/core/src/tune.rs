@@ -1,0 +1,227 @@
+//! Tuning helpers: §4.5's guidelines as executable presets, plus an
+//! autotuner that sweeps the paper's two tunables on a sample file.
+//!
+//! §5.2: "experimenting with a variety of batch sizes and choosing one that
+//! is close to optimal for a typical data file can improve performance
+//! markedly over a random choice." [`autotune_batch_size`] is that
+//! experiment, automated: load a sample file at each candidate setting on a
+//! fresh server and pick the lowest modeled cost.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use skycat::CatalogFile;
+use skydb::server::Server;
+
+use crate::bulk::load_catalog_file;
+use crate::config::LoaderConfig;
+use crate::report::ModeledCost;
+
+/// One sweep measurement.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SweepPoint {
+    /// The candidate value (batch size or array size).
+    pub value: usize,
+    /// Modeled serial cost of loading the sample at this setting (micros).
+    pub modeled_us: u64,
+}
+
+/// Result of an autotune sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepResult {
+    /// The winning candidate.
+    pub best: usize,
+    /// Every measured point, in candidate order.
+    pub points: Vec<SweepPoint>,
+}
+
+fn run_candidate(
+    factory: &dyn Fn() -> Arc<Server>,
+    file: &CatalogFile,
+    cfg: &LoaderConfig,
+) -> Duration {
+    let server = factory();
+    let session = server.connect();
+    let report = load_catalog_file(&session, cfg, file).expect("sample load");
+    ModeledCost::measure(&server, report.client_paging).total()
+}
+
+/// Sweep `candidates` batch sizes over a sample file, returning the value
+/// with the lowest modeled cost. `factory` must produce a fresh,
+/// schema-initialized server per run so measurements are independent.
+pub fn autotune_batch_size(
+    factory: impl Fn() -> Arc<Server>,
+    file: &CatalogFile,
+    base: &LoaderConfig,
+    candidates: &[usize],
+) -> SweepResult {
+    sweep(
+        &factory,
+        file,
+        candidates,
+        |cfg, v| cfg.clone().with_batch_size(v),
+        base,
+    )
+}
+
+/// Sweep `candidates` array sizes over a sample file.
+pub fn autotune_array_size(
+    factory: impl Fn() -> Arc<Server>,
+    file: &CatalogFile,
+    base: &LoaderConfig,
+    candidates: &[usize],
+) -> SweepResult {
+    sweep(
+        &factory,
+        file,
+        candidates,
+        |cfg, v| cfg.clone().with_array_size(v),
+        base,
+    )
+}
+
+fn sweep(
+    factory: &dyn Fn() -> Arc<Server>,
+    file: &CatalogFile,
+    candidates: &[usize],
+    apply: impl Fn(&LoaderConfig, usize) -> LoaderConfig,
+    base: &LoaderConfig,
+) -> SweepResult {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let mut points = Vec::with_capacity(candidates.len());
+    for &v in candidates {
+        let cfg = apply(base, v);
+        let cost = run_candidate(factory, file, &cfg);
+        points.push(SweepPoint {
+            value: v,
+            modeled_us: cost.as_micros() as u64,
+        });
+    }
+    let best = points
+        .iter()
+        .min_by_key(|p| p.modeled_us)
+        .expect("non-empty")
+        .value;
+    SweepResult { best, points }
+}
+
+/// The §4.5 tuning checklist as data, for reports and the quickstart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TuningGuideline {
+    /// §4.5.1: drop secondary indexes during load, rebuild after.
+    DelayIndexBuilding,
+    /// §4.5.2: commit infrequently.
+    ReduceCommitFrequency,
+    /// §4.5.3: separate data, index and log devices.
+    SeparateDevices,
+    /// §4.5.4: presort input by primary key.
+    PresortData,
+    /// §4.5.5: shrink the block cache during load.
+    ShrinkDataCache,
+}
+
+/// All §4.5 guidelines in paper order.
+pub const TUNING_GUIDELINES: [TuningGuideline; 5] = [
+    TuningGuideline::DelayIndexBuilding,
+    TuningGuideline::ReduceCommitFrequency,
+    TuningGuideline::SeparateDevices,
+    TuningGuideline::PresortData,
+    TuningGuideline::ShrinkDataCache,
+];
+
+impl TuningGuideline {
+    /// Paper section implementing this guideline.
+    pub fn section(self) -> &'static str {
+        match self {
+            TuningGuideline::DelayIndexBuilding => "4.5.1",
+            TuningGuideline::ReduceCommitFrequency => "4.5.2",
+            TuningGuideline::SeparateDevices => "4.5.3",
+            TuningGuideline::PresortData => "4.5.4",
+            TuningGuideline::ShrinkDataCache => "4.5.5",
+        }
+    }
+
+    /// One-line description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            TuningGuideline::DelayIndexBuilding => {
+                "drop secondary indexes during the catch-up load; rebuild afterwards"
+            }
+            TuningGuideline::ReduceCommitFrequency => {
+                "commit very infrequently (per file, not per batch)"
+            }
+            TuningGuideline::SeparateDevices => {
+                "place data, indexes and logs on separate disk devices"
+            }
+            TuningGuideline::PresortData => "presort catalog files by primary key",
+            TuningGuideline::ShrinkDataCache => {
+                "allocate a smaller database block cache while loading"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycat::gen::{generate_file, GenConfig};
+    use skydb::config::DbConfig;
+    use skysim::time::TimeScale;
+
+    fn factory() -> Arc<Server> {
+        let server = Server::start(DbConfig::paper(TimeScale::ZERO));
+        skycat::create_all(server.engine()).unwrap();
+        skycat::seed_static(server.engine()).unwrap();
+        skycat::seed_observation(server.engine(), 1, 100).unwrap();
+        server
+    }
+
+    #[test]
+    fn batch_sweep_prefers_batching_over_tiny_batches() {
+        let file = generate_file(&GenConfig::small(41, 100), 0);
+        let result = autotune_batch_size(
+            factory,
+            &file,
+            &LoaderConfig::test(),
+            &[1, 2, 40],
+        );
+        assert_eq!(result.points.len(), 3);
+        assert_ne!(result.best, 1, "batch size 1 should never win");
+        let p1 = result.points.iter().find(|p| p.value == 1).unwrap();
+        let p40 = result.points.iter().find(|p| p.value == 40).unwrap();
+        assert!(
+            p1.modeled_us > p40.modeled_us * 3,
+            "batch 1 ({}) should cost far more than batch 40 ({})",
+            p1.modeled_us,
+            p40.modeled_us
+        );
+    }
+
+    #[test]
+    fn array_sweep_runs_and_reports_all_points() {
+        let file = generate_file(&GenConfig::small(43, 100), 0);
+        let result =
+            autotune_array_size(factory, &file, &LoaderConfig::test(), &[200, 1000]);
+        assert_eq!(result.points.len(), 2);
+        assert!(result.points.iter().all(|p| p.modeled_us > 0));
+    }
+
+    #[test]
+    fn guidelines_cover_section_4_5() {
+        assert_eq!(TUNING_GUIDELINES.len(), 5);
+        let sections: Vec<&str> = TUNING_GUIDELINES.iter().map(|g| g.section()).collect();
+        assert_eq!(sections, vec!["4.5.1", "4.5.2", "4.5.3", "4.5.4", "4.5.5"]);
+        for g in TUNING_GUIDELINES {
+            assert!(!g.describe().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_sweep_rejected() {
+        let file = generate_file(&GenConfig::small(1, 100), 0);
+        autotune_batch_size(factory, &file, &LoaderConfig::test(), &[]);
+    }
+}

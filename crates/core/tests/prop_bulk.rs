@@ -1,0 +1,112 @@
+//! Property tests for the Fig. 3 bulk-loading recovery invariant: for ANY
+//! pattern of corrupt rows and ANY batch/array sizing, the loader commits
+//! exactly the loadable rows — no loss, no duplication — and its call
+//! count obeys the paper's bounds.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use skycat::gen::{generate_file, GenConfig};
+use skydb::{DbConfig, Server};
+use skyloader::{load_catalog_file, LoaderConfig};
+
+fn fresh_server() -> Arc<Server> {
+    let server = Server::start(DbConfig::test());
+    skycat::create_all(server.engine()).unwrap();
+    skycat::seed_static(server.engine()).unwrap();
+    skycat::seed_observation(server.engine(), 1, 100).unwrap();
+    server
+}
+
+proptest! {
+    // Each case loads a full file through the wire; keep the case count
+    // moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The central invariant, fuzzed over workload shape and tuning knobs.
+    #[test]
+    fn loader_commits_exactly_the_loadable_rows(
+        seed in any::<u64>(),
+        error_pct in 0u32..25,
+        batch in 1usize..70,
+        array in prop::sample::select(vec![70usize, 150, 400, 1000]),
+        presorted in any::<bool>(),
+    ) {
+        prop_assume!(batch <= array);
+        let file = generate_file(
+            &GenConfig {
+                seed,
+                obs_id: 100,
+                files: 1,
+                ccds_per_file: 2,
+                frames_per_ccd: 2,
+                objects_per_frame: 25,
+                error_rate: error_pct as f64 / 100.0,
+                presorted,
+                size_skew: 0.0,
+            },
+            0,
+        );
+        let server = fresh_server();
+        let session = server.connect();
+        let cfg = LoaderConfig::test()
+            .with_batch_size(batch)
+            .with_array_size(array);
+        let report = load_catalog_file(&session, &cfg, &file).unwrap();
+
+        // Exactness.
+        prop_assert_eq!(report.rows_loaded, file.expected.total_loadable());
+        prop_assert_eq!(
+            report.rows_skipped,
+            file.expected.total_emitted() - file.expected.total_loadable()
+        );
+        for (table, expect) in &file.expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            prop_assert_eq!(server.engine().row_count(tid), *expect, "{}", table);
+        }
+
+        // §4.2 call bounds: at least ceil(N/batch); at most one extra call
+        // per database error plus one partial batch per table per cycle.
+        let n = report.rows_loaded + report.rows_skipped;
+        let db_errors: u64 = report
+            .skipped_by_kind
+            .iter()
+            .filter(|(k, _)| !matches!(**k, "parse" | "transform"))
+            .map(|(_, v)| v)
+            .sum();
+        let min_calls = report.rows_loaded.div_ceil(batch as u64);
+        let max_calls = n.div_ceil(batch as u64)
+            + db_errors
+            + (report.cycles + 1) * skycat::CATALOG_TABLES.len() as u64;
+        prop_assert!(report.batch_calls >= min_calls,
+            "calls {} below minimum {}", report.batch_calls, min_calls);
+        prop_assert!(report.batch_calls <= max_calls,
+            "calls {} above maximum {}", report.batch_calls, max_calls);
+    }
+
+    /// Singleton mode commits the same rows as bulk mode for any workload.
+    #[test]
+    fn singleton_and_bulk_agree(seed in any::<u64>(), error_pct in 0u32..20) {
+        let file = generate_file(
+            &GenConfig::small(seed, 100).with_error_rate(error_pct as f64 / 100.0),
+            0,
+        );
+        let bulk_server = fresh_server();
+        let bulk = load_catalog_file(
+            &bulk_server.connect(),
+            &LoaderConfig::test(),
+            &file,
+        )
+        .unwrap();
+        let single_server = fresh_server();
+        let single = load_catalog_file(
+            &single_server.connect(),
+            &LoaderConfig::non_bulk(),
+            &file,
+        )
+        .unwrap();
+        prop_assert_eq!(bulk.rows_loaded, single.rows_loaded);
+        prop_assert_eq!(bulk.rows_skipped, single.rows_skipped);
+        prop_assert_eq!(&bulk.loaded_by_table, &single.loaded_by_table);
+    }
+}

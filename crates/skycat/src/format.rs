@@ -1,0 +1,280 @@
+//! The catalog ASCII file format.
+//!
+//! §4.1: "The catalog information is first written to an ASCII file …
+//! different aspects of the catalog information are interleaved in the
+//! file. For example, a row of frame information is followed by four rows
+//! of frame aperture information, and a row of object information is
+//! followed by four rows of finger information. Usually each row in the
+//! catalog data file has a tag or a keyword that can be used to determine
+//! the destination table."
+//!
+//! Lines are `TAG|field|field|…`. Empty fields are NULLs. [`parse_line`]
+//! produces a borrowed [`RawRecord`]; the loader reuses one line buffer and
+//! transforms each record immediately (see `skycat::transform`).
+
+use std::fmt;
+
+/// The destination-table tag at the start of each catalog line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordTag {
+    /// `ccd_columns` row.
+    Ccd,
+    /// `ccd_images` row.
+    Img,
+    /// `ccd_frames` row.
+    Frm,
+    /// `ccd_frame_apertures` row.
+    Apr,
+    /// `frame_statistics` row.
+    Fst,
+    /// `astrometry_solutions` row.
+    Ast,
+    /// `photometry_zeropoints` row.
+    Zpt,
+    /// `quality_checks` row.
+    Qch,
+    /// `objects` row.
+    Obj,
+    /// `fingers` row.
+    Fng,
+    /// `object_flags` row.
+    Ofl,
+}
+
+/// All tags, in the nesting order they appear in files.
+pub const ALL_TAGS: [RecordTag; 11] = [
+    RecordTag::Ccd,
+    RecordTag::Img,
+    RecordTag::Frm,
+    RecordTag::Apr,
+    RecordTag::Fst,
+    RecordTag::Ast,
+    RecordTag::Zpt,
+    RecordTag::Qch,
+    RecordTag::Obj,
+    RecordTag::Fng,
+    RecordTag::Ofl,
+];
+
+impl RecordTag {
+    /// Parse a tag keyword.
+    pub fn from_keyword(s: &str) -> Option<RecordTag> {
+        Some(match s {
+            "CCD" => RecordTag::Ccd,
+            "IMG" => RecordTag::Img,
+            "FRM" => RecordTag::Frm,
+            "APR" => RecordTag::Apr,
+            "FST" => RecordTag::Fst,
+            "AST" => RecordTag::Ast,
+            "ZPT" => RecordTag::Zpt,
+            "QCH" => RecordTag::Qch,
+            "OBJ" => RecordTag::Obj,
+            "FNG" => RecordTag::Fng,
+            "OFL" => RecordTag::Ofl,
+            _ => return None,
+        })
+    }
+
+    /// The tag keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            RecordTag::Ccd => "CCD",
+            RecordTag::Img => "IMG",
+            RecordTag::Frm => "FRM",
+            RecordTag::Apr => "APR",
+            RecordTag::Fst => "FST",
+            RecordTag::Ast => "AST",
+            RecordTag::Zpt => "ZPT",
+            RecordTag::Qch => "QCH",
+            RecordTag::Obj => "OBJ",
+            RecordTag::Fng => "FNG",
+            RecordTag::Ofl => "OFL",
+        }
+    }
+
+    /// The destination table.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            RecordTag::Ccd => "ccd_columns",
+            RecordTag::Img => "ccd_images",
+            RecordTag::Frm => "ccd_frames",
+            RecordTag::Apr => "ccd_frame_apertures",
+            RecordTag::Fst => "frame_statistics",
+            RecordTag::Ast => "astrometry_solutions",
+            RecordTag::Zpt => "photometry_zeropoints",
+            RecordTag::Qch => "quality_checks",
+            RecordTag::Obj => "objects",
+            RecordTag::Fng => "fingers",
+            RecordTag::Ofl => "object_flags",
+        }
+    }
+
+    /// The exact number of `|`-separated fields after the tag.
+    pub fn field_count(self) -> usize {
+        match self {
+            RecordTag::Ccd => 8,
+            RecordTag::Img => 7,
+            RecordTag::Frm => 9,
+            RecordTag::Apr => 6,
+            RecordTag::Fst => 6,
+            RecordTag::Ast => 9,
+            RecordTag::Zpt => 6,
+            RecordTag::Qch => 4,
+            RecordTag::Obj => 14,
+            RecordTag::Fng => 6,
+            RecordTag::Ofl => 4,
+        }
+    }
+}
+
+impl fmt::Display for RecordTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A parsed catalog line: tag + raw string fields (borrowed from the line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawRecord<'a> {
+    /// Destination-table tag.
+    pub tag: RecordTag,
+    /// Raw fields; empty strings are NULLs.
+    pub fields: Vec<&'a str>,
+}
+
+/// A line-level parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The line was empty or whitespace-only (skipped silently by readers,
+    /// reported by [`parse_line`]).
+    Blank,
+    /// The tag keyword is unknown.
+    UnknownTag(String),
+    /// The field count does not match the tag.
+    FieldCount {
+        /// The line's tag.
+        tag: RecordTag,
+        /// Fields the tag requires.
+        expected: usize,
+        /// Fields found.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Blank => f.write_str("blank line"),
+            ParseError::UnknownTag(t) => write!(f, "unknown tag {t:?}"),
+            ParseError::FieldCount { tag, expected, got } => {
+                write!(f, "{tag} line has {got} fields, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one catalog line.
+pub fn parse_line(line: &str) -> Result<RawRecord<'_>, ParseError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line.trim().is_empty() {
+        return Err(ParseError::Blank);
+    }
+    let mut parts = line.split('|');
+    let keyword = parts.next().unwrap_or("");
+    let tag = RecordTag::from_keyword(keyword)
+        .ok_or_else(|| ParseError::UnknownTag(keyword.to_owned()))?;
+    let fields: Vec<&str> = parts.collect();
+    if fields.len() != tag.field_count() {
+        return Err(ParseError::FieldCount {
+            tag,
+            expected: tag.field_count(),
+            got: fields.len(),
+        });
+    }
+    Ok(RawRecord { tag, fields })
+}
+
+/// Format a catalog line from a tag and field strings.
+pub fn format_line(tag: RecordTag, fields: &[String]) -> String {
+    debug_assert_eq!(fields.len(), tag.field_count(), "field count for {tag}");
+    let mut line = String::with_capacity(8 + fields.iter().map(|f| f.len() + 1).sum::<usize>());
+    line.push_str(tag.keyword());
+    for f in fields {
+        line.push('|');
+        line.push_str(f);
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_keyword_roundtrip() {
+        for tag in ALL_TAGS {
+            assert_eq!(RecordTag::from_keyword(tag.keyword()), Some(tag));
+        }
+        assert_eq!(RecordTag::from_keyword("XYZ"), None);
+        assert_eq!(RecordTag::from_keyword(""), None);
+    }
+
+    #[test]
+    fn parse_valid_line() {
+        let rec = parse_line("QCH|1|2|flatness|1\n").unwrap();
+        assert_eq!(rec.tag, RecordTag::Qch);
+        assert_eq!(rec.fields, vec!["1", "2", "flatness", "1"]);
+    }
+
+    #[test]
+    fn parse_preserves_empty_fields_as_nulls() {
+        let rec = parse_line("FST|1|2|10|||0.5").unwrap();
+        assert_eq!(rec.fields[3], "");
+        assert_eq!(rec.fields[4], "");
+        assert_eq!(rec.fields[5], "0.5");
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert_eq!(parse_line(""), Err(ParseError::Blank));
+        assert_eq!(parse_line("   \n"), Err(ParseError::Blank));
+        assert!(matches!(
+            parse_line("BOGUS|1|2"),
+            Err(ParseError::UnknownTag(_))
+        ));
+        assert!(matches!(
+            parse_line("QCH|1|2|flatness"),
+            Err(ParseError::FieldCount {
+                expected: 4,
+                got: 3,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_line("QCH|1|2|flatness|1|extra"),
+            Err(ParseError::FieldCount { got: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn format_then_parse_roundtrip() {
+        let fields: Vec<String> = vec!["9".into(), "8".into(), "focus".into(), "0".into()];
+        let line = format_line(RecordTag::Qch, &fields);
+        assert_eq!(line, "QCH|9|8|focus|0");
+        let rec = parse_line(&line).unwrap();
+        assert_eq!(rec.fields, vec!["9", "8", "focus", "0"]);
+    }
+
+    #[test]
+    fn tables_match_catalog_constant() {
+        for tag in ALL_TAGS {
+            assert!(
+                crate::schema::CATALOG_TABLES.contains(&tag.table_name()),
+                "{tag} maps to unknown table"
+            );
+        }
+        assert_eq!(ALL_TAGS.len(), crate::schema::CATALOG_TABLES.len());
+    }
+}

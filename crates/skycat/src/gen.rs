@@ -1,0 +1,665 @@
+//! Synthetic catalog data generator.
+//!
+//! We do not have the proprietary Palomar-Quest catalog files, so this
+//! module generates their closest synthetic equivalent (per the paper's
+//! description in §2/§4.1): one observation produces **28 catalog files**
+//! (one per CCD column group), each containing **4 CCD columns** of frames
+//! with interleaved child rows — a frame row followed by its 4 aperture
+//! rows, an object row followed by its 4 finger rows — with file sizes that
+//! "vary in size" (§4.4), primary keys presorted (§4.5.4) or shuffled, and
+//! a configurable rate of injected data errors ("it is not unusual for sky
+//! survey data to have missing and/or invalid values", §4.3).
+//!
+//! Error injection is exact and accounted: every corrupted row is recorded
+//! in [`ExpectedCounts`], including FK cascades (an object that fails to
+//! load takes its 4 fingers with it), so integration tests can assert final
+//! table counts to the row.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use skysim::rng::SplitMix64;
+
+use crate::format::{format_line, RecordTag};
+
+/// Span of the id space reserved for one catalog file.
+const FILE_SPAN: i64 = 10_000_000;
+
+const OFF_CCD_COL: i64 = 0;
+const OFF_IMAGE: i64 = 100;
+const OFF_FRAME: i64 = 1_000;
+const OFF_APERTURE: i64 = 10_000;
+const OFF_STAT: i64 = 50_000;
+const OFF_ASTRO: i64 = 60_000;
+const OFF_ZP: i64 = 70_000;
+const OFF_QC: i64 = 80_000;
+const OFF_OFLAG: i64 = 100_000;
+const OFF_OBJECT: i64 = 500_000;
+const OFF_FINGER: i64 = 1_500_000;
+
+/// Configuration for one observation's worth of synthetic catalog data.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Deterministic seed; same seed ⇒ byte-identical files.
+    pub seed: u64,
+    /// The (pre-seeded) observation id the files reference.
+    pub obs_id: i64,
+    /// Number of catalog files (the paper's observation yields 28).
+    pub files: usize,
+    /// CCD columns per file (4, per §4.4).
+    pub ccds_per_file: usize,
+    /// Frames per CCD column (scaled by per-file size skew).
+    pub frames_per_ccd: usize,
+    /// Mean objects per frame (actual counts vary ±50%).
+    pub objects_per_frame: usize,
+    /// Fraction of object rows corrupted (0.0 = clean data).
+    pub error_rate: f64,
+    /// `true`: primary keys ascend in file order (the §4.5.4 presort);
+    /// `false`: object/finger ids are a random permutation.
+    pub presorted: bool,
+    /// Relative spread of file sizes (0.0 = uniform, 0.5 = ±50%).
+    pub size_skew: f64,
+}
+
+impl GenConfig {
+    /// A full paper-shaped night: 28 files × 4 CCDs.
+    pub fn night(seed: u64, obs_id: i64) -> Self {
+        GenConfig {
+            seed,
+            obs_id,
+            files: 28,
+            ccds_per_file: 4,
+            frames_per_ccd: 4,
+            objects_per_frame: 50,
+            error_rate: 0.0,
+            presorted: true,
+            size_skew: 0.4,
+        }
+    }
+
+    /// A small single-file configuration for unit tests and quick examples.
+    pub fn small(seed: u64, obs_id: i64) -> Self {
+        GenConfig {
+            seed,
+            obs_id,
+            files: 1,
+            ccds_per_file: 2,
+            frames_per_ccd: 2,
+            objects_per_frame: 20,
+            error_rate: 0.0,
+            presorted: true,
+            size_skew: 0.0,
+        }
+    }
+
+    /// Builder-style: set the error rate.
+    pub fn with_error_rate(mut self, rate: f64) -> Self {
+        self.error_rate = rate;
+        self
+    }
+
+    /// Builder-style: set presorting.
+    pub fn with_presorted(mut self, presorted: bool) -> Self {
+        self.presorted = presorted;
+        self
+    }
+
+    /// Builder-style: scale the workload size by adjusting frames per CCD.
+    pub fn with_frames_per_ccd(mut self, frames: usize) -> Self {
+        self.frames_per_ccd = frames;
+        self
+    }
+
+    /// Builder-style: set mean objects per frame.
+    pub fn with_objects_per_frame(mut self, objects: usize) -> Self {
+        self.objects_per_frame = objects;
+        self
+    }
+
+    /// Builder-style: set the number of files.
+    pub fn with_files(mut self, files: usize) -> Self {
+        self.files = files;
+        self
+    }
+}
+
+/// Exact bookkeeping of what a generated file contains and what a correct
+/// loader must end up loading.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpectedCounts {
+    /// Lines emitted per destination table (including corrupted ones).
+    pub emitted: BTreeMap<&'static str, u64>,
+    /// Rows a correct loader ends up committing per table (corrupted rows
+    /// and their FK cascades excluded).
+    pub loadable: BTreeMap<&'static str, u64>,
+    /// Object rows corrupted at generation time.
+    pub corrupted_objects: u64,
+    /// Lines that cannot even be parsed (malformed field counts).
+    pub malformed_lines: u64,
+}
+
+impl ExpectedCounts {
+    fn bump(&mut self, table: &'static str, loadable: bool) {
+        *self.emitted.entry(table).or_insert(0) += 1;
+        if loadable {
+            *self.loadable.entry(table).or_insert(0) += 1;
+        }
+    }
+
+    /// Total lines emitted.
+    pub fn total_emitted(&self) -> u64 {
+        self.emitted.values().sum()
+    }
+
+    /// Total rows a correct loader commits.
+    pub fn total_loadable(&self) -> u64 {
+        self.loadable.values().sum()
+    }
+
+    /// Merge another file's counts into this one.
+    pub fn merge(&mut self, other: &ExpectedCounts) {
+        for (t, n) in &other.emitted {
+            *self.emitted.entry(t).or_insert(0) += n;
+        }
+        for (t, n) in &other.loadable {
+            *self.loadable.entry(t).or_insert(0) += n;
+        }
+        self.corrupted_objects += other.corrupted_objects;
+        self.malformed_lines += other.malformed_lines;
+    }
+}
+
+/// One generated catalog file.
+#[derive(Debug, Clone)]
+pub struct CatalogFile {
+    /// File name, e.g. `obs000100_f07.cat`.
+    pub name: String,
+    /// The full ASCII contents.
+    pub text: String,
+    /// Exact emitted/loadable accounting.
+    pub expected: ExpectedCounts,
+}
+
+impl CatalogFile {
+    /// Number of (newline-terminated) lines.
+    pub fn line_count(&self) -> usize {
+        self.text.lines().count()
+    }
+
+    /// Size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Write to `dir/name`, returning the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(&self.name);
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.text.as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Kinds of injected corruption, in the paper's spirit: duplicate keys
+/// (re-extraction overlap), orphan references, invalid values, and garbled
+/// lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Corruption {
+    DuplicatePk,
+    OrphanFk,
+    BadValue,
+    Malformed,
+}
+
+fn pick_corruption(rng: &mut SplitMix64) -> Corruption {
+    match rng.next_below(10) {
+        0..=3 => Corruption::DuplicatePk,
+        4..=6 => Corruption::OrphanFk,
+        7..=8 => Corruption::BadValue,
+        _ => Corruption::Malformed,
+    }
+}
+
+/// Generate all files of an observation.
+pub fn generate_observation(cfg: &GenConfig) -> Vec<CatalogFile> {
+    (0..cfg.files).map(|i| generate_file(cfg, i)).collect()
+}
+
+/// Aggregate expected counts across a set of files.
+pub fn aggregate_expected(files: &[CatalogFile]) -> ExpectedCounts {
+    let mut total = ExpectedCounts::default();
+    for f in files {
+        total.merge(&f.expected);
+    }
+    total
+}
+
+/// Generate one catalog file.
+pub fn generate_file(cfg: &GenConfig, file_idx: usize) -> CatalogFile {
+    assert!(file_idx < cfg.files, "file index out of range");
+    assert!(cfg.ccds_per_file > 0 && cfg.frames_per_ccd > 0);
+    let mut rng = SplitMix64::new(
+        cfg.seed ^ (file_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let base = (cfg.obs_id * 1000 + file_idx as i64 + 1) * FILE_SPAN;
+    let mut expected = ExpectedCounts::default();
+
+    // Per-file size skew (§4.4: the 28 files "vary in size").
+    let skew = 1.0 + cfg.size_skew * (2.0 * rng.next_f64() - 1.0);
+    let frames_per_ccd = ((cfg.frames_per_ccd as f64 * skew).round() as usize).max(1);
+
+    // Pre-plan object counts so unsorted mode can permute ids.
+    let total_frames = cfg.ccds_per_file * frames_per_ccd;
+    let object_counts: Vec<usize> = (0..total_frames)
+        .map(|_| {
+            let mean = cfg.objects_per_frame.max(1) as u64;
+            (mean / 2 + rng.next_below(mean + 1)) as usize
+        })
+        .collect();
+    let total_objects: usize = object_counts.iter().sum();
+    let mut object_ord_to_id: Vec<i64> = (0..total_objects as i64).collect();
+    if !cfg.presorted {
+        rng.shuffle(&mut object_ord_to_id);
+    }
+
+    let mut text = String::with_capacity(total_objects * 300);
+    let mut push = |line: String| {
+        text.push_str(&line);
+        text.push('\n');
+    };
+    let fmt_f = |x: f64| format!("{x:.6}");
+
+    // Sky geometry: this file covers a drift-scan stripe.
+    let ra0 = 150.0 + file_idx as f64 * 0.55;
+    let mut object_ordinal = 0usize;
+    let mut frame_seq = 0usize;
+    let mut last_clean_object_id: Option<i64> = None;
+
+    for ccd in 0..cfg.ccds_per_file {
+        let ccd_col_id = base + OFF_CCD_COL + ccd as i64;
+        let ccd_chip_id = (file_idx * cfg.ccds_per_file + ccd) as i64 % crate::schema::N_CCDS + 1;
+        let dec0 = -1.2 + 0.6 * ccd as f64;
+        push(format_line(
+            RecordTag::Ccd,
+            &[
+                ccd_col_id.to_string(),
+                cfg.obs_id.to_string(),
+                ccd_chip_id.to_string(),
+                ccd.to_string(),
+                fmt_f(ra0),
+                fmt_f(ra0 + 0.5),
+                fmt_f(dec0),
+                fmt_f(dec0 + 0.6),
+            ],
+        ));
+        expected.bump("ccd_columns", true);
+
+        let image_id = base + OFF_IMAGE + ccd as i64;
+        push(format_line(
+            RecordTag::Img,
+            &[
+                image_id.to_string(),
+                ccd_col_id.to_string(),
+                "0".to_string(),
+                fmt_f(53_500.25 + file_idx as f64 * 0.001),
+                fmt_f(140.0),
+                fmt_f(2.5 + 0.01 * ccd as f64),
+                fmt_f(11.0),
+            ],
+        ));
+        expected.bump("ccd_images", true);
+
+        for fno in 0..frames_per_ccd {
+            let frame_id = base + OFF_FRAME + frame_seq as i64;
+            let fra = ra0 + 0.5 * fno as f64 / frames_per_ccd as f64;
+            push(format_line(
+                RecordTag::Frm,
+                &[
+                    frame_id.to_string(),
+                    image_id.to_string(),
+                    fno.to_string(),
+                    fmt_f(fra),
+                    fmt_f(fra + 0.1),
+                    fmt_f(dec0),
+                    fmt_f(dec0 + 0.6),
+                    fmt_f(850.0 + rng.next_f64_range(0.0, 100.0)),
+                    fmt_f(1.0 + rng.next_f64_range(0.0, 1.5)),
+                ],
+            ));
+            expected.bump("ccd_frames", true);
+
+            for ap in 1..=4 {
+                let aperture_id = base + OFF_APERTURE + (frame_seq * 4 + ap - 1) as i64;
+                push(format_line(
+                    RecordTag::Apr,
+                    &[
+                        aperture_id.to_string(),
+                        frame_id.to_string(),
+                        ap.to_string(),
+                        fmt_f(1.5 * ap as f64),
+                        fmt_f(3.0 * ap as f64),
+                        fmt_f(4.5 * ap as f64),
+                    ],
+                ));
+                expected.bump("ccd_frame_apertures", true);
+            }
+
+            let n_objects = object_counts[frame_seq];
+            push(format_line(
+                RecordTag::Fst,
+                &[
+                    (base + OFF_STAT + frame_seq as i64).to_string(),
+                    frame_id.to_string(),
+                    n_objects.to_string(),
+                    fmt_f(18.0 + rng.next_f64_range(0.0, 2.0)),
+                    fmt_f(12.0 + rng.next_f64_range(0.0, 2.0)),
+                    fmt_f(rng.next_f64_range(0.0, 0.05)),
+                ],
+            ));
+            expected.bump("frame_statistics", true);
+            push(format_line(
+                RecordTag::Ast,
+                &[
+                    (base + OFF_ASTRO + frame_seq as i64).to_string(),
+                    frame_id.to_string(),
+                    fmt_f(fra + 0.05),
+                    fmt_f(dec0 + 0.3),
+                    format!("{:.8}", 0.000236),
+                    "0.00000000".to_string(),
+                    "0.00000000".to_string(),
+                    format!("{:.8}", 0.000236),
+                    fmt_f(0.08 + rng.next_f64_range(0.0, 0.1)),
+                ],
+            ));
+            expected.bump("astrometry_solutions", true);
+            push(format_line(
+                RecordTag::Zpt,
+                &[
+                    (base + OFF_ZP + frame_seq as i64).to_string(),
+                    frame_id.to_string(),
+                    "3".to_string(), // r band
+                    fmt_f(24.3 + rng.next_f64_range(0.0, 0.4)),
+                    fmt_f(0.02 + rng.next_f64_range(0.0, 0.02)),
+                    fmt_f(0.10 + rng.next_f64_range(0.0, 0.05)),
+                ],
+            ));
+            expected.bump("photometry_zeropoints", true);
+            push(format_line(
+                RecordTag::Qch,
+                &[
+                    (base + OFF_QC + frame_seq as i64).to_string(),
+                    frame_id.to_string(),
+                    "astrom-rms".to_string(),
+                    if rng.chance(0.97) { "1" } else { "0" }.to_string(),
+                ],
+            ));
+            expected.bump("quality_checks", true);
+
+            // ---- objects, each followed by its 4 fingers ----
+            for _ in 0..n_objects {
+                let ord = object_ordinal;
+                object_ordinal += 1;
+                let object_id = base + OFF_OBJECT + object_ord_to_id[ord];
+                let finger_base = base + OFF_FINGER + object_ord_to_id[ord] * 4;
+
+                let corruption = if cfg.error_rate > 0.0 && rng.chance(cfg.error_rate) {
+                    let mut kind = pick_corruption(&mut rng);
+                    if kind == Corruption::DuplicatePk && last_clean_object_id.is_none() {
+                        kind = Corruption::OrphanFk;
+                    }
+                    Some(kind)
+                } else {
+                    None
+                };
+
+                let (row_object_id, row_frame_id, mag_milli) = match corruption {
+                    Some(Corruption::DuplicatePk) => {
+                        (last_clean_object_id.expect("guarded"), frame_id, 17_500)
+                    }
+                    Some(Corruption::OrphanFk) => (object_id, frame_id + 777_777, 17_500),
+                    Some(Corruption::BadValue) => (object_id, frame_id, 999_999),
+                    _ => (
+                        object_id,
+                        frame_id,
+                        14_000 + rng.next_below(8000) as i64,
+                    ),
+                };
+                let mag = mag_milli as f64 / 1000.0;
+                let flux = (10f64.powf((25.0 - mag.min(30.0)) / 2.5)).round() as i64;
+                let ra = fra + rng.next_f64_range(0.0, 0.1);
+                let dec = dec0 + rng.next_f64_range(0.0, 0.6);
+                let fields = vec![
+                    row_object_id.to_string(),
+                    row_frame_id.to_string(),
+                    fmt_f(ra),
+                    fmt_f(dec),
+                    flux.to_string(),
+                    fmt_f(flux as f64 * 0.01),
+                    mag_milli.to_string(),
+                    (20 + rng.next_below(80)).to_string(),
+                    fmt_f(1.0 + rng.next_f64_range(0.0, 2.0)),
+                    fmt_f(rng.next_f64_range(0.0, 0.6)),
+                    fmt_f(rng.next_f64_range(0.0, 180.0)),
+                    rng.next_below(4).to_string(),
+                    fmt_f(rng.next_f64_range(0.0, 2048.0)),
+                    fmt_f(rng.next_f64_range(0.0, 4096.0)),
+                ];
+                let line = if corruption == Some(Corruption::Malformed) {
+                    // Garble: drop the trailing fields so parsing fails.
+                    let mut l = format_line(RecordTag::Obj, &fields);
+                    let cut = l.len() - fields[10].len() - fields[11].len()
+                        - fields[12].len()
+                        - fields[13].len()
+                        - 4;
+                    l.truncate(cut);
+                    l
+                } else {
+                    format_line(RecordTag::Obj, &fields)
+                };
+                push(line);
+
+                // Accounting: the object row loads iff it is clean.
+                let object_loads = corruption.is_none();
+                expected.bump("objects", object_loads);
+                if corruption.is_some() {
+                    expected.corrupted_objects += 1;
+                    if corruption == Some(Corruption::Malformed) {
+                        expected.malformed_lines += 1;
+                    }
+                }
+                if object_loads {
+                    last_clean_object_id = Some(object_id);
+                }
+                // Fingers reference the row's object id. They load iff that
+                // id exists after loading: clean rows (their own id) and
+                // DuplicatePk rows (the earlier original's id).
+                let fingers_load =
+                    object_loads || corruption == Some(Corruption::DuplicatePk);
+                for k in 0..4 {
+                    push(format_line(
+                        RecordTag::Fng,
+                        &[
+                            (finger_base + k).to_string(),
+                            row_object_id.to_string(),
+                            (k + 1).to_string(),
+                            fmt_f(rng.next_f64_range(-2.0, 2.0)),
+                            fmt_f(rng.next_f64_range(-2.0, 2.0)),
+                            fmt_f(rng.next_f64_range(0.0, 0.25)),
+                        ],
+                    ));
+                    expected.bump("fingers", fingers_load);
+                }
+                // Every 10th object gets an extra flag row.
+                if ord.is_multiple_of(10) {
+                    push(format_line(
+                        RecordTag::Ofl,
+                        &[
+                            (base + OFF_OFLAG + ord as i64).to_string(),
+                            row_object_id.to_string(),
+                            "deblended".to_string(),
+                            rng.next_below(2).to_string(),
+                        ],
+                    ));
+                    expected.bump("object_flags", fingers_load);
+                }
+            }
+            frame_seq += 1;
+        }
+    }
+
+    CatalogFile {
+        name: format!("obs{:06}_f{:02}.cat", cfg.obs_id, file_idx),
+        text,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse_line;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::night(7, 100);
+        let a = generate_file(&cfg, 3);
+        let b = generate_file(&cfg, 3);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.expected, b.expected);
+        let c = generate_file(&cfg, 4);
+        assert_ne!(a.text, c.text, "different files differ");
+    }
+
+    #[test]
+    fn clean_file_all_lines_parse_and_all_rows_loadable() {
+        let cfg = GenConfig::small(1, 100);
+        let f = generate_file(&cfg, 0);
+        assert_eq!(f.expected.corrupted_objects, 0);
+        assert_eq!(f.expected.total_emitted(), f.expected.total_loadable());
+        let mut parsed = 0u64;
+        for line in f.text.lines() {
+            let rec = parse_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            let (_, _row) = crate::transform::transform(&rec)
+                .unwrap_or_else(|e| panic!("{e}: {line}"));
+            parsed += 1;
+        }
+        assert_eq!(parsed, f.expected.total_emitted());
+        assert_eq!(f.line_count() as u64, parsed);
+    }
+
+    #[test]
+    fn interleave_structure_objects_followed_by_four_fingers() {
+        let cfg = GenConfig::small(2, 100);
+        let f = generate_file(&cfg, 0);
+        let lines: Vec<&str> = f.text.lines().collect();
+        let mut fingers_after_obj = 0;
+        for (i, l) in lines.iter().enumerate() {
+            if l.starts_with("OBJ|") {
+                for k in 1..=4 {
+                    assert!(
+                        lines[i + k].starts_with("FNG|"),
+                        "line {i}+{k} should be a finger"
+                    );
+                }
+                fingers_after_obj += 1;
+            }
+            if l.starts_with("FRM|") {
+                for k in 1..=4 {
+                    assert!(lines[i + k].starts_with("APR|"));
+                }
+            }
+        }
+        assert!(fingers_after_obj > 0);
+    }
+
+    #[test]
+    fn error_injection_accounted_exactly() {
+        let cfg = GenConfig::night(9, 100).with_error_rate(0.1);
+        let f = generate_file(&cfg, 0);
+        assert!(f.expected.corrupted_objects > 0, "10% should corrupt something");
+        let emitted_obj = f.expected.emitted["objects"];
+        let loadable_obj = f.expected.loadable["objects"];
+        assert_eq!(emitted_obj - loadable_obj, f.expected.corrupted_objects);
+        // Finger cascades: fewer loadable fingers than emitted.
+        assert!(f.expected.loadable["fingers"] < f.expected.emitted["fingers"]);
+        // Malformed lines really fail to parse.
+        let unparseable = f
+            .text
+            .lines()
+            .filter(|l| parse_line(l).is_err())
+            .count() as u64;
+        assert_eq!(unparseable, f.expected.malformed_lines);
+    }
+
+    #[test]
+    fn file_sizes_skewed() {
+        let cfg = GenConfig::night(11, 100);
+        let files = generate_observation(&cfg);
+        assert_eq!(files.len(), 28);
+        let min = files.iter().map(CatalogFile::byte_len).min().unwrap();
+        let max = files.iter().map(CatalogFile::byte_len).max().unwrap();
+        assert!(
+            max as f64 > min as f64 * 1.2,
+            "sizes should vary: min={min} max={max}"
+        );
+    }
+
+    #[test]
+    fn id_spaces_disjoint_across_files() {
+        let cfg = GenConfig::night(13, 100);
+        let a = generate_file(&cfg, 0);
+        let b = generate_file(&cfg, 1);
+        let ids = |text: &str| -> std::collections::HashSet<i64> {
+            text.lines()
+                .filter(|l| l.starts_with("OBJ|"))
+                .filter_map(|l| l.split('|').nth(1)?.parse().ok())
+                .collect()
+        };
+        let ia = ids(&a.text);
+        let ib = ids(&b.text);
+        assert!(ia.is_disjoint(&ib), "object ids must not collide across files");
+    }
+
+    #[test]
+    fn unsorted_mode_scatters_object_ids() {
+        let sorted = generate_file(&GenConfig::night(5, 100), 0);
+        let unsorted = generate_file(&GenConfig::night(5, 100).with_presorted(false), 0);
+        let obj_ids = |text: &str| -> Vec<i64> {
+            text.lines()
+                .filter(|l| l.starts_with("OBJ|"))
+                .filter_map(|l| l.split('|').nth(1)?.parse().ok())
+                .collect()
+        };
+        let s = obj_ids(&sorted.text);
+        let u = obj_ids(&unsorted.text);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "presorted ids ascend");
+        assert!(!u.windows(2).all(|w| w[0] < w[1]), "unsorted ids scatter");
+        // Same multiset of ids either way.
+        let mut s2 = s.clone();
+        let mut u2 = u.clone();
+        s2.sort_unstable();
+        u2.sort_unstable();
+        assert_eq!(s2, u2);
+    }
+
+    #[test]
+    fn aggregate_expected_sums_files() {
+        let cfg = GenConfig::night(17, 100).with_files(3);
+        let files = generate_observation(&cfg);
+        let total = aggregate_expected(&files);
+        let manual: u64 = files.iter().map(|f| f.expected.total_emitted()).sum();
+        assert_eq!(total.total_emitted(), manual);
+    }
+
+    #[test]
+    fn write_to_disk_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("skycat-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = generate_file(&GenConfig::small(3, 100), 0);
+        let path = f.write_to(&dir).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, f.text);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

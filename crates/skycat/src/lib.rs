@@ -1,0 +1,38 @@
+//! # skycat — the Palomar-Quest catalog data model and workload
+//!
+//! Everything about the *data* side of the SC 2005 SkyLoader paper:
+//!
+//! * [`schema`] — the 23-table repository data model (paper Fig. 1) with
+//!   its full primary/foreign-key graph, plus seeding of the static
+//!   dimension tables (112 CCDs, filters, pipelines, …);
+//! * [`mod@format`] — the tagged, interleaved catalog ASCII format (§4.1);
+//! * [`mod@transform`] — per-row parse / validate / transform / compute,
+//!   including htmid and galactic coordinates (§3);
+//! * [`gen`] — a deterministic synthetic generator standing in for the
+//!   proprietary survey data: 28 skewed files per observation, exact
+//!   error-injection accounting.
+//!
+//! ```
+//! use skycat::gen::{generate_file, GenConfig};
+//! let file = generate_file(&GenConfig::small(42, 100), 0);
+//! assert!(file.line_count() > 0);
+//! // Every line parses and transforms into a typed row:
+//! for line in file.text.lines() {
+//!     let rec = skycat::format::parse_line(line).unwrap();
+//!     let (_table, _row) = skycat::transform::transform(&rec).unwrap();
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod gen;
+pub mod schema;
+pub mod transform;
+
+pub use format::{parse_line, ParseError, RawRecord, RecordTag};
+pub use gen::{generate_file, generate_observation, CatalogFile, ExpectedCounts, GenConfig};
+pub use schema::{
+    build_schemas, create_all, seed_observation, seed_static, CATALOG_TABLES, TABLE_COUNT,
+};
+pub use transform::{transform, TransformError};

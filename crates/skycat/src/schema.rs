@@ -1,0 +1,624 @@
+//! The Palomar-Quest repository data model: 23 tables (paper Fig. 1).
+//!
+//! The paper shows only table names and relationship edges; this module
+//! reconstructs a schema with the stated structure: "A primary key is
+//! defined in each table … Most tables have one or more foreign keys",
+//! static metadata tables "less than 100 rows", the `objects` table
+//! "expected to grow beyond a billion rows", frames with 4 apertures and
+//! objects with 4 fingers interleaved in the catalog files.
+//!
+//! The FK graph forms chains up to 7 deep:
+//! `nights → observations → ccd_columns → ccd_images → ccd_frames →
+//! objects → fingers`, which is what makes parent-before-child flush
+//! ordering (paper Fig. 2) non-trivial.
+
+use skydb::engine::Engine;
+use skydb::error::DbResult;
+use skydb::expr::{CmpOp, Expr};
+use skydb::schema::{TableBuilder, TableSchema};
+use skydb::value::{DataType, Value};
+
+/// Number of tables in the repository data model (paper Fig. 1).
+pub const TABLE_COUNT: usize = 23;
+
+/// Names of the tables populated from catalog data files, in
+/// parent-before-child order. (The remaining tables are static metadata
+/// seeded before loading; see [`seed_static`].)
+pub const CATALOG_TABLES: [&str; 11] = [
+    "ccd_columns",
+    "ccd_images",
+    "ccd_frames",
+    "ccd_frame_apertures",
+    "frame_statistics",
+    "astrometry_solutions",
+    "photometry_zeropoints",
+    "quality_checks",
+    "objects",
+    "fingers",
+    "object_flags",
+];
+
+/// Build all 23 table schemas in parent-before-child (definition) order.
+pub fn build_schemas() -> Vec<TableSchema> {
+    let int = DataType::Int;
+    let float = DataType::Float;
+    let ts = DataType::Timestamp;
+    let text = DataType::Text;
+
+    let mut tables = Vec::with_capacity(TABLE_COUNT);
+
+    // -------------------------------------------------- static metadata
+    tables.push(
+        TableBuilder::new("telescopes")
+            .col("telescope_id", int)
+            .col("name", text(64))
+            .col("site", text(64))
+            .col("aperture_m", float)
+            .pk(&["telescope_id"])
+            .check("chk_aperture", Expr::cmp(3, CmpOp::Gt, 0.0f64))
+            .build()
+            .expect("telescopes schema"),
+    );
+    tables.push(
+        TableBuilder::new("cameras")
+            .col("camera_id", int)
+            .col("telescope_id", int)
+            .col("name", text(64))
+            .col("n_ccds", int)
+            .pk(&["camera_id"])
+            .fk("fk_cameras_telescope", &["telescope_id"], "telescopes")
+            .check("chk_n_ccds", Expr::cmp(3, CmpOp::Gt, 0i64))
+            .build()
+            .expect("cameras schema"),
+    );
+    tables.push(
+        TableBuilder::new("filters")
+            .col("filter_id", int)
+            .col("name", text(16))
+            .col("wavelength_nm", float)
+            .pk(&["filter_id"])
+            .unique("u_filters_name", &["name"])
+            .build()
+            .expect("filters schema"),
+    );
+    tables.push(
+        TableBuilder::new("pipelines")
+            .col("pipeline_id", int)
+            .col("name", text(64))
+            .col("version", text(16))
+            .pk(&["pipeline_id"])
+            .build()
+            .expect("pipelines schema"),
+    );
+    tables.push(
+        TableBuilder::new("parameters")
+            .col("param_id", int)
+            .col("pipeline_id", int)
+            .col("name", text(64))
+            .col("value", text(64))
+            .pk(&["param_id"])
+            .fk("fk_parameters_pipeline", &["pipeline_id"], "pipelines")
+            .build()
+            .expect("parameters schema"),
+    );
+    tables.push(
+        TableBuilder::new("ccd_chips")
+            .col("ccd_id", int)
+            .col("camera_id", int)
+            .col("col_pos", int)
+            .col("row_pos", int)
+            .col("good_pixel_frac", float)
+            .pk(&["ccd_id"])
+            .fk("fk_ccd_chips_camera", &["camera_id"], "cameras")
+            .check("chk_good_frac", Expr::between(4, 0.0f64, 1.0f64))
+            .build()
+            .expect("ccd_chips schema"),
+    );
+    tables.push(
+        TableBuilder::new("observers")
+            .col("observer_id", int)
+            .col("name", text(64))
+            .col("affiliation", text(64))
+            .pk(&["observer_id"])
+            .build()
+            .expect("observers schema"),
+    );
+    tables.push(
+        TableBuilder::new("calibration_sets")
+            .col("calib_id", int)
+            .col("pipeline_id", int)
+            .col("name", text(64))
+            .col("valid_from", ts)
+            .pk(&["calib_id"])
+            .fk("fk_calibration_pipeline", &["pipeline_id"], "pipelines")
+            .build()
+            .expect("calibration_sets schema"),
+    );
+    tables.push(
+        TableBuilder::new("sky_regions")
+            .col("region_id", int)
+            .col("name", text(32))
+            .col("ra_min", float)
+            .col("ra_max", float)
+            .col("dec_min", float)
+            .col("dec_max", float)
+            .pk(&["region_id"])
+            .check("chk_region_ra", Expr::between(2, 0.0f64, 360.0f64))
+            .check("chk_region_dec", Expr::between(4, -90.0f64, 90.0f64))
+            .build()
+            .expect("sky_regions schema"),
+    );
+
+    // ----------------------------------------------- per-night metadata
+    tables.push(
+        TableBuilder::new("nights")
+            .col("night_id", int)
+            .col("date_mjd", float)
+            .col_null("seeing_arcsec", float)
+            .col_null("sky_brightness", float)
+            .pk(&["night_id"])
+            .build()
+            .expect("nights schema"),
+    );
+    tables.push(
+        TableBuilder::new("observations")
+            .col("obs_id", int)
+            .col("night_id", int)
+            .col("telescope_id", int)
+            .col("filter_id", int)
+            .col("observer_id", int)
+            .col("region_id", int)
+            .col("start_time", ts)
+            .col("duration_s", float)
+            .col_null("airmass", float)
+            .col("ra_center", float)
+            .col("dec_center", float)
+            .pk(&["obs_id"])
+            .fk("fk_obs_night", &["night_id"], "nights")
+            .fk("fk_obs_telescope", &["telescope_id"], "telescopes")
+            .fk("fk_obs_filter", &["filter_id"], "filters")
+            .fk("fk_obs_observer", &["observer_id"], "observers")
+            .fk("fk_obs_region", &["region_id"], "sky_regions")
+            .check("chk_obs_ra", Expr::between(9, 0.0f64, 360.0f64))
+            .check("chk_obs_dec", Expr::between(10, -90.0f64, 90.0f64))
+            .build()
+            .expect("observations schema"),
+    );
+    tables.push(
+        TableBuilder::new("observation_logs")
+            .col("log_id", int)
+            .col("obs_id", int)
+            .col("t_offset_s", float)
+            .col("entry", text(255))
+            .pk(&["log_id"])
+            .fk("fk_logs_obs", &["obs_id"], "observations")
+            .build()
+            .expect("observation_logs schema"),
+    );
+
+    // ------------------------------------------------- catalog-fed data
+    tables.push(
+        TableBuilder::new("ccd_columns")
+            .col("ccd_col_id", int)
+            .col("obs_id", int)
+            .col("ccd_id", int)
+            .col("col_index", int)
+            .col("ra_min", float)
+            .col("ra_max", float)
+            .col("dec_min", float)
+            .col("dec_max", float)
+            .pk(&["ccd_col_id"])
+            .fk("fk_ccdcol_obs", &["obs_id"], "observations")
+            .fk("fk_ccdcol_chip", &["ccd_id"], "ccd_chips")
+            .build()
+            .expect("ccd_columns schema"),
+    );
+    tables.push(
+        TableBuilder::new("ccd_images")
+            .col("image_id", int)
+            .col("ccd_col_id", int)
+            .col("seq_no", int)
+            .col("mjd_start", float)
+            .col("exptime_s", float)
+            .col("gain", float)
+            .col("read_noise", float)
+            .pk(&["image_id"])
+            .fk("fk_images_ccdcol", &["ccd_col_id"], "ccd_columns")
+            .check("chk_exptime", Expr::cmp(4, CmpOp::Gt, 0.0f64))
+            .build()
+            .expect("ccd_images schema"),
+    );
+    tables.push(
+        TableBuilder::new("ccd_frames")
+            .col("frame_id", int)
+            .col("image_id", int)
+            .col("frame_no", int)
+            .col("ra_min", float)
+            .col("ra_max", float)
+            .col("dec_min", float)
+            .col("dec_max", float)
+            .col_null("sky_level", float)
+            .col_null("fwhm_arcsec", float)
+            .pk(&["frame_id"])
+            .fk("fk_frames_image", &["image_id"], "ccd_images")
+            .check("chk_frame_ra", Expr::between(3, 0.0f64, 360.0f64))
+            .build()
+            .expect("ccd_frames schema"),
+    );
+    tables.push(
+        TableBuilder::new("ccd_frame_apertures")
+            .col("aperture_id", int)
+            .col("frame_id", int)
+            .col("aperture_no", int)
+            .col("radius_px", float)
+            .col("annulus_in_px", float)
+            .col("annulus_out_px", float)
+            .pk(&["aperture_id"])
+            .fk("fk_apertures_frame", &["frame_id"], "ccd_frames")
+            .check("chk_aperture_no", Expr::between(2, 1i64, 4i64))
+            .check("chk_radius", Expr::cmp(3, CmpOp::Gt, 0.0f64))
+            .build()
+            .expect("ccd_frame_apertures schema"),
+    );
+    tables.push(
+        TableBuilder::new("frame_statistics")
+            .col("stat_id", int)
+            .col("frame_id", int)
+            .col("n_detections", int)
+            .col_null("mean_mag", float)
+            .col_null("sky_sigma", float)
+            .col_null("saturation_frac", float)
+            .pk(&["stat_id"])
+            .fk("fk_stats_frame", &["frame_id"], "ccd_frames")
+            .check("chk_n_detections", Expr::cmp(2, CmpOp::Ge, 0i64))
+            .build()
+            .expect("frame_statistics schema"),
+    );
+    tables.push(
+        TableBuilder::new("astrometry_solutions")
+            .col("astro_id", int)
+            .col("frame_id", int)
+            .col("crval1", float)
+            .col("crval2", float)
+            .col("cd1_1", float)
+            .col("cd1_2", float)
+            .col("cd2_1", float)
+            .col("cd2_2", float)
+            .col_null("rms_arcsec", float)
+            .pk(&["astro_id"])
+            .fk("fk_astro_frame", &["frame_id"], "ccd_frames")
+            .build()
+            .expect("astrometry_solutions schema"),
+    );
+    tables.push(
+        TableBuilder::new("photometry_zeropoints")
+            .col("zp_id", int)
+            .col("frame_id", int)
+            .col("filter_id", int)
+            .col("zeropoint", float)
+            .col_null("zp_err", float)
+            .col_null("extinction", float)
+            .pk(&["zp_id"])
+            .fk("fk_zp_frame", &["frame_id"], "ccd_frames")
+            .fk("fk_zp_filter", &["filter_id"], "filters")
+            .check("chk_zeropoint", Expr::between(3, 10.0f64, 40.0f64))
+            .build()
+            .expect("photometry_zeropoints schema"),
+    );
+    tables.push(
+        TableBuilder::new("quality_checks")
+            .col("qc_id", int)
+            .col("frame_id", int)
+            .col("check_name", text(32))
+            .col("passed", DataType::Bool)
+            .pk(&["qc_id"])
+            .fk("fk_qc_frame", &["frame_id"], "ccd_frames")
+            .build()
+            .expect("quality_checks schema"),
+    );
+    tables.push(
+        TableBuilder::new("objects")
+            .col("object_id", int)
+            .col("frame_id", int)
+            .col("ra", float)
+            .col("dec", float)
+            .col("htmid", int)
+            .col("gal_l", float)
+            .col("gal_b", float)
+            .col_null("mag_auto", float)
+            .col_null("mag_err", float)
+            .col("flux", float)
+            .col_null("flux_err", float)
+            .col_null("fwhm_px", float)
+            .col_null("ellipticity", float)
+            .col_null("theta_deg", float)
+            .col("flags", int)
+            .col("x_px", float)
+            .col("y_px", float)
+            .pk(&["object_id"])
+            .fk("fk_objects_frame", &["frame_id"], "ccd_frames")
+            .check("chk_obj_ra", Expr::between(2, 0.0f64, 360.0f64))
+            .check("chk_obj_dec", Expr::between(3, -90.0f64, 90.0f64))
+            .check("chk_obj_mag", Expr::between(7, -5.0f64, 40.0f64))
+            .check("chk_obj_flags", Expr::cmp(14, CmpOp::Ge, 0i64))
+            .build()
+            .expect("objects schema"),
+    );
+    tables.push(
+        TableBuilder::new("fingers")
+            .col("finger_id", int)
+            .col("object_id", int)
+            .col("finger_no", int)
+            .col("dx_px", float)
+            .col("dy_px", float)
+            .col("flux_frac", float)
+            .pk(&["finger_id"])
+            .fk("fk_fingers_object", &["object_id"], "objects")
+            .check("chk_finger_no", Expr::between(2, 1i64, 4i64))
+            .check("chk_flux_frac", Expr::between(5, 0.0f64, 1.0f64))
+            .build()
+            .expect("fingers schema"),
+    );
+    tables.push(
+        TableBuilder::new("object_flags")
+            .col("flag_id", int)
+            .col("object_id", int)
+            .col("flag_name", text(32))
+            .col("flag_value", int)
+            .pk(&["flag_id"])
+            .fk("fk_oflags_object", &["object_id"], "objects")
+            .build()
+            .expect("object_flags schema"),
+    );
+
+    assert_eq!(tables.len(), TABLE_COUNT, "Fig. 1 shows 23 tables");
+    tables
+}
+
+/// Create all 23 tables on an engine.
+pub fn create_all(engine: &Engine) -> DbResult<()> {
+    for schema in build_schemas() {
+        engine.create_table(schema)?;
+    }
+    Ok(())
+}
+
+/// Number of CCDs in the Palomar-Quest camera (§2: "112 Charge-Coupled
+/// Devices").
+pub const N_CCDS: i64 = 112;
+
+/// Seed the static metadata tables (telescopes, camera, 112 CCDs, filters,
+/// pipelines, observers, …). These are the static metadata tables "\[with\]
+/// less than 100 rows" that exist before catalog loading begins.
+pub fn seed_static(engine: &Engine) -> DbResult<()> {
+    let txn = engine.begin();
+    let t = |name: &str| engine.table_id(name).expect("schema created");
+
+    engine.insert_row(
+        txn,
+        t("telescopes"),
+        &[
+            Value::Int(1),
+            "Samuel Oschin Telescope".into(),
+            "Palomar Observatory".into(),
+            Value::Float(1.22),
+        ],
+    )?;
+    engine.insert_row(
+        txn,
+        t("cameras"),
+        &[
+            Value::Int(1),
+            Value::Int(1),
+            "QUEST Large Area Camera".into(),
+            Value::Int(N_CCDS),
+        ],
+    )?;
+    for (i, (name, wl)) in [("u", 365.0), ("g", 475.0), ("r", 622.0), ("i", 763.0), ("z", 905.0)]
+        .iter()
+        .enumerate()
+    {
+        engine.insert_row(
+            txn,
+            t("filters"),
+            &[Value::Int(i as i64 + 1), (*name).into(), Value::Float(*wl)],
+        )?;
+    }
+    engine.insert_row(
+        txn,
+        t("pipelines"),
+        &[Value::Int(1), "quest-extract".into(), "2.3".into()],
+    )?;
+    for (i, (name, value)) in [("detect_sigma", "1.5"), ("deblend_levels", "32"), ("aperture_count", "4")]
+        .iter()
+        .enumerate()
+    {
+        engine.insert_row(
+            txn,
+            t("parameters"),
+            &[
+                Value::Int(i as i64 + 1),
+                Value::Int(1),
+                (*name).into(),
+                (*value).into(),
+            ],
+        )?;
+    }
+    // The camera: 112 CCDs in 28 columns × 4 rows.
+    for ccd in 0..N_CCDS {
+        engine.insert_row(
+            txn,
+            t("ccd_chips"),
+            &[
+                Value::Int(ccd + 1),
+                Value::Int(1),
+                Value::Int(ccd % 28),
+                Value::Int(ccd / 28),
+                Value::Float(0.97 + 0.0002 * (ccd % 100) as f64),
+            ],
+        )?;
+    }
+    engine.insert_row(
+        txn,
+        t("observers"),
+        &[Value::Int(1), "PQ Survey Operations".into(), "Caltech/Yale".into()],
+    )?;
+    engine.insert_row(
+        txn,
+        t("calibration_sets"),
+        &[
+            Value::Int(1),
+            Value::Int(1),
+            "2004B-photometric".into(),
+            Value::Timestamp(1_096_588_800_000_000),
+        ],
+    )?;
+    engine.insert_row(
+        txn,
+        t("sky_regions"),
+        &[
+            Value::Int(1),
+            "equatorial-stripe".into(),
+            Value::Float(0.0),
+            Value::Float(360.0),
+            Value::Float(-25.0),
+            Value::Float(25.0),
+        ],
+    )?;
+    engine.commit(txn)?;
+    Ok(())
+}
+
+/// Seed one night + one observation header. The 28 catalog files of the
+/// observation reference `obs_id`; seeding it first keeps the files
+/// independently loadable in parallel (§4.4), just as the production
+/// pipeline registered observations before catalog extraction.
+pub fn seed_observation(engine: &Engine, night_id: i64, obs_id: i64) -> DbResult<()> {
+    let txn = engine.begin();
+    let t = |name: &str| engine.table_id(name).expect("schema created");
+    engine.insert_row(
+        txn,
+        t("nights"),
+        &[
+            Value::Int(night_id),
+            Value::Float(53_500.0 + night_id as f64),
+            Value::Float(1.2),
+            Value::Float(21.1),
+        ],
+    )?;
+    engine.insert_row(
+        txn,
+        t("observations"),
+        &[
+            Value::Int(obs_id),
+            Value::Int(night_id),
+            Value::Int(1),
+            Value::Int(3), // r band
+            Value::Int(1),
+            Value::Int(1),
+            Value::Timestamp(1_117_584_000_000_000 + obs_id * 3_600_000_000),
+            Value::Float(140.0),
+            Value::Float(1.15),
+            Value::Float(180.0),
+            Value::Float(0.0),
+        ],
+    )?;
+    engine.insert_row(
+        txn,
+        t("observation_logs"),
+        &[
+            Value::Int(obs_id * 10),
+            Value::Int(obs_id),
+            Value::Float(0.0),
+            "drift scan started".into(),
+        ],
+    )?;
+    engine.commit(txn)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_tables_build() {
+        let schemas = build_schemas();
+        assert_eq!(schemas.len(), 23);
+        let names: Vec<&str> = schemas.iter().map(|s| s.name.as_str()).collect();
+        for required in [
+            "observations",
+            "ccd_columns",
+            "ccd_frames",
+            "ccd_frame_apertures",
+            "objects",
+            "fingers",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn creates_on_engine_in_topological_order() {
+        let e = Engine::for_tests();
+        create_all(&e).unwrap();
+        assert_eq!(e.table_count(), 23);
+        // Definition order must already be topological (checked inside).
+        let order = e.tables_topological();
+        assert_eq!(order.len(), 23);
+    }
+
+    #[test]
+    fn fk_chain_depth_reaches_fingers() {
+        let e = Engine::for_tests();
+        create_all(&e).unwrap();
+        let schemas = build_schemas();
+        let mut cat = skydb::schema::Catalog::new();
+        for s in schemas {
+            cat.add_table(s).unwrap();
+        }
+        let depths = cat.fk_depths();
+        let fingers = cat.table_id("fingers").unwrap();
+        assert!(
+            depths[fingers.index()] >= 6,
+            "fingers should sit at FK depth ≥ 6, got {}",
+            depths[fingers.index()]
+        );
+    }
+
+    #[test]
+    fn seed_static_populates_dimensions() {
+        let e = Engine::for_tests();
+        create_all(&e).unwrap();
+        seed_static(&e).unwrap();
+        let chips = e.table_id("ccd_chips").unwrap();
+        assert_eq!(e.row_count(chips), 112);
+        let filters = e.table_id("filters").unwrap();
+        assert_eq!(e.row_count(filters), 5);
+    }
+
+    #[test]
+    fn seed_observation_links_to_dimensions() {
+        let e = Engine::for_tests();
+        create_all(&e).unwrap();
+        seed_static(&e).unwrap();
+        seed_observation(&e, 1, 100).unwrap();
+        let obs = e.table_id("observations").unwrap();
+        assert_eq!(e.row_count(obs), 1);
+        // Second observation on the same night: night PK already exists.
+        let err = seed_observation(&e, 1, 101).unwrap_err();
+        assert_eq!(
+            err.constraint_kind(),
+            Some(skydb::error::ConstraintKind::PrimaryKey)
+        );
+    }
+
+    #[test]
+    fn catalog_tables_constant_matches_schema() {
+        let e = Engine::for_tests();
+        create_all(&e).unwrap();
+        for name in CATALOG_TABLES {
+            assert!(e.table_id(name).is_ok(), "catalog table {name} missing");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the catalog format and transform pipeline: hostile
+//! input must never panic, and valid input must round-trip.
+
+use proptest::prelude::*;
+
+use skycat::format::{format_line, parse_line, RecordTag, ALL_TAGS};
+use skycat::gen::{generate_file, GenConfig};
+use skycat::transform::transform;
+
+fn tag_strategy() -> impl Strategy<Value = RecordTag> {
+    prop::sample::select(ALL_TAGS.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse_line never panics on arbitrary input.
+    #[test]
+    fn parse_never_panics(line in ".{0,200}") {
+        let _ = parse_line(&line);
+    }
+
+    /// transform never panics on anything that parses.
+    #[test]
+    fn transform_never_panics(line in "[A-Z]{3}(\\|[-a-zA-Z0-9._ ]{0,12}){0,20}") {
+        if let Ok(rec) = parse_line(&line) {
+            let _ = transform(&rec);
+        }
+    }
+
+    /// format → parse round-trips any pipe-free field content.
+    #[test]
+    fn format_parse_roundtrip(tag in tag_strategy(),
+                              seed_fields in prop::collection::vec("[-a-zA-Z0-9._ ]{0,16}", 0..20)) {
+        let mut fields: Vec<String> = seed_fields;
+        fields.resize(tag.field_count(), String::new());
+        let line = format_line(tag, &fields);
+        let rec = parse_line(&line).unwrap();
+        prop_assert_eq!(rec.tag, tag);
+        let got: Vec<String> = rec.fields.iter().map(|s| s.to_string()).collect();
+        prop_assert_eq!(got, fields);
+    }
+
+    /// Wrong field counts are always rejected, for every tag.
+    #[test]
+    fn field_count_enforced(tag in tag_strategy(), delta in 1usize..4, add in any::<bool>()) {
+        let n = if add {
+            tag.field_count() + delta
+        } else {
+            tag.field_count().saturating_sub(delta)
+        };
+        if n != tag.field_count() {
+            let line = std::iter::once(tag.keyword().to_string())
+                .chain((0..n).map(|i| i.to_string()))
+                .collect::<Vec<_>>()
+                .join("|");
+            prop_assert!(parse_line(&line).is_err());
+        }
+    }
+
+    /// The generator is deterministic and structurally sound for arbitrary
+    /// small configurations.
+    #[test]
+    fn generator_sound_for_arbitrary_configs(seed in any::<u64>(),
+                                             ccds in 1usize..4,
+                                             frames in 1usize..4,
+                                             objects in 1usize..30,
+                                             error_pct in 0u32..30,
+                                             presorted in any::<bool>()) {
+        let cfg = GenConfig {
+            seed,
+            obs_id: 100,
+            files: 1,
+            ccds_per_file: ccds,
+            frames_per_ccd: frames,
+            objects_per_frame: objects,
+            error_rate: error_pct as f64 / 100.0,
+            presorted,
+            size_skew: 0.0,
+        };
+        let a = generate_file(&cfg, 0);
+        let b = generate_file(&cfg, 0);
+        prop_assert_eq!(&a.text, &b.text, "generation must be deterministic");
+
+        // Accounting invariants.
+        prop_assert_eq!(a.line_count() as u64, a.expected.total_emitted());
+        prop_assert!(a.expected.total_loadable() <= a.expected.total_emitted());
+        let unparseable = a.text.lines().filter(|l| parse_line(l).is_err()).count() as u64;
+        prop_assert_eq!(unparseable, a.expected.malformed_lines);
+
+        // Every parseable line transforms.
+        for line in a.text.lines() {
+            if let Ok(rec) = parse_line(line) {
+                prop_assert!(transform(&rec).is_ok(), "line failed transform: {}", line);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Error types for the database engine.
+
+use std::fmt;
+
+/// The kind of constraint whose violation produced an error.
+///
+/// The loading paper exercises all of these: "All constraints, including
+/// primary key constraints, foreign key constraints, unique constraints, and
+/// check constraints were maintained in the data loading process" (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// Duplicate primary key.
+    PrimaryKey,
+    /// Foreign key references a missing parent row.
+    ForeignKey,
+    /// Duplicate value in a unique index.
+    Unique,
+    /// CHECK expression evaluated to false (or failed to evaluate).
+    Check,
+    /// NULL in a NOT NULL column.
+    NotNull,
+}
+
+impl fmt::Display for ConstraintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConstraintKind::PrimaryKey => "PRIMARY KEY",
+            ConstraintKind::ForeignKey => "FOREIGN KEY",
+            ConstraintKind::Unique => "UNIQUE",
+            ConstraintKind::Check => "CHECK",
+            ConstraintKind::NotNull => "NOT NULL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors produced by the engine, wire layer and sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// A named table does not exist.
+    NoSuchTable(String),
+    /// A named index does not exist.
+    NoSuchIndex(String),
+    /// A named column does not exist on the given table.
+    NoSuchColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column name.
+        column: String,
+    },
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// A value did not match the declared column type.
+    TypeMismatch {
+        /// Table involved.
+        table: String,
+        /// Column involved.
+        column: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A row has the wrong number of columns for its table.
+    ArityMismatch {
+        /// Table involved.
+        table: String,
+        /// Columns the table declares.
+        expected: usize,
+        /// Columns the row supplied.
+        got: usize,
+    },
+    /// A declared constraint was violated.
+    ConstraintViolation {
+        /// Which kind of constraint.
+        kind: ConstraintKind,
+        /// Constraint name (e.g. `pk_objects`, `fk_objects_frame`).
+        constraint: String,
+        /// Table on which the violation occurred.
+        table: String,
+        /// Human-readable description of the offending values.
+        detail: String,
+    },
+    /// An expression failed to evaluate (type error, unknown column…).
+    ExprError(String),
+    /// The schema definition itself is invalid.
+    InvalidSchema(String),
+    /// A wire-protocol frame could not be decoded.
+    Protocol(String),
+    /// A batch failed at `offset`; rows before the offset were applied.
+    Batch {
+        /// Zero-based index of the failing row within the batch.
+        offset: usize,
+        /// The underlying error for the failing row.
+        cause: Box<DbError>,
+    },
+    /// The session has no active transaction for the requested operation.
+    NoTransaction,
+    /// The engine rejected a statement because the session is closed.
+    SessionClosed,
+}
+
+impl DbError {
+    /// Convenience constructor for constraint violations.
+    pub fn constraint(
+        kind: ConstraintKind,
+        constraint: impl Into<String>,
+        table: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        DbError::ConstraintViolation {
+            kind,
+            constraint: constraint.into(),
+            table: table.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// If this error is (or wraps, for [`DbError::Batch`]) a constraint
+    /// violation, return its kind.
+    pub fn constraint_kind(&self) -> Option<ConstraintKind> {
+        match self {
+            DbError::ConstraintViolation { kind, .. } => Some(*kind),
+            DbError::Batch { cause, .. } => cause.constraint_kind(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "table does not exist: {t}"),
+            DbError::NoSuchIndex(i) => write!(f, "index does not exist: {i}"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "column {column} does not exist on table {table}")
+            }
+            DbError::AlreadyExists(n) => write!(f, "object already exists: {n}"),
+            DbError::TypeMismatch {
+                table,
+                column,
+                detail,
+            } => write!(f, "type mismatch on {table}.{column}: {detail}"),
+            DbError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(f, "table {table} has {expected} columns, row has {got}"),
+            DbError::ConstraintViolation {
+                kind,
+                constraint,
+                table,
+                detail,
+            } => {
+                // Client-side errors reconstructed from the wire carry only
+                // the kind and the server's message.
+                if constraint.is_empty() && table.is_empty() {
+                    write!(f, "{kind} constraint violated: {detail}")
+                } else {
+                    write!(f, "{kind} constraint {constraint} violated on {table}: {detail}")
+                }
+            }
+            DbError::ExprError(m) => write!(f, "expression error: {m}"),
+            DbError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            DbError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DbError::Batch { offset, cause } => {
+                write!(f, "batch failed at row offset {offset}: {cause}")
+            }
+            DbError::NoTransaction => write!(f, "no active transaction"),
+            DbError::SessionClosed => write!(f, "session is closed"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias used throughout the engine.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::constraint(
+            ConstraintKind::ForeignKey,
+            "fk_objects_frame",
+            "objects",
+            "frame_id=99 has no parent",
+        );
+        let s = e.to_string();
+        assert!(s.contains("FOREIGN KEY"));
+        assert!(s.contains("fk_objects_frame"));
+        assert!(s.contains("objects"));
+    }
+
+    #[test]
+    fn constraint_kind_unwraps_batch() {
+        let inner = DbError::constraint(ConstraintKind::PrimaryKey, "pk", "t", "d");
+        let batch = DbError::Batch {
+            offset: 3,
+            cause: Box::new(inner),
+        };
+        assert_eq!(batch.constraint_kind(), Some(ConstraintKind::PrimaryKey));
+        assert_eq!(DbError::NoTransaction.constraint_kind(), None);
+    }
+}

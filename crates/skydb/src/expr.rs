@@ -1,0 +1,417 @@
+//! A small typed expression language for CHECK constraints and query filters.
+//!
+//! The catalog schema uses CHECK constraints for the "stringent data
+//! checking … performed by the database to guard against hidden corruption"
+//! (§4.3) — range checks on magnitudes, coordinates within the sky, flag
+//! domains — and the examples use the same expressions as scan filters.
+
+use std::fmt;
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// An expression tree over row columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference by position.
+    Column(usize),
+    /// A literal value.
+    Literal(Value),
+    /// Comparison of two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic on two sub-expressions (numeric only).
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical AND (SQL three-valued logic).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (SQL three-valued logic).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// `IS NULL`.
+    IsNull(Box<Expr>),
+    /// `x BETWEEN lo AND hi` (inclusive).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `x IN (v1, v2, …)`.
+    In(Box<Expr>, Vec<Value>),
+}
+
+/// Result of evaluating a boolean expression under SQL three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// NULL / unknown.
+    Unknown,
+}
+
+impl Truth {
+    fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// CHECK-constraint acceptance: NULL results *pass* (as in SQL).
+    pub fn passes_check(self) -> bool {
+        !matches!(self, Truth::False)
+    }
+
+    /// WHERE-clause acceptance: only definite truth selects a row.
+    pub fn selects(self) -> bool {
+        matches!(self, Truth::True)
+    }
+}
+
+impl Expr {
+    /// Shorthand: `column op literal`.
+    pub fn cmp(col: usize, op: CmpOp, lit: impl Into<Value>) -> Expr {
+        Expr::Cmp(
+            op,
+            Box::new(Expr::Column(col)),
+            Box::new(Expr::Literal(lit.into())),
+        )
+    }
+
+    /// Shorthand: `column BETWEEN lo AND hi`.
+    pub fn between(col: usize, lo: impl Into<Value>, hi: impl Into<Value>) -> Expr {
+        Expr::Between(
+            Box::new(Expr::Column(col)),
+            Box::new(Expr::Literal(lo.into())),
+            Box::new(Expr::Literal(hi.into())),
+        )
+    }
+
+    /// Shorthand: `a AND b`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Shorthand: `a OR b`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate to a [`Value`] against a row.
+    pub fn eval(&self, row: &[Value]) -> DbResult<Value> {
+        match self {
+            Expr::Column(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::ExprError(format!("column index {i} out of range"))),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                let (a, b) = (a.eval(row)?, b.eval(row)?);
+                Ok(truth_value(eval_cmp(*op, &a, &b)))
+            }
+            Expr::Arith(op, a, b) => {
+                let (a, b) = (a.eval(row)?, b.eval(row)?);
+                if a.is_null() || b.is_null() {
+                    return Ok(Value::Null);
+                }
+                let (x, y) = match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        return Err(DbError::ExprError(
+                            "arithmetic on non-numeric value".into(),
+                        ))
+                    }
+                };
+                // Keep integer arithmetic exact when both sides are ints.
+                if let (Value::Int(ia), Value::Int(ib)) = (&a, &b) {
+                    let r = match op {
+                        ArithOp::Add => ia.checked_add(*ib),
+                        ArithOp::Sub => ia.checked_sub(*ib),
+                        ArithOp::Mul => ia.checked_mul(*ib),
+                        ArithOp::Div => {
+                            if *ib == 0 {
+                                return Err(DbError::ExprError("division by zero".into()));
+                            }
+                            ia.checked_div(*ib)
+                        }
+                    };
+                    return r
+                        .map(Value::Int)
+                        .ok_or_else(|| DbError::ExprError("integer overflow".into()));
+                }
+                let r = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y == 0.0 {
+                            return Err(DbError::ExprError("division by zero".into()));
+                        }
+                        x / y
+                    }
+                };
+                Ok(Value::Float(r))
+            }
+            _ => Ok(truth_value(self.eval_truth(row)?)),
+        }
+    }
+
+    /// Evaluate as a boolean under SQL three-valued logic.
+    pub fn eval_truth(&self, row: &[Value]) -> DbResult<Truth> {
+        match self {
+            Expr::And(a, b) => Ok(a.eval_truth(row)?.and(b.eval_truth(row)?)),
+            Expr::Or(a, b) => Ok(a.eval_truth(row)?.or(b.eval_truth(row)?)),
+            Expr::Not(a) => Ok(a.eval_truth(row)?.not()),
+            Expr::IsNull(a) => Ok(if a.eval(row)?.is_null() {
+                Truth::True
+            } else {
+                Truth::False
+            }),
+            Expr::Cmp(op, a, b) => Ok(eval_cmp(*op, &a.eval(row)?, &b.eval(row)?)),
+            Expr::Between(x, lo, hi) => {
+                let x = x.eval(row)?;
+                let lo = lo.eval(row)?;
+                let hi = hi.eval(row)?;
+                let ge = eval_cmp(CmpOp::Ge, &x, &lo);
+                let le = eval_cmp(CmpOp::Le, &x, &hi);
+                Ok(ge.and(le))
+            }
+            Expr::In(x, set) => {
+                let x = x.eval(row)?;
+                if x.is_null() {
+                    return Ok(Truth::Unknown);
+                }
+                let mut saw_null = false;
+                for v in set {
+                    if v.is_null() {
+                        saw_null = true;
+                    } else if matches!(eval_cmp(CmpOp::Eq, &x, v), Truth::True) {
+                        return Ok(Truth::True);
+                    }
+                }
+                Ok(if saw_null { Truth::Unknown } else { Truth::False })
+            }
+            Expr::Column(_) | Expr::Literal(_) | Expr::Arith(..) => {
+                match self.eval(row)? {
+                    Value::Bool(true) => Ok(Truth::True),
+                    Value::Bool(false) => Ok(Truth::False),
+                    Value::Null => Ok(Truth::Unknown),
+                    other => Err(DbError::ExprError(format!(
+                        "expected boolean, got {other}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// The highest column index referenced, for schema validation.
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            Expr::Column(i) => Some(*i),
+            Expr::Literal(_) => None,
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.max_column().into_iter().chain(b.max_column()).max()
+            }
+            Expr::Not(a) | Expr::IsNull(a) => a.max_column(),
+            Expr::Between(a, b, c) => a
+                .max_column()
+                .into_iter()
+                .chain(b.max_column())
+                .chain(c.max_column())
+                .max(),
+            Expr::In(a, _) => a.max_column(),
+        }
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> Truth {
+    if a.is_null() || b.is_null() {
+        return Truth::Unknown;
+    }
+    let ord = a.cmp_sql(b);
+    let holds = match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+    };
+    if holds {
+        Truth::True
+    } else {
+        Truth::False
+    }
+}
+
+fn truth_value(t: Truth) -> Value {
+    match t {
+        Truth::True => Value::Bool(true),
+        Truth::False => Value::Bool(false),
+        Truth::Unknown => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Int(10),
+            Value::Float(2.5),
+            Value::Text("abc".into()),
+            Value::Null,
+        ]
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = row();
+        assert_eq!(Expr::cmp(0, CmpOp::Gt, 5i64).eval_truth(&r).unwrap(), Truth::True);
+        assert_eq!(Expr::cmp(0, CmpOp::Lt, 5i64).eval_truth(&r).unwrap(), Truth::False);
+        assert_eq!(Expr::cmp(2, CmpOp::Eq, "abc").eval_truth(&r).unwrap(), Truth::True);
+        // Comparison with NULL is Unknown.
+        assert_eq!(Expr::cmp(3, CmpOp::Eq, 1i64).eval_truth(&r).unwrap(), Truth::Unknown);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let r = row();
+        let unknown = Expr::cmp(3, CmpOp::Eq, 1i64);
+        let t = Expr::cmp(0, CmpOp::Eq, 10i64);
+        let f = Expr::cmp(0, CmpOp::Ne, 10i64);
+        assert_eq!(unknown.clone().and(f.clone()).eval_truth(&r).unwrap(), Truth::False);
+        assert_eq!(unknown.clone().and(t.clone()).eval_truth(&r).unwrap(), Truth::Unknown);
+        assert_eq!(unknown.clone().or(t).eval_truth(&r).unwrap(), Truth::True);
+        assert_eq!(unknown.clone().or(f).eval_truth(&r).unwrap(), Truth::Unknown);
+        assert_eq!(Expr::Not(Box::new(unknown)).eval_truth(&r).unwrap(), Truth::Unknown);
+    }
+
+    #[test]
+    fn check_semantics_pass_on_unknown() {
+        let r = row();
+        // CHECK (col3 > 5) where col3 is NULL: passes, as in SQL.
+        assert!(Expr::cmp(3, CmpOp::Gt, 5i64).eval_truth(&r).unwrap().passes_check());
+        // WHERE col3 > 5: does not select.
+        assert!(!Expr::cmp(3, CmpOp::Gt, 5i64).eval_truth(&r).unwrap().selects());
+    }
+
+    #[test]
+    fn between_and_in() {
+        let r = row();
+        assert_eq!(Expr::between(1, 2.0, 3.0).eval_truth(&r).unwrap(), Truth::True);
+        assert_eq!(Expr::between(1, 3.0, 9.0).eval_truth(&r).unwrap(), Truth::False);
+        let in_expr = Expr::In(
+            Box::new(Expr::Column(0)),
+            vec![Value::Int(9), Value::Int(10)],
+        );
+        assert_eq!(in_expr.eval_truth(&r).unwrap(), Truth::True);
+        let in_null = Expr::In(Box::new(Expr::Column(0)), vec![Value::Int(9), Value::Null]);
+        assert_eq!(in_null.eval_truth(&r).unwrap(), Truth::Unknown);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = row();
+        let e = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::Column(0)),
+            Box::new(Expr::Literal(Value::Int(5))),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(15));
+        let div0 = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::Column(0)),
+            Box::new(Expr::Literal(Value::Int(0))),
+        );
+        assert!(div0.eval(&r).is_err());
+        let nullprop = Expr::Arith(
+            ArithOp::Mul,
+            Box::new(Expr::Column(3)),
+            Box::new(Expr::Literal(Value::Int(2))),
+        );
+        assert_eq!(nullprop.eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        let e = Expr::Arith(
+            ArithOp::Mul,
+            Box::new(Expr::Literal(Value::Int(i64::MAX))),
+            Box::new(Expr::Literal(Value::Int(2))),
+        );
+        assert!(e.eval(&[]).is_err());
+    }
+
+    #[test]
+    fn max_column_scans_tree() {
+        let e = Expr::between(4, 0i64, 1i64).and(Expr::cmp(9, CmpOp::Eq, 1i64));
+        assert_eq!(e.max_column(), Some(9));
+        assert_eq!(Expr::Literal(Value::Int(1)).max_column(), None);
+    }
+
+    #[test]
+    fn out_of_range_column_errors() {
+        assert!(Expr::Column(99).eval(&row()).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! # skydb — the relational database substrate for the SkyLoader reproduction
+//!
+//! The SC 2005 paper loads the Palomar-Quest sky survey into Oracle 10g.
+//! This crate is the Oracle stand-in: an embedded, thread-safe, multi-table
+//! relational engine with everything the paper's measurements exercise —
+//!
+//! * typed values and a 23-table-capable schema catalog with primary-key,
+//!   foreign-key, unique, CHECK and NOT NULL constraints ([`schema`],
+//!   [`value`], [`expr`]);
+//! * from-scratch B+-tree indexes with honest maintenance cost and bulk
+//!   build for delayed index creation ([`btree`]);
+//! * slotted-page heap storage through a block cache whose writer scans the
+//!   whole cache per cycle — the §4.5.5 tuning effect ([`heap`], [`cache`]);
+//! * a redo/undo WAL with synchronous flush on commit and crash recovery
+//!   ([`wal`]);
+//! * a transaction manager with a concurrent-transaction limit and
+//!   per-table insert slots that produce the paper's lock stalls at high
+//!   parallelism ([`txn`]);
+//! * a binary wire protocol and a server that admits each call through an
+//!   8-permit CPU gate and charges network round trips per call ([`wire`],
+//!   [`server`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use skydb::prelude::*;
+//!
+//! let server = Server::start(DbConfig::test());
+//! let schema = TableBuilder::new("frames")
+//!     .col("frame_id", DataType::Int)
+//!     .col("exposure", DataType::Float)
+//!     .pk(&["frame_id"])
+//!     .build()
+//!     .unwrap();
+//! server.engine().create_table(schema).unwrap();
+//!
+//! let session = server.connect();
+//! let stmt = session.prepare_insert("frames").unwrap();
+//! let result = session
+//!     .execute_batch(&stmt, &[vec![Value::Int(1), Value::Float(30.0)]])
+//!     .unwrap();
+//! assert!(result.is_complete());
+//! session.commit().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod expr;
+pub mod heap;
+pub mod schema;
+pub mod server;
+pub mod stats;
+pub mod txn;
+pub mod value;
+pub mod wal;
+pub mod wire;
+
+/// Convenient re-exports of the commonly used types.
+pub mod prelude {
+    pub use crate::config::DbConfig;
+    pub use crate::engine::{BatchOutcome, Engine};
+    pub use crate::error::{ConstraintKind, DbError, DbResult};
+    pub use crate::expr::{CmpOp, Expr};
+    pub use crate::schema::{Catalog, TableBuilder, TableId, TableSchema};
+    pub use crate::server::{BatchResult, PreparedInsert, Server, Session};
+    pub use crate::stats::StatsSnapshot;
+    pub use crate::value::{DataType, Key, Row, Value};
+    pub use crate::wal::TxnId;
+}
+
+pub use prelude::*;

@@ -1,0 +1,489 @@
+//! Table schemas, constraints, and the database catalog.
+//!
+//! The Palomar-Quest repository's data model (paper Fig. 1) is a graph of 23
+//! tables related by primary/foreign keys: "A primary key is defined in each
+//! table to force data uniqueness. Most tables have one or more foreign keys
+//! to maintain parent-child relationships." The catalog validates that graph
+//! and exposes the **parent-before-child topological order** that the
+//! bulk-loading algorithm must follow (paper Fig. 2).
+
+use std::collections::HashMap;
+
+use crate::error::{DbError, DbResult};
+use crate::expr::Expr;
+use crate::value::DataType;
+
+/// One column definition.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// `false` adds an implicit NOT NULL constraint.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A NOT NULL column.
+    pub fn required(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+}
+
+/// A foreign-key constraint: `columns` on this table reference the primary
+/// key of `parent_table`.
+#[derive(Debug, Clone)]
+pub struct ForeignKeyDef {
+    /// Constraint name (e.g. `fk_objects_frame`).
+    pub name: String,
+    /// Referencing column positions on the child table.
+    pub columns: Vec<usize>,
+    /// Referenced (parent) table name.
+    pub parent_table: String,
+}
+
+/// A named CHECK constraint.
+#[derive(Debug, Clone)]
+pub struct CheckDef {
+    /// Constraint name.
+    pub name: String,
+    /// Expression that must not evaluate to FALSE (SQL semantics: NULL passes).
+    pub expr: Expr,
+}
+
+/// A named UNIQUE constraint over a set of columns.
+#[derive(Debug, Clone)]
+pub struct UniqueDef {
+    /// Constraint name.
+    pub name: String,
+    /// Column positions.
+    pub columns: Vec<usize>,
+}
+
+/// A full table definition.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns, in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Primary-key column positions (non-empty).
+    pub primary_key: Vec<usize>,
+    /// Foreign keys to parent tables.
+    pub foreign_keys: Vec<ForeignKeyDef>,
+    /// Additional unique constraints.
+    pub uniques: Vec<UniqueDef>,
+    /// CHECK constraints.
+    pub checks: Vec<CheckDef>,
+}
+
+/// Builder for [`TableSchema`] with by-name column references.
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: TableSchema,
+}
+
+impl TableBuilder {
+    /// Start a table named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            schema: TableSchema {
+                name: name.into(),
+                columns: Vec::new(),
+                primary_key: Vec::new(),
+                foreign_keys: Vec::new(),
+                uniques: Vec::new(),
+                checks: Vec::new(),
+            },
+        }
+    }
+
+    /// Add a NOT NULL column.
+    pub fn col(mut self, name: &str, dtype: DataType) -> Self {
+        self.schema.columns.push(ColumnDef::required(name, dtype));
+        self
+    }
+
+    /// Add a nullable column.
+    pub fn col_null(mut self, name: &str, dtype: DataType) -> Self {
+        self.schema.columns.push(ColumnDef::nullable(name, dtype));
+        self
+    }
+
+    fn col_index(&self, name: &str) -> usize {
+        self.schema
+            .columns
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("table {}: unknown column {name}", self.schema.name))
+    }
+
+    /// Declare the primary key over the named columns.
+    pub fn pk(mut self, cols: &[&str]) -> Self {
+        self.schema.primary_key = cols.iter().map(|c| self.col_index(c)).collect();
+        self
+    }
+
+    /// Declare a foreign key: named columns reference `parent`'s primary key.
+    pub fn fk(mut self, name: &str, cols: &[&str], parent: &str) -> Self {
+        let columns = cols.iter().map(|c| self.col_index(c)).collect();
+        self.schema.foreign_keys.push(ForeignKeyDef {
+            name: name.into(),
+            columns,
+            parent_table: parent.into(),
+        });
+        self
+    }
+
+    /// Declare a unique constraint over the named columns.
+    pub fn unique(mut self, name: &str, cols: &[&str]) -> Self {
+        let columns = cols.iter().map(|c| self.col_index(c)).collect();
+        self.schema.uniques.push(UniqueDef {
+            name: name.into(),
+            columns,
+        });
+        self
+    }
+
+    /// Declare a CHECK constraint.
+    pub fn check(mut self, name: &str, expr: Expr) -> Self {
+        self.schema.checks.push(CheckDef {
+            name: name.into(),
+            expr,
+        });
+        self
+    }
+
+    /// Finish, validating the definition.
+    pub fn build(self) -> DbResult<TableSchema> {
+        let s = self.schema;
+        if s.columns.is_empty() {
+            return Err(DbError::InvalidSchema(format!("table {} has no columns", s.name)));
+        }
+        if s.primary_key.is_empty() {
+            return Err(DbError::InvalidSchema(format!(
+                "table {} has no primary key (every repository table declares one)",
+                s.name
+            )));
+        }
+        let ncols = s.columns.len();
+        let mut names = std::collections::HashSet::new();
+        for c in &s.columns {
+            if !names.insert(c.name.as_str()) {
+                return Err(DbError::InvalidSchema(format!(
+                    "table {}: duplicate column {}",
+                    s.name, c.name
+                )));
+            }
+        }
+        for &i in s.primary_key.iter().chain(
+            s.foreign_keys
+                .iter()
+                .flat_map(|f| f.columns.iter())
+                .chain(s.uniques.iter().flat_map(|u| u.columns.iter())),
+        ) {
+            if i >= ncols {
+                return Err(DbError::InvalidSchema(format!(
+                    "table {}: constraint references column index {i} out of range",
+                    s.name
+                )));
+            }
+        }
+        for chk in &s.checks {
+            if let Some(max) = chk.expr.max_column() {
+                if max >= ncols {
+                    return Err(DbError::InvalidSchema(format!(
+                        "table {}: check {} references column index {max} out of range",
+                        s.name, chk.name
+                    )));
+                }
+            }
+        }
+        // Primary-key columns are implicitly NOT NULL.
+        Ok(s)
+    }
+}
+
+impl TableSchema {
+    /// Find a column position by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Approximate row width in bytes, used for sizing decisions.
+    pub fn row_width_hint(&self) -> usize {
+        self.columns.iter().map(|c| c.dtype.width_hint() + 1).sum()
+    }
+}
+
+/// A complete database schema: a set of tables whose FK graph must be acyclic.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<TableSchema>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Add a table. Parent tables referenced by its foreign keys must
+    /// already be present (this enforces definition in topological order,
+    /// matching how DDL scripts are written).
+    pub fn add_table(&mut self, table: TableSchema) -> DbResult<TableId> {
+        if self.by_name.contains_key(&table.name) {
+            return Err(DbError::AlreadyExists(table.name));
+        }
+        for fk in &table.foreign_keys {
+            let parent = self.table_by_name(&fk.parent_table).ok_or_else(|| {
+                DbError::InvalidSchema(format!(
+                    "table {}: foreign key {} references unknown table {} (define parents first)",
+                    table.name, fk.name, fk.parent_table
+                ))
+            })?;
+            if parent.primary_key.len() != fk.columns.len() {
+                return Err(DbError::InvalidSchema(format!(
+                    "table {}: foreign key {} has {} columns but {}'s primary key has {}",
+                    table.name,
+                    fk.name,
+                    fk.columns.len(),
+                    fk.parent_table,
+                    parent.primary_key.len()
+                )));
+            }
+            for (child_col, parent_col) in fk.columns.iter().zip(parent.primary_key.iter()) {
+                let ct = table.columns[*child_col].dtype;
+                let pt = parent.columns[*parent_col].dtype;
+                if ct != pt {
+                    return Err(DbError::InvalidSchema(format!(
+                        "table {}: foreign key {} column type {ct} does not match parent type {pt}",
+                        table.name, fk.name
+                    )));
+                }
+            }
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.by_name.insert(table.name.clone(), self.tables.len());
+        self.tables.push(table);
+        Ok(id)
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Look up a table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).map(|&i| TableId(i as u32))
+    }
+
+    /// Look up a table schema by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&TableSchema> {
+        self.by_name.get(name).map(|&i| &self.tables[i])
+    }
+
+    /// Look up a table schema by id.
+    pub fn table(&self, id: TableId) -> &TableSchema {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Iterate over `(id, schema)` pairs in definition order.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &TableSchema)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+
+    /// The **parent-before-child** topological order of all tables.
+    ///
+    /// This is the loading order of paper Fig. 2: "Loading must be in the
+    /// order: Parent, Child, Grandchild." Because `add_table` requires
+    /// parents to be defined first, definition order is already topological;
+    /// this method additionally verifies it (defense against future schema
+    /// manipulation) and returns the ids.
+    pub fn topological_order(&self) -> Vec<TableId> {
+        let mut seen = vec![false; self.tables.len()];
+        for (i, t) in self.tables.iter().enumerate() {
+            for fk in &t.foreign_keys {
+                let p = self.by_name[&fk.parent_table];
+                // Self-references (rare, e.g. hierarchies) are exempt.
+                assert!(
+                    p == i || seen[p],
+                    "catalog not in topological order: {} before its parent {}",
+                    t.name,
+                    fk.parent_table
+                );
+            }
+            seen[i] = true;
+        }
+        (0..self.tables.len() as u32).map(TableId).collect()
+    }
+
+    /// Depth of each table in the FK DAG (parents = 0, children = 1 + max
+    /// parent depth). Used by tests and reports.
+    pub fn fk_depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.tables.len()];
+        for (i, t) in self.tables.iter().enumerate() {
+            for fk in &t.foreign_keys {
+                let p = self.by_name[&fk.parent_table];
+                if p != i {
+                    depth[i] = depth[i].max(depth[p] + 1);
+                }
+            }
+        }
+        depth
+    }
+}
+
+/// Identifier of a table within a catalog / engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// The id as a usize for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    fn frames() -> TableSchema {
+        TableBuilder::new("frames")
+            .col("frame_id", DataType::Int)
+            .col("exposure", DataType::Float)
+            .pk(&["frame_id"])
+            .build()
+            .unwrap()
+    }
+
+    fn objects() -> TableSchema {
+        TableBuilder::new("objects")
+            .col("object_id", DataType::Int)
+            .col("frame_id", DataType::Int)
+            .col_null("mag", DataType::Float)
+            .pk(&["object_id"])
+            .fk("fk_objects_frame", &["frame_id"], "frames")
+            .check("chk_mag", Expr::between(2, -5.0f64, 40.0f64))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_schema() {
+        let t = objects();
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.primary_key, vec![0]);
+        assert_eq!(t.foreign_keys[0].columns, vec![1]);
+        assert_eq!(t.column_index("mag"), Some(2));
+        assert_eq!(t.column_index("nope"), None);
+    }
+
+    #[test]
+    fn missing_pk_rejected() {
+        let r = TableBuilder::new("t").col("a", DataType::Int).build();
+        assert!(matches!(r, Err(DbError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let r = TableBuilder::new("t")
+            .col("a", DataType::Int)
+            .col("a", DataType::Int)
+            .pk(&["a"])
+            .build();
+        assert!(matches!(r, Err(DbError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn check_referencing_missing_column_rejected() {
+        let r = TableBuilder::new("t")
+            .col("a", DataType::Int)
+            .pk(&["a"])
+            .check("c", Expr::cmp(5, CmpOp::Gt, 0i64))
+            .build();
+        assert!(matches!(r, Err(DbError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn catalog_requires_parents_first() {
+        let mut cat = Catalog::new();
+        let err = cat.add_table(objects());
+        assert!(matches!(err, Err(DbError::InvalidSchema(_))));
+        cat.add_table(frames()).unwrap();
+        cat.add_table(objects()).unwrap();
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn fk_arity_and_type_checked() {
+        let mut cat = Catalog::new();
+        cat.add_table(frames()).unwrap();
+        let bad = TableBuilder::new("bad")
+            .col("id", DataType::Int)
+            .col("fref", DataType::Float) // frames.frame_id is Int
+            .pk(&["id"])
+            .fk("fk_bad", &["fref"], "frames")
+            .build()
+            .unwrap();
+        assert!(matches!(cat.add_table(bad), Err(DbError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn topological_order_and_depths() {
+        let mut cat = Catalog::new();
+        cat.add_table(frames()).unwrap();
+        cat.add_table(objects()).unwrap();
+        let fingers = TableBuilder::new("fingers")
+            .col("finger_id", DataType::Int)
+            .col("object_id", DataType::Int)
+            .pk(&["finger_id"])
+            .fk("fk_fingers_object", &["object_id"], "objects")
+            .build()
+            .unwrap();
+        cat.add_table(fingers).unwrap();
+        let order = cat.topological_order();
+        assert_eq!(order.len(), 3);
+        assert_eq!(cat.fk_depths(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table(frames()).unwrap();
+        assert!(matches!(cat.add_table(frames()), Err(DbError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn row_width_hint_reasonable() {
+        let t = frames();
+        assert!(t.row_width_hint() >= 16);
+    }
+}

@@ -1,0 +1,580 @@
+//! The database server and client sessions.
+//!
+//! One [`Server`] wraps an [`Engine`] behind:
+//!
+//! * a [`CpuGate`] with one permit per modeled processor (the Altix's 8) —
+//!   every request executes while holding a permit and is charged the
+//!   modeled SQL-layer CPU service time for its row count and index load;
+//! * a shared [`NetworkModel`] — every client call really encodes its
+//!   request, charges a round trip for the payload, and decodes the
+//!   response on the way back.
+//!
+//! [`Session`] is the JDBC-connection equivalent: it owns (at most) one
+//! open transaction, offers prepared inserts with `add_batch`/
+//! `execute_batch` semantics, and reports batch failures as
+//! `(applied, offset, error)` exactly as the paper's Fig. 3 recovery logic
+//! requires.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+
+use skysim::cpu::CpuGate;
+use skysim::net::NetworkModel;
+
+use crate::config::DbConfig;
+use crate::engine::Engine;
+use crate::error::{DbError, DbResult};
+use crate::schema::TableId;
+use crate::value::Row;
+use crate::wal::TxnId;
+use crate::wire::{decode_error_kind, encode_error_kind, Request, Response};
+
+/// A database server: engine + CPU gate + network endpoint.
+pub struct Server {
+    engine: Engine,
+    cpu: CpuGate,
+    net: NetworkModel,
+    /// Fault injection: fail every Nth client call with a connection error
+    /// (0 = disabled). Exercises the loaders' process-level recovery.
+    fail_every: std::sync::atomic::AtomicU64,
+    calls_seen: std::sync::atomic::AtomicU64,
+    faults_injected: std::sync::atomic::AtomicU64,
+}
+
+/// Client-side handle to a prepared `INSERT INTO <table> VALUES (…)`.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedInsert {
+    table: TableId,
+    n_cols: usize,
+}
+
+impl PreparedInsert {
+    /// The destination table.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// The column count the statement binds.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+}
+
+/// Outcome of `execute_batch`, mirroring JDBC's `BatchUpdateException`
+/// information content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// Rows applied (prefix before any error).
+    pub applied: usize,
+    /// Failing offset and reconstructed error, if the batch stopped.
+    pub failed: Option<(usize, DbError)>,
+}
+
+impl BatchResult {
+    /// `true` if the whole batch applied.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_none()
+    }
+}
+
+impl Server {
+    /// Start a server with a fresh engine built from `cfg`.
+    pub fn start(cfg: DbConfig) -> Arc<Server> {
+        let cpu = CpuGate::new(cfg.cpus, cfg.scale);
+        let net = NetworkModel::new(cfg.net_rtt, cfg.net_bytes_per_sec, cfg.scale);
+        Arc::new(Server {
+            engine: Engine::new(cfg),
+            cpu,
+            net,
+            fail_every: std::sync::atomic::AtomicU64::new(0),
+            calls_seen: std::sync::atomic::AtomicU64::new(0),
+            faults_injected: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Start a server around an existing engine (used by recovery tests).
+    pub fn with_engine(engine: Engine) -> Arc<Server> {
+        let cfg = engine.config();
+        let cpu = CpuGate::new(cfg.cpus, cfg.scale);
+        let net = NetworkModel::new(cfg.net_rtt, cfg.net_bytes_per_sec, cfg.scale);
+        Arc::new(Server {
+            engine,
+            cpu,
+            net,
+            fail_every: std::sync::atomic::AtomicU64::new(0),
+            calls_seen: std::sync::atomic::AtomicU64::new(0),
+            faults_injected: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// The underlying engine (DDL, queries, stats).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The shared network model (for experiment accounting).
+    pub fn network(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// The CPU gate (for experiment accounting).
+    pub fn cpu(&self) -> &CpuGate {
+        &self.cpu
+    }
+
+    /// Inject a connection fault on every `n`th client call (0 disables).
+    /// Models the flaky links and driver timeouts a multi-hour production
+    /// load inevitably hits; loaders must recover without losing or
+    /// duplicating rows.
+    pub fn inject_call_faults(&self, every: u64) {
+        self.fail_every
+            .store(every, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Connection faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn maybe_inject_fault(&self) -> DbResult<()> {
+        let every = self.fail_every.load(std::sync::atomic::Ordering::Relaxed);
+        if every == 0 {
+            return Ok(());
+        }
+        let n = self
+            .calls_seen
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        if n.is_multiple_of(every) {
+            self.faults_injected
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(DbError::Protocol(
+                "connection reset by peer (injected fault)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Open a client session.
+    pub fn connect(self: &Arc<Self>) -> Session {
+        Session {
+            server: Arc::clone(self),
+            txn: Mutex::new(None),
+            closed: Mutex::new(false),
+        }
+    }
+
+    /// Server-side dispatch: decode, execute under a CPU permit, encode.
+    fn dispatch(&self, txn: TxnId, request_bytes: &[u8]) -> DbResult<Vec<u8>> {
+        let mut rd = request_bytes;
+        let request = Request::decode(&mut rd)?;
+        let cfg = self.engine.config();
+
+        let response = match request {
+            Request::InsertBatch { table, rows } => {
+                let service = self.call_service(request_bytes.len());
+                let outcome = self
+                    .cpu
+                    .run(service, || self.engine.apply_batch(txn, table, &rows));
+                match outcome.failed {
+                    None => Response::Ok {
+                        rows: outcome.applied as u32,
+                    },
+                    Some((offset, e)) => Response::Err {
+                        applied: outcome.applied as u32,
+                        offset: offset as u32,
+                        kind: encode_error_kind(&e),
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::InsertSingle { table, row } => {
+                let service = self.call_service(request_bytes.len());
+                let result = self
+                    .cpu
+                    .run(service, || self.engine.apply_single(txn, table, &row));
+                match result {
+                    Ok(_) => Response::Ok { rows: 1 },
+                    Err(e) => Response::Err {
+                        applied: 0,
+                        offset: 0,
+                        kind: encode_error_kind(&e),
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Commit => {
+                let service = cfg.per_call_cpu + cfg.commit_cpu;
+                let result = self.cpu.run(service, || self.engine.commit(txn));
+                match result {
+                    Ok(()) => Response::Ok { rows: 0 },
+                    Err(e) => Response::Err {
+                        applied: 0,
+                        offset: u32::MAX,
+                        kind: encode_error_kind(&e),
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Rollback => {
+                let service = cfg.per_call_cpu + cfg.commit_cpu;
+                let result = self.cpu.run(service, || self.engine.rollback(txn));
+                match result {
+                    Ok(()) => Response::Ok { rows: 0 },
+                    Err(e) => Response::Err {
+                        applied: 0,
+                        offset: u32::MAX,
+                        kind: encode_error_kind(&e),
+                        message: e.to_string(),
+                    },
+                }
+            }
+        };
+
+        let mut buf = BytesMut::with_capacity(64);
+        response.encode(&mut buf);
+        Ok(buf.to_vec())
+    }
+
+    /// Modeled per-call CPU (parse + dispatch + bind-array handling) paid
+    /// at the processor gate. Per-row service is charged by the engine
+    /// while the table insert slot is held.
+    fn call_service(&self, payload_bytes: usize) -> Duration {
+        let cfg = self.engine.config();
+        let mut service = cfg.per_call_cpu;
+        // Bind-array spill: payload beyond the server's bind buffer costs
+        // extra CPU (workspace copy + temp management). This is the far
+        // edge of the Fig. 5 batch-size optimum.
+        if payload_bytes > cfg.bind_buffer_bytes {
+            let spill = (payload_bytes - cfg.bind_buffer_bytes) as u64;
+            self.engine.stats().bind_spills.inc();
+            self.engine.stats().bind_spill_bytes.add(spill);
+            service += Duration::from_nanos(cfg.spill_cpu_per_byte.as_nanos() as u64 * spill);
+        }
+        service
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("engine", &self.engine)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One client connection with (at most) one open transaction.
+pub struct Session {
+    server: Arc<Server>,
+    txn: Mutex<Option<TxnId>>,
+    closed: Mutex<bool>,
+}
+
+impl Session {
+    /// Prepare an insert statement for `table`.
+    pub fn prepare_insert(&self, table: &str) -> DbResult<PreparedInsert> {
+        let tid = self.server.engine.table_id(table)?;
+        let schema = self.server.engine.schema(tid);
+        Ok(PreparedInsert {
+            table: tid,
+            n_cols: schema.columns.len(),
+        })
+    }
+
+    fn ensure_txn(&self) -> DbResult<TxnId> {
+        if *self.closed.lock() {
+            return Err(DbError::SessionClosed);
+        }
+        let mut txn = self.txn.lock();
+        if let Some(t) = *txn {
+            return Ok(t);
+        }
+        let t = self.server.engine.begin();
+        *txn = Some(t);
+        Ok(t)
+    }
+
+    /// The session's open transaction, if any.
+    pub fn current_txn(&self) -> Option<TxnId> {
+        *self.txn.lock()
+    }
+
+    fn call(&self, request: &Request) -> DbResult<Response> {
+        let txn = self.ensure_txn()?;
+        // Client-side marshaling: real serialization work.
+        let mut buf = BytesMut::with_capacity(256);
+        let req_len = request.encode(&mut buf);
+        // One round trip carries the request and the (small) response.
+        self.server.net.round_trip(req_len + 16);
+        self.server.maybe_inject_fault()?;
+        let resp_bytes = self.server.dispatch(txn, &buf)?;
+        let mut rd = resp_bytes.as_slice();
+        Response::decode(&mut rd)
+    }
+
+    /// Execute a single-row insert (the non-bulk path).
+    pub fn execute(&self, stmt: &PreparedInsert, row: Row) -> DbResult<()> {
+        self.check_arity(stmt, &row)?;
+        match self.call(&Request::InsertSingle {
+            table: stmt.table,
+            row,
+        })? {
+            Response::Ok { .. } => Ok(()),
+            Response::Err { kind, message, .. } => Err(decode_error_kind(kind, message)),
+        }
+    }
+
+    /// Execute a batch insert with JDBC semantics.
+    pub fn execute_batch(&self, stmt: &PreparedInsert, rows: &[Row]) -> DbResult<BatchResult> {
+        for row in rows {
+            self.check_arity(stmt, row)?;
+        }
+        match self.call(&Request::InsertBatch {
+            table: stmt.table,
+            rows: rows.to_vec(),
+        })? {
+            Response::Ok { rows } => Ok(BatchResult {
+                applied: rows as usize,
+                failed: None,
+            }),
+            Response::Err {
+                applied,
+                offset,
+                kind,
+                message,
+            } => Ok(BatchResult {
+                applied: applied as usize,
+                failed: Some((offset as usize, decode_error_kind(kind, message))),
+            }),
+        }
+    }
+
+    fn check_arity(&self, stmt: &PreparedInsert, row: &[crate::value::Value]) -> DbResult<()> {
+        if row.len() != stmt.n_cols {
+            let schema = self.server.engine.schema(stmt.table);
+            return Err(DbError::ArityMismatch {
+                table: schema.name.clone(),
+                expected: stmt.n_cols,
+                got: row.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Commit the open transaction (no-op without one).
+    pub fn commit(&self) -> DbResult<()> {
+        let had_txn = self.txn.lock().is_some();
+        if !had_txn {
+            return Ok(());
+        }
+        let resp = self.call(&Request::Commit)?;
+        *self.txn.lock() = None;
+        match resp {
+            Response::Ok { .. } => Ok(()),
+            Response::Err { kind, message, .. } => Err(decode_error_kind(kind, message)),
+        }
+    }
+
+    /// Roll back the open transaction (no-op without one).
+    pub fn rollback(&self) -> DbResult<()> {
+        let had_txn = self.txn.lock().is_some();
+        if !had_txn {
+            return Ok(());
+        }
+        let resp = self.call(&Request::Rollback)?;
+        *self.txn.lock() = None;
+        match resp {
+            Response::Ok { .. } => Ok(()),
+            Response::Err { kind, message, .. } => Err(decode_error_kind(kind, message)),
+        }
+    }
+
+    /// Commit any open transaction and close. Further statements fail.
+    pub fn close(&self) -> DbResult<()> {
+        self.commit()?;
+        *self.closed.lock() = true;
+        Ok(())
+    }
+
+    /// The server this session talks to.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("txn", &*self.txn.lock())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ConstraintKind;
+    use crate::schema::TableBuilder;
+    use crate::value::{DataType, Value};
+
+    fn server() -> Arc<Server> {
+        let s = Server::start(DbConfig::test());
+        let frames = TableBuilder::new("frames")
+            .col("frame_id", DataType::Int)
+            .col("exposure", DataType::Float)
+            .pk(&["frame_id"])
+            .build()
+            .unwrap();
+        let objects = TableBuilder::new("objects")
+            .col("object_id", DataType::Int)
+            .col("frame_id", DataType::Int)
+            .pk(&["object_id"])
+            .fk("fk_objects_frame", &["frame_id"], "frames")
+            .build()
+            .unwrap();
+        s.engine().create_table(frames).unwrap();
+        s.engine().create_table(objects).unwrap();
+        s
+    }
+
+    fn frame(i: i64) -> Row {
+        vec![Value::Int(i), Value::Float(30.0)]
+    }
+
+    fn object(i: i64, f: i64) -> Row {
+        vec![Value::Int(i), Value::Int(f)]
+    }
+
+    #[test]
+    fn session_insert_commit_visible() {
+        let s = server();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        sess.execute(&stmt, frame(1)).unwrap();
+        sess.commit().unwrap();
+        let fid = s.engine().table_id("frames").unwrap();
+        assert_eq!(s.engine().row_count(fid), 1);
+        assert_eq!(s.network().calls(), 2, "one insert + one commit");
+    }
+
+    #[test]
+    fn batch_reports_jdbc_failure_shape() {
+        let s = server();
+        let sess = s.connect();
+        let fstmt = sess.prepare_insert("frames").unwrap();
+        sess.execute(&fstmt, frame(1)).unwrap();
+        let ostmt = sess.prepare_insert("objects").unwrap();
+        let rows: Vec<Row> = vec![
+            object(1, 1),
+            object(2, 1),
+            object(2, 1), // dup PK
+            object(3, 1),
+        ];
+        let out = sess.execute_batch(&ostmt, &rows).unwrap();
+        assert_eq!(out.applied, 2);
+        let (off, err) = out.failed.unwrap();
+        assert_eq!(off, 2);
+        assert_eq!(err.constraint_kind(), Some(ConstraintKind::PrimaryKey));
+        sess.commit().unwrap();
+        let oid = s.engine().table_id("objects").unwrap();
+        assert_eq!(s.engine().row_count(oid), 2);
+    }
+
+    #[test]
+    fn fk_error_travels_the_wire() {
+        let s = server();
+        let sess = s.connect();
+        let ostmt = sess.prepare_insert("objects").unwrap();
+        let out = sess.execute_batch(&ostmt, &[object(1, 42)]).unwrap();
+        let (_, err) = out.failed.unwrap();
+        assert_eq!(err.constraint_kind(), Some(ConstraintKind::ForeignKey));
+    }
+
+    #[test]
+    fn rollback_discards_work() {
+        let s = server();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        sess.execute(&stmt, frame(1)).unwrap();
+        sess.rollback().unwrap();
+        let fid = s.engine().table_id("frames").unwrap();
+        assert_eq!(s.engine().row_count(fid), 0);
+        // Session can start a fresh transaction.
+        sess.execute(&stmt, frame(1)).unwrap();
+        sess.commit().unwrap();
+        assert_eq!(s.engine().row_count(fid), 1);
+    }
+
+    #[test]
+    fn closed_session_rejects_statements() {
+        let s = server();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        sess.close().unwrap();
+        assert_eq!(sess.execute(&stmt, frame(1)), Err(DbError::SessionClosed));
+    }
+
+    #[test]
+    fn client_side_arity_check() {
+        let s = server();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        let err = sess.execute(&stmt, vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, DbError::ArityMismatch { .. }));
+        assert_eq!(s.network().calls(), 0, "rejected before hitting the wire");
+    }
+
+    #[test]
+    fn unknown_table_rejected_at_prepare() {
+        let s = server();
+        let sess = s.connect();
+        assert!(matches!(
+            sess.prepare_insert("nope"),
+            Err(DbError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn bind_spill_accounted_for_large_batches() {
+        let cfg = DbConfig {
+            bind_buffer_bytes: 256,
+            ..DbConfig::test()
+        };
+        let s = Server::start(cfg);
+        let t = TableBuilder::new("t")
+            .col("id", DataType::Int)
+            .col("pad", DataType::Text(100))
+            .pk(&["id"])
+            .build()
+            .unwrap();
+        s.engine().create_table(t).unwrap();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("t").unwrap();
+        let rows: Vec<Row> = (0..50)
+            .map(|i| vec![Value::Int(i), Value::Text("x".repeat(50))])
+            .collect();
+        sess.execute_batch(&stmt, &rows).unwrap();
+        assert!(s.engine().stats().snapshot().bind_spills >= 1);
+        assert!(s.engine().stats().snapshot().bind_spill_bytes > 0);
+    }
+
+    #[test]
+    fn concurrent_sessions_isolated_txns() {
+        let s = server();
+        let s1 = s.connect();
+        let s2 = s.connect();
+        let f1 = s1.prepare_insert("frames").unwrap();
+        let f2 = s2.prepare_insert("frames").unwrap();
+        s1.execute(&f1, frame(1)).unwrap();
+        s2.execute(&f2, frame(2)).unwrap();
+        assert_ne!(s1.current_txn(), s2.current_txn());
+        s1.rollback().unwrap();
+        s2.commit().unwrap();
+        let fid = s.engine().table_id("frames").unwrap();
+        assert_eq!(s.engine().row_count(fid), 1);
+    }
+}

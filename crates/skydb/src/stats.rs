@@ -1,0 +1,153 @@
+//! Engine statistics: counters for everything the experiments measure.
+
+use serde::Serialize;
+
+use skysim::metrics::Counter;
+
+/// Live counters owned by the engine. Snapshot with [`EngineStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Rows successfully inserted.
+    pub rows_inserted: Counter,
+    /// Rows rejected by a constraint or type error.
+    pub rows_rejected: Counter,
+    /// Rows deleted by `delete_where`.
+    pub rows_deleted: Counter,
+    /// Batch database calls served.
+    pub batch_calls: Counter,
+    /// Singleton insert calls served.
+    pub single_calls: Counter,
+    /// Commits performed.
+    pub commits: Counter,
+    /// Rollbacks performed.
+    pub rollbacks: Counter,
+    /// Primary-key violations.
+    pub pk_violations: Counter,
+    /// Foreign-key violations.
+    pub fk_violations: Counter,
+    /// Unique-constraint violations.
+    pub unique_violations: Counter,
+    /// CHECK-constraint violations.
+    pub check_violations: Counter,
+    /// NOT NULL violations.
+    pub not_null_violations: Counter,
+    /// Type/arity errors.
+    pub type_errors: Counter,
+    /// Index entries maintained (all indexes).
+    pub index_entries: Counter,
+    /// Bind-array spills (batch payload exceeded the bind buffer).
+    pub bind_spills: Counter,
+    /// Bytes spilled past the bind buffer.
+    pub bind_spill_bytes: Counter,
+    /// Full-table-scan page visits (query path).
+    pub scan_pages: Counter,
+}
+
+/// A serializable point-in-time copy of [`EngineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StatsSnapshot {
+    /// Rows successfully inserted.
+    pub rows_inserted: u64,
+    /// Rows rejected by a constraint or type error.
+    pub rows_rejected: u64,
+    /// Rows deleted by `delete_where`.
+    pub rows_deleted: u64,
+    /// Batch database calls served.
+    pub batch_calls: u64,
+    /// Singleton insert calls served.
+    pub single_calls: u64,
+    /// Commits performed.
+    pub commits: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Primary-key violations.
+    pub pk_violations: u64,
+    /// Foreign-key violations.
+    pub fk_violations: u64,
+    /// Unique-constraint violations.
+    pub unique_violations: u64,
+    /// CHECK-constraint violations.
+    pub check_violations: u64,
+    /// NOT NULL violations.
+    pub not_null_violations: u64,
+    /// Type/arity errors.
+    pub type_errors: u64,
+    /// Index entries maintained.
+    pub index_entries: u64,
+    /// Bind-array spills.
+    pub bind_spills: u64,
+    /// Bytes spilled past the bind buffer.
+    pub bind_spill_bytes: u64,
+    /// Full-table-scan page visits.
+    pub scan_pages: u64,
+}
+
+impl EngineStats {
+    /// Copy all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            rows_inserted: self.rows_inserted.get(),
+            rows_rejected: self.rows_rejected.get(),
+            rows_deleted: self.rows_deleted.get(),
+            batch_calls: self.batch_calls.get(),
+            single_calls: self.single_calls.get(),
+            commits: self.commits.get(),
+            rollbacks: self.rollbacks.get(),
+            pk_violations: self.pk_violations.get(),
+            fk_violations: self.fk_violations.get(),
+            unique_violations: self.unique_violations.get(),
+            check_violations: self.check_violations.get(),
+            not_null_violations: self.not_null_violations.get(),
+            type_errors: self.type_errors.get(),
+            index_entries: self.index_entries.get(),
+            bind_spills: self.bind_spills.get(),
+            bind_spill_bytes: self.bind_spill_bytes.get(),
+            scan_pages: self.scan_pages.get(),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Total database calls (batch + singleton).
+    pub fn total_calls(&self) -> u64 {
+        self.batch_calls + self.single_calls
+    }
+
+    /// Total constraint violations of all kinds.
+    pub fn total_violations(&self) -> u64 {
+        self.pk_violations
+            + self.fk_violations
+            + self.unique_violations
+            + self.check_violations
+            + self.not_null_violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = EngineStats::default();
+        s.rows_inserted.add(10);
+        s.pk_violations.add(2);
+        s.fk_violations.inc();
+        s.batch_calls.add(3);
+        s.single_calls.add(4);
+        let snap = s.snapshot();
+        assert_eq!(snap.rows_inserted, 10);
+        assert_eq!(snap.total_violations(), 3);
+        assert_eq!(snap.total_calls(), 7);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let snap = StatsSnapshot {
+            rows_inserted: 5,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"rows_inserted\":5"));
+    }
+}

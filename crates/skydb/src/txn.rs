@@ -1,0 +1,328 @@
+//! Transactions, the concurrent-transaction limit, and table insert locks.
+//!
+//! §4.4: *"our tests have shown … parallelism at this level tends to cause
+//! locking problems attributable to the fact that all RDBMS have a limit on
+//! the supported number of concurrent transactions"*, and §5.4 observes
+//! throughput peaking at 6–7 parallel loaders on an 8-CPU server with
+//! "escalating occurrences of database locks" beyond that.
+//!
+//! Two mechanisms reproduce this:
+//!
+//! * [`TxnManager`] enforces an engine-wide cap on simultaneously active
+//!   transactions — beginning a transaction past the cap blocks.
+//! * [`LockManager`] gives each table a bounded set of **insert slots**
+//!   (Oracle's interested-transaction-list, ITL, in spirit). A batch insert
+//!   must hold a slot for its duration; when all slots are taken the caller
+//!   blocks *and* is charged a lock-wait penalty modeling the server-side
+//!   lock-manager work and process wakeup latency that make contention
+//!   worse than mere queueing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use skysim::cpu::Semaphore;
+use skysim::metrics::{Counter, TimeCharge};
+use skysim::time::{TimeScale, Waiter};
+
+use crate::heap::RowId;
+use crate::schema::TableId;
+use crate::wal::TxnId;
+
+/// An undo entry: enough to reverse one write.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// Reverse an insert: remove the row at this heap location.
+    Insert {
+        /// Table the row went into.
+        table: TableId,
+        /// Heap location of the row.
+        row_id: RowId,
+    },
+    /// Reverse a delete: re-insert the saved row.
+    Delete {
+        /// Table the row was deleted from.
+        table: TableId,
+        /// The full row as it was before deletion.
+        row: crate::value::Row,
+    },
+}
+
+#[derive(Debug, Default)]
+struct TxnTable {
+    active: std::collections::HashMap<TxnId, Vec<UndoOp>>,
+}
+
+/// Engine-wide transaction bookkeeping with a concurrency cap.
+#[derive(Debug)]
+pub struct TxnManager {
+    next: AtomicU64,
+    max_concurrent: usize,
+    state: Mutex<TxnTable>,
+    slot_free: Condvar,
+    begins: Counter,
+    limit_stalls: Counter,
+}
+
+impl TxnManager {
+    /// A manager admitting at most `max_concurrent` simultaneous
+    /// transactions.
+    pub fn new(max_concurrent: usize) -> Self {
+        assert!(max_concurrent > 0, "need at least one transaction slot");
+        TxnManager {
+            next: AtomicU64::new(1),
+            max_concurrent,
+            state: Mutex::new(TxnTable::default()),
+            slot_free: Condvar::new(),
+            begins: Counter::new(),
+            limit_stalls: Counter::new(),
+        }
+    }
+
+    /// Begin a transaction, blocking while the engine is at its limit.
+    pub fn begin(&self) -> TxnId {
+        let mut st = self.state.lock();
+        if st.active.len() >= self.max_concurrent {
+            self.limit_stalls.inc();
+            while st.active.len() >= self.max_concurrent {
+                self.slot_free.wait(&mut st);
+            }
+        }
+        let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        st.active.insert(id, Vec::new());
+        self.begins.inc();
+        id
+    }
+
+    /// Record an undo entry for `txn`. No-op if the transaction is unknown
+    /// (already ended) — callers treat that as a logic error in tests.
+    pub fn push_undo(&self, txn: TxnId, undo: UndoOp) {
+        let mut st = self.state.lock();
+        if let Some(list) = st.active.get_mut(&txn) {
+            list.push(undo);
+        }
+    }
+
+    /// End `txn` (commit or rollback), returning its undo log.
+    pub fn end(&self, txn: TxnId) -> Vec<UndoOp> {
+        let mut st = self.state.lock();
+        let undo = st.active.remove(&txn).unwrap_or_default();
+        drop(st);
+        self.slot_free.notify_one();
+        undo
+    }
+
+    /// `true` if `txn` is still active.
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.state.lock().active.contains_key(&txn)
+    }
+
+    /// Currently active transactions.
+    pub fn active_count(&self) -> usize {
+        self.state.lock().active.len()
+    }
+
+    /// Transactions begun.
+    pub fn begins(&self) -> u64 {
+        self.begins.get()
+    }
+
+    /// Times `begin` blocked on the concurrency limit.
+    pub fn limit_stalls(&self) -> u64 {
+        self.limit_stalls.get()
+    }
+}
+
+/// Per-table insert-slot locks with wait penalties.
+#[derive(Debug)]
+pub struct LockManager {
+    tables: Vec<TableLock>,
+    wait_penalty: Duration,
+    waiter: Waiter,
+    waits: Counter,
+    wait_time: TimeCharge,
+}
+
+#[derive(Debug)]
+struct TableLock {
+    slots: Semaphore,
+}
+
+/// RAII guard for one table insert slot.
+pub struct SlotGuard<'a> {
+    lock: &'a TableLock,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.slots.release();
+    }
+}
+
+impl LockManager {
+    /// A manager for `n_tables` tables, each with `slots_per_table` insert
+    /// slots; blocked acquisitions are charged `wait_penalty`.
+    pub fn new(
+        n_tables: usize,
+        slots_per_table: usize,
+        wait_penalty: Duration,
+        scale: TimeScale,
+    ) -> Self {
+        assert!(slots_per_table > 0, "tables need at least one insert slot");
+        LockManager {
+            tables: (0..n_tables)
+                .map(|_| TableLock {
+                    slots: Semaphore::new(slots_per_table),
+                })
+                .collect(),
+            wait_penalty,
+            waiter: Waiter::new(scale),
+            waits: Counter::new(),
+            wait_time: TimeCharge::new(),
+        }
+    }
+
+    /// Grow to cover newly created tables.
+    pub fn ensure_tables(&mut self, n_tables: usize, slots_per_table: usize) {
+        while self.tables.len() < n_tables {
+            self.tables.push(TableLock {
+                slots: Semaphore::new(slots_per_table),
+            });
+        }
+    }
+
+    /// Acquire an insert slot on `table`, blocking if all slots are held.
+    ///
+    /// A *contended* acquisition pays the wait penalty **while holding the
+    /// slot**: the lock-manager bookkeeping, enqueue/dequeue and process
+    /// wakeup are server-side work that extends the effective hold time.
+    /// This is the degradation feedback §5.4 observes — past the slot
+    /// capacity, adding loaders makes every loader slower, so aggregate
+    /// throughput *declines* rather than merely flattening.
+    pub fn acquire_insert_slot(&self, table: TableId) -> SlotGuard<'_> {
+        let lock = &self.tables[table.index()];
+        if lock.slots.try_acquire() {
+            return SlotGuard { lock };
+        }
+        self.waits.inc();
+        lock.slots.acquire();
+        self.wait_time.charge(self.wait_penalty);
+        self.waiter.wait(self.wait_penalty);
+        SlotGuard { lock }
+    }
+
+    /// Lock waits observed.
+    pub fn waits(&self) -> u64 {
+        self.waits.get()
+    }
+
+    /// Total modeled lock-wait penalty time.
+    pub fn wait_time(&self) -> Duration {
+        self.wait_time.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn begin_end_roundtrip() {
+        let tm = TxnManager::new(4);
+        let t1 = tm.begin();
+        let t2 = tm.begin();
+        assert_ne!(t1, t2);
+        assert!(tm.is_active(t1));
+        assert_eq!(tm.active_count(), 2);
+        tm.push_undo(
+            t1,
+            UndoOp::Insert {
+                table: TableId(0),
+                row_id: RowId::new(0, 0),
+            },
+        );
+        let undo = tm.end(t1);
+        assert_eq!(undo.len(), 1);
+        assert!(!tm.is_active(t1));
+        assert!(tm.end(t1).is_empty(), "double end is harmless");
+    }
+
+    #[test]
+    fn concurrency_limit_blocks_and_releases() {
+        let tm = Arc::new(TxnManager::new(2));
+        let a = tm.begin();
+        let _b = tm.begin();
+        let tm2 = tm.clone();
+        let h = thread::spawn(move || {
+            let c = tm2.begin(); // blocks until a slot frees
+            tm2.end(c);
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert!(!h.is_finished(), "third begin should be blocked");
+        tm.end(a);
+        h.join().unwrap();
+        assert_eq!(tm.limit_stalls(), 1);
+    }
+
+    #[test]
+    fn undo_after_end_is_dropped() {
+        let tm = TxnManager::new(2);
+        let t = tm.begin();
+        tm.end(t);
+        tm.push_undo(
+            t,
+            UndoOp::Insert {
+                table: TableId(0),
+                row_id: RowId::new(0, 0),
+            },
+        );
+        assert!(tm.end(t).is_empty());
+    }
+
+    #[test]
+    fn lock_slots_limit_concurrent_holders() {
+        let lm = Arc::new(LockManager::new(
+            1,
+            2,
+            Duration::from_micros(100),
+            TimeScale::ZERO,
+        ));
+        let live = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        thread::scope(|s| {
+            for _ in 0..6 {
+                let (lm, live, peak) = (lm.clone(), live.clone(), peak.clone());
+                s.spawn(move || {
+                    let _g = lm.acquire_insert_slot(TableId(0));
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_millis(3));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+        assert!(lm.waits() > 0);
+        assert!(lm.wait_time() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn uncontended_slot_has_no_penalty() {
+        let lm = LockManager::new(2, 4, Duration::from_millis(10), TimeScale::ZERO);
+        {
+            let _g = lm.acquire_insert_slot(TableId(1));
+        }
+        assert_eq!(lm.waits(), 0);
+        assert_eq!(lm.wait_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn ensure_tables_grows() {
+        let mut lm = LockManager::new(1, 1, Duration::ZERO, TimeScale::ZERO);
+        lm.ensure_tables(5, 1);
+        let _g = lm.acquire_insert_slot(TableId(4));
+    }
+}

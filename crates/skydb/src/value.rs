@@ -1,0 +1,483 @@
+//! SQL values, column types, ordering and wire encoding.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+
+use crate::error::{DbError, DbResult};
+
+/// A column's declared type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer (covers Oracle NUMBER(p,0) uses in the model).
+    Int,
+    /// 64-bit IEEE float (Oracle BINARY_DOUBLE / FLOAT).
+    Float,
+    /// Variable-length string with a maximum length in characters.
+    Text(u32),
+    /// Microseconds since the Unix epoch (Oracle DATE/TIMESTAMP stand-in).
+    Timestamp,
+    /// Boolean flag.
+    Bool,
+}
+
+impl DataType {
+    /// An approximate on-disk width in bytes, used for row-size accounting
+    /// and index-key costing. Floats are wider than ints, as in Oracle,
+    /// where FLOAT is stored as a variable-length NUMBER (up to 22 bytes;
+    /// we use a typical 16) — this is what makes the paper's "index on 3
+    /// float attributes" so much costlier than its 1-integer index (Fig. 8).
+    pub fn width_hint(self) -> usize {
+        match self {
+            DataType::Int | DataType::Timestamp => 8,
+            DataType::Float => 16,
+            DataType::Bool => 1,
+            DataType::Text(n) => (n as usize).min(64),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => f.write_str("INT"),
+            DataType::Float => f.write_str("FLOAT"),
+            DataType::Text(n) => write!(f, "VARCHAR({n})"),
+            DataType::Timestamp => f.write_str("TIMESTAMP"),
+            DataType::Bool => f.write_str("BOOL"),
+        }
+    }
+}
+
+/// A single SQL value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Text(String),
+    /// Microseconds since the Unix epoch.
+    Timestamp(i64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// `true` if this is SQL NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Check this value against a declared type. NULL matches every type
+    /// (nullability is enforced separately by NOT NULL constraints).
+    pub fn matches_type(&self, dtype: DataType) -> Result<(), String> {
+        match (self, dtype) {
+            (Value::Null, _) => Ok(()),
+            (Value::Int(_), DataType::Int) => Ok(()),
+            (Value::Float(_), DataType::Float) => Ok(()),
+            (Value::Int(_), DataType::Float) => Ok(()), // widening allowed
+            (Value::Text(s), DataType::Text(max)) => {
+                if s.chars().count() <= max as usize {
+                    Ok(())
+                } else {
+                    Err(format!("string of {} chars exceeds VARCHAR({max})", s.chars().count()))
+                }
+            }
+            (Value::Timestamp(_), DataType::Timestamp) => Ok(()),
+            (Value::Bool(_), DataType::Bool) => Ok(()),
+            (v, t) => Err(format!("value {v} does not match type {t}")),
+        }
+    }
+
+    /// Numeric view (Int/Float/Timestamp/Bool as f64) for expressions.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Timestamp(t) => Some(*t as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if the value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// String view, if the value is text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total SQL-ish ordering: NULL sorts first; numbers compare numerically
+    /// across Int/Float; floats use IEEE total order for NaN stability;
+    /// distinct non-comparable types order by a fixed type rank so composite
+    /// keys always have a total order.
+    pub fn cmp_sql(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// Approximate in-memory footprint, for array-set memory accounting.
+    pub fn footprint(&self) -> usize {
+        match self {
+            Value::Text(s) => std::mem::size_of::<Value>() + s.capacity(),
+            _ => std::mem::size_of::<Value>(),
+        }
+    }
+
+    /// Encode this value onto a byte buffer (wire + page format).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Value::Null => buf.put_u8(0),
+            Value::Int(i) => {
+                buf.put_u8(1);
+                buf.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(2);
+                buf.put_f64_le(*f);
+            }
+            Value::Text(s) => {
+                buf.put_u8(3);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Timestamp(t) => {
+                buf.put_u8(4);
+                buf.put_i64_le(*t);
+            }
+            Value::Bool(b) => {
+                buf.put_u8(5);
+                buf.put_u8(u8::from(*b));
+            }
+        }
+    }
+
+    /// Decode one value from a byte buffer.
+    pub fn decode(buf: &mut impl Buf) -> DbResult<Value> {
+        if buf.remaining() < 1 {
+            return Err(DbError::Protocol("truncated value tag".into()));
+        }
+        match buf.get_u8() {
+            0 => Ok(Value::Null),
+            1 => {
+                check_remaining(buf, 8)?;
+                Ok(Value::Int(buf.get_i64_le()))
+            }
+            2 => {
+                check_remaining(buf, 8)?;
+                Ok(Value::Float(buf.get_f64_le()))
+            }
+            3 => {
+                check_remaining(buf, 4)?;
+                let len = buf.get_u32_le() as usize;
+                check_remaining(buf, len)?;
+                let mut bytes = vec![0u8; len];
+                buf.copy_to_slice(&mut bytes);
+                String::from_utf8(bytes)
+                    .map(Value::Text)
+                    .map_err(|_| DbError::Protocol("invalid utf8 in text value".into()))
+            }
+            4 => {
+                check_remaining(buf, 8)?;
+                Ok(Value::Timestamp(buf.get_i64_le()))
+            }
+            5 => {
+                check_remaining(buf, 1)?;
+                Ok(Value::Bool(buf.get_u8() != 0))
+            }
+            t => Err(DbError::Protocol(format!("unknown value tag {t}"))),
+        }
+    }
+
+    /// Encoded size in bytes (matches [`Value::encode`]).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 9,
+            Value::Text(s) => 5 + s.len(),
+            Value::Bool(_) => 2,
+        }
+    }
+}
+
+fn check_remaining(buf: &impl Buf, n: usize) -> DbResult<()> {
+    if buf.remaining() < n {
+        Err(DbError::Protocol(format!(
+            "truncated value payload: need {n}, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Timestamp(_) => 3,
+        Value::Text(_) => 4,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A row: one value per declared column, in declaration order.
+pub type Row = Vec<Value>;
+
+/// Encode a whole row (column count + values).
+pub fn encode_row(row: &[Value], buf: &mut impl BufMut) {
+    buf.put_u16_le(row.len() as u16);
+    for v in row {
+        v.encode(buf);
+    }
+}
+
+/// Decode a whole row.
+pub fn decode_row(buf: &mut impl Buf) -> DbResult<Row> {
+    if buf.remaining() < 2 {
+        return Err(DbError::Protocol("truncated row header".into()));
+    }
+    let n = buf.get_u16_le() as usize;
+    // Each value needs at least its 1-byte tag; reject inflated counts
+    // before allocating.
+    if n > buf.remaining() {
+        return Err(DbError::Protocol(format!(
+            "row claims {n} columns but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(Value::decode(buf)?);
+    }
+    Ok(row)
+}
+
+/// Encoded size of a whole row.
+pub fn row_encoded_len(row: &[Value]) -> usize {
+    2 + row.iter().map(Value::encoded_len).sum::<usize>()
+}
+
+/// A composite index key: an ordered tuple of values with total ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Key(pub Vec<Value>);
+
+impl Key {
+    /// Build a key by projecting `columns` out of `row`.
+    pub fn project(row: &[Value], columns: &[usize]) -> Key {
+        Key(columns.iter().map(|&c| row[c].clone()).collect())
+    }
+
+    /// `true` if any component is NULL (NULL keys skip unique enforcement,
+    /// as in Oracle).
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+
+    /// Approximate encoded width in bytes (drives B+-tree fanout).
+    pub fn width(&self) -> usize {
+        self.0.iter().map(Value::encoded_len).sum()
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let len = self.0.len().min(other.0.len());
+        for i in 0..len {
+            match self.0[i].cmp_sql(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let row: Row = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(3.5),
+            Value::Text("héllo".into()),
+            Value::Timestamp(1_120_000_000_000_000),
+            Value::Bool(true),
+        ];
+        let mut buf = bytes::BytesMut::new();
+        encode_row(&row, &mut buf);
+        assert_eq!(buf.len(), row_encoded_len(&row));
+        let mut rd = buf.freeze();
+        let back = decode_row(&mut rd).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = bytes::BytesMut::new();
+        Value::Text("abcdef".into()).encode(&mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(0..cut);
+            assert!(Value::decode(&mut partial).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn null_sorts_first_and_nan_is_ordered() {
+        assert_eq!(Value::Null.cmp_sql(&Value::Int(i64::MIN)), Ordering::Less);
+        let nan = Value::Float(f64::NAN);
+        // total_cmp: NaN > +inf, but crucially the order is *total*.
+        assert_eq!(nan.cmp_sql(&nan), Ordering::Equal);
+        assert_eq!(
+            Value::Float(1.0).cmp_sql(&Value::Float(f64::NAN)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(2).cmp_sql(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).cmp_sql(&Value::Int(3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn type_checking() {
+        assert!(Value::Int(1).matches_type(DataType::Int).is_ok());
+        assert!(Value::Int(1).matches_type(DataType::Float).is_ok());
+        assert!(Value::Float(1.0).matches_type(DataType::Int).is_err());
+        assert!(Value::Null.matches_type(DataType::Bool).is_ok());
+        assert!(Value::Text("abc".into()).matches_type(DataType::Text(2)).is_err());
+        assert!(Value::Text("ab".into()).matches_type(DataType::Text(2)).is_ok());
+    }
+
+    #[test]
+    fn key_ordering_is_lexicographic() {
+        let a = Key(vec![Value::Int(1), Value::Text("b".into())]);
+        let b = Key(vec![Value::Int(1), Value::Text("c".into())]);
+        let c = Key(vec![Value::Int(2)]);
+        assert!(a < b);
+        assert!(b < c);
+        // Prefix is less than its extension.
+        let p = Key(vec![Value::Int(1)]);
+        assert!(p < a);
+    }
+
+    #[test]
+    fn key_null_detection_and_projection() {
+        let row: Row = vec![Value::Int(7), Value::Null, Value::Text("x".into())];
+        let k = Key::project(&row, &[0, 2]);
+        assert_eq!(k.0, vec![Value::Int(7), Value::Text("x".into())]);
+        assert!(!k.has_null());
+        assert!(Key::project(&row, &[1]).has_null());
+    }
+
+    #[test]
+    fn widths_reflect_encoding() {
+        assert_eq!(Value::Int(0).encoded_len(), 9);
+        assert_eq!(Value::Text("abc".into()).encoded_len(), 8);
+        let k = Key(vec![Value::Float(0.0), Value::Float(0.0), Value::Float(0.0)]);
+        assert_eq!(k.width(), 27);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests: the B+-tree against a `BTreeMap`/`BTreeSet` reference
+//! model, plus structural invariants after arbitrary operation sequences.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use skydb::btree::BPlusTree;
+use skydb::value::{Key, Value};
+
+fn ikey(i: i64) -> Key {
+    Key(vec![Value::Int(i)])
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, u8),
+    Remove(i64, u8),
+    RangeCheck(i64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (-200i64..200, any::<u8>()).prop_map(|(k, p)| Op::Insert(k, p)),
+        1 => (-200i64..200, any::<u8>()).prop_map(|(k, p)| Op::Remove(k, p)),
+        1 => (-250i64..250, -250i64..250).prop_map(|(a, b)| Op::RangeCheck(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Non-unique tree behaves exactly like a BTreeSet<(key, payload)>.
+    #[test]
+    fn matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..300),
+                               order in 4usize..48) {
+        let mut tree = BPlusTree::new(false, order);
+        let mut model: BTreeSet<(i64, u64)> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, p) => {
+                    let p = p as u64;
+                    if model.insert((k, p)) {
+                        tree.insert(ikey(k), p).unwrap();
+                    } else {
+                        // duplicate (key, payload): skip to keep models aligned
+                    }
+                }
+                Op::Remove(k, p) => {
+                    let p = p as u64;
+                    let was = model.remove(&(k, p));
+                    prop_assert_eq!(tree.remove(&ikey(k), p), was);
+                }
+                Op::RangeCheck(lo, hi) => {
+                    let got: Vec<(i64, u64)> = tree
+                        .range(&ikey(lo), &ikey(hi))
+                        .into_iter()
+                        .map(|(k, p)| (k.0[0].as_i64().unwrap(), p))
+                        .collect();
+                    let want: Vec<(i64, u64)> = model
+                        .range((lo, 0)..=(hi, u64::MAX))
+                        .cloned()
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+        tree.validate().map_err(TestCaseError::fail)?;
+        // Final full-content comparison.
+        let all: Vec<(i64, u64)> = tree
+            .range(&ikey(i64::MIN + 1), &ikey(i64::MAX - 1))
+            .into_iter()
+            .map(|(k, p)| (k.0[0].as_i64().unwrap(), p))
+            .collect();
+        let want: Vec<(i64, u64)> = model.iter().cloned().collect();
+        prop_assert_eq!(all, want);
+    }
+
+    /// Unique tree: second insert of a key always fails, contents stay
+    /// first-writer-wins.
+    #[test]
+    fn unique_tree_first_writer_wins(keys in prop::collection::vec(-100i64..100, 1..200)) {
+        let mut tree = BPlusTree::new(true, 8);
+        let mut model = std::collections::BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            let ok = tree.insert(ikey(*k), i as u64).is_ok();
+            let fresh = !model.contains_key(k);
+            prop_assert_eq!(ok, fresh, "key {}", k);
+            model.entry(*k).or_insert(i as u64);
+        }
+        for (k, p) in &model {
+            prop_assert_eq!(tree.get_first(&ikey(*k)), Some(*p));
+        }
+        tree.validate().map_err(TestCaseError::fail)?;
+    }
+
+    /// Bulk build from any sorted input equals incremental insertion.
+    #[test]
+    fn bulk_build_equals_incremental(mut keys in prop::collection::btree_set(-500i64..500, 0..400),
+                                     order in 4usize..64) {
+        let entries: Vec<(Key, u64)> = keys
+            .iter()
+            .map(|&k| (ikey(k), (k + 500) as u64))
+            .collect();
+        let bulk = BPlusTree::bulk_build(true, order, entries.clone());
+        bulk.validate().map_err(TestCaseError::fail)?;
+        let mut inc = BPlusTree::new(true, order);
+        for (k, p) in entries {
+            inc.insert(k, p).unwrap();
+        }
+        prop_assert_eq!(bulk.len(), inc.len());
+        if let Some(&probe) = keys.iter().next() {
+            prop_assert_eq!(bulk.get_first(&ikey(probe)), inc.get_first(&ikey(probe)));
+        }
+        keys.clear();
+    }
+
+    /// Composite (multi-column) keys keep a total order through the tree.
+    #[test]
+    fn composite_keys_range_correctly(pairs in prop::collection::btree_set((0i64..20, 0i64..20), 1..100)) {
+        let mut tree = BPlusTree::new(true, 8);
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            tree.insert(Key(vec![Value::Int(*a), Value::Int(*b)]), i as u64).unwrap();
+        }
+        tree.validate().map_err(TestCaseError::fail)?;
+        // Range over a prefix value [a, a] must return exactly the pairs
+        // with that first component, in order of the second.
+        let a0 = pairs.iter().next().unwrap().0;
+        let lo = Key(vec![Value::Int(a0)]);
+        let hi = Key(vec![Value::Int(a0), Value::Int(i64::MAX)]);
+        let got: Vec<i64> = tree
+            .range(&lo, &hi)
+            .into_iter()
+            .map(|(k, _)| k.0[1].as_i64().unwrap())
+            .collect();
+        let want: Vec<i64> = pairs
+            .iter()
+            .filter(|(a, _)| *a == a0)
+            .map(|(_, b)| *b)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for engine-level semantics the loader depends on:
+//! JDBC batch behaviour, insert atomicity, and rollback.
+
+use proptest::prelude::*;
+
+use skydb::engine::Engine;
+use skydb::error::ConstraintKind;
+use skydb::schema::TableBuilder;
+use skydb::value::{DataType, Row, Value};
+
+fn engine_with_parent() -> (Engine, skydb::schema::TableId, skydb::schema::TableId) {
+    let e = Engine::for_tests();
+    let frames = TableBuilder::new("frames")
+        .col("frame_id", DataType::Int)
+        .pk(&["frame_id"])
+        .build()
+        .unwrap();
+    let objects = TableBuilder::new("objects")
+        .col("object_id", DataType::Int)
+        .col("frame_id", DataType::Int)
+        .pk(&["object_id"])
+        .fk("fk_frame", &["frame_id"], "frames")
+        .build()
+        .unwrap();
+    let f = e.create_table(frames).unwrap();
+    let o = e.create_table(objects).unwrap();
+    let txn = e.begin();
+    e.insert_row(txn, f, &[Value::Int(1)]).unwrap();
+    e.commit(txn).unwrap();
+    (e, f, o)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// JDBC semantics: for ANY pattern of good/bad rows, a batch applies
+    /// exactly the prefix before the first bad row, and reports its offset.
+    #[test]
+    fn batch_applies_exact_prefix(pattern in prop::collection::vec(any::<bool>(), 1..60)) {
+        let (e, _, o) = engine_with_parent();
+        let txn = e.begin();
+        let rows: Vec<Row> = pattern
+            .iter()
+            .enumerate()
+            .map(|(i, &good)| {
+                let frame = if good { 1 } else { 999 }; // bad rows violate FK
+                vec![Value::Int(i as i64), Value::Int(frame)]
+            })
+            .collect();
+        let out = e.apply_batch(txn, o, &rows);
+        let first_bad = pattern.iter().position(|&g| !g);
+        match first_bad {
+            None => {
+                prop_assert!(out.failed.is_none());
+                prop_assert_eq!(out.applied, rows.len());
+            }
+            Some(idx) => {
+                let (off, err) = out.failed.clone().unwrap();
+                prop_assert_eq!(off, idx);
+                prop_assert_eq!(out.applied, idx);
+                prop_assert_eq!(err.constraint_kind(), Some(ConstraintKind::ForeignKey));
+            }
+        }
+        prop_assert_eq!(e.row_count(o), out.applied as u64);
+        e.commit(txn).unwrap();
+    }
+
+    /// A failed insert leaves no residue: heap, PK index and scans all
+    /// agree, and the PK value remains available.
+    #[test]
+    fn failed_inserts_are_atomic(ids in prop::collection::vec(0i64..30, 1..80)) {
+        let (e, _, o) = engine_with_parent();
+        let txn = e.begin();
+        let mut expected = std::collections::HashSet::new();
+        for id in &ids {
+            let row = vec![Value::Int(*id), Value::Int(1)];
+            let r = e.insert_row(txn, o, &row);
+            prop_assert_eq!(r.is_ok(), expected.insert(*id), "id {}", id);
+        }
+        prop_assert_eq!(e.row_count(o), expected.len() as u64);
+        prop_assert_eq!(
+            e.scan_where(o, None).unwrap().len(),
+            expected.len()
+        );
+        e.commit(txn).unwrap();
+    }
+
+    /// Rollback after arbitrary interleaved inserts restores exactly the
+    /// committed state.
+    #[test]
+    fn rollback_restores_committed_state(first in prop::collection::btree_set(0i64..50, 0..25),
+                                         second in prop::collection::btree_set(50i64..100, 0..25)) {
+        let (e, _, o) = engine_with_parent();
+        let t1 = e.begin();
+        for id in &first {
+            e.insert_row(t1, o, &[Value::Int(*id), Value::Int(1)]).unwrap();
+        }
+        e.commit(t1).unwrap();
+
+        let t2 = e.begin();
+        for id in &second {
+            e.insert_row(t2, o, &[Value::Int(*id), Value::Int(1)]).unwrap();
+        }
+        e.rollback(t2).unwrap();
+
+        prop_assert_eq!(e.row_count(o), first.len() as u64);
+        // Every rolled-back PK is reusable.
+        let t3 = e.begin();
+        for id in &second {
+            e.insert_row(t3, o, &[Value::Int(*id), Value::Int(1)]).unwrap();
+        }
+        e.commit(t3).unwrap();
+        prop_assert_eq!(e.row_count(o), (first.len() + second.len()) as u64);
+    }
+
+    /// The WAL round-trips any committed workload: recovery rebuilds the
+    /// same row counts.
+    #[test]
+    fn recovery_reproduces_committed_rows(ids in prop::collection::btree_set(0i64..200, 1..60),
+                                          uncommitted in prop::collection::btree_set(200i64..300, 0..20)) {
+        let (e, _, o) = engine_with_parent();
+        let t1 = e.begin();
+        for id in &ids {
+            e.insert_row(t1, o, &[Value::Int(*id), Value::Int(1)]).unwrap();
+        }
+        e.commit(t1).unwrap();
+        let t2 = e.begin();
+        for id in &uncommitted {
+            e.insert_row(t2, o, &[Value::Int(*id), Value::Int(1)]).unwrap();
+        }
+        // crash without commit
+        let log = e.durable_log();
+        drop(e);
+
+        let schemas = vec![
+            TableBuilder::new("frames")
+                .col("frame_id", DataType::Int)
+                .pk(&["frame_id"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("objects")
+                .col("object_id", DataType::Int)
+                .col("frame_id", DataType::Int)
+                .pk(&["object_id"])
+                .fk("fk_frame", &["frame_id"], "frames")
+                .build()
+                .unwrap(),
+        ];
+        let recovered = Engine::recover_from_log(skydb::DbConfig::test(), schemas, &log).unwrap();
+        let o2 = recovered.table_id("objects").unwrap();
+        prop_assert_eq!(recovered.row_count(o2), ids.len() as u64);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the expression language: SQL three-valued-logic laws
+//! hold for arbitrary expressions over arbitrary rows, and evaluation
+//! never panics.
+
+use proptest::prelude::*;
+
+use skydb::expr::{CmpOp, Expr, Truth};
+use skydb::value::Value;
+
+const ROW_WIDTH: usize = 6;
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0..ROW_WIDTH).prop_map(Expr::Column),
+        any::<i64>().prop_map(|v| Expr::Literal(Value::Int(v))),
+        any::<f64>().prop_map(|v| Expr::Literal(Value::Float(v))),
+        Just(Expr::Literal(Value::Null)),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
+}
+
+/// A small boolean expression tree (comparisons combined with AND/OR/NOT).
+fn bool_expr() -> impl Strategy<Value = Expr> {
+    let cmp = (cmp_op(), leaf(), leaf())
+        .prop_map(|(op, a, b)| Expr::Cmp(op, Box::new(a), Box::new(b)));
+    cmp.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| Expr::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn row() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Value::Null),
+            any::<i64>().prop_map(Value::Int),
+            (-1000.0f64..1000.0).prop_map(Value::Float),
+        ],
+        ROW_WIDTH,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Evaluation never panics; it either produces a Truth or a clean error.
+    #[test]
+    fn eval_never_panics(e in bool_expr(), r in row()) {
+        let _ = e.eval_truth(&r);
+        let _ = e.eval(&r);
+    }
+
+    /// Double negation is the identity in three-valued logic.
+    #[test]
+    fn not_not_is_identity(e in bool_expr(), r in row()) {
+        let plain = e.eval_truth(&r);
+        let doubled = Expr::Not(Box::new(Expr::Not(Box::new(e)))).eval_truth(&r);
+        prop_assert_eq!(plain.is_ok(), doubled.is_ok());
+        if let (Ok(a), Ok(b)) = (plain, doubled) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// De Morgan: NOT (a AND b) == (NOT a) OR (NOT b), in 3VL.
+    #[test]
+    fn de_morgan_holds(a in bool_expr(), b in bool_expr(), r in row()) {
+        let lhs = Expr::Not(Box::new(a.clone().and(b.clone()))).eval_truth(&r);
+        let rhs = Expr::Not(Box::new(a)).or(Expr::Not(Box::new(b))).eval_truth(&r);
+        if let (Ok(x), Ok(y)) = (lhs, rhs) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// AND and OR are commutative.
+    #[test]
+    fn and_or_commute(a in bool_expr(), b in bool_expr(), r in row()) {
+        let ab = a.clone().and(b.clone()).eval_truth(&r);
+        let ba = b.clone().and(a.clone()).eval_truth(&r);
+        if let (Ok(x), Ok(y)) = (ab, ba) {
+            prop_assert_eq!(x, y);
+        }
+        let ab = a.clone().or(b.clone()).eval_truth(&r);
+        let ba = b.or(a).eval_truth(&r);
+        if let (Ok(x), Ok(y)) = (ab, ba) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// BETWEEN is exactly (x >= lo) AND (x <= hi).
+    #[test]
+    fn between_equals_conjunction(x in leaf(), lo in leaf(), hi in leaf(), r in row()) {
+        let between = Expr::Between(Box::new(x.clone()), Box::new(lo.clone()), Box::new(hi.clone()))
+            .eval_truth(&r);
+        let conj = Expr::Cmp(CmpOp::Ge, Box::new(x.clone()), Box::new(lo))
+            .and(Expr::Cmp(CmpOp::Le, Box::new(x), Box::new(hi)))
+            .eval_truth(&r);
+        if let (Ok(a), Ok(b)) = (between, conj) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Comparing anything to NULL is Unknown; CHECK passes, WHERE rejects.
+    #[test]
+    fn null_comparisons_are_unknown(op in cmp_op(), v in leaf(), r in row()) {
+        let e = Expr::Cmp(op, Box::new(v), Box::new(Expr::Literal(Value::Null)));
+        if let Ok(t) = e.eval_truth(&r) {
+            prop_assert_eq!(t, Truth::Unknown);
+            prop_assert!(t.passes_check());
+            prop_assert!(!t.selects());
+        }
+    }
+
+    /// x = x is True for any non-NULL column value.
+    #[test]
+    fn self_equality(col in 0..ROW_WIDTH, r in row()) {
+        let e = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Column(col)),
+            Box::new(Expr::Column(col)),
+        );
+        let t = e.eval_truth(&r).unwrap();
+        if r[col].is_null() {
+            prop_assert_eq!(t, Truth::Unknown);
+        } else {
+            prop_assert_eq!(t, Truth::True);
+        }
+    }
+
+    /// AND with False is False, OR with True is True — even when the other
+    /// side is Unknown (the SQL short-circuit identities).
+    #[test]
+    fn absorbing_elements(e in bool_expr(), r in row()) {
+        let f = Expr::Cmp(
+            CmpOp::Ne,
+            Box::new(Expr::Literal(Value::Int(1))),
+            Box::new(Expr::Literal(Value::Int(1))),
+        ); // False
+        let t = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Literal(Value::Int(1))),
+            Box::new(Expr::Literal(Value::Int(1))),
+        ); // True
+        if let Ok(x) = e.clone().and(f).eval_truth(&r) {
+            prop_assert_eq!(x, Truth::False);
+        }
+        if let Ok(x) = e.or(t).eval_truth(&r) {
+            prop_assert_eq!(x, Truth::True);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Celestial coordinate transformations.
+//!
+//! §3 lists "calculation of values such as the Hierarchical Triangular Mesh
+//! ID (htmid) and sky coordinates" among the per-row work the loader does.
+//! The catalog pipeline computes galactic coordinates for each object from
+//! its J2000 equatorial position; this module provides that rotation (and
+//! its inverse), plus small utilities used by the workload generator.
+
+use crate::vector::Vec3;
+
+/// J2000 equatorial → galactic rotation matrix (IAU 1958 definition,
+/// J2000 values: pole at RA 192.859508°, Dec 27.128336°, node l = 32.932°).
+const EQ_TO_GAL: [[f64; 3]; 3] = [
+    [-0.054_875_539_390, -0.873_437_104_725, -0.483_834_991_775],
+    [0.494_109_453_633, -0.444_829_594_298, 0.746_982_248_696],
+    [-0.867_666_135_681, -0.198_076_389_622, 0.455_983_794_523],
+];
+
+fn mat_mul(m: &[[f64; 3]; 3], v: Vec3) -> Vec3 {
+    Vec3::new(
+        m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+        m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+        m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+    )
+}
+
+fn mat_mul_t(m: &[[f64; 3]; 3], v: Vec3) -> Vec3 {
+    Vec3::new(
+        m[0][0] * v.x + m[1][0] * v.y + m[2][0] * v.z,
+        m[0][1] * v.x + m[1][1] * v.y + m[2][1] * v.z,
+        m[0][2] * v.x + m[1][2] * v.y + m[2][2] * v.z,
+    )
+}
+
+/// Equatorial (J2000 ra/dec, degrees) → galactic (l/b, degrees).
+pub fn equatorial_to_galactic(ra_deg: f64, dec_deg: f64) -> (f64, f64) {
+    mat_mul(&EQ_TO_GAL, Vec3::from_radec(ra_deg, dec_deg)).to_radec()
+}
+
+/// Galactic (l/b, degrees) → equatorial (J2000 ra/dec, degrees).
+pub fn galactic_to_equatorial(l_deg: f64, b_deg: f64) -> (f64, f64) {
+    mat_mul_t(&EQ_TO_GAL, Vec3::from_radec(l_deg, b_deg)).to_radec()
+}
+
+/// Normalize an RA to `[0, 360)`.
+pub fn normalize_ra(ra_deg: f64) -> f64 {
+    ra_deg.rem_euclid(360.0)
+}
+
+/// Angular separation between two (ra, dec) positions, in degrees.
+pub fn separation_deg(ra1: f64, dec1: f64, ra2: f64, dec2: f64) -> f64 {
+    Vec3::from_radec(ra1, dec1)
+        .angle_to(Vec3::from_radec(ra2, dec2))
+        .to_degrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn galactic_center_near_sgr_a() {
+        // Sgr A*: RA 266.416837°, Dec −29.007811° ⇒ l ≈ 359.944°, b ≈ −0.046°.
+        let (l, b) = equatorial_to_galactic(266.416837, -29.007811);
+        let dl = (l - 359.944).abs().min((l - 359.944 + 360.0).abs());
+        assert!(dl < 0.05, "l = {l}");
+        assert!((b + 0.046).abs() < 0.05, "b = {b}");
+    }
+
+    #[test]
+    fn north_galactic_pole() {
+        // NGP: RA 192.859508°, Dec 27.128336° ⇒ b = 90°.
+        let (_, b) = equatorial_to_galactic(192.859508, 27.128336);
+        assert!((b - 90.0).abs() < 1e-3, "b = {b}");
+    }
+
+    #[test]
+    fn transform_roundtrips() {
+        for &(ra, dec) in &[
+            (0.0, 0.0),
+            (123.4, 56.7),
+            (266.4, -29.0),
+            (359.9, 89.0),
+            (45.0, -45.0),
+        ] {
+            let (l, b) = equatorial_to_galactic(ra, dec);
+            let (ra2, dec2) = galactic_to_equatorial(l, b);
+            assert!(separation_deg(ra, dec, ra2, dec2) < 1e-8, "({ra},{dec})");
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_angles() {
+        let (l1, b1) = equatorial_to_galactic(10.0, 20.0);
+        let (l2, b2) = equatorial_to_galactic(15.0, 25.0);
+        let before = separation_deg(10.0, 20.0, 15.0, 25.0);
+        let after = separation_deg(l1, b1, l2, b2);
+        assert!((before - after).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normalize_ra_wraps() {
+        assert_eq!(normalize_ra(370.0), 10.0);
+        assert_eq!(normalize_ra(-10.0), 350.0);
+        assert_eq!(normalize_ra(0.0), 0.0);
+        assert_eq!(normalize_ra(720.0), 0.0);
+    }
+
+    #[test]
+    fn separation_known_values() {
+        assert!((separation_deg(0.0, 0.0, 90.0, 0.0) - 90.0).abs() < 1e-10);
+        assert!(separation_deg(10.0, 10.0, 10.0, 10.0) < 1e-10);
+    }
+}

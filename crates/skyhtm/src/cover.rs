@@ -1,0 +1,236 @@
+//! Cone search: covering a spherical cap with trixels.
+//!
+//! The repository keeps its `htmid` index precisely so that "find all
+//! objects within θ of (ra, dec)" becomes a handful of contiguous id-range
+//! scans (§4.5.1 keeps this index even during the intensive load because it
+//! is "crucial to the scientific research queries"). [`cone_cover`] produces
+//! those ranges.
+
+use crate::mesh::{id_range_at_depth, HtmId, Trixel};
+use crate::vector::Vec3;
+
+/// A spherical cap: all points within `radius_rad` of `center`.
+#[derive(Debug, Clone, Copy)]
+pub struct Cone {
+    /// Cap center (unit vector).
+    pub center: Vec3,
+    /// Angular radius in radians.
+    pub radius_rad: f64,
+}
+
+impl Cone {
+    /// A cone from (ra, dec) in degrees and a radius in arcminutes.
+    pub fn from_radec_arcmin(ra_deg: f64, dec_deg: f64, radius_arcmin: f64) -> Self {
+        Cone {
+            center: Vec3::from_radec(ra_deg, dec_deg),
+            radius_rad: (radius_arcmin / 60.0).to_radians(),
+        }
+    }
+
+    /// `true` if the point is inside the cap.
+    pub fn contains(&self, p: Vec3) -> bool {
+        self.center.angle_to(p) <= self.radius_rad
+    }
+
+    /// Relationship of a trixel to the cap.
+    fn classify(&self, t: &Trixel) -> Overlap {
+        let inside = t
+            .vertices
+            .iter()
+            .filter(|v| self.contains(**v))
+            .count();
+        if inside == 3 {
+            // All vertices inside ⇒ for caps up to a hemisphere the whole
+            // (convex) trixel is inside.
+            if self.radius_rad <= std::f64::consts::FRAC_PI_2 {
+                return Overlap::Full;
+            }
+        }
+        if inside > 0 {
+            return Overlap::Partial;
+        }
+        // No vertex inside: the cap may still poke through an edge or sit
+        // wholly inside the trixel.
+        if t.contains(self.center) {
+            return Overlap::Partial;
+        }
+        for i in 0..3 {
+            let a = t.vertices[i];
+            let b = t.vertices[(i + 1) % 3];
+            if arc_distance(self.center, a, b) <= self.radius_rad {
+                return Overlap::Partial;
+            }
+        }
+        Overlap::None
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Overlap {
+    None,
+    Partial,
+    Full,
+}
+
+/// Angular distance (radians) from `p` to the great-circle arc `a`–`b`.
+fn arc_distance(p: Vec3, a: Vec3, b: Vec3) -> f64 {
+    let n = a.cross(b);
+    let n_norm = n.norm();
+    if n_norm < 1e-15 {
+        // Degenerate arc.
+        return p.angle_to(a);
+    }
+    let n = n * (1.0 / n_norm);
+    // Closest point on the full great circle.
+    let proj = p - n * n.dot(p);
+    if proj.norm() < 1e-15 {
+        // p is the circle's pole: everything on the circle is equidistant.
+        return std::f64::consts::FRAC_PI_2;
+    }
+    let q = proj.normalized();
+    // q lies within the arc segment iff it sits between a and b along the
+    // circle: (a × q)·n ≥ 0 and (q × b)·n ≥ 0.
+    let within = a.cross(q).dot(n) >= 0.0 && q.cross(b).dot(n) >= 0.0;
+    if within {
+        p.angle_to(q)
+    } else {
+        p.angle_to(a).min(p.angle_to(b))
+    }
+}
+
+/// Compute a trixel cover of the cone, expanding partial trixels down to
+/// `depth`, and return **sorted, disjoint, merged** id ranges at `depth`.
+///
+/// Every point inside the cone is guaranteed to fall inside one of the
+/// returned ranges (the cover may include extra area near the boundary,
+/// never less — candidates from the ranges are re-filtered by distance).
+pub fn cone_cover(cone: &Cone, depth: u8) -> Vec<(HtmId, HtmId)> {
+    let mut ranges: Vec<(HtmId, HtmId)> = Vec::new();
+    for root in Trixel::roots() {
+        cover_rec(cone, &root, depth, &mut ranges);
+    }
+    ranges.sort_unstable();
+    merge_ranges(ranges)
+}
+
+fn cover_rec(cone: &Cone, t: &Trixel, depth: u8, out: &mut Vec<(HtmId, HtmId)>) {
+    match cone.classify(t) {
+        Overlap::None => {}
+        Overlap::Full => out.push(id_range_at_depth(t.id, depth)),
+        Overlap::Partial => {
+            if t.depth() >= depth {
+                out.push(id_range_at_depth(t.id, depth));
+            } else {
+                for child in t.children() {
+                    cover_rec(cone, &child, depth, out);
+                }
+            }
+        }
+    }
+}
+
+/// Merge adjacent/overlapping sorted ranges.
+fn merge_ranges(ranges: Vec<(HtmId, HtmId)>) -> Vec<(HtmId, HtmId)> {
+    let mut out: Vec<(HtmId, HtmId)> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match out.last_mut() {
+            Some((_, prev_hi)) if lo <= prev_hi.saturating_add(1) => {
+                *prev_hi = (*prev_hi).max(hi);
+            }
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::htmid;
+
+    #[test]
+    fn cover_contains_points_inside_cone() {
+        let cone = Cone::from_radec_arcmin(150.0, 22.0, 30.0);
+        let depth = 12;
+        let ranges = cone_cover(&cone, depth);
+        assert!(!ranges.is_empty());
+        // Sample points inside the cone: their depth-12 id must be covered.
+        for i in 0..200 {
+            let ang = i as f64 * 0.031415;
+            let frac = (i % 10) as f64 / 10.0;
+            let r_arcmin = 30.0 * frac;
+            let (dra, ddec) = (
+                ang.cos() * r_arcmin / 60.0 / (22.0f64.to_radians().cos()),
+                ang.sin() * r_arcmin / 60.0,
+            );
+            let p = Vec3::from_radec(150.0 + dra, 22.0 + ddec);
+            if !cone.contains(p) {
+                continue; // tangent-plane approx overshoots at the rim
+            }
+            let id = htmid(150.0 + dra, 22.0 + ddec, depth);
+            let covered = ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&id));
+            assert!(covered, "point {i} inside cone but outside cover");
+        }
+    }
+
+    #[test]
+    fn ranges_sorted_disjoint_merged() {
+        let cone = Cone::from_radec_arcmin(10.0, -45.0, 60.0);
+        let ranges = cone_cover(&cone, 10);
+        for w in ranges.windows(2) {
+            assert!(w[0].1 < w[1].0, "ranges overlap or touch: {w:?}");
+            assert!(w[0].1 + 1 < w[1].0, "adjacent ranges should have merged");
+        }
+        for &(lo, hi) in &ranges {
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn tiny_cone_has_small_cover() {
+        let tiny = Cone::from_radec_arcmin(200.0, 10.0, 0.1);
+        let ranges = cone_cover(&tiny, 14);
+        let area: u64 = ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+        // A 0.1-arcmin cone at depth 14 should cover a handful of trixels,
+        // not thousands.
+        assert!(area < 2000, "cover area {area} too large");
+        assert!(!ranges.is_empty());
+    }
+
+    #[test]
+    fn wide_cone_covers_much_of_sphere() {
+        let wide = Cone {
+            center: Vec3::from_radec(0.0, 90.0),
+            radius_rad: std::f64::consts::FRAC_PI_2 * 0.99,
+        };
+        let ranges = cone_cover(&wide, 4);
+        let area: u64 = ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+        let total = 8u64 * 4u64.pow(4);
+        assert!(
+            area > total / 3,
+            "hemisphere cover {area}/{total} implausibly small"
+        );
+    }
+
+    #[test]
+    fn merge_ranges_logic() {
+        let merged = merge_ranges(vec![(1, 3), (4, 6), (10, 12), (11, 15)]);
+        assert_eq!(merged, vec![(1, 6), (10, 15)]);
+        assert!(merge_ranges(vec![]).is_empty());
+    }
+
+    #[test]
+    fn arc_distance_basics() {
+        let a = Vec3::from_radec(0.0, 0.0);
+        let b = Vec3::from_radec(90.0, 0.0);
+        // Point on the arc: zero distance.
+        let on = Vec3::from_radec(45.0, 0.0);
+        assert!(arc_distance(on, a, b) < 1e-10);
+        // Point above the middle of the arc: distance = its declination.
+        let above = Vec3::from_radec(45.0, 30.0);
+        assert!((arc_distance(above, a, b) - 30f64.to_radians()).abs() < 1e-9);
+        // Point beyond an endpoint: distance to the endpoint.
+        let beyond = Vec3::from_radec(180.0, 0.0);
+        assert!((arc_distance(beyond, a, b) - 90f64.to_radians()).abs() < 1e-9);
+    }
+}

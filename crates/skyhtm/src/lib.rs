@@ -1,0 +1,33 @@
+//! # skyhtm — Hierarchical Triangular Mesh and sky coordinates
+//!
+//! The SkyLoader paper's per-row load work includes "calculation of values
+//! such as the Hierarchical Triangular Mesh ID (htmid) and sky coordinates
+//! to facilitate the science research" (§3), and the one index the
+//! repository keeps during the intensive loading phase is the index on
+//! `htmid` (§4.5.1). This crate is a from-scratch implementation of both:
+//!
+//! * [`mesh`] — the HTM subdivision (Kunszt, Szalay & Thakar; paper
+//!   reference \[10\]): point → trixel id at any depth, trixel
+//!   reconstruction, id ranges;
+//! * [`cover`] — cone search as sorted trixel id ranges, which is what a
+//!   B-tree on `htmid` needs;
+//! * [`coords`] — J2000 equatorial ↔ galactic transforms;
+//! * [`vector`] — unit-sphere vector math.
+//!
+//! ```
+//! use skyhtm::{htmid, CATALOG_DEPTH};
+//! let id = htmid(266.4168, -29.0078, CATALOG_DEPTH);
+//! assert!(skyhtm::mesh::is_valid(id));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coords;
+pub mod cover;
+pub mod mesh;
+pub mod vector;
+
+pub use coords::{equatorial_to_galactic, galactic_to_equatorial, separation_deg};
+pub use cover::{cone_cover, Cone};
+pub use mesh::{htmid, neighbors, trixel_of, HtmId, Trixel, CATALOG_DEPTH, MAX_DEPTH};
+pub use vector::Vec3;

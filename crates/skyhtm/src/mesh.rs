@@ -1,0 +1,339 @@
+//! The Hierarchical Triangular Mesh: point → trixel id and back.
+//!
+//! HTM (Kunszt, Szalay & Thakar; paper reference \[10\]) recursively divides
+//! the celestial sphere into spherical triangles ("trixels"). The eight
+//! level-0 trixels have ids 8–15 (binary `1000`–`1111`); each subdivision
+//! appends two bits, so a depth-`d` trixel id occupies `4 + 2d` bits and
+//! the ids of a trixel's descendants form a contiguous range — which is
+//! what makes a B-tree index on `htmid` support spatial queries.
+
+use crate::vector::Vec3;
+
+/// A trixel identifier (depth is implicit in the bit length).
+pub type HtmId = u64;
+
+/// Maximum supported subdivision depth (31 keeps ids in 66 bits? no —
+/// 4 + 2·30 = 64, so 30 is the hard cap; 25 is already ~0.01 arcsec).
+pub const MAX_DEPTH: u8 = 30;
+
+/// Depth used by the Palomar-Quest repository for object htmids
+/// (level 20 ≈ 0.3 arcsec trixels, the catalog's astrometric scale).
+pub const CATALOG_DEPTH: u8 = 20;
+
+const V0: Vec3 = Vec3::new(0.0, 0.0, 1.0);
+const V1: Vec3 = Vec3::new(1.0, 0.0, 0.0);
+const V2: Vec3 = Vec3::new(0.0, 1.0, 0.0);
+const V3: Vec3 = Vec3::new(-1.0, 0.0, 0.0);
+const V4: Vec3 = Vec3::new(0.0, -1.0, 0.0);
+const V5: Vec3 = Vec3::new(0.0, 0.0, -1.0);
+
+/// The eight root trixels, indexed by `id - 8`.
+pub const ROOTS: [(HtmId, [Vec3; 3]); 8] = [
+    (8, [V1, V5, V2]),  // S0
+    (9, [V2, V5, V3]),  // S1
+    (10, [V3, V5, V4]), // S2
+    (11, [V4, V5, V1]), // S3
+    (12, [V1, V0, V4]), // N0
+    (13, [V4, V0, V3]), // N1
+    (14, [V3, V0, V2]), // N2
+    (15, [V2, V0, V1]), // N3
+];
+
+/// A trixel: id + vertices.
+#[derive(Debug, Clone, Copy)]
+pub struct Trixel {
+    /// The HTM id.
+    pub id: HtmId,
+    /// The three vertices (counterclockwise seen from outside).
+    pub vertices: [Vec3; 3],
+}
+
+impl Trixel {
+    /// The eight level-0 trixels.
+    pub fn roots() -> impl Iterator<Item = Trixel> {
+        ROOTS.iter().map(|&(id, vertices)| Trixel { id, vertices })
+    }
+
+    /// Depth of this trixel (0 for roots).
+    pub fn depth(&self) -> u8 {
+        depth_of(self.id)
+    }
+
+    /// The four children of this trixel.
+    pub fn children(&self) -> [Trixel; 4] {
+        let [a, b, c] = self.vertices;
+        let w0 = b.midpoint(c);
+        let w1 = c.midpoint(a);
+        let w2 = a.midpoint(b);
+        [
+            Trixel {
+                id: self.id << 2,
+                vertices: [a, w2, w1],
+            },
+            Trixel {
+                id: (self.id << 2) | 1,
+                vertices: [b, w0, w2],
+            },
+            Trixel {
+                id: (self.id << 2) | 2,
+                vertices: [c, w1, w0],
+            },
+            Trixel {
+                id: (self.id << 2) | 3,
+                vertices: [w0, w1, w2],
+            },
+        ]
+    }
+
+    /// `true` if the unit vector `p` lies in this trixel.
+    ///
+    /// Boundary points are counted as inside (`>= -ε` test), so lookups on
+    /// shared edges deterministically pick the first matching child.
+    pub fn contains(&self, p: Vec3) -> bool {
+        const EPS: f64 = -1e-12;
+        let [a, b, c] = self.vertices;
+        a.cross(b).dot(p) >= EPS && b.cross(c).dot(p) >= EPS && c.cross(a).dot(p) >= EPS
+    }
+
+    /// The normalized centroid.
+    pub fn center(&self) -> Vec3 {
+        let [a, b, c] = self.vertices;
+        (a + b + c).normalized()
+    }
+
+    /// An upper bound on the angular radius (radians) of the trixel around
+    /// its centroid.
+    pub fn bounding_radius(&self) -> f64 {
+        let c = self.center();
+        self.vertices
+            .iter()
+            .map(|v| c.angle_to(*v))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Depth encoded in an id's bit length.
+///
+/// # Panics
+/// Panics on ids below 8 (not a valid trixel).
+pub fn depth_of(id: HtmId) -> u8 {
+    assert!(id >= 8, "invalid htmid {id}");
+    let bits = 64 - id.leading_zeros();
+    debug_assert!(bits >= 4 && bits.is_multiple_of(2), "malformed htmid {id:#b}");
+    ((bits - 4) / 2) as u8
+}
+
+/// `true` if `id` is structurally a valid HTM id.
+pub fn is_valid(id: HtmId) -> bool {
+    if id < 8 {
+        return false;
+    }
+    let bits = 64 - id.leading_zeros();
+    bits >= 4 && bits.is_multiple_of(2) && (id >> (bits - 4)) >= 8
+}
+
+/// Find the depth-`depth` trixel containing the point.
+///
+/// # Panics
+/// Panics if `depth > MAX_DEPTH`.
+pub fn lookup(p: Vec3, depth: u8) -> Trixel {
+    assert!(depth <= MAX_DEPTH, "depth {depth} exceeds MAX_DEPTH");
+    let mut current = Trixel::roots()
+        .find(|t| t.contains(p))
+        .expect("every unit vector is in some root trixel");
+    for _ in 0..depth {
+        let children = current.children();
+        current = *children
+            .iter()
+            .find(|t| t.contains(p))
+            .expect("point in parent must be in some child");
+    }
+    current
+}
+
+/// The htmid of `(ra, dec)` (degrees) at `depth`.
+pub fn htmid(ra_deg: f64, dec_deg: f64, depth: u8) -> HtmId {
+    lookup(Vec3::from_radec(ra_deg, dec_deg), depth).id
+}
+
+/// Reconstruct a trixel (vertices included) from its id.
+///
+/// # Panics
+/// Panics on invalid ids.
+pub fn trixel_of(id: HtmId) -> Trixel {
+    assert!(is_valid(id), "invalid htmid {id}");
+    let depth = depth_of(id);
+    let root_id = id >> (2 * depth as u32);
+    let mut t = Trixel {
+        id: root_id,
+        vertices: ROOTS[(root_id - 8) as usize].1,
+    };
+    for level in (0..depth).rev() {
+        let child = ((id >> (2 * level as u32)) & 3) as usize;
+        t = t.children()[child];
+    }
+    t
+}
+
+/// The id range `[lo, hi]` (inclusive) of all depth-`target_depth`
+/// descendants of `id`. Used to turn a trixel cover into B-tree ranges.
+///
+/// # Panics
+/// Panics if `target_depth` is shallower than `id`'s depth.
+pub fn id_range_at_depth(id: HtmId, target_depth: u8) -> (HtmId, HtmId) {
+    let d = depth_of(id);
+    assert!(
+        target_depth >= d,
+        "target depth {target_depth} above trixel depth {d}"
+    );
+    let shift = 2 * (target_depth - d) as u32;
+    (id << shift, ((id + 1) << shift) - 1)
+}
+
+/// The three edge-adjacent trixels of `id`, at the same depth.
+///
+/// For each edge, the neighbor is found by probing a point just across the
+/// edge midpoint (nudged away from the opposite vertex) — robust at any
+/// depth because trixels tile the sphere without gaps.
+///
+/// # Panics
+/// Panics on invalid ids.
+pub fn neighbors(id: HtmId) -> [HtmId; 3] {
+    let t = trixel_of(id);
+    let depth = t.depth();
+    let [a, b, c] = t.vertices;
+    let mut out = [0u64; 3];
+    for (i, (u, v, opposite)) in [(a, b, c), (b, c, a), (c, a, b)].into_iter().enumerate() {
+        let m = u.midpoint(v);
+        // Step from the edge midpoint away from the opposite vertex, by a
+        // fraction of the trixel scale, then renormalize onto the sphere.
+        let scale = t.bounding_radius().max(1e-9);
+        // Tangent direction at m pointing away from the opposite vertex:
+        // project (m - opposite) onto the tangent plane at m.
+        let chord = m - opposite;
+        let away = (chord - m * chord.dot(m)).normalized();
+        let probe = (m + away * (scale * 0.2)).normalized();
+        out[i] = lookup(probe, depth).id;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_cover_the_sphere() {
+        // A grid of points: each must be in exactly one root (boundaries may
+        // be in more than one due to the inclusive test, so check >= 1).
+        for idec in -8..=8 {
+            for ira in 0..36 {
+                let p = Vec3::from_radec(ira as f64 * 10.0, idec as f64 * 11.0);
+                let n = Trixel::roots().filter(|t| t.contains(p)).count();
+                assert!(n >= 1, "point uncovered at ra={} dec={}", ira * 10, idec * 11);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_validity() {
+        assert_eq!(depth_of(8), 0);
+        assert_eq!(depth_of(15), 0);
+        assert_eq!(depth_of(32), 1); // 8 << 2
+        assert_eq!(depth_of(63), 1);
+        assert!(is_valid(8));
+        assert!(!is_valid(7));
+        assert!(!is_valid(16), "odd bit-length ids are malformed");
+        assert!(is_valid(8 << 40));
+    }
+
+    #[test]
+    fn lookup_id_has_requested_depth() {
+        for d in [0u8, 1, 5, 10, 20] {
+            let id = htmid(133.7, -42.0, d);
+            assert_eq!(depth_of(id), d);
+            assert!(is_valid(id));
+        }
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let parent = Trixel::roots().next().unwrap();
+        let kids = parent.children();
+        // Child ids are parent*4 + 0..3.
+        for (i, k) in kids.iter().enumerate() {
+            assert_eq!(k.id, (parent.id << 2) | i as u64);
+            assert_eq!(k.depth(), 1);
+        }
+        // Points in the parent are in >=1 child.
+        for t in 0..50 {
+            let f = t as f64 / 50.0;
+            let p = (parent.vertices[0] * f + parent.vertices[1] * (0.7 - 0.6 * f)
+                + parent.vertices[2] * 0.3)
+                .normalized();
+            if parent.contains(p) {
+                assert!(kids.iter().any(|k| k.contains(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn trixel_of_reconstructs_lookup() {
+        for &(ra, dec) in &[(0.1, 0.1), (123.4, 56.7), (359.0, -89.0), (200.0, 30.0)] {
+            let p = Vec3::from_radec(ra, dec);
+            let t = lookup(p, 12);
+            let rebuilt = trixel_of(t.id);
+            assert_eq!(rebuilt.id, t.id);
+            assert!(rebuilt.contains(p), "rebuilt trixel must contain the point");
+        }
+    }
+
+    #[test]
+    fn deeper_lookup_refines_prefix() {
+        // The depth-d id is a prefix (in base-4) of the depth-(d+k) id.
+        let (ra, dec) = (211.3, -17.8);
+        let shallow = htmid(ra, dec, 8);
+        let deep = htmid(ra, dec, 14);
+        assert_eq!(deep >> (2 * 6), shallow);
+    }
+
+    #[test]
+    fn id_ranges_nest() {
+        let id = htmid(10.0, 10.0, 5);
+        let (lo, hi) = id_range_at_depth(id, 9);
+        assert_eq!(hi - lo + 1, 4u64.pow(4));
+        let deep = htmid(10.0, 10.0, 9);
+        assert!((lo..=hi).contains(&deep));
+        // Identity range at the same depth.
+        assert_eq!(id_range_at_depth(id, 5), (id, id));
+    }
+
+    #[test]
+    fn nearby_points_share_deep_trixels_far_points_do_not() {
+        let a = htmid(100.0, 20.0, 20);
+        let b = htmid(100.0 + 1e-7, 20.0, 20);
+        let c = htmid(280.0, -20.0, 20);
+        assert_eq!(a, b, "sub-microarcsecond neighbors share a depth-20 trixel");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trixel_geometry_sane() {
+        let t = trixel_of(htmid(45.0, 45.0, 6));
+        let c = t.center();
+        assert!((c.norm() - 1.0).abs() < 1e-12);
+        assert!(t.contains(c), "centroid inside");
+        let r = t.bounding_radius();
+        // Depth-6 trixels are ~1 degree across.
+        assert!(r > 0.0 && r < 0.1, "radius {r} rad out of range");
+    }
+
+    #[test]
+    fn catalog_depth_resolution() {
+        // Depth-20 trixels: ~0.3 arcsec. Two points 1 arcmin apart must
+        // land in different trixels.
+        let a = htmid(180.0, 0.0, CATALOG_DEPTH);
+        let b = htmid(180.0 + 1.0 / 60.0, 0.0, CATALOG_DEPTH);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,184 @@
+//! Unit vectors on the celestial sphere.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-vector (usually a unit vector on the celestial sphere).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec3 {
+    /// x component (toward RA 0°, Dec 0°).
+    pub x: f64,
+    /// y component (toward RA 90°, Dec 0°).
+    pub y: f64,
+    /// z component (toward the north celestial pole).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// From right ascension and declination, both in degrees.
+    pub fn from_radec(ra_deg: f64, dec_deg: f64) -> Self {
+        let ra = ra_deg.to_radians();
+        let dec = dec_deg.to_radians();
+        Vec3 {
+            x: dec.cos() * ra.cos(),
+            y: dec.cos() * ra.sin(),
+            z: dec.sin(),
+        }
+    }
+
+    /// Back to `(ra_deg ∈ [0, 360), dec_deg ∈ [-90, 90])`.
+    pub fn to_radec(self) -> (f64, f64) {
+        let dec = self.z.clamp(-1.0, 1.0).asin().to_degrees();
+        let mut ra = self.y.atan2(self.x).to_degrees();
+        if ra < 0.0 {
+            ra += 360.0;
+        }
+        // The pole has degenerate RA; normalize to 0.
+        if self.x.abs() < 1e-15 && self.y.abs() < 1e-15 {
+            ra = 0.0;
+        }
+        (ra, dec)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Scaled to unit length.
+    ///
+    /// # Panics
+    /// Panics on the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        self * (1.0 / n)
+    }
+
+    /// The normalized midpoint of two unit vectors.
+    pub fn midpoint(self, o: Vec3) -> Vec3 {
+        (self + o).normalized()
+    }
+
+    /// Angular separation to another unit vector, in radians.
+    pub fn angle_to(self, o: Vec3) -> f64 {
+        // atan2 form is stable for both tiny and near-π angles.
+        self.cross(o).norm().atan2(self.dot(o))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn radec_roundtrip() {
+        for &(ra, dec) in &[
+            (0.0, 0.0),
+            (123.456, 45.0),
+            (359.9, -89.9),
+            (180.0, 12.3),
+            (90.0, -45.0),
+        ] {
+            let v = Vec3::from_radec(ra, dec);
+            assert!((v.norm() - 1.0).abs() < EPS);
+            let (ra2, dec2) = v.to_radec();
+            assert!((ra - ra2).abs() < 1e-9, "ra {ra} -> {ra2}");
+            assert!((dec - dec2).abs() < 1e-9, "dec {dec} -> {dec2}");
+        }
+    }
+
+    #[test]
+    fn poles_have_canonical_ra() {
+        let (ra, dec) = Vec3::from_radec(123.0, 90.0).to_radec();
+        assert_eq!(ra, 0.0);
+        assert!((dec - 90.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cross_and_dot() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = x.cross(y);
+        assert!((z.z - 1.0).abs() < EPS);
+        assert!(x.dot(y).abs() < EPS);
+    }
+
+    #[test]
+    fn angle_to_known_separations() {
+        let a = Vec3::from_radec(0.0, 0.0);
+        let b = Vec3::from_radec(90.0, 0.0);
+        assert!((a.angle_to(b) - std::f64::consts::FRAC_PI_2).abs() < EPS);
+        assert!(a.angle_to(a).abs() < EPS);
+        let c = Vec3::from_radec(180.0, 0.0);
+        assert!((a.angle_to(c) - std::f64::consts::PI).abs() < EPS);
+    }
+
+    #[test]
+    fn midpoint_is_unit_and_between() {
+        let a = Vec3::from_radec(10.0, 0.0);
+        let b = Vec3::from_radec(20.0, 0.0);
+        let m = a.midpoint(b);
+        assert!((m.norm() - 1.0).abs() < EPS);
+        let (ra, dec) = m.to_radec();
+        assert!((ra - 15.0).abs() < 1e-9);
+        assert!(dec.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn zero_normalize_panics() {
+        Vec3::new(0.0, 0.0, 0.0).normalized();
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the HTM mesh and coordinate transforms.
+
+use proptest::prelude::*;
+
+use skyhtm::mesh::{self, depth_of, id_range_at_depth, is_valid, lookup, trixel_of};
+use skyhtm::vector::Vec3;
+use skyhtm::{cone_cover, equatorial_to_galactic, galactic_to_equatorial, htmid, separation_deg, Cone};
+
+fn radec() -> impl Strategy<Value = (f64, f64)> {
+    (0.0f64..360.0, -89.9f64..89.9)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The trixel returned by lookup really contains the point, at every
+    /// depth, and its id is structurally valid with the right depth.
+    #[test]
+    fn lookup_contains_point((ra, dec) in radec(), depth in 0u8..16) {
+        let p = Vec3::from_radec(ra, dec);
+        let t = lookup(p, depth);
+        prop_assert!(t.contains(p), "trixel {} lost ({ra}, {dec})", t.id);
+        prop_assert!(is_valid(t.id));
+        prop_assert_eq!(depth_of(t.id), depth);
+    }
+
+    /// Deeper ids refine shallower ones: the depth-d id is the depth-(d+k)
+    /// id shifted down.
+    #[test]
+    fn ids_nest_by_prefix((ra, dec) in radec(), d1 in 0u8..10, extra in 1u8..8) {
+        let shallow = htmid(ra, dec, d1);
+        let deep = htmid(ra, dec, d1 + extra);
+        prop_assert_eq!(deep >> (2 * extra as u32), shallow);
+        let (lo, hi) = id_range_at_depth(shallow, d1 + extra);
+        prop_assert!((lo..=hi).contains(&deep));
+    }
+
+    /// Reconstructing a trixel from its id gives back geometry containing
+    /// the original point.
+    #[test]
+    fn trixel_of_inverts_lookup((ra, dec) in radec(), depth in 0u8..14) {
+        let p = Vec3::from_radec(ra, dec);
+        let t = lookup(p, depth);
+        let rebuilt = trixel_of(t.id);
+        prop_assert_eq!(rebuilt.id, t.id);
+        prop_assert!(rebuilt.contains(p));
+        // Centroid is inside and id-stable.
+        let c = rebuilt.center();
+        prop_assert!(rebuilt.contains(c));
+    }
+
+    /// Cone covers are sound: every point inside the cone falls in a
+    /// covered range.
+    #[test]
+    fn cone_cover_is_sound((ra, dec) in radec(),
+                           radius_arcmin in 0.5f64..120.0,
+                           offset_frac in 0.0f64..1.0,
+                           angle in 0.0f64..std::f64::consts::TAU,
+                           depth in 6u8..14) {
+        let cone = Cone::from_radec_arcmin(ra, dec, radius_arcmin);
+        let ranges = cone_cover(&cone, depth);
+        prop_assert!(!ranges.is_empty());
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "ranges must be disjoint and sorted");
+        }
+        // A point inside the cone (offset along a great circle by a
+        // fraction of the radius).
+        let r_deg = radius_arcmin / 60.0 * offset_frac * 0.95;
+        let pdec = (dec + r_deg * angle.sin()).clamp(-89.99, 89.99);
+        let pra = (ra + r_deg * angle.cos() / pdec.to_radians().cos().max(1e-3)).rem_euclid(360.0);
+        if separation_deg(ra, dec, pra, pdec) * 60.0 <= radius_arcmin {
+            let id = htmid(pra, pdec, depth);
+            prop_assert!(
+                ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&id)),
+                "inside point ({pra}, {pdec}) not covered"
+            );
+        }
+    }
+
+    /// Equatorial↔galactic is a bijection that preserves angles.
+    #[test]
+    fn galactic_roundtrip((ra, dec) in radec(), (ra2, dec2) in radec()) {
+        let (l, b) = equatorial_to_galactic(ra, dec);
+        let (ra_back, dec_back) = galactic_to_equatorial(l, b);
+        prop_assert!(separation_deg(ra, dec, ra_back, dec_back) < 1e-7);
+        prop_assert!((0.0..360.0).contains(&l));
+        prop_assert!((-90.0..=90.0).contains(&b));
+        // Rotation preserves separations.
+        let (l2, b2) = equatorial_to_galactic(ra2, dec2);
+        let before = separation_deg(ra, dec, ra2, dec2);
+        let after = separation_deg(l, b, l2, b2);
+        prop_assert!((before - after).abs() < 1e-7, "{before} vs {after}");
+    }
+
+    /// Unit-vector conversion round-trips.
+    #[test]
+    fn radec_vector_roundtrip((ra, dec) in radec()) {
+        let v = Vec3::from_radec(ra, dec);
+        prop_assert!((v.norm() - 1.0).abs() < 1e-12);
+        let (ra2, dec2) = v.to_radec();
+        prop_assert!(separation_deg(ra, dec, ra2, dec2) < 1e-9);
+    }
+
+    /// Neighbouring points at depth d share a trixel iff they are closer
+    /// than the trixel scale (sanity bound: same id ⇒ within ~2 bounding
+    /// radii).
+    #[test]
+    fn same_trixel_implies_proximity((ra, dec) in radec(), depth in 4u8..12) {
+        let t = lookup(Vec3::from_radec(ra, dec), depth);
+        let r = t.bounding_radius();
+        let c = t.center();
+        let p = Vec3::from_radec(ra, dec);
+        prop_assert!(c.angle_to(p) <= r + 1e-12);
+    }
+
+    /// Every root id 8..=15 is valid and deeper malformed ids are rejected.
+    #[test]
+    fn validity_checks(raw in any::<u64>()) {
+        if is_valid(raw) {
+            let d = depth_of(raw);
+            prop_assert!(d <= 30);
+            prop_assert!((8..=15).contains(&(raw >> (2 * d as u32))));
+        }
+    }
+}
+
+#[test]
+fn roots_are_all_valid() {
+    for id in 8u64..=15 {
+        assert!(is_valid(id));
+        assert_eq!(depth_of(id), 0);
+    }
+    assert!(!is_valid(0));
+    assert!(!is_valid(7));
+    assert_eq!(mesh::CATALOG_DEPTH, 20);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every trixel has exactly 3 distinct neighbors at its own depth, none
+    /// of which is itself, and neighborhood is symmetric.
+    #[test]
+    fn neighbors_are_distinct_and_symmetric((ra, dec) in (0.0f64..360.0, -85.0f64..85.0),
+                                            depth in 1u8..10) {
+        let id = htmid(ra, dec, depth);
+        let ns = mesh::neighbors(id);
+        prop_assert!(ns.iter().all(|&n| n != id), "self-neighbor");
+        prop_assert!(ns.iter().all(|&n| is_valid(n) && depth_of(n) == depth));
+        let unique: std::collections::HashSet<u64> = ns.iter().copied().collect();
+        prop_assert_eq!(unique.len(), 3, "neighbors must be distinct: {:?}", ns);
+        // Symmetry: this trixel appears among each neighbor's neighbors.
+        for &n in &ns {
+            let back = mesh::neighbors(n);
+            prop_assert!(back.contains(&id), "{id} -> {n} not symmetric ({back:?})");
+        }
+        // Geometric adjacency: each neighbor shares (nearly) two vertices.
+        let t = trixel_of(id);
+        for &n in &ns {
+            let tn = trixel_of(n);
+            let shared = t
+                .vertices
+                .iter()
+                .filter(|v| tn.vertices.iter().any(|w| v.angle_to(*w) < 1e-9))
+                .count();
+            prop_assert!(shared >= 2, "neighbor {n} shares {shared} vertices");
+        }
+    }
+}

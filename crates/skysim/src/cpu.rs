@@ -1,0 +1,237 @@
+//! CPU execution gate modeling the paper's 8-processor database host.
+//!
+//! §4.4: "In an ideal environment with our 8-processor database server …
+//! we would expect 8 parallel loading processes to fully utilize all CPUs".
+//! The `skydb` server admits each request through a [`CpuGate`] with one
+//! permit per modeled processor; while a request holds a permit it is charged
+//! CPU service time. With more concurrent loaders than permits, requests
+//! queue — which is exactly what bends the Fig. 7 throughput curve flat at
+//! the processor count (lock stalls, modeled in `skydb`, then bend it
+//! downward).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::metrics::{Counter, TimeCharge};
+use crate::time::{TimeScale, Waiter};
+
+/// A counting semaphore built on `parking_lot` primitives.
+///
+/// The standard library has no stable semaphore; this one is small, fair
+/// enough for our purposes (wakeups via `notify_one`), and exposes wait
+/// accounting for the experiments.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+    waits: Counter,
+}
+
+impl Semaphore {
+    /// A semaphore with `n` permits.
+    pub fn new(n: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(n),
+            available: Condvar::new(),
+            waits: Counter::new(),
+        }
+    }
+
+    /// Acquire one permit, blocking until available.
+    pub fn acquire(&self) {
+        let mut permits = self.permits.lock();
+        if *permits == 0 {
+            self.waits.inc();
+            while *permits == 0 {
+                self.available.wait(&mut permits);
+            }
+        }
+        *permits -= 1;
+    }
+
+    /// Try to acquire one permit without blocking.
+    pub fn try_acquire(&self) -> bool {
+        let mut permits = self.permits.lock();
+        if *permits == 0 {
+            false
+        } else {
+            *permits -= 1;
+            true
+        }
+    }
+
+    /// Release one permit.
+    pub fn release(&self) {
+        let mut permits = self.permits.lock();
+        *permits += 1;
+        drop(permits);
+        self.available.notify_one();
+    }
+
+    /// Number of acquires that had to block.
+    pub fn blocked_acquires(&self) -> u64 {
+        self.waits.get()
+    }
+
+    /// Currently available permits (racy; for reporting only).
+    pub fn available_permits(&self) -> usize {
+        *self.permits.lock()
+    }
+}
+
+/// RAII guard for a [`Semaphore`] permit.
+pub struct SemaphoreGuard<'a>(&'a Semaphore);
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+impl Semaphore {
+    /// Acquire a permit held until the guard drops.
+    pub fn acquire_guard(&self) -> SemaphoreGuard<'_> {
+        self.acquire();
+        SemaphoreGuard(self)
+    }
+}
+
+/// An N-processor execution gate with per-request service-time charging.
+///
+/// Cloneable handle; clones share the permit pool and counters.
+#[derive(Debug, Clone)]
+pub struct CpuGate {
+    inner: Arc<GateInner>,
+}
+
+#[derive(Debug)]
+struct GateInner {
+    sem: Semaphore,
+    cpus: usize,
+    waiter: Waiter,
+    served: Counter,
+    modeled: TimeCharge,
+}
+
+impl CpuGate {
+    /// A gate with `cpus` permits.
+    ///
+    /// # Panics
+    /// Panics if `cpus` is zero.
+    pub fn new(cpus: usize, scale: TimeScale) -> Self {
+        assert!(cpus > 0, "a CPU gate needs at least one processor");
+        CpuGate {
+            inner: Arc::new(GateInner {
+                sem: Semaphore::new(cpus),
+                cpus,
+                waiter: Waiter::new(scale),
+                served: Counter::new(),
+                modeled: TimeCharge::new(),
+            }),
+        }
+    }
+
+    /// The number of modeled processors.
+    pub fn cpus(&self) -> usize {
+        self.inner.cpus
+    }
+
+    /// Execute `f` while holding a processor permit, charging `service` of
+    /// modeled CPU time around it.
+    ///
+    /// The charge is paid *while holding the permit*, so queueing delay under
+    /// saturation is real: with `k > cpus` concurrent callers, caller `k`
+    /// waits for a permit on the wall clock (scaled).
+    pub fn run<T>(&self, service: Duration, f: impl FnOnce() -> T) -> T {
+        let _permit = self.inner.sem.acquire_guard();
+        self.inner.served.inc();
+        self.inner.modeled.charge(service);
+        self.inner.waiter.wait(service);
+        f()
+    }
+
+    /// Requests that found all processors busy and had to queue.
+    pub fn queued_requests(&self) -> u64 {
+        self.inner.sem.blocked_acquires()
+    }
+
+    /// Total requests served.
+    pub fn served(&self) -> u64 {
+        self.inner.served.get()
+    }
+
+    /// Total modeled CPU service time charged.
+    pub fn modeled_time(&self) -> Duration {
+        self.inner.modeled.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let sem = Arc::new(Semaphore::new(2));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (sem, live, peak) = (sem.clone(), live.clone(), peak.clone());
+                thread::spawn(move || {
+                    let _g = sem.acquire_guard();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_millis(5));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "semaphore admitted too many");
+        assert!(sem.blocked_acquires() > 0);
+    }
+
+    #[test]
+    fn try_acquire_does_not_block() {
+        let sem = Semaphore::new(1);
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        sem.release();
+        assert!(sem.try_acquire());
+        sem.release();
+        assert_eq!(sem.available_permits(), 1);
+    }
+
+    #[test]
+    fn gate_charges_and_counts() {
+        let gate = CpuGate::new(4, TimeScale::ZERO);
+        let out = gate.run(Duration::from_micros(50), || 7);
+        assert_eq!(out, 7);
+        assert_eq!(gate.served(), 1);
+        assert_eq!(gate.modeled_time(), Duration::from_micros(50));
+        assert_eq!(gate.cpus(), 4);
+    }
+
+    #[test]
+    fn saturated_gate_queues_real_time() {
+        // 1 CPU, 4 threads each needing 2 ms of service at REAL scale: total
+        // wall time must be >= ~8 ms because service serializes.
+        let gate = CpuGate::new(1, TimeScale::REAL);
+        let start = std::time::Instant::now();
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let g = gate.clone();
+                s.spawn(move || g.run(Duration::from_millis(2), || ()));
+            }
+        });
+        assert!(start.elapsed() >= Duration::from_millis(8));
+        assert!(gate.queued_requests() > 0);
+    }
+}

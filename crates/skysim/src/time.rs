@@ -1,0 +1,238 @@
+//! Clocks, time scaling and the precision waiter.
+//!
+//! Everything in the simulated environment expresses cost as a *modeled*
+//! [`Duration`]. Whether that duration is actually waited out on the wall
+//! clock is controlled by a [`TimeScale`]:
+//!
+//! * `TimeScale::ZERO` — never wait; costs are only accounted. Unit tests use
+//!   this so a full load of tens of thousands of rows finishes in
+//!   milliseconds while still exposing modeled costs for assertions.
+//! * `TimeScale::new(0.01)` — wait 1% of the modeled time. The benchmark
+//!   harness uses small scales so the paper-sized experiments finish in
+//!   seconds while preserving the *ratios* between configurations.
+//! * `TimeScale::REAL` — wait the full modeled time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A multiplier applied to every modeled wait before it hits the wall clock.
+///
+/// The scale is stored as nanoseconds-per-modeled-microsecond to keep the
+/// arithmetic integral and cheap; see [`TimeScale::scale`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeScale(f64);
+
+impl TimeScale {
+    /// Never perform a real wait (costs are still accounted).
+    pub const ZERO: TimeScale = TimeScale(0.0);
+    /// Wait the full modeled duration.
+    pub const REAL: TimeScale = TimeScale(1.0);
+
+    /// A scale that waits `factor` of every modeled duration.
+    ///
+    /// # Panics
+    /// Panics if `factor` is negative or not finite.
+    pub fn new(factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "time scale must be finite and non-negative, got {factor}"
+        );
+        TimeScale(factor)
+    }
+
+    /// The raw multiplication factor.
+    #[inline]
+    pub fn factor(self) -> f64 {
+        self.0
+    }
+
+    /// `true` if this scale never produces a real wait.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Scale a modeled duration down to the real duration to wait.
+    #[inline]
+    pub fn scale(self, modeled: Duration) -> Duration {
+        if self.0 == 0.0 {
+            return Duration::ZERO;
+        }
+        if self.0 == 1.0 {
+            return modeled;
+        }
+        Duration::from_nanos((modeled.as_nanos() as f64 * self.0) as u64)
+    }
+}
+
+impl Default for TimeScale {
+    /// Defaults to [`TimeScale::ZERO`]: tests and library users never wait
+    /// unless they opt in.
+    fn default() -> Self {
+        TimeScale::ZERO
+    }
+}
+
+/// A monotonically increasing virtual clock measured in nanoseconds.
+///
+/// `SimClock` backs deterministic unit tests for code that needs to observe
+/// "time" passing without a real wall-clock dependency (for example WAL
+/// timestamps and lock-wait bookkeeping inside `skydb`).
+#[derive(Debug, Default)]
+pub struct SimClock {
+    nanos: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time in nanoseconds since clock creation.
+    #[inline]
+    pub fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Acquire)
+    }
+
+    /// Current virtual time as a [`Duration`] since clock creation.
+    #[inline]
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_nanos())
+    }
+
+    /// Advance the clock by `d`, returning the new time in nanoseconds.
+    #[inline]
+    pub fn advance(&self, d: Duration) -> u64 {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(nanos, Ordering::AcqRel) + nanos
+    }
+}
+
+/// Granularity below which [`Waiter`] spins instead of sleeping.
+///
+/// `thread::sleep` on Linux typically overshoots by ~50µs; waits shorter than
+/// this are busy-spun against `Instant` for precision.
+const SPIN_THRESHOLD: Duration = Duration::from_micros(200);
+
+/// Precision waiter: hybrid sleep + spin, with a [`TimeScale`] applied.
+///
+/// All cost models funnel their real waits through a `Waiter` so the scale is
+/// applied uniformly and total waited time is observable via
+/// [`Waiter::total_waited_nanos`].
+#[derive(Debug)]
+pub struct Waiter {
+    scale: TimeScale,
+    total_waited: AtomicU64,
+}
+
+impl Waiter {
+    /// A waiter with the given scale.
+    pub fn new(scale: TimeScale) -> Self {
+        Waiter {
+            scale,
+            total_waited: AtomicU64::new(0),
+        }
+    }
+
+    /// The scale this waiter applies.
+    pub fn scale(&self) -> TimeScale {
+        self.scale
+    }
+
+    /// Total real nanoseconds this waiter has spent waiting.
+    pub fn total_waited_nanos(&self) -> u64 {
+        self.total_waited.load(Ordering::Relaxed)
+    }
+
+    /// Wait out `modeled`, scaled. Returns the real duration waited.
+    pub fn wait(&self, modeled: Duration) -> Duration {
+        let real = self.scale.scale(modeled);
+        if real.is_zero() {
+            return Duration::ZERO;
+        }
+        let start = Instant::now();
+        precise_wait(real);
+        let waited = start.elapsed();
+        self.total_waited
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        waited
+    }
+}
+
+/// Block the current thread for `d`.
+///
+/// Short waits (≤ 200µs) are spun against [`Instant`] for
+/// precision; longer waits are plainly slept. Sleeping accepts the OS
+/// timer's small, *systematic* overshoot (~tens of µs) in exchange for not
+/// burning CPU — crucial when many loader threads share few host cores,
+/// where spin-slack would serialize the very parallelism an experiment is
+/// measuring.
+pub fn precise_wait(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if d > SPIN_THRESHOLD {
+        std::thread::sleep(d);
+        return;
+    }
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_scale_never_waits() {
+        let w = Waiter::new(TimeScale::ZERO);
+        let waited = w.wait(Duration::from_secs(3600));
+        assert_eq!(waited, Duration::ZERO);
+        assert_eq!(w.total_waited_nanos(), 0);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let s = TimeScale::new(0.5);
+        assert_eq!(s.scale(Duration::from_micros(100)), Duration::from_micros(50));
+        assert_eq!(TimeScale::REAL.scale(Duration::from_micros(7)), Duration::from_micros(7));
+        assert_eq!(TimeScale::ZERO.scale(Duration::from_secs(1)), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale must be finite")]
+    fn negative_scale_rejected() {
+        let _ = TimeScale::new(-1.0);
+    }
+
+    #[test]
+    fn sim_clock_advances_monotonically() {
+        let c = SimClock::new();
+        assert_eq!(c.now_nanos(), 0);
+        c.advance(Duration::from_nanos(10));
+        c.advance(Duration::from_micros(1));
+        assert_eq!(c.now_nanos(), 1010);
+        assert_eq!(c.now(), Duration::from_nanos(1010));
+    }
+
+    #[test]
+    fn precise_wait_hits_target_within_tolerance() {
+        let d = Duration::from_micros(300);
+        let start = Instant::now();
+        precise_wait(d);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= d, "waited {elapsed:?} < requested {d:?}");
+        // Generous upper bound: CI machines can overshoot, but not by 50x.
+        assert!(elapsed < d * 50, "waited {elapsed:?}, way over {d:?}");
+    }
+
+    #[test]
+    fn waiter_accounts_real_waits() {
+        let w = Waiter::new(TimeScale::REAL);
+        w.wait(Duration::from_micros(100));
+        assert!(w.total_waited_nanos() >= 100_000);
+    }
+}

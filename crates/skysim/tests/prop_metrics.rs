@@ -1,0 +1,81 @@
+//! Property tests for the metrics primitives every experiment relies on.
+
+use proptest::prelude::*;
+
+use skysim::metrics::{Counter, Histogram, TimeCharge};
+use skysim::rng::SplitMix64;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram invariants: count/sum/max exact; quantiles are monotone
+    /// in q; every quantile is bounded by [min-ish, 2*max] (power-of-two
+    /// buckets err upward by at most 2x).
+    #[test]
+    fn histogram_quantiles_bound_samples(samples in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut last = 0u64;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantiles must be monotone");
+            prop_assert!(
+                v <= h.max().saturating_mul(2).max(1),
+                "quantile {q} = {v} exceeds 2x max {}",
+                h.max()
+            );
+            last = v;
+        }
+        // The true median must lie at or below the reported (upper-bound)
+        // median bucket boundary.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[(sorted.len() - 1) / 2];
+        prop_assert!(h.quantile(0.5) >= true_median / 2);
+    }
+
+    /// Counter arithmetic under any add sequence.
+    #[test]
+    fn counter_sums_exactly(adds in prop::collection::vec(0u64..1_000_000, 0..100)) {
+        let c = Counter::new();
+        for &a in &adds {
+            c.add(a);
+        }
+        prop_assert_eq!(c.get(), adds.iter().sum::<u64>());
+        prop_assert_eq!(c.reset(), adds.iter().sum::<u64>());
+        prop_assert_eq!(c.get(), 0);
+    }
+
+    /// TimeCharge accumulates micros exactly.
+    #[test]
+    fn time_charge_accumulates(micros in prop::collection::vec(0u64..1_000_000, 0..100)) {
+        let t = TimeCharge::new();
+        for &m in &micros {
+            t.charge(Duration::from_micros(m));
+        }
+        prop_assert_eq!(t.duration(), Duration::from_micros(micros.iter().sum::<u64>()));
+    }
+
+    /// SplitMix64 bounded draws are in range for ANY seed and bound, and
+    /// shuffles permute for any seed and size.
+    #[test]
+    fn rng_bounds_hold(seed in any::<u64>(), bound in 1u64..1_000_000, n in 1usize..200) {
+        let mut r = SplitMix64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+        let mut v: Vec<usize> = (0..n).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

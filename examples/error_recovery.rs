@@ -1,0 +1,103 @@
+//! Error handling and crash recovery, end to end:
+//!
+//! 1. load a catalog file with 10% corrupted object rows — the Fig. 3
+//!    algorithm skips exactly the bad rows and keeps everything else;
+//! 2. kill a load mid-file and resume it from the checkpoint journal
+//!    without losing or duplicating a single row.
+//!
+//! ```sh
+//! cargo run --example error_recovery
+//! ```
+
+use skycat::gen::{generate_file, GenConfig};
+use skydb::{DbConfig, Server};
+use skyloader::{
+    load_catalog_file, load_catalog_text_with_journal, CommitPolicy, LoadJournal, LoaderConfig,
+};
+use skysim::time::TimeScale;
+
+fn fresh_server() -> std::sync::Arc<Server> {
+    let server = Server::start(DbConfig::paper(TimeScale::ZERO));
+    skycat::create_all(server.engine()).expect("schema");
+    skycat::seed_static(server.engine()).expect("dimensions");
+    skycat::seed_observation(server.engine(), 1, 100).expect("observation");
+    server
+}
+
+fn main() {
+    // ---- Part 1: row-level recovery (skip the error row, repack, go on).
+    let dirty = generate_file(&GenConfig::night(7, 100).with_error_rate(0.10), 0);
+    println!(
+        "dirty file: {} rows emitted, {} objects corrupted at generation",
+        dirty.expected.total_emitted(),
+        dirty.expected.corrupted_objects
+    );
+
+    let server = fresh_server();
+    let session = server.connect();
+    let report = load_catalog_file(&session, &LoaderConfig::paper(), &dirty).expect("load");
+    println!(
+        "loaded {} rows, skipped {} ({} batched calls)",
+        report.rows_loaded,
+        report.rows_skipped,
+        report.batch_calls
+    );
+    println!("skips by cause:");
+    for (kind, n) in &report.skipped_by_kind {
+        println!("  {kind:<14} {n:>5}");
+    }
+    println!("first few skip records:");
+    for rec in report.skip_details.iter().take(5) {
+        println!("  [{:?}] {}: {}", rec.kind, rec.table, rec.reason);
+    }
+    assert_eq!(report.rows_loaded, dirty.expected.total_loadable());
+    println!("=> exactly the generator-predicted rows survived\n");
+
+    // ---- Part 2: process-level recovery via the checkpoint journal.
+    let clean = generate_file(&GenConfig::night(8, 100), 1);
+    let server = fresh_server();
+    let journal = LoadJournal::new();
+    let cfg = LoaderConfig::paper()
+        .with_commit_policy(CommitPolicy::PerFlush)
+        .with_array_size(500);
+
+    // Simulate a crash: only two thirds of the file "arrives", then the
+    // loader dies (its open transaction rolls back).
+    let cut: usize = clean
+        .text
+        .lines()
+        .take(clean.line_count() * 2 / 3)
+        .map(|l| l.len() + 1)
+        .sum();
+    let session = server.connect();
+    let partial = load_catalog_text_with_journal(
+        &session,
+        &cfg,
+        &clean.name,
+        &clean.text[..cut],
+        &journal,
+    )
+    .expect("partial load");
+    session.rollback().expect("crash: uncommitted tail discarded");
+    println!(
+        "crash after {} committed lines (journal) — {} rows were loaded before the crash",
+        journal.committed_lines(&clean.name),
+        partial.rows_loaded
+    );
+
+    // Restart: the journal resumes past the committed prefix.
+    let session = server.connect();
+    let resumed =
+        load_catalog_text_with_journal(&session, &cfg, &clean.name, &clean.text, &journal)
+            .expect("resume");
+    println!(
+        "resume skipped {} committed lines, loaded {} more rows",
+        resumed.lines_resumed, resumed.rows_loaded
+    );
+
+    for (table, expect) in &clean.expected.loadable {
+        let tid = server.engine().table_id(table).expect("table");
+        assert_eq!(server.engine().row_count(tid), *expect, "{table}");
+    }
+    println!("=> final row counts exact: nothing lost, nothing duplicated");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: stand up the repository, load one catalog file, query it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use skycat::gen::{generate_file, GenConfig};
+use skydb::expr::{CmpOp, Expr};
+use skydb::{DbConfig, Key, Server, Value};
+use skyloader::{load_catalog_file, LoaderConfig};
+
+fn main() {
+    // 1. A database server with the paper's environment (8 CPUs, GigE,
+    //    three RAID devices). TimeScale::ZERO: model costs are accounted
+    //    but not slept, so this example runs instantly.
+    let server = Server::start(DbConfig::paper(skysim::time::TimeScale::ZERO));
+
+    // 2. The 23-table Palomar-Quest schema + static dimension tables +
+    //    tonight's observation header.
+    skycat::create_all(server.engine()).expect("create schema");
+    skycat::seed_static(server.engine()).expect("seed dimensions");
+    skycat::seed_observation(server.engine(), 1, 100).expect("seed observation");
+    println!("repository ready: {} tables", server.engine().table_count());
+
+    // 3. A synthetic catalog file (we do not have the proprietary survey
+    //    data; the generator produces the same interleaved, tagged format).
+    let file = generate_file(&GenConfig::small(42, 100), 0);
+    println!(
+        "catalog file {}: {} lines, {} bytes",
+        file.name,
+        file.line_count(),
+        file.byte_len()
+    );
+
+    // 4. Bulk load it with the paper's production settings: batch-size 40,
+    //    array-size 1000, one commit per file.
+    let session = server.connect();
+    let report = load_catalog_file(&session, &LoaderConfig::paper(), &file).expect("load");
+    println!(
+        "loaded {} rows in {} batched calls, {} commit(s), {} bulk-loading cycles",
+        report.rows_loaded, report.batch_calls, report.commits, report.cycles
+    );
+    for (table, n) in &report.loaded_by_table {
+        println!("  {table:<24} {n:>6}");
+    }
+
+    // 5. Query: bright objects via a filtered scan…
+    let engine = server.engine();
+    let objects = engine.table_id("objects").expect("objects table");
+    let schema = engine.schema(objects);
+    let mag_col = schema.column_index("mag_auto").expect("mag_auto");
+    let bright = engine
+        .scan_where(objects, Some(&Expr::cmp(mag_col, CmpOp::Lt, 16.0f64)))
+        .expect("scan");
+    println!("objects brighter than mag 16: {}", bright.len());
+
+    // …and a point lookup by primary key.
+    if let Some(Value::Int(first_id)) = bright.first().map(|r| r[0].clone()) {
+        let row = engine
+            .pk_get(objects, &Key(vec![Value::Int(first_id)]))
+            .expect("lookup")
+            .expect("row exists");
+        println!(
+            "object {first_id}: ra={} dec={} htmid={}",
+            row[2], row[3], row[4]
+        );
+    }
+
+    // 6. What did it cost on the modeled 2005 hardware?
+    let cost = skyloader::ModeledCost::measure(&server, report.client_paging);
+    println!(
+        "modeled cost: network {:.1} ms, server CPU {:.1} ms, disk {:.1} ms (total {:.1} ms)",
+        cost.network_us as f64 / 1000.0,
+        cost.server_cpu_us as f64 / 1000.0,
+        cost.disk_us as f64 / 1000.0,
+        cost.total().as_secs_f64() * 1000.0
+    );
+}

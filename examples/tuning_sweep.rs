@@ -1,0 +1,67 @@
+//! §5.2's advice, automated: "experimenting with a variety of batch sizes
+//! and choosing one that is close to optimal for a typical data file can
+//! improve performance markedly over a random choice."
+//!
+//! Sweeps batch-size and array-size over a sample catalog file on the
+//! modeled 2005 hardware and prints the sweet spots.
+//!
+//! ```sh
+//! cargo run --release --example tuning_sweep
+//! ```
+
+use std::sync::Arc;
+
+use skycat::gen::{generate_file, GenConfig};
+use skydb::{DbConfig, Server};
+use skyloader::{autotune_array_size, autotune_batch_size, LoaderConfig};
+use skysim::time::TimeScale;
+
+fn factory() -> Arc<Server> {
+    let server = Server::start(DbConfig::paper(TimeScale::ZERO));
+    skycat::create_all(server.engine()).expect("schema");
+    skycat::seed_static(server.engine()).expect("dimensions");
+    skycat::seed_observation(server.engine(), 1, 100).expect("observation");
+    server
+}
+
+fn main() {
+    // A "typical data file" — one CCD group's worth of a night.
+    let sample = generate_file(
+        &GenConfig::night(11, 100).with_frames_per_ccd(6),
+        0,
+    );
+    println!(
+        "sample file: {} rows, {} KB\n",
+        sample.expected.total_emitted(),
+        sample.byte_len() / 1024
+    );
+
+    let base = LoaderConfig::paper();
+
+    println!("batch-size sweep (modeled 2005 cost per candidate):");
+    let batches = autotune_batch_size(factory, &sample, &base, &[10, 20, 30, 40, 50, 60]);
+    for p in &batches.points {
+        let marker = if p.value == batches.best { "  <== best" } else { "" };
+        println!("  batch {:>3}: {:>9.1} ms{marker}", p.value, p.modeled_us as f64 / 1000.0);
+    }
+    println!();
+
+    println!("array-size sweep:");
+    let arrays = autotune_array_size(
+        factory,
+        &sample,
+        &base.clone().with_batch_size(batches.best),
+        &[250, 500, 750, 1000, 1250, 1500],
+    );
+    for p in &arrays.points {
+        let marker = if p.value == arrays.best { "  <== best" } else { "" };
+        println!("  array {:>4}: {:>9.1} ms{marker}", p.value, p.modeled_us as f64 / 1000.0);
+    }
+    println!();
+
+    println!(
+        "recommended configuration for this data file: batch-size {}, array-size {}",
+        batches.best, arrays.best
+    );
+    println!("(the paper settled on batch-size 40, array-size 1000 for Palomar-Quest)");
+}

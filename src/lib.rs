@@ -1,0 +1,28 @@
+//! # skyloader-repro — reproduction of the SC 2005 SkyLoader paper
+//!
+//! *"Optimized Data Loading for a Multi-Terabyte Sky Survey Repository"*
+//! (Y. Dora Cai, Ruth Aydt, Robert J. Brunner — Supercomputing 2005).
+//!
+//! This facade re-exports the whole system; see the individual crates for
+//! the substance:
+//!
+//! * [`skyloader`] — the paper's contribution: parallel bulk loading with
+//!   array buffering (the `array-set`, the Fig. 3 `bulk-loading`
+//!   algorithm, on-the-fly parallel file assignment, tuning, recovery);
+//! * [`skydb`] — the relational database substrate (the Oracle 10g
+//!   stand-in): constraints, B+-trees, WAL, transactions, a wire protocol
+//!   and a multi-session server;
+//! * [`skycat`] — the 23-table Palomar-Quest data model, catalog file
+//!   format, synthetic generator and per-row transform pipeline;
+//! * [`skyhtm`] — Hierarchical Triangular Mesh and sky coordinates;
+//! * [`skysim`] — the modeled 2005 hardware (network, disks, CPUs, client
+//!   memory, Condor-style cluster).
+//!
+//! Runnable examples live in `examples/`; the evaluation harness is the
+//! `skyloader-bench` crate (`cargo run -p skyloader-bench --bin repro`).
+
+pub use skycat;
+pub use skydb;
+pub use skyhtm;
+pub use skyloader;
+pub use skysim;

@@ -1,0 +1,115 @@
+//! The §4.3 future-work features, end to end: a JSON config file drives
+//! per-table array sizes and the memory high-water mark.
+
+use std::sync::Arc;
+
+use skycat::gen::{generate_file, GenConfig};
+use skydb::{DbConfig, Server};
+use skyloader::{load_catalog_file, LoaderConfig};
+
+fn fresh_server() -> Arc<Server> {
+    let server = Server::start(DbConfig::test());
+    skycat::create_all(server.engine()).unwrap();
+    skycat::seed_static(server.engine()).unwrap();
+    skycat::seed_observation(server.engine(), 1, 100).unwrap();
+    server
+}
+
+const CONFIG_JSON: &str = r#"{
+    "array_size": 400,
+    "batch_size": 40,
+    "mode": "Bulk",
+    "commit_policy": "PerFile",
+    "per_table_array_sizes": {"fingers": 2000, "objects": 500},
+    "memory_high_water_bytes": null,
+    "client_heap_budget": 1073741824,
+    "client_overhead_factor": 6.0,
+    "client_fault_penalty": 0,
+    "max_skip_details": 50
+}"#;
+
+#[test]
+fn json_config_drives_the_loader() {
+    let cfg = LoaderConfig::from_json(CONFIG_JSON).unwrap();
+    cfg.validate().unwrap();
+    assert_eq!(cfg.array_size_for("fingers"), 2000);
+    assert_eq!(cfg.array_size_for("objects"), 500);
+    assert_eq!(cfg.array_size_for("ccd_frames"), 400);
+
+    let file = generate_file(&GenConfig::night(501, 100), 0);
+    let server = fresh_server();
+    let session = server.connect();
+    let report = load_catalog_file(&session, &cfg, &file).unwrap();
+    assert_eq!(report.rows_loaded, file.expected.total_loadable());
+}
+
+#[test]
+fn per_table_sizing_changes_cycle_count() {
+    // fingers fill ~4x faster than objects; giving fingers a 4x array
+    // evens the trigger cadence and reduces cycles versus a uniform size.
+    let file = generate_file(&GenConfig::night(503, 100), 0);
+
+    let uniform = LoaderConfig::test().with_array_size(500);
+    let tuned = LoaderConfig::test()
+        .with_array_size(500)
+        .with_table_array_size("fingers", 2000);
+
+    let run = |cfg: &LoaderConfig| {
+        let server = fresh_server();
+        let session = server.connect();
+        load_catalog_file(&session, cfg, &file).unwrap()
+    };
+    let uni = run(&uniform);
+    let tun = run(&tuned);
+    assert_eq!(uni.rows_loaded, tun.rows_loaded);
+    assert!(
+        tun.cycles < uni.cycles,
+        "per-table sizing should reduce cycles: {} vs {}",
+        tun.cycles,
+        uni.cycles
+    );
+}
+
+#[test]
+fn memory_high_water_mark_bounds_buffered_footprint() {
+    let file = generate_file(&GenConfig::night(505, 100), 0);
+    let mut cfg = LoaderConfig::test().with_array_size(1_000_000); // never by count
+    cfg.memory_high_water_bytes = Some(512 * 1024);
+
+    let server = fresh_server();
+    let session = server.connect();
+    let report = load_catalog_file(&session, &cfg, &file).unwrap();
+    assert_eq!(report.rows_loaded, file.expected.total_loadable());
+    assert!(
+        report.cycles > 2,
+        "the high-water mark should trigger multiple cycles, got {}",
+        report.cycles
+    );
+}
+
+#[test]
+fn loader_config_roundtrips_through_disk() {
+    let dir = std::env::temp_dir().join(format!("skyloader-cfg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("loader.json");
+    let cfg = LoaderConfig::paper()
+        .with_table_array_size("objects", 1234)
+        .with_batch_size(50);
+    std::fs::write(&path, cfg.to_json()).unwrap();
+    let loaded = LoaderConfig::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(loaded.batch_size, 50);
+    assert_eq!(loaded.array_size_for("objects"), 1234);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn skip_detail_cap_respected_end_to_end() {
+    let file = generate_file(&GenConfig::night(507, 100).with_error_rate(0.2), 0);
+    let mut cfg = LoaderConfig::test();
+    cfg.max_skip_details = 7;
+    let server = fresh_server();
+    let session = server.connect();
+    let report = load_catalog_file(&session, &cfg, &file).unwrap();
+    assert!(report.rows_skipped > 7);
+    assert_eq!(report.skip_details.len(), 7);
+}

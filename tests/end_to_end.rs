@@ -1,0 +1,141 @@
+//! End-to-end integration: generator → parser/transform → loader → wire →
+//! engine, across all five crates, verified to exact row counts.
+
+use std::sync::Arc;
+
+use skycat::gen::{aggregate_expected, generate_file, generate_observation, GenConfig};
+use skydb::{DbConfig, Server};
+use skyloader::{load_catalog_file, load_night, LoaderConfig};
+use skysim::cluster::AssignmentPolicy;
+
+fn fresh_server() -> Arc<Server> {
+    let server = Server::start(DbConfig::test());
+    skycat::create_all(server.engine()).expect("schema");
+    skycat::seed_static(server.engine()).expect("dimensions");
+    skycat::seed_observation(server.engine(), 1, 100).expect("observation");
+    server
+}
+
+#[test]
+fn full_night_parallel_load_is_exact() {
+    let cfg = GenConfig::night(101, 100).with_files(10).with_error_rate(0.03);
+    let files = generate_observation(&cfg);
+    let expected = aggregate_expected(&files);
+    assert!(expected.corrupted_objects > 0, "want a dirty night");
+
+    let server = fresh_server();
+    let seeded = server.engine().stats().snapshot().rows_inserted;
+    let report = load_night(
+        &server,
+        &files,
+        &LoaderConfig::test(),
+        4,
+        AssignmentPolicy::Dynamic,
+    );
+
+    assert_eq!(report.rows_loaded(), expected.total_loadable());
+    assert_eq!(
+        report.rows_skipped(),
+        expected.total_emitted() - expected.total_loadable()
+    );
+    for (table, expect) in &expected.loadable {
+        let tid = server.engine().table_id(table).unwrap();
+        assert_eq!(server.engine().row_count(tid), *expect, "{table}");
+    }
+    // Engine-side accounting agrees with loader-side accounting.
+    let stats = server.engine().stats().snapshot();
+    assert_eq!(stats.rows_inserted - seeded, expected.total_loadable());
+}
+
+#[test]
+fn every_referential_path_holds_after_load() {
+    let file = generate_file(&GenConfig::night(103, 100).with_error_rate(0.05), 0);
+    let server = fresh_server();
+    let session = server.connect();
+    load_catalog_file(&session, &LoaderConfig::test(), &file).unwrap();
+
+    // Walk FK edges: every child row's parent key must exist.
+    let engine = server.engine();
+    for child_name in skycat::CATALOG_TABLES {
+        let child = engine.table_id(child_name).unwrap();
+        let schema = engine.schema(child);
+        let rows = engine.scan_where(child, None).unwrap();
+        for fk in &schema.foreign_keys {
+            let parent = engine.table_id(&fk.parent_table).unwrap();
+            for row in &rows {
+                let key = skydb::Key::project(row, &fk.columns);
+                if key.has_null() {
+                    continue;
+                }
+                assert!(
+                    engine.pk_get(parent, &key).unwrap().is_some(),
+                    "orphan {child_name} row referencing {} {key}",
+                    fk.parent_table
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn loaded_objects_have_consistent_computed_columns() {
+    let file = generate_file(&GenConfig::small(105, 100), 0);
+    let server = fresh_server();
+    let session = server.connect();
+    load_catalog_file(&session, &LoaderConfig::test(), &file).unwrap();
+
+    let engine = server.engine();
+    let objects = engine.table_id("objects").unwrap();
+    let rows = engine.scan_where(objects, None).unwrap();
+    assert!(!rows.is_empty());
+    for row in rows {
+        let (skydb::Value::Float(ra), skydb::Value::Float(dec), skydb::Value::Int(htmid)) =
+            (row[2].clone(), row[3].clone(), row[4].clone())
+        else {
+            panic!("unexpected column types");
+        };
+        // htmid recomputes from ra/dec.
+        assert_eq!(
+            htmid as u64,
+            skyhtm::htmid(ra, dec, skyhtm::CATALOG_DEPTH),
+            "htmid mismatch at ra={ra} dec={dec}"
+        );
+        // galactic coordinates recompute (to the stored 3-decimal rounding).
+        let (l, b) = skyhtm::equatorial_to_galactic(ra, dec);
+        let (skydb::Value::Float(gl), skydb::Value::Float(gb)) = (row[5].clone(), row[6].clone())
+        else {
+            panic!("galactic columns");
+        };
+        assert!((gl - l).abs() < 0.001, "gal_l {gl} vs {l}");
+        assert!((gb - b).abs() < 0.001, "gal_b {gb} vs {b}");
+    }
+}
+
+#[test]
+fn static_and_dynamic_assignment_agree_on_results() {
+    let files = generate_observation(&GenConfig::night(107, 100).with_files(6));
+    let expected = aggregate_expected(&files);
+
+    for policy in [AssignmentPolicy::Dynamic, AssignmentPolicy::Static] {
+        let server = fresh_server();
+        let report = load_night(&server, &files, &LoaderConfig::test(), 3, policy);
+        assert_eq!(report.rows_loaded(), expected.total_loadable(), "{policy:?}");
+    }
+}
+
+#[test]
+fn loading_is_deterministic_across_runs() {
+    let file = generate_file(&GenConfig::night(109, 100).with_error_rate(0.08), 0);
+    let run = || {
+        let server = fresh_server();
+        let session = server.connect();
+        let report = load_catalog_file(&session, &LoaderConfig::test(), &file).unwrap();
+        (
+            report.rows_loaded,
+            report.rows_skipped,
+            report.batch_calls,
+            report.skipped_by_kind.clone(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,228 @@
+//! The paper's qualitative claims, asserted at test scale on the modeled
+//! 2005 environment. (The quantitative series live in the `repro` harness;
+//! these tests pin the *directions* so regressions can't silently flip a
+//! figure.)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use skycat::gen::{generate_file, GenConfig};
+use skydb::{DbConfig, Server};
+use skyloader::{
+    load_catalog_file, CommitPolicy, ExecMode, LoaderConfig, ModeledCost,
+};
+use skysim::time::TimeScale;
+
+fn paper_server(cfg: DbConfig) -> Arc<Server> {
+    let server = Server::start(cfg);
+    skycat::create_all(server.engine()).expect("schema");
+    skycat::seed_static(server.engine()).expect("dimensions");
+    skycat::seed_observation(server.engine(), 1, 100).expect("observation");
+    server
+}
+
+fn modeled_load(
+    db: DbConfig,
+    loader: &LoaderConfig,
+    file: &skycat::CatalogFile,
+    prepare: impl FnOnce(&Arc<Server>),
+) -> Duration {
+    let server = paper_server(db);
+    prepare(&server);
+    let baseline = ModeledCost::measure(&server, Duration::ZERO);
+    let session = server.connect();
+    let report = load_catalog_file(&session, loader, file).expect("load");
+    server.engine().checkpoint();
+    ModeledCost::measure(&server, report.client_paging)
+        .since(baseline)
+        .total()
+}
+
+fn sample_file(seed: u64) -> skycat::CatalogFile {
+    generate_file(&GenConfig::night(seed, 100), 0)
+}
+
+#[test]
+fn fig4_bulk_loading_speeds_up_7_to_9x() {
+    let file = sample_file(201);
+    let bulk = modeled_load(
+        DbConfig::paper(TimeScale::ZERO),
+        &LoaderConfig::paper(),
+        &file,
+        |_| {},
+    );
+    let non_bulk = modeled_load(
+        DbConfig::paper(TimeScale::ZERO),
+        &LoaderConfig {
+            mode: ExecMode::Singleton,
+            ..LoaderConfig::paper()
+        },
+        &file,
+        |_| {},
+    );
+    let speedup = non_bulk.as_secs_f64() / bulk.as_secs_f64();
+    assert!(
+        (6.0..11.0).contains(&speedup),
+        "bulk speedup {speedup:.1}x outside the paper's 7–9x band (±tolerance)"
+    );
+}
+
+#[test]
+fn fig5_batching_beats_tiny_batches_and_optimum_is_interior() {
+    let file = sample_file(203);
+    let at = |batch: usize| {
+        modeled_load(
+            DbConfig::paper(TimeScale::ZERO),
+            &LoaderConfig::paper().with_batch_size(batch),
+            &file,
+            |_| {},
+        )
+    };
+    let b10 = at(10);
+    let b50 = at(50);
+    let b100 = at(100);
+    assert!(b10 > b50, "batch 10 ({b10:?}) should cost more than 50 ({b50:?})");
+    assert!(
+        b100 > b50,
+        "batch 100 ({b100:?}) should cost more than 50 ({b50:?}): bind-array spill"
+    );
+}
+
+#[test]
+fn fig6_array_size_has_interior_optimum() {
+    let file = sample_file(205);
+    let at = |array: usize| {
+        modeled_load(
+            DbConfig::paper(TimeScale::ZERO),
+            &LoaderConfig::paper().with_array_size(array),
+            &file,
+            |_| {},
+        )
+    };
+    let small = at(100);
+    let paper = at(1000);
+    let big = at(2500);
+    assert!(small > paper, "tiny arrays ({small:?}) should lose to 1000 ({paper:?})");
+    assert!(
+        big > paper,
+        "oversized arrays ({big:?}) should page and lose to 1000 ({paper:?})"
+    );
+}
+
+#[test]
+fn fig8_composite_float_index_costs_more_than_int_index() {
+    let file = sample_file(207);
+    let with_index = |cols: &'static [&'static str]| {
+        modeled_load(
+            DbConfig::paper(TimeScale::ZERO),
+            &LoaderConfig::paper(),
+            &file,
+            move |server| {
+                if !cols.is_empty() {
+                    server
+                        .engine()
+                        .create_index("objects", "t_idx", cols, false)
+                        .unwrap();
+                }
+            },
+        )
+    };
+    let none = with_index(&[]);
+    let int1 = with_index(&["htmid"]);
+    let float3 = with_index(&["ra", "dec", "flux"]);
+    assert!(int1 > none, "int index must cost something");
+    assert!(float3 > int1, "3-float composite must cost more than 1-int");
+    let int_pct = (int1.as_secs_f64() / none.as_secs_f64() - 1.0) * 100.0;
+    let float_pct = (float3.as_secs_f64() / none.as_secs_f64() - 1.0) * 100.0;
+    assert!(
+        int_pct < 4.0,
+        "int index penalty {int_pct:.1}% should be small (paper: 1.5%)"
+    );
+    assert!(
+        (4.0..16.0).contains(&float_pct),
+        "composite penalty {float_pct:.1}% should be significant (paper: 8.5%)"
+    );
+}
+
+#[test]
+fn sec452_frequent_commits_slow_loading() {
+    let file = sample_file(209);
+    let rare = modeled_load(
+        DbConfig::paper(TimeScale::ZERO),
+        &LoaderConfig::paper().with_commit_policy(CommitPolicy::PerFile),
+        &file,
+        |_| {},
+    );
+    let frequent = modeled_load(
+        DbConfig::paper(TimeScale::ZERO),
+        &LoaderConfig::paper().with_commit_policy(CommitPolicy::EveryBatches(1)),
+        &file,
+        |_| {},
+    );
+    assert!(
+        frequent.as_secs_f64() > rare.as_secs_f64() * 1.5,
+        "commit-per-batch ({frequent:?}) should be much slower than per-file ({rare:?})"
+    );
+}
+
+#[test]
+fn sec455_smaller_cache_loads_faster() {
+    let file = sample_file(211);
+    let small = modeled_load(
+        DbConfig::paper(TimeScale::ZERO).with_cache_pages(512),
+        &LoaderConfig::paper(),
+        &file,
+        |_| {},
+    );
+    let large = modeled_load(
+        DbConfig::paper(TimeScale::ZERO).with_cache_pages(65_536),
+        &LoaderConfig::paper(),
+        &file,
+        |_| {},
+    );
+    assert!(
+        large > small,
+        "large cache ({large:?}) should be slower than small ({small:?})"
+    );
+}
+
+#[test]
+fn sec454_presorted_input_dirties_fewer_index_pages() {
+    let run = |presorted: bool| {
+        let file = generate_file(
+            &GenConfig::night(213, 100).with_presorted(presorted),
+            0,
+        );
+        let server = paper_server(DbConfig::paper(TimeScale::ZERO));
+        let session = server.connect();
+        load_catalog_file(&session, &LoaderConfig::paper(), &file).unwrap();
+        server.engine().checkpoint();
+        server
+            .engine()
+            .farm()
+            .device(skysim::disk::StorageRole::Index)
+            .writes()
+    };
+    let sorted_writes = run(true);
+    let shuffled_writes = run(false);
+    assert!(
+        shuffled_writes > sorted_writes,
+        "shuffled keys ({shuffled_writes} index writes) should dirty more pages than presorted ({sorted_writes})"
+    );
+}
+
+#[test]
+fn sec42_worst_case_degenerates_to_one_call_per_row() {
+    let file = sample_file(215);
+    let server = paper_server(DbConfig::paper(TimeScale::ZERO));
+    let session = server.connect();
+    load_catalog_file(&session, &LoaderConfig::paper(), &file).unwrap();
+    let before = server.engine().stats().snapshot().batch_calls;
+    let reload = load_catalog_file(&session, &LoaderConfig::paper(), &file).unwrap();
+    let calls = server.engine().stats().snapshot().batch_calls - before;
+    assert_eq!(reload.rows_loaded, 0);
+    assert_eq!(
+        calls, reload.rows_skipped,
+        "reloading duplicates must make exactly N database calls for N rows"
+    );
+}

@@ -1,0 +1,152 @@
+//! Spatial queries over the loaded repository: the htmid index (kept
+//! during loading per §4.5.1) must answer cone searches exactly.
+
+use std::sync::Arc;
+
+use skycat::gen::{generate_file, GenConfig};
+use skydb::{DbConfig, Key, Server, Value};
+use skyhtm::{cone_cover, separation_deg, Cone, CATALOG_DEPTH};
+use skyloader::{load_catalog_file, LoaderConfig};
+
+fn loaded_server(seed: u64) -> Arc<Server> {
+    let server = Server::start(DbConfig::test());
+    skycat::create_all(server.engine()).unwrap();
+    skycat::seed_static(server.engine()).unwrap();
+    skycat::seed_observation(server.engine(), 1, 100).unwrap();
+    server
+        .engine()
+        .create_index("objects", "idx_objects_htmid", &["htmid"], false)
+        .unwrap();
+    let file = generate_file(
+        &GenConfig::night(seed, 100)
+            .with_frames_per_ccd(6)
+            .with_objects_per_frame(60),
+        0,
+    );
+    let session = server.connect();
+    load_catalog_file(&session, &LoaderConfig::test(), &file).unwrap();
+    server
+}
+
+fn cone_search_via_index(server: &Server, ra: f64, dec: f64, radius_arcmin: f64) -> Vec<i64> {
+    let cone = Cone::from_radec_arcmin(ra, dec, radius_arcmin);
+    let mut ids = Vec::new();
+    for (lo, hi) in cone_cover(&cone, CATALOG_DEPTH) {
+        let rows = server
+            .engine()
+            .index_range(
+                "objects",
+                "idx_objects_htmid",
+                &Key(vec![Value::Int(lo as i64)]),
+                &Key(vec![Value::Int(hi as i64)]),
+            )
+            .unwrap();
+        for row in rows {
+            let (Value::Int(id), Value::Float(ora), Value::Float(odec)) =
+                (row[0].clone(), row[2].clone(), row[3].clone())
+            else {
+                panic!("column types");
+            };
+            if separation_deg(ra, dec, ora, odec) * 60.0 <= radius_arcmin {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+fn cone_search_brute(server: &Server, ra: f64, dec: f64, radius_arcmin: f64) -> Vec<i64> {
+    let objects = server.engine().table_id("objects").unwrap();
+    let mut ids: Vec<i64> = server
+        .engine()
+        .scan_where(objects, None)
+        .unwrap()
+        .into_iter()
+        .filter_map(|row| {
+            let (Value::Int(id), Value::Float(ora), Value::Float(odec)) =
+                (row[0].clone(), row[2].clone(), row[3].clone())
+            else {
+                return None;
+            };
+            (separation_deg(ra, dec, ora, odec) * 60.0 <= radius_arcmin).then_some(id)
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn cone_search_agrees_with_brute_force_at_many_positions() {
+    let server = loaded_server(401);
+    // Sweep cones across the loaded stripe (generated near ra≈150,
+    // dec≈-1.2..1.2) including ones that fall off its edge.
+    for (ra, dec, r) in [
+        (150.2, 0.0, 10.0),
+        (150.05, -1.0, 5.0),
+        (150.4, 1.0, 20.0),
+        (150.3, 0.5, 2.0),
+        (149.0, 0.0, 30.0), // mostly off-stripe
+        (150.25, -0.4, 60.0),
+    ] {
+        let via_index = cone_search_via_index(&server, ra, dec, r);
+        let brute = cone_search_brute(&server, ra, dec, r);
+        assert_eq!(via_index, brute, "cone at ({ra}, {dec}) r={r}'");
+    }
+}
+
+#[test]
+fn empty_cone_returns_nothing() {
+    let server = loaded_server(403);
+    // A cone on the opposite side of the sky.
+    let hits = cone_search_via_index(&server, 20.0, 60.0, 30.0);
+    assert!(hits.is_empty());
+}
+
+#[test]
+fn index_range_is_far_more_selective_than_a_scan() {
+    let server = loaded_server(405);
+    let cone = Cone::from_radec_arcmin(150.2, 0.0, 5.0);
+    let total_candidates: usize = cone_cover(&cone, CATALOG_DEPTH)
+        .into_iter()
+        .map(|(lo, hi)| {
+            server
+                .engine()
+                .index_range(
+                    "objects",
+                    "idx_objects_htmid",
+                    &Key(vec![Value::Int(lo as i64)]),
+                    &Key(vec![Value::Int(hi as i64)]),
+                )
+                .unwrap()
+                .len()
+        })
+        .sum();
+    let objects = server.engine().table_id("objects").unwrap();
+    let all = server.engine().row_count(objects) as usize;
+    assert!(
+        total_candidates < all / 4,
+        "cover produced {total_candidates} candidates of {all} objects — not selective"
+    );
+}
+
+#[test]
+fn galactic_coordinates_queryable_and_consistent() {
+    let server = loaded_server(407);
+    let engine = server.engine();
+    let objects = engine.table_id("objects").unwrap();
+    let schema = engine.schema(objects);
+    let gal_b = schema.column_index("gal_b").unwrap();
+    // Objects near the equatorial stripe at ra≈150 sit at northern
+    // galactic latitudes; a |b| < 5° query should be empty there.
+    let plane = engine
+        .scan_where(
+            objects,
+            Some(&skydb::Expr::between(gal_b, -5.0f64, 5.0f64)),
+        )
+        .unwrap();
+    assert!(
+        plane.is_empty(),
+        "stripe at ra 150 dec 0 is far from the galactic plane"
+    );
+}
