@@ -1,12 +1,13 @@
 //! Criterion benches for the design-choice ablations called out in
-//! DESIGN.md: error recovery (A1), commit frequency (A3), presorting (A4)
-//! and cache sizing (A5). Full-scale tables: `repro -- ablate-*`.
+//! DESIGN.md: error recovery (A1), commit frequency (A3), presorting (A4),
+//! cache sizing (A5) and pipelined loading (A8). Full-scale tables:
+//! `repro -- ablate-*`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use skydb::config::DbConfig;
-use skyloader::{load_catalog_file, CommitPolicy, LoaderConfig};
+use skyloader::{load_catalog_file, CommitPolicy, LoaderConfig, PipelineMode};
 use skyloader_bench::setup::{server_with, OBS_ID};
 use skyloader_bench::workload::file_with_rows;
 use skysim::time::TimeScale;
@@ -107,11 +108,42 @@ fn bench_cache_size(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pipeline(c: &mut Criterion) {
+    let file = file_with_rows(19_000, OBS_ID, 1500, 0.0, true);
+    let mut group = c.benchmark_group("ablate_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let modes = [
+        ("serial", PipelineMode::Off),
+        ("double", PipelineMode::Double),
+    ];
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter_batched(
+                || server_with(DbConfig::paper(TimeScale::ZERO)),
+                |server| {
+                    let session = server.connect();
+                    let cfg = LoaderConfig::paper()
+                        .with_parse_cost(skyloader_bench::figures::PIPELINE_PARSE_COST)
+                        .with_array_size(skyloader_bench::figures::PIPELINE_ARRAY_SIZE)
+                        .with_pipeline(mode);
+                    let report = load_catalog_file(&session, &cfg, &file).expect("load");
+                    black_box(report.modeled_makespan)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_error_rates,
     bench_commit_policy,
     bench_presort,
-    bench_cache_size
+    bench_cache_size,
+    bench_pipeline
 );
 criterion_main!(benches);

@@ -119,8 +119,7 @@ fn bench_wire(c: &mut Criterion) {
 }
 
 fn bench_pipeline(c: &mut Criterion) {
-    let obj_line =
-        "OBJ|50000|100|180.05|0.5|2345|4.8|18912|43|1.3|0.12|30.0|0|512.2|1033.8";
+    let obj_line = "OBJ|50000|100|180.05|0.5|2345|4.8|18912|43|1.3|0.12|30.0|0|512.2|1033.8";
     let mut group = c.benchmark_group("pipeline");
     group.bench_function("parse_transform_object_row", |b| {
         b.iter(|| {

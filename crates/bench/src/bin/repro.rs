@@ -1,8 +1,9 @@
 //! Regenerate the paper's evaluation: `repro [experiment …]`.
 //!
 //! Experiments: `fig4 fig5 fig6 fig7 fig8 fig9 ablate-errors ablate-assign
-//! ablate-commit ablate-presort ablate-cache ablate-devices headline`, or
-//! `all` (default), or `quick` (reduced scale smoke run).
+//! ablate-commit ablate-presort ablate-cache ablate-devices
+//! ablate-two-phase ablate-pipeline headline`, or `all` (default), or
+//! `quick` (reduced scale smoke run).
 //!
 //! Results print as text tables and are also written as JSON under
 //! `repro-results/`.
@@ -46,7 +47,7 @@ impl Plan {
     }
 }
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "fig4",
     "fig5",
     "fig6",
@@ -60,6 +61,7 @@ const ALL: [&str; 14] = [
     "ablate-cache",
     "ablate-devices",
     "ablate-two-phase",
+    "ablate-pipeline",
     "headline",
 ];
 
@@ -79,6 +81,7 @@ fn run_one(name: &str, plan: &Plan) -> Option<Figure> {
         "ablate-cache" => figures::ablate_cache(scale, &[512, 2048, 8192, 32768]),
         "ablate-devices" => figures::ablate_devices(plan.wall_scale(), 5, 280.0),
         "ablate-two-phase" => figures::ablate_two_phase(scale, &[200.0, 600.0, 1200.0]),
+        "ablate-pipeline" => figures::ablate_pipeline(plan.wall_scale(), 8, 280.0, 2),
         "headline" => figures::headline(plan.wall_scale(), plan.headline_mb),
         other => {
             eprintln!("unknown experiment: {other}");

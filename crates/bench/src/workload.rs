@@ -42,7 +42,9 @@ impl Scale {
 
     /// Rows representing `paper_mb` megabytes at this scale.
     pub fn rows_for_mb(&self, paper_mb: f64) -> u64 {
-        (paper_mb * ROWS_PER_PAPER_MB * self.data).round().max(300.0) as u64
+        (paper_mb * ROWS_PER_PAPER_MB * self.data)
+            .round()
+            .max(300.0) as u64
     }
 
     /// Convert a modeled duration to paper-equivalent seconds.
@@ -53,7 +55,10 @@ impl Scale {
     /// Convert a *wall-clock* duration from a run whose waits were scaled
     /// by `self.time` to paper-equivalent seconds.
     pub fn wall_to_paper_seconds(&self, wall: std::time::Duration) -> f64 {
-        assert!(self.time > 0.0, "wall conversion needs a nonzero time scale");
+        assert!(
+            self.time > 0.0,
+            "wall conversion needs a nonzero time scale"
+        );
         wall.as_secs_f64() / self.time / self.data
     }
 }
@@ -74,8 +79,9 @@ pub fn file_with_rows(
     presorted: bool,
 ) -> CatalogFile {
     let ccds = 4usize;
-    let frames_per_ccd =
-        (((rows as f64 / ccds as f64) - 2.0) / ROWS_PER_FRAME).round().max(1.0) as usize;
+    let frames_per_ccd = (((rows as f64 / ccds as f64) - 2.0) / ROWS_PER_FRAME)
+        .round()
+        .max(1.0) as usize;
     let cfg = GenConfig {
         seed,
         obs_id,
@@ -146,7 +152,10 @@ mod tests {
         let files = night_with_rows(2, 100, 20_000, 8, 0.0);
         assert_eq!(files.len(), 8);
         let total: u64 = files.iter().map(|f| f.expected.total_emitted()).sum();
-        assert!((0.6..1.5).contains(&(total as f64 / 20_000.0)), "total {total}");
+        assert!(
+            (0.6..1.5).contains(&(total as f64 / 20_000.0)),
+            "total {total}"
+        );
     }
 
     #[test]

@@ -137,6 +137,32 @@ impl ArraySet {
         &self.arrays[idx].table
     }
 
+    /// Seal the current cycle's arrays into an immutable [`SealedArraySet`]
+    /// and reset this set to empty so the next cycle can fill fresh arrays.
+    ///
+    /// The sealed set keeps its memory registered with the shared
+    /// [`MemoryModel`]; each array is touched and released only when the
+    /// flusher drains it via [`SealedArraySet::take`], exactly as
+    /// [`ArraySet::take`] would have. Sealing counts as completing a
+    /// bulk-loading cycle.
+    pub fn seal(&mut self) -> SealedArraySet {
+        let arrays = self
+            .arrays
+            .iter_mut()
+            .map(|a| SealedArray {
+                table: a.table.clone(),
+                rows: std::mem::take(&mut a.rows),
+                footprint: std::mem::take(&mut a.footprint),
+            })
+            .collect();
+        self.total_footprint = 0;
+        self.cycles += 1;
+        SealedArraySet {
+            arrays,
+            mem: self.mem.clone(),
+        }
+    }
+
     /// Drain one table's rows for a bulk-loading cycle. Reading the rows
     /// out touches their memory (paging cost when over budget); the array
     /// itself is destroyed and its memory released, per §4.3.
@@ -176,6 +202,74 @@ impl ArraySet {
     /// The client memory model (for paging statistics).
     pub fn memory(&self) -> &MemoryModel {
         &self.mem
+    }
+}
+
+/// One sealed table array awaiting its flush.
+#[derive(Debug)]
+struct SealedArray {
+    table: String,
+    rows: Vec<Row>,
+    footprint: u64,
+}
+
+/// A completed cycle's arrays, detached from the live [`ArraySet`] by
+/// [`ArraySet::seal`] so they can be drained — possibly on another thread —
+/// while the live set fills again. Tables keep the same indices and
+/// parent-before-child order as the live set.
+#[derive(Debug)]
+pub struct SealedArraySet {
+    arrays: Vec<SealedArray>,
+    mem: MemoryModel,
+}
+
+impl SealedArraySet {
+    /// Number of tables this set covers (same order as the live set).
+    pub fn table_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// The table name of the array at `idx`.
+    pub fn table_at(&self, idx: usize) -> &str {
+        &self.arrays[idx].table
+    }
+
+    /// Rows buffered for the array at `idx`.
+    pub fn len_at(&self, idx: usize) -> usize {
+        self.arrays[idx].rows.len()
+    }
+
+    /// `true` if no array holds rows.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.iter().all(|a| a.rows.is_empty())
+    }
+
+    /// Drain one table's rows, with the same memory-model semantics as
+    /// [`ArraySet::take`]: reading the rows touches their memory, then the
+    /// array is destroyed and its memory released.
+    pub fn take(&mut self, idx: usize) -> Vec<Row> {
+        let a = &mut self.arrays[idx];
+        if a.rows.is_empty() {
+            return Vec::new();
+        }
+        self.mem.touch(a.footprint);
+        self.mem.release(a.footprint);
+        a.footprint = 0;
+        std::mem::take(&mut a.rows)
+    }
+}
+
+impl Drop for SealedArraySet {
+    /// A sealed set dropped without being fully drained (e.g. the flusher
+    /// aborted on a connection error) must still release its registered
+    /// memory, or the shared model would leak resident bytes.
+    fn drop(&mut self) {
+        for a in &mut self.arrays {
+            if a.footprint > 0 {
+                self.mem.release(a.footprint);
+                a.footprint = 0;
+            }
+        }
     }
 }
 
@@ -251,6 +345,54 @@ mod tests {
     }
 
     #[test]
+    fn seal_detaches_cycle_and_resets_live_set() {
+        let cfg = LoaderConfig::test().with_array_size(10);
+        let m = mem();
+        let mut a = ArraySet::new(&tables(), &cfg, m.clone());
+        let obj = a.index_of("objects").unwrap();
+        for i in 0..4i64 {
+            a.push(obj, vec![Value::Int(i)]);
+        }
+        let resident_before = m.resident();
+        assert!(resident_before > 0);
+
+        let mut sealed = a.seal();
+        // Live set is immediately reusable and counts the cycle.
+        assert!(a.is_empty());
+        assert_eq!(a.footprint(), 0);
+        assert_eq!(a.cycles(), 1);
+        assert!(!a.push(obj, row()));
+        // Sealed set holds the rows; memory stays resident until drained.
+        assert_eq!(sealed.table_at(obj), "objects");
+        assert_eq!(sealed.len_at(obj), 4);
+        assert!(!sealed.is_empty());
+        assert_eq!(m.resident(), resident_before + a.footprint());
+
+        let rows = sealed.take(obj);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], vec![Value::Int(0)]);
+        assert_eq!(rows[3], vec![Value::Int(3)]);
+        assert!(sealed.is_empty());
+        // Only the live set's new row remains resident.
+        assert_eq!(m.resident(), a.footprint());
+    }
+
+    #[test]
+    fn dropped_sealed_set_releases_memory() {
+        let cfg = LoaderConfig::test().with_array_size(10);
+        let m = mem();
+        let mut a = ArraySet::new(&tables(), &cfg, m.clone());
+        let obj = a.index_of("objects").unwrap();
+        for _ in 0..3 {
+            a.push(obj, row());
+        }
+        let sealed = a.seal();
+        assert!(m.resident() > 0);
+        drop(sealed);
+        assert_eq!(m.resident(), 0, "undrained sealed set must release");
+    }
+
+    #[test]
     fn high_water_mark_triggers_before_capacity() {
         let cfg = LoaderConfig::test().with_array_size(1_000_000);
         let mut cfg = cfg;
@@ -270,12 +412,7 @@ mod tests {
 
     #[test]
     fn overcommitted_client_pays_paging() {
-        let model = MemoryModel::new(
-            2_000,
-            256,
-            Duration::from_micros(10),
-            TimeScale::ZERO,
-        );
+        let model = MemoryModel::new(2_000, 256, Duration::from_micros(10), TimeScale::ZERO);
         let cfg = LoaderConfig::test().with_array_size(1000);
         let mut a = ArraySet::new(&tables(), &cfg, model.clone());
         let obj = a.index_of("objects").unwrap();

@@ -96,10 +96,9 @@ pub fn audit_repository(engine: &Engine) -> DbResult<AuditReport> {
                 // Bitwise comparison via the canonical encoding: PartialEq
                 // would flag NaN floats as mismatches (NaN != NaN).
                 Some(found) if rows_bitwise_equal(&found, row) => {}
-                Some(_) => report.finding(
-                    &schema.name,
-                    format!("PK {pk} resolves to a different row"),
-                ),
+                Some(_) => {
+                    report.finding(&schema.name, format!("PK {pk} resolves to a different row"))
+                }
                 None => report.finding(
                     &schema.name,
                     format!("heap row with PK {pk} unreachable through the PK index"),
@@ -116,7 +115,10 @@ pub fn audit_repository(engine: &Engine) -> DbResult<AuditReport> {
                 if engine.pk_get(parent, &key)?.is_none() {
                     report.finding(
                         &schema.name,
-                        format!("orphan row: {} {key} missing in {}", fk.name, fk.parent_table),
+                        format!(
+                            "orphan row: {} {key} missing in {}",
+                            fk.name, fk.parent_table
+                        ),
                     );
                 }
             }
@@ -154,8 +156,7 @@ pub fn audit_repository(engine: &Engine) -> DbResult<AuditReport> {
                     );
                 }
                 let (l, b) = skyhtm::equatorial_to_galactic(ra, dec);
-                let (Value::Float(gl), Value::Float(gb)) = (row[5].clone(), row[6].clone())
-                else {
+                let (Value::Float(gl), Value::Float(gb)) = (row[5].clone(), row[6].clone()) else {
                     report.finding("objects", "galactic columns missing".into());
                     continue;
                 };

@@ -3,31 +3,52 @@
 //! The loader reads a catalog file line by line, parses / validates /
 //! transforms / computes each row (§3), and buffers it into the
 //! [`ArraySet`]. When any array fills (or the memory high-water mark is
-//! hit), a **bulk-loading cycle** flushes every array in parent-before-
-//! child order (paper Fig. 2), each as a sequence of `batch-size` batched
-//! inserts via the internal `batch_rows` — which implements Fig. 3's `batch_row`
-//! recovery exactly: on a batch error, rows before the failing offset have
-//! persisted (JDBC semantics), the failing row is skipped and logged, and
-//! loading resumes at the row after it.
+//! hit), the set is sealed and a **bulk-loading cycle** flushes every array
+//! in parent-before-child order (paper Fig. 2), each as a sequence of
+//! `batch-size` batched inserts via the internal `batch_rows` — which
+//! implements Fig. 3's `batch_row` recovery exactly: on a batch error, rows
+//! before the failing offset have persisted (JDBC semantics), the failing
+//! row is skipped and logged, and loading resumes at the row after it.
 //!
 //! The same driver also implements the Fig. 4 baseline ([`ExecMode::
 //! Singleton`]): identical parsing, buffering and ordering, but one
 //! database call per row.
+//!
+//! # Pipelined (double-buffered) loading
+//!
+//! With [`PipelineMode::Double`] the two halves run on separate threads:
+//! the parse side fills one array-set while a dedicated flusher drains the
+//! previously sealed one. Both modes drive the *same* [`FlushWorker`]
+//! drain loop, so the wire-call sequence — batches, error recovery,
+//! commits, journal checkpoints — is identical by construction; only the
+//! overlap differs. Handoff is a rendezvous channel: the parser blocks at
+//! each seal until the flusher has finished the previous set, which bounds
+//! residency at exactly two array-sets (the paper's client heap budget is
+//! sized for one, so pipelined loads trade paging headroom for overlap).
+//! Each mode reports per-stage modeled times and a modeled makespan:
+//! serial chains parse + flush + paging; double combines the per-cycle
+//! stage times under the pipeline's handoff discipline
+//! ([`pipeline_makespan`]).
 
-use std::time::Instant;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use skycat::format::parse_line;
 use skycat::transform::transform;
 use skycat::CatalogFile;
-use skydb::error::DbResult;
+use skydb::error::{DbError, DbResult};
 use skydb::server::{PreparedInsert, Session};
 use skydb::value::Row;
 use skysim::mem::MemoryModel;
+use skysim::time::Waiter;
 
-use crate::arrayset::ArraySet;
-use crate::config::{CommitPolicy, ExecMode, LoaderConfig};
+use crate::arrayset::{ArraySet, SealedArraySet};
+use crate::config::{CommitPolicy, ExecMode, LoaderConfig, PipelineMode};
 use crate::recovery::LoadJournal;
-use crate::report::{FileReport, SkipKind};
+use crate::report::{FileReport, ModeledCost, SkipKind};
 
 /// Load one in-memory catalog file through a session.
 pub fn load_catalog_file(
@@ -64,21 +85,17 @@ pub fn load_catalog_text_with_journal(
 struct Loader<'a> {
     session: &'a Session,
     cfg: &'a LoaderConfig,
-    /// Checkpoint journal; every commit records progress here.
-    journal: Option<&'a LoadJournal>,
     /// Prepared statements, parallel to the array-set's table order.
     stmts: Vec<PreparedInsert>,
     arrays: ArraySet,
     report: FileReport,
     batches_since_commit: u64,
-    /// Line number one past the last line whose rows are all committed.
-    committed_lines: u64,
-    current_line: u64,
 }
 
 impl<'a> Loader<'a> {
     fn new(session: &'a Session, cfg: &'a LoaderConfig, name: &str) -> DbResult<Loader<'a>> {
-        cfg.validate().map_err(skydb::error::DbError::InvalidSchema)?;
+        cfg.validate()
+            .map_err(skydb::error::DbError::InvalidSchema)?;
         // Flush order is parent-before-child; CATALOG_TABLES is declared in
         // the data model's topological order ("this processing sequence
         // depends entirely on the data model", §4.2).
@@ -105,39 +122,161 @@ impl<'a> Loader<'a> {
         Ok(Loader {
             session,
             cfg,
-            journal: None,
             stmts,
             arrays,
             report,
             batches_since_commit: 0,
-            committed_lines: 0,
-            current_line: 0,
         })
     }
 
-    fn run(mut self, text: &str, journal: Option<&'a LoadJournal>) -> DbResult<FileReport> {
+    fn run(self, text: &str, journal: Option<&LoadJournal>) -> DbResult<FileReport> {
         let start = Instant::now();
-        self.journal = journal;
+        let Loader {
+            session,
+            cfg,
+            stmts,
+            arrays,
+            mut report,
+            batches_since_commit,
+        } = self;
         let resume_at = journal
-            .map(|j| j.committed_lines(&self.report.file))
+            .map(|j| j.committed_lines(&report.file))
             .unwrap_or(0);
-        self.report.lines_resumed = resume_at;
-        self.committed_lines = resume_at;
+        report.lines_resumed = resume_at;
+        let file = report.file.clone();
+        let report = Mutex::new(report);
+        let scale = session.server().engine().scale();
 
+        let mut parse = ParseSide {
+            cfg,
+            arrays,
+            report: &report,
+            waiter: Waiter::new(scale),
+            parse_spans: Vec::new(),
+            lines_in_segment: 0,
+            bytes_read: 0,
+            current_line: 0,
+        };
+        let worker = FlushWorker {
+            session,
+            cfg,
+            stmts: &stmts,
+            journal,
+            file: &file,
+            report: &report,
+            batches_since_commit,
+            flush_spans: Vec::new(),
+        };
+
+        let mut worker = match cfg.pipeline {
+            PipelineMode::Off => {
+                let mut worker = worker;
+                parse.consume(text, resume_at, |set, lines_through| {
+                    worker.flush_set(set, lines_through)
+                })?;
+                worker
+            }
+            PipelineMode::Double => run_double(&mut parse, worker, text, resume_at)?,
+        };
+
+        // End-of-file commit — strictly after the pipeline has drained, so
+        // its cost is a serial tail in both modes.
+        let commit_base = ModeledCost::measure(session.server(), Duration::ZERO);
+        worker.commit(parse.current_line)?;
+        let commit_cost = ModeledCost::measure(session.server(), Duration::ZERO).since(commit_base);
+        worker.flush_spans.push(commit_cost.total());
+
+        let parse_spans = std::mem::take(&mut parse.parse_spans);
+        let flush_spans = std::mem::take(&mut worker.flush_spans);
+        let stage_parse: Duration = parse_spans.iter().sum();
+        let stage_flush: Duration = flush_spans.iter().sum();
+        let client_paging = parse.arrays.memory().modeled_time();
+        let client_faults = parse.arrays.memory().faults();
+        let cycles = parse.arrays.cycles();
+        let bytes_read = parse.bytes_read;
+        let chained = stage_parse + stage_flush + client_paging;
+        let makespan = match cfg.pipeline {
+            PipelineMode::Off => chained,
+            PipelineMode::Double => pipeline_makespan(&parse_spans, &flush_spans) + client_paging,
+        };
+        drop(worker);
+        drop(parse);
+
+        let mut report = report.into_inner();
+        report.bytes_read += bytes_read;
+        report.cycles = cycles;
+        report.elapsed = start.elapsed();
+        report.client_paging = client_paging;
+        report.client_faults = client_faults;
+        report.stage_parse = stage_parse;
+        report.stage_flush = stage_flush;
+        report.modeled_makespan = makespan;
+        report.stage_overlap = chained.saturating_sub(makespan);
+        Ok(report)
+    }
+
+    /// Test-visible shim over the flush worker's Fig. 3 recovery loop.
+    #[cfg(test)]
+    fn batch_rows(&mut self, idx: usize, rows: &[Row]) -> DbResult<()> {
+        let table = self.arrays.table_at(idx).to_owned();
+        let report = Mutex::new(std::mem::take(&mut self.report));
+        let mut worker = FlushWorker {
+            session: self.session,
+            cfg: self.cfg,
+            stmts: &self.stmts,
+            journal: None,
+            file: "",
+            report: &report,
+            batches_since_commit: self.batches_since_commit,
+            flush_spans: Vec::new(),
+        };
+        let res = worker.batch_rows_inner(idx, &table, rows);
+        self.batches_since_commit = worker.batches_since_commit;
+        self.report = report.into_inner();
+        res
+    }
+}
+
+/// The parse half of the loader: reads lines, buffers typed rows, and at
+/// every flush trigger seals the live array-set and hands it to a sink —
+/// the flush worker directly (serial) or a channel send (pipelined).
+struct ParseSide<'a> {
+    cfg: &'a LoaderConfig,
+    arrays: ArraySet,
+    report: &'a Mutex<FileReport>,
+    waiter: Waiter,
+    /// Modeled parse time per sealed segment (`p_i`), plus at most one
+    /// trailing segment for lines after the last seal.
+    parse_spans: Vec<Duration>,
+    lines_in_segment: u64,
+    bytes_read: u64,
+    /// Line number one past the last line consumed.
+    current_line: u64,
+}
+
+impl ParseSide<'_> {
+    fn consume(
+        &mut self,
+        text: &str,
+        resume_at: u64,
+        mut sink: impl FnMut(SealedArraySet, u64) -> DbResult<()>,
+    ) -> DbResult<()> {
         for (line_no, line) in text.lines().enumerate() {
             let line_no = line_no as u64;
             if line_no < resume_at {
                 continue; // already committed by a previous run
             }
-            // Any commit during this iteration happens inside a flush cycle
-            // triggered *after* this line's row was buffered — the line is
-            // consumed, so line_no + 1 is the safe resume point.
+            // Any commit caused by this iteration happens only after this
+            // line's row is buffered and its set sealed — the line is
+            // consumed, so line_no + 1 is the safe resume point the sealed
+            // set carries to the flusher.
             self.current_line = line_no + 1;
-            self.report.bytes_read += line.len() as u64 + 1;
+            self.lines_in_segment += 1;
+            self.bytes_read += line.len() as u64 + 1;
             let rec = match parse_line(line) {
                 Ok(rec) => rec,
                 Err(e) => {
-                    self.report.note_skipped(
+                    self.report.lock().note_skipped(
                         self.cfg.max_skip_details,
                         "?",
                         Some(line_no),
@@ -150,7 +289,7 @@ impl<'a> Loader<'a> {
             let (table, row) = match transform(&rec) {
                 Ok(x) => x,
                 Err(e) => {
-                    self.report.note_skipped(
+                    self.report.lock().note_skipped(
                         self.cfg.max_skip_details,
                         rec.tag.table_name(),
                         Some(line_no),
@@ -165,65 +304,100 @@ impl<'a> Loader<'a> {
                 .index_of(table)
                 .expect("transform only emits catalog tables");
             if self.arrays.push(idx, row) {
-                self.flush_cycle()?;
+                self.charge_segment();
+                sink(self.arrays.seal(), self.current_line)?;
             }
         }
 
-        // Final partial cycle + end-of-file commit.
+        // Final partial cycle: charge the tail parse segment, then seal
+        // whatever is still buffered.
         self.current_line = text.lines().count() as u64;
+        self.charge_segment();
         if !self.arrays.is_empty() {
-            self.flush_cycle()?;
+            sink(self.arrays.seal(), self.current_line)?;
         }
-        self.commit()?;
-
-        self.report.cycles = self.arrays.cycles();
-        self.report.elapsed = start.elapsed();
-        self.report.client_paging = self.arrays.memory().modeled_time();
-        self.report.client_faults = self.arrays.memory().faults();
-        Ok(self.report)
+        Ok(())
     }
 
+    /// Close the current parse segment: record its modeled time
+    /// (`lines × client_parse_cost`) and wait it out at the engine's time
+    /// scale, so wall-clock pipelined runs overlap for real too.
+    fn charge_segment(&mut self) {
+        if self.lines_in_segment == 0 {
+            return;
+        }
+        let p = self.cfg.client_parse_cost * self.lines_in_segment as u32;
+        self.lines_in_segment = 0;
+        self.parse_spans.push(p);
+        self.waiter.wait(p);
+    }
+}
+
+/// The flush half of the loader: drains sealed array-sets through the wire
+/// protocol in parent-before-child order, with Fig. 3's batch-error
+/// recovery and the configured commit policy. Serial and pipelined modes
+/// both run this exact drain loop, so their call sequences are identical.
+struct FlushWorker<'a> {
+    session: &'a Session,
+    cfg: &'a LoaderConfig,
+    stmts: &'a [PreparedInsert],
+    journal: Option<&'a LoadJournal>,
+    file: &'a str,
+    report: &'a Mutex<FileReport>,
+    batches_since_commit: u64,
+    /// Modeled flush time per drained set (`f_i`), measured as the delta of
+    /// the server's monotonic cost counters around each job (exact for a
+    /// single-node load; concurrent loaders' charges bleed in otherwise).
+    flush_spans: Vec<Duration>,
+}
+
+impl FlushWorker<'_> {
     /// One bulk-loading cycle: flush every array in parent-before-child
-    /// order, then destroy the arrays (handled by `take`).
-    fn flush_cycle(&mut self) -> DbResult<()> {
-        for idx in 0..self.arrays.table_count() {
-            let rows = self.arrays.take(idx);
+    /// order, then commit per policy. `lines_through` is the parse
+    /// position this set was sealed at — the safe journal checkpoint once
+    /// its rows are committed.
+    fn flush_set(&mut self, mut set: SealedArraySet, lines_through: u64) -> DbResult<()> {
+        let baseline = ModeledCost::measure(self.session.server(), Duration::ZERO);
+        for idx in 0..set.table_count() {
+            let rows = set.take(idx);
             if rows.is_empty() {
                 continue;
             }
+            let table = set.table_at(idx).to_owned();
             match self.cfg.mode {
-                ExecMode::Bulk => self.batch_rows(idx, &rows)?,
-                ExecMode::Singleton => self.singleton_rows(idx, &rows)?,
+                ExecMode::Bulk => self.batch_rows_inner(idx, &table, &rows)?,
+                ExecMode::Singleton => self.singleton_rows(idx, &table, &rows)?,
             }
         }
-        self.arrays.end_cycle();
         if self.cfg.commit_policy == CommitPolicy::PerFlush {
-            self.commit()?;
+            self.commit(lines_through)?;
         }
+        let cost = ModeledCost::measure(self.session.server(), Duration::ZERO).since(baseline);
+        self.flush_spans.push(cost.total());
         Ok(())
     }
 
     /// Fig. 3 `batch_row`: pack `batch-size` chunks, insert, skip exactly
     /// the failing row on error, resume at the row after it.
-    fn batch_rows(&mut self, idx: usize, rows: &[Row]) -> DbResult<()> {
+    fn batch_rows_inner(&mut self, idx: usize, table: &str, rows: &[Row]) -> DbResult<()> {
         let stmt = self.stmts[idx];
-        let table = self.arrays.table_at(idx).to_owned();
         let mut first = 0usize;
         while first < rows.len() {
             let end = (first + self.cfg.batch_size).min(rows.len());
             let outcome = self.session.execute_batch(&stmt, &rows[first..end])?;
-            self.report.batch_calls += 1;
+            let mut report = self.report.lock();
+            report.batch_calls += 1;
             self.batches_since_commit += 1;
             if outcome.applied > 0 {
-                self.report.note_loaded(&table, outcome.applied as u64);
+                report.note_loaded(table, outcome.applied as u64);
             }
             match outcome.failed {
                 None => first = end,
                 Some((offset, err)) => {
                     let failed_idx = first + offset;
-                    self.report.note_skipped(
+                    report.note_skipped(
                         self.cfg.max_skip_details,
-                        &table,
+                        table,
                         None,
                         SkipKind::from_db_error(&err),
                         format!("row {} of flushed array: {err}", failed_idx),
@@ -232,6 +406,7 @@ impl<'a> Loader<'a> {
                     first = failed_idx + 1;
                 }
             }
+            drop(report);
             if let CommitPolicy::EveryBatches(n) = self.cfg.commit_policy {
                 if self.batches_since_commit >= n {
                     self.commit_without_journal()?;
@@ -242,21 +417,20 @@ impl<'a> Loader<'a> {
     }
 
     /// The non-bulk baseline: one database call per row.
-    fn singleton_rows(&mut self, idx: usize, rows: &[Row]) -> DbResult<()> {
+    fn singleton_rows(&mut self, idx: usize, table: &str, rows: &[Row]) -> DbResult<()> {
         let stmt = self.stmts[idx];
-        let table = self.arrays.table_at(idx).to_owned();
         for row in rows {
-            self.report.single_calls += 1;
+            self.report.lock().single_calls += 1;
             match self.session.execute(&stmt, row.clone()) {
-                Ok(()) => self.report.note_loaded(&table, 1),
+                Ok(()) => self.report.lock().note_loaded(table, 1),
                 Err(e) => {
                     // Protocol-level failures abort; row-level errors skip.
-                    if matches!(e, skydb::error::DbError::Protocol(_)) {
+                    if matches!(e, DbError::Protocol(_)) {
                         return Err(e);
                     }
-                    self.report.note_skipped(
+                    self.report.lock().note_skipped(
                         self.cfg.max_skip_details,
-                        &table,
+                        table,
                         None,
                         SkipKind::from_db_error(&e),
                         e.to_string(),
@@ -268,28 +442,81 @@ impl<'a> Loader<'a> {
     }
 
     /// Commit and, at cycle boundaries, checkpoint the journal: every line
-    /// read so far is either loaded or skipped, so `current_line` is a safe
+    /// up to `lines_through` is either loaded or skipped, so it is a safe
     /// resume point.
-    fn commit(&mut self) -> DbResult<()> {
+    fn commit(&mut self, lines_through: u64) -> DbResult<()> {
         self.session.commit()?;
-        self.report.commits += 1;
+        self.report.lock().commits += 1;
         self.batches_since_commit = 0;
-        self.committed_lines = self.current_line;
         if let Some(j) = self.journal {
-            j.record(&self.report.file, self.committed_lines);
+            j.record(self.file, lines_through);
         }
         Ok(())
     }
 
     /// Mid-cycle commit (`EveryBatches`): rows are durable, but buffered
-    /// arrays mean `current_line` is NOT a safe resume point — the journal
-    /// is deliberately not advanced.
+    /// arrays mean the parse position is NOT a safe resume point — the
+    /// journal is deliberately not advanced.
     fn commit_without_journal(&mut self) -> DbResult<()> {
         self.session.commit()?;
-        self.report.commits += 1;
+        self.report.lock().commits += 1;
         self.batches_since_commit = 0;
         Ok(())
     }
+}
+
+/// Run the double-buffered pipeline: the flush worker moves to a dedicated
+/// thread and sealed sets are handed over a rendezvous channel, so at most
+/// two array-sets are ever resident (the one being filled and the one being
+/// drained). On a flusher error the channel drops, the parser stops at its
+/// next seal, and the flusher's error — the root cause — is propagated.
+fn run_double<'a>(
+    parse: &mut ParseSide<'_>,
+    worker: FlushWorker<'a>,
+    text: &str,
+    resume_at: u64,
+) -> DbResult<FlushWorker<'a>> {
+    let (tx, rx) = mpsc::sync_channel::<(SealedArraySet, u64)>(0);
+    thread::scope(|s| {
+        let flusher = s.spawn(move || -> DbResult<FlushWorker<'a>> {
+            let mut worker = worker;
+            while let Ok((set, lines_through)) = rx.recv() {
+                worker.flush_set(set, lines_through)?;
+            }
+            Ok(worker)
+        });
+        let parse_result = parse.consume(text, resume_at, |set, lines_through| {
+            tx.send((set, lines_through))
+                .map_err(|_| DbError::Protocol("pipelined flusher stopped".into()))
+        });
+        drop(tx);
+        match flusher.join().expect("flusher thread panicked") {
+            Err(e) => Err(e),
+            Ok(worker) => parse_result.map(|()| worker),
+        }
+    })
+}
+
+/// Combine per-segment parse times and per-job flush times under the
+/// double-buffered pipeline's handoff discipline: flush `i` starts when
+/// both segment `i` is parsed and flush `i − 1` is done.
+///
+/// `parse` may carry one extra trailing segment (lines after the last
+/// seal) and `flush` one trailing end-of-file commit; both degenerate to
+/// (partially overlapped) serial tails.
+fn pipeline_makespan(parse: &[Duration], flush: &[Duration]) -> Duration {
+    let mut handoff = Duration::ZERO; // the parser's clock after each seal
+    let mut flush_end = Duration::ZERO; // the flusher's clock
+    for (i, f) in flush.iter().enumerate() {
+        let parsed = handoff + parse.get(i).copied().unwrap_or_default();
+        handoff = parsed.max(flush_end);
+        flush_end = handoff + *f;
+    }
+    let mut parser_tail = handoff;
+    for p in parse.iter().skip(flush.len()) {
+        parser_tail += *p;
+    }
+    flush_end.max(parser_tail)
 }
 
 #[cfg(test)]
@@ -302,6 +529,17 @@ mod tests {
 
     fn fresh_server() -> Arc<Server> {
         let server = Server::start(DbConfig::test());
+        skycat::create_all(server.engine()).unwrap();
+        skycat::seed_static(server.engine()).unwrap();
+        skycat::seed_observation(server.engine(), 1, 100).unwrap();
+        server
+    }
+
+    /// A server with the paper's (nonzero) modeled costs at `TimeScale::
+    /// ZERO`: instant wall-clock, but flush spans accrue real model time —
+    /// needed by the stage-timing tests.
+    fn paper_cost_server() -> Arc<Server> {
+        let server = Server::start(DbConfig::paper(skysim::time::TimeScale::ZERO));
         skycat::create_all(server.engine()).unwrap();
         skycat::seed_static(server.engine()).unwrap();
         skycat::seed_observation(server.engine(), 1, 100).unwrap();
@@ -364,20 +602,11 @@ mod tests {
         let file = generate_file(&GenConfig::small(5, 100).with_error_rate(0.05), 0);
 
         let bulk_server = fresh_server();
-        let bulk = load_catalog_file(
-            &bulk_server.connect(),
-            &LoaderConfig::test(),
-            &file,
-        )
-        .unwrap();
+        let bulk = load_catalog_file(&bulk_server.connect(), &LoaderConfig::test(), &file).unwrap();
 
         let single_server = fresh_server();
-        let single = load_catalog_file(
-            &single_server.connect(),
-            &LoaderConfig::non_bulk(),
-            &file,
-        )
-        .unwrap();
+        let single =
+            load_catalog_file(&single_server.connect(), &LoaderConfig::non_bulk(), &file).unwrap();
 
         assert_eq!(bulk.rows_loaded, single.rows_loaded);
         assert_eq!(bulk.rows_skipped, single.rows_skipped);
@@ -396,7 +625,9 @@ mod tests {
         // N/batch-size database calls."
         let server = fresh_server();
         let session = server.connect();
-        let cfg = LoaderConfig::test().with_batch_size(40).with_array_size(400);
+        let cfg = LoaderConfig::test()
+            .with_batch_size(40)
+            .with_array_size(400);
         let file = generate_file(&GenConfig::small(9, 100), 0);
         let report = load_catalog_file(&session, &cfg, &file).unwrap();
         let n = report.rows_loaded;
@@ -418,7 +649,9 @@ mod tests {
         let run = |array: usize| {
             let server = fresh_server();
             let session = server.connect();
-            let cfg = LoaderConfig::test().with_array_size(array).with_batch_size(40);
+            let cfg = LoaderConfig::test()
+                .with_array_size(array)
+                .with_batch_size(40);
             load_catalog_file(&session, &cfg, &file).unwrap()
         };
         let small = run(100);
@@ -563,5 +796,71 @@ mod tests {
         let cfg = LoaderConfig::test().with_batch_size(0);
         let file = generate_file(&GenConfig::small(1, 100), 0);
         assert!(load_catalog_file(&session, &cfg, &file).is_err());
+    }
+
+    #[test]
+    fn pipeline_makespan_overlaps_stages() {
+        let ms = Duration::from_millis;
+        // Perfectly balanced, 3 jobs: p₁ + 3f = 40 vs 60 chained.
+        assert_eq!(pipeline_makespan(&[ms(10); 3], &[ms(10); 3]), ms(40));
+        // Flush-bound: p₁ + Σf = 31.
+        assert_eq!(pipeline_makespan(&[ms(1); 3], &[ms(10); 3]), ms(31));
+        // Parse-bound: Σp + fₙ = 31.
+        assert_eq!(pipeline_makespan(&[ms(10); 3], &[ms(1); 3]), ms(31));
+        // A short parse tail hides inside the last flush…
+        assert_eq!(pipeline_makespan(&[ms(10), ms(4)], &[ms(10)]), ms(20));
+        // …a long one dominates it.
+        assert_eq!(pipeline_makespan(&[ms(10), ms(40)], &[ms(10)]), ms(50));
+        assert_eq!(pipeline_makespan(&[], &[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn pipelined_load_matches_serial_results() {
+        let file = generate_file(&GenConfig::night(13, 100).with_error_rate(0.05), 0);
+        let run = |cfg: &LoaderConfig| {
+            let server = paper_cost_server();
+            let session = server.connect();
+            load_catalog_file(&session, cfg, &file).unwrap()
+        };
+        let mut base = LoaderConfig::test().with_array_size(300);
+        base.client_parse_cost = Duration::from_micros(50);
+        let serial = run(&base);
+        let piped = run(&base.clone().with_pipeline(PipelineMode::Double));
+        // Observationally identical outcome…
+        assert_eq!(serial.rows_loaded, piped.rows_loaded);
+        assert_eq!(serial.rows_skipped, piped.rows_skipped);
+        assert_eq!(serial.loaded_by_table, piped.loaded_by_table);
+        assert_eq!(serial.skipped_by_kind, piped.skipped_by_kind);
+        assert_eq!(serial.batch_calls, piped.batch_calls);
+        assert_eq!(serial.commits, piped.commits);
+        assert_eq!(serial.cycles, piped.cycles);
+        assert_eq!(serial.bytes_read, piped.bytes_read);
+        // …but only the pipelined run overlaps its stages.
+        assert!(serial.stage_overlap.is_zero());
+        assert!(piped.stage_overlap > Duration::ZERO);
+        assert!(piped.modeled_makespan < serial.modeled_makespan);
+    }
+
+    #[test]
+    fn pipelined_throughput_gain_at_balanced_stages() {
+        // The acceptance experiment: calibrate the modeled parse cost to
+        // the measured serial flush cost per line, then the double-buffered
+        // pipeline must deliver ≥ 20% higher modeled throughput.
+        let file = generate_file(&GenConfig::night(21, 100), 0);
+        let run = |cfg: &LoaderConfig| {
+            let server = paper_cost_server();
+            let session = server.connect();
+            load_catalog_file(&session, cfg, &file).unwrap()
+        };
+        let probe = run(&LoaderConfig::test().with_array_size(250));
+        let lines = (probe.rows_loaded + probe.rows_skipped).max(1);
+        let mut cfg = LoaderConfig::test().with_array_size(250);
+        cfg.client_parse_cost = Duration::from_nanos(probe.stage_flush.as_nanos() as u64 / lines);
+        let serial = run(&cfg);
+        let piped = run(&cfg.clone().with_pipeline(PipelineMode::Double));
+        assert_eq!(serial.rows_loaded, piped.rows_loaded);
+        assert_eq!(serial.skipped_by_kind, piped.skipped_by_kind);
+        let gain = piped.modeled_throughput_mb_per_s() / serial.modeled_throughput_mb_per_s();
+        assert!(gain >= 1.2, "pipelined modeled gain {gain:.2}× below 1.2×");
     }
 }

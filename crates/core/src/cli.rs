@@ -15,7 +15,7 @@ use skydb::{DbConfig, Server};
 use skysim::cluster::AssignmentPolicy;
 use skysim::time::TimeScale;
 
-use crate::config::LoaderConfig;
+use crate::config::{LoaderConfig, PipelineMode};
 use crate::parallel::load_night_with_journal;
 use crate::recovery::LoadJournal;
 
@@ -39,7 +39,11 @@ impl Manifest {
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), *v))
                 .collect(),
-            emitted: e.emitted.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+            emitted: e
+                .emitted
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
             obs_id,
         }
     }
@@ -77,6 +81,9 @@ pub enum Command {
         verify: bool,
         /// Run the full integrity audit after loading.
         audit: bool,
+        /// Pipeline-mode override (`--pipeline off|double`); `None` keeps
+        /// the config file's (or default) setting.
+        pipeline: Option<PipelineMode>,
     },
     /// Parse one catalog file and summarize its contents.
     Inspect {
@@ -136,6 +143,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             report: get("report").map(PathBuf::from),
             verify: flags.contains_key("verify"),
             audit: flags.contains_key("audit"),
+            pipeline: get("pipeline")
+                .map(|v| match v.as_str() {
+                    "off" => Ok(PipelineMode::Off),
+                    "double" => Ok(PipelineMode::Double),
+                    other => Err(format!(
+                        "--pipeline must be `off` or `double`, got {other:?}"
+                    )),
+                })
+                .transpose()?,
         }),
         "inspect" => {
             let file = positional
@@ -162,11 +178,13 @@ USAGE:
 
   skyload load --dir DIR [--nodes N] [--config loader.json]
                [--journal J.json] [--report out.json] [--verify] [--audit]
+               [--pipeline off|double]
       Load every *.cat file in DIR into a fresh repository with N
       parallel loaders. --journal enables checkpoint/resume; --verify
       checks final row counts against DIR/manifest.json; --audit runs
       the full post-load integrity audit (FKs, PK indexes, CHECKs,
-      recomputed htmid/galactic columns).
+      recomputed htmid/galactic columns); --pipeline double overlaps
+      each loader's parse and flush stages with double buffering.
 
   skyload inspect FILE
       Parse a catalog file and summarize rows per table and bad lines.
@@ -197,7 +215,8 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             let generated = generate_observation(&cfg);
             let mut total = ExpectedCounts::default();
             for f in &generated {
-                f.write_to(&dir).map_err(|e| format!("write {}: {e}", f.name))?;
+                f.write_to(&dir)
+                    .map_err(|e| format!("write {}: {e}", f.name))?;
                 total.merge(&f.expected);
             }
             let manifest = Manifest::from_expected(&total, obs_id);
@@ -218,8 +237,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             Ok(0)
         }
         Command::Inspect { file } => {
-            let text =
-                std::fs::read_to_string(&file).map_err(|e| format!("read {file:?}: {e}"))?;
+            let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file:?}: {e}"))?;
             let mut by_table: BTreeMap<&'static str, u64> = BTreeMap::new();
             let mut bad = 0u64;
             for line in text.lines() {
@@ -243,8 +261,9 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             report,
             verify,
             audit,
+            pipeline,
         } => {
-            let loader_cfg = match config {
+            let mut loader_cfg = match config {
                 Some(path) => {
                     let json = std::fs::read_to_string(&path)
                         .map_err(|e| format!("read {path:?}: {e}"))?;
@@ -252,6 +271,9 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 }
                 None => LoaderConfig::paper(),
             };
+            if let Some(p) = pipeline {
+                loader_cfg.pipeline = p;
+            }
             loader_cfg.validate()?;
 
             let files = read_catalog_dir(&dir)?;
@@ -262,8 +284,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 let path = dir.join("manifest.json");
                 match std::fs::read_to_string(&path) {
                     Ok(json) => Some(
-                        serde_json::from_str(&json)
-                            .map_err(|e| format!("parse {path:?}: {e}"))?,
+                        serde_json::from_str(&json).map_err(|e| format!("parse {path:?}: {e}"))?,
                     ),
                     Err(_) => None,
                 }
@@ -320,8 +341,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                     serde_json::to_string_pretty(&night).expect("report serializes"),
                 )
                 .map_err(|e| format!("write {path:?}: {e}"))?;
-                writeln!(out, "report written to {}", path.display())
-                    .map_err(|e| e.to_string())?;
+                writeln!(out, "report written to {}", path.display()).map_err(|e| e.to_string())?;
             }
 
             if verify {
@@ -387,8 +407,7 @@ fn read_catalog_dir(dir: &Path) -> Result<Vec<CatalogFile>, String> {
                 .and_then(|n| n.to_str())
                 .unwrap_or("unknown.cat")
                 .to_owned();
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
             files.push(CatalogFile {
                 name,
                 text,
@@ -435,16 +454,36 @@ mod tests {
         );
         let l = parse_args(&args("load --dir /tmp/x --nodes 3 --verify --audit")).unwrap();
         match l {
-            Command::Load { nodes, verify, audit, .. } => {
+            Command::Load {
+                nodes,
+                verify,
+                audit,
+                pipeline,
+                ..
+            } => {
                 assert_eq!(nodes, 3);
                 assert!(verify);
                 assert!(audit);
+                assert_eq!(pipeline, None);
             }
             other => panic!("{other:?}"),
         }
         assert!(parse_args(&args("bogus")).is_err());
         assert!(parse_args(&args("generate")).is_err());
         assert!(parse_args(&args("load --dir")).is_err());
+    }
+
+    #[test]
+    fn parse_pipeline_flag() {
+        match parse_args(&args("load --dir /tmp/x --pipeline double")).unwrap() {
+            Command::Load { pipeline, .. } => assert_eq!(pipeline, Some(PipelineMode::Double)),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("load --dir /tmp/x --pipeline off")).unwrap() {
+            Command::Load { pipeline, .. } => assert_eq!(pipeline, Some(PipelineMode::Off)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("load --dir /tmp/x --pipeline sideways")).is_err());
     }
 
     #[test]
@@ -465,7 +504,12 @@ mod tests {
         assert_eq!(
             std::fs::read_dir(&dir)
                 .unwrap()
-                .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "cat"))
+                .filter(|e| e
+                    .as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "cat"))
                 .count(),
             3
         );
@@ -484,9 +528,43 @@ mod tests {
         .unwrap();
         assert_eq!(code, 0);
         let text = String::from_utf8(buf).unwrap();
-        assert!(text.contains("verified against manifest: exact match"), "{text}");
+        assert!(
+            text.contains("verified against manifest: exact match"),
+            "{text}"
+        );
         assert!(text.contains("audit: repository is clean"), "{text}");
         assert!(report_path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pipelined_load_verifies_against_manifest() {
+        let dir = tmpdir("pipelined");
+        execute(
+            parse_args(&args(&format!(
+                "generate --out {} --seed 12 --files 2 --error-rate 0.03",
+                dir.display()
+            )))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "load --dir {} --nodes 2 --pipeline double --verify",
+                dir.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("verified against manifest: exact match"),
+            "{text}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -22,6 +22,26 @@ pub enum ExecMode {
     Singleton,
 }
 
+/// Whether a loader overlaps parsing with flushing (double buffering).
+///
+/// The paper's loader is strictly serial within one process: it fills the
+/// array-set, then the same thread drains it through the wire protocol.
+/// `Double` gives each loader a second array-set and a dedicated flusher
+/// worker: while the flusher drains a sealed array-set (preserving the
+/// parent-before-child flush order and the Fig. 3 error-repack semantics),
+/// the parse thread fills the other. Handoff is a bounded channel, so a
+/// parse thread that runs far ahead blocks rather than buffering unbounded
+/// rows — at most two array-sets are resident, both accounted against the
+/// client [`MemoryModel`](skysim::mem::MemoryModel) budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// Serial parse → flush on one thread (the paper's loader).
+    #[default]
+    Off,
+    /// Double-buffered: parse and flush overlap via a flusher worker.
+    Double,
+}
+
 /// When the loader commits (§4.5.2: "we chose to execute commits very
 /// infrequently").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +65,10 @@ pub struct LoaderConfig {
     pub batch_size: usize,
     /// Bulk or singleton execution.
     pub mode: ExecMode,
+    /// Serial or double-buffered (pipelined) loading. Defaults to `Off`:
+    /// existing configuration files keep the paper's serial behaviour.
+    #[serde(default)]
+    pub pipeline: PipelineMode,
     /// Commit frequency.
     pub commit_policy: CommitPolicy,
     /// §4.3 future work, implemented: per-table overrides of `array_size`
@@ -65,6 +89,14 @@ pub struct LoaderConfig {
     /// Modeled page-fault penalty on the client.
     #[serde(with = "duration_micros")]
     pub client_fault_penalty: Duration,
+    /// Modeled client CPU per input line (parse + validate + transform +
+    /// bind). This is the parse *stage* of the pipeline; the paper's Condor
+    /// clients did real per-row work here (§3), which is why several of them
+    /// were needed to saturate the server (§4.4). Omitting the field in a
+    /// JSON config models parsing as free (stage timings degenerate to the
+    /// flush stage alone).
+    #[serde(default, with = "duration_micros")]
+    pub client_parse_cost: Duration,
     /// Cap on per-row skip records kept with full detail (all skips are
     /// always *counted*).
     pub max_skip_details: usize,
@@ -91,6 +123,7 @@ impl LoaderConfig {
             array_size: 1000,
             batch_size: 40,
             mode: ExecMode::Bulk,
+            pipeline: PipelineMode::Off,
             commit_policy: CommitPolicy::PerFile,
             per_table_array_sizes: HashMap::new(),
             memory_high_water_bytes: None,
@@ -101,6 +134,11 @@ impl LoaderConfig {
             client_heap_budget: 1_950_000,
             client_overhead_factor: 6.0,
             client_fault_penalty: Duration::from_micros(80),
+            // Zero keeps every seed experiment bit-identical (the paper
+            // never modeled client parse CPU). The pipeline ablation and
+            // tests opt in via `with_parse_cost`, which is the only way
+            // `PipelineMode::Double` has anything to overlap.
+            client_parse_cost: Duration::ZERO,
             max_skip_details: 1000,
         }
     }
@@ -137,6 +175,18 @@ impl LoaderConfig {
     /// Builder-style: set the commit policy.
     pub fn with_commit_policy(mut self, p: CommitPolicy) -> Self {
         self.commit_policy = p;
+        self
+    }
+
+    /// Builder-style: set the pipeline mode.
+    pub fn with_pipeline(mut self, p: PipelineMode) -> Self {
+        self.pipeline = p;
+        self
+    }
+
+    /// Builder-style: set the modeled per-line client parse cost.
+    pub fn with_parse_cost(mut self, cost: Duration) -> Self {
+        self.client_parse_cost = cost;
         self
     }
 
@@ -263,6 +313,28 @@ mod tests {
         let c = LoaderConfig::from_json(json).unwrap();
         assert_eq!(c.array_size_for("fingers"), 4000);
         assert_eq!(c.memory_high_water_bytes, Some(8 << 20));
+        // Configs written before the pipelined loader existed stay valid:
+        // pipeline defaults Off, parse cost defaults to free.
+        assert_eq!(c.pipeline, PipelineMode::Off);
+        assert_eq!(c.client_parse_cost, Duration::ZERO);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn pipeline_knob_roundtrips() {
+        let c = LoaderConfig::paper().with_pipeline(PipelineMode::Double);
+        let back = LoaderConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(back.pipeline, PipelineMode::Double);
+        assert_eq!(back.client_parse_cost, c.client_parse_cost);
+        let explicit = r#"{
+            "array_size": 1000, "batch_size": 40, "mode": "Bulk",
+            "pipeline": "Double", "commit_policy": "PerFile",
+            "client_heap_budget": 67108864, "client_overhead_factor": 6.0,
+            "client_fault_penalty": 80, "client_parse_cost": 60,
+            "max_skip_details": 100
+        }"#;
+        let c = LoaderConfig::from_json(explicit).unwrap();
+        assert_eq!(c.pipeline, PipelineMode::Double);
+        assert_eq!(c.client_parse_cost, Duration::from_micros(60));
     }
 }

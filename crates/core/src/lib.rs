@@ -46,24 +46,24 @@
 
 pub mod arrayset;
 pub mod audit;
-pub mod cli;
 pub mod bulk;
+pub mod cli;
 pub mod config;
 pub mod parallel;
 pub mod recovery;
-pub mod reprocess;
 pub mod report;
+pub mod reprocess;
 pub mod tune;
 pub mod twophase;
 
-pub use arrayset::ArraySet;
+pub use arrayset::{ArraySet, SealedArraySet};
 pub use audit::{audit_repository, AuditReport};
 pub use bulk::{load_catalog_file, load_catalog_text, load_catalog_text_with_journal};
-pub use config::{CommitPolicy, ExecMode, LoaderConfig};
+pub use config::{CommitPolicy, ExecMode, LoaderConfig, PipelineMode};
 pub use parallel::{load_night, load_night_with_journal};
 pub use recovery::LoadJournal;
-pub use reprocess::{delete_observation, reprocess_observation, PurgeReport};
 pub use report::{FileReport, ModeledCost, NightReport, SkipKind, SkipRecord};
+pub use reprocess::{delete_observation, reprocess_observation, PurgeReport};
 pub use tune::{autotune_array_size, autotune_batch_size, SweepResult, TuningGuideline};
 pub use twophase::{load_two_phase, start_task_server, TwoPhaseReport};
 

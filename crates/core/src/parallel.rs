@@ -163,6 +163,38 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_night_matches_serial_night() {
+        // Every loader session runs its own parse/flush pipeline; the
+        // night-level outcome must be indistinguishable from serial mode.
+        let cfg = GenConfig::night(39, 100)
+            .with_files(6)
+            .with_error_rate(0.04);
+        let files = generate_observation(&cfg);
+        let expected = aggregate_expected(&files);
+        let run = |loader: &LoaderConfig| {
+            let server = fresh_server();
+            let night = load_night(&server, &files, loader, 3, AssignmentPolicy::Dynamic);
+            let counts: Vec<u64> = expected
+                .loadable
+                .keys()
+                .map(|t| {
+                    let tid = server.engine().table_id(t).unwrap();
+                    server.engine().row_count(tid)
+                })
+                .collect();
+            (night, counts)
+        };
+        let (serial, serial_counts) = run(&LoaderConfig::test());
+        let (piped, piped_counts) =
+            run(&LoaderConfig::test().with_pipeline(crate::config::PipelineMode::Double));
+        assert_eq!(serial.rows_loaded(), piped.rows_loaded());
+        assert_eq!(serial.rows_skipped(), piped.rows_skipped());
+        assert_eq!(serial.loaded_by_table(), piped.loaded_by_table());
+        assert_eq!(serial_counts, piped_counts);
+        assert_eq!(piped.rows_loaded(), expected.total_loadable());
+    }
+
+    #[test]
     fn parallel_with_errors_matches_expected_counts() {
         let cfg = GenConfig::night(33, 100)
             .with_files(6)

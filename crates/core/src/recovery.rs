@@ -86,7 +86,7 @@ impl LoadJournal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bulk::{load_catalog_text_with_journal, load_catalog_file};
+    use crate::bulk::{load_catalog_file, load_catalog_text_with_journal};
     use crate::config::{CommitPolicy, LoaderConfig};
     use skycat::gen::{generate_file, GenConfig};
     use skydb::config::DbConfig;

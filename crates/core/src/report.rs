@@ -112,6 +112,25 @@ pub struct FileReport {
     pub skip_details: Vec<SkipRecord>,
     /// Lines resumed past (when loading with a journal).
     pub lines_resumed: u64,
+    /// Modeled time in the parse stage: input lines × the configured
+    /// client parse cost.
+    #[serde(with = "ser_duration")]
+    pub stage_parse: Duration,
+    /// Modeled time in the flush stage: wire + server charges accrued
+    /// while draining sealed array-sets (exact for a single-node load; on a
+    /// shared server, concurrent loaders' charges bleed in).
+    #[serde(with = "ser_duration")]
+    pub stage_flush: Duration,
+    /// Modeled time the two stages ran concurrently (zero for serial
+    /// loads): `stage_parse + stage_flush + client_paging −
+    /// modeled_makespan`.
+    #[serde(with = "ser_duration")]
+    pub stage_overlap: Duration,
+    /// Modeled end-to-end time of this load. Serial mode chains every
+    /// stage; `PipelineMode::Double` combines per-cycle stage times with
+    /// the two-stage pipeline recurrence (see `bulk`).
+    #[serde(with = "ser_duration")]
+    pub modeled_makespan: Duration,
 }
 
 impl FileReport {
@@ -145,6 +164,16 @@ impl FileReport {
     /// Total database calls.
     pub fn total_calls(&self) -> u64 {
         self.batch_calls + self.single_calls
+    }
+
+    /// Modeled throughput in MB/s: bytes consumed over the modeled
+    /// makespan. Comparable across `PipelineMode`s because both account the
+    /// same stage charges; only the combining rule differs.
+    pub fn modeled_throughput_mb_per_s(&self) -> f64 {
+        if self.modeled_makespan.is_zero() {
+            return 0.0;
+        }
+        (self.bytes_read as f64 / 1e6) / self.modeled_makespan.as_secs_f64()
     }
 }
 
@@ -184,6 +213,22 @@ impl NightReport {
             return 0.0;
         }
         (self.bytes_read() as f64 / 1e6) / self.makespan.as_secs_f64()
+    }
+
+    /// Total modeled parse-stage time across files.
+    pub fn stage_parse(&self) -> Duration {
+        self.files.iter().map(|f| f.stage_parse).sum()
+    }
+
+    /// Total modeled flush-stage time across files.
+    pub fn stage_flush(&self) -> Duration {
+        self.files.iter().map(|f| f.stage_flush).sum()
+    }
+
+    /// Total modeled stage overlap across files (zero when every file
+    /// loaded serially).
+    pub fn stage_overlap(&self) -> Duration {
+        self.files.iter().map(|f| f.stage_overlap).sum()
     }
 
     /// Sum of loaded rows per table across files.
@@ -285,7 +330,10 @@ mod tests {
             got: 3,
         };
         assert_eq!(SkipKind::from_db_error(&arity), SkipKind::Type);
-        assert_eq!(SkipKind::from_db_error(&DbError::NoTransaction), SkipKind::Other);
+        assert_eq!(
+            SkipKind::from_db_error(&DbError::NoTransaction),
+            SkipKind::Other
+        );
     }
 
     #[test]

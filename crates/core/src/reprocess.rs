@@ -218,9 +218,14 @@ mod tests {
         // the fixed re-extraction of the same observation.
         let (server, _v1) = loaded_server(705, 0.10);
         let v2 = generate_file(&GenConfig::small(705, 100), 0); // clean
-        let (purge, night) =
-            reprocess_observation(&server, 100, std::slice::from_ref(&v2), &LoaderConfig::test(), 2)
-                .unwrap();
+        let (purge, night) = reprocess_observation(
+            &server,
+            100,
+            std::slice::from_ref(&v2),
+            &LoaderConfig::test(),
+            2,
+        )
+        .unwrap();
         assert!(purge.total() > 0);
         assert_eq!(night.rows_loaded(), v2.expected.total_loadable());
         for (table, expect) in &v2.expected.loadable {

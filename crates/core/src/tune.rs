@@ -181,12 +181,7 @@ mod tests {
     #[test]
     fn batch_sweep_prefers_batching_over_tiny_batches() {
         let file = generate_file(&GenConfig::small(41, 100), 0);
-        let result = autotune_batch_size(
-            factory,
-            &file,
-            &LoaderConfig::test(),
-            &[1, 2, 40],
-        );
+        let result = autotune_batch_size(factory, &file, &LoaderConfig::test(), &[1, 2, 40]);
         assert_eq!(result.points.len(), 3);
         assert_ne!(result.best, 1, "batch size 1 should never win");
         let p1 = result.points.iter().find(|p| p.value == 1).unwrap();
@@ -202,8 +197,7 @@ mod tests {
     #[test]
     fn array_sweep_runs_and_reports_all_points() {
         let file = generate_file(&GenConfig::small(43, 100), 0);
-        let result =
-            autotune_array_size(factory, &file, &LoaderConfig::test(), &[200, 1000]);
+        let result = autotune_array_size(factory, &file, &LoaderConfig::test(), &[200, 1000]);
         assert_eq!(result.points.len(), 2);
         assert!(result.points.iter().all(|p| p.modeled_us > 0));
     }

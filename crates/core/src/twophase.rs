@@ -195,8 +195,7 @@ pub fn load_two_phase(
                 if key.has_null() {
                     continue;
                 }
-                let parent_is_catalog =
-                    skycat::CATALOG_TABLES.contains(&fk.parent_table.as_str());
+                let parent_is_catalog = skycat::CATALOG_TABLES.contains(&fk.parent_table.as_str());
                 let ok = if parent_is_catalog {
                     surviving_keys
                         .get(&fk.parent_table)
@@ -271,8 +270,7 @@ mod tests {
         let file = generate_file(&GenConfig::night(601, 100).with_error_rate(0.06), 0);
         let task = start_task_server(DbConfig::test());
         let publish = publish_server();
-        let report =
-            load_two_phase(&task, &publish, &LoaderConfig::test(), &file).unwrap();
+        let report = load_two_phase(&task, &publish, &LoaderConfig::test(), &file).unwrap();
 
         // Same end state as the single-pass loader: the generator's exact
         // loadable counts.
@@ -288,18 +286,14 @@ mod tests {
     #[test]
     fn two_phase_agrees_with_single_pass_on_clean_and_dirty_data() {
         for error_rate in [0.0, 0.1] {
-            let file = generate_file(
-                &GenConfig::small(603, 100).with_error_rate(error_rate),
-                0,
-            );
+            let file = generate_file(&GenConfig::small(603, 100).with_error_rate(error_rate), 0);
             let task = start_task_server(DbConfig::test());
             let publish = publish_server();
             let two = load_two_phase(&task, &publish, &LoaderConfig::test(), &file).unwrap();
 
             let single_server = publish_server();
             let session = single_server.connect();
-            let single =
-                load_catalog_file(&session, &LoaderConfig::test(), &file).unwrap();
+            let single = load_catalog_file(&session, &LoaderConfig::test(), &file).unwrap();
 
             assert_eq!(
                 two.total_published(),
@@ -315,8 +309,7 @@ mod tests {
         let file = generate_file(&GenConfig::small(605, 100), 0);
         let task = start_task_server(DbConfig::test());
         let publish = publish_server();
-        let report =
-            load_two_phase(&task, &publish, &LoaderConfig::test(), &file).unwrap();
+        let report = load_two_phase(&task, &publish, &LoaderConfig::test(), &file).unwrap();
         // Both phases issue roughly the same number of batched calls: the
         // data crosses a wire twice. This is the §6 inefficiency SkyLoader
         // avoids.
@@ -351,14 +344,11 @@ mod tests {
             server
         };
         let session = single_server.connect();
-        let single_report =
-            load_catalog_file(&session, &LoaderConfig::paper(), &file).unwrap();
+        let single_report = load_catalog_file(&session, &LoaderConfig::paper(), &file).unwrap();
         single_server.engine().checkpoint();
-        let single_cost = crate::report::ModeledCost::measure(
-            &single_server,
-            single_report.client_paging,
-        )
-        .total();
+        let single_cost =
+            crate::report::ModeledCost::measure(&single_server, single_report.client_paging)
+                .total();
 
         // Two phase on the same hardware (task server is extra hardware —
         // count both sides' modeled time, as SDSS pays both).

@@ -239,9 +239,7 @@ pub fn aggregate_expected(files: &[CatalogFile]) -> ExpectedCounts {
 pub fn generate_file(cfg: &GenConfig, file_idx: usize) -> CatalogFile {
     assert!(file_idx < cfg.files, "file index out of range");
     assert!(cfg.ccds_per_file > 0 && cfg.frames_per_ccd > 0);
-    let mut rng = SplitMix64::new(
-        cfg.seed ^ (file_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    );
+    let mut rng = SplitMix64::new(cfg.seed ^ (file_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let base = (cfg.obs_id * 1000 + file_idx as i64 + 1) * FILE_SPAN;
     let mut expected = ExpectedCounts::default();
 
@@ -419,11 +417,7 @@ pub fn generate_file(cfg: &GenConfig, file_idx: usize) -> CatalogFile {
                     }
                     Some(Corruption::OrphanFk) => (object_id, frame_id + 777_777, 17_500),
                     Some(Corruption::BadValue) => (object_id, frame_id, 999_999),
-                    _ => (
-                        object_id,
-                        frame_id,
-                        14_000 + rng.next_below(8000) as i64,
-                    ),
+                    _ => (object_id, frame_id, 14_000 + rng.next_below(8000) as i64),
                 };
                 let mag = mag_milli as f64 / 1000.0;
                 let flux = (10f64.powf((25.0 - mag.min(30.0)) / 2.5)).round() as i64;
@@ -448,7 +442,9 @@ pub fn generate_file(cfg: &GenConfig, file_idx: usize) -> CatalogFile {
                 let line = if corruption == Some(Corruption::Malformed) {
                     // Garble: drop the trailing fields so parsing fails.
                     let mut l = format_line(RecordTag::Obj, &fields);
-                    let cut = l.len() - fields[10].len() - fields[11].len()
+                    let cut = l.len()
+                        - fields[10].len()
+                        - fields[11].len()
                         - fields[12].len()
                         - fields[13].len()
                         - 4;
@@ -474,8 +470,7 @@ pub fn generate_file(cfg: &GenConfig, file_idx: usize) -> CatalogFile {
                 // Fingers reference the row's object id. They load iff that
                 // id exists after loading: clean rows (their own id) and
                 // DuplicatePk rows (the earlier original's id).
-                let fingers_load =
-                    object_loads || corruption == Some(Corruption::DuplicatePk);
+                let fingers_load = object_loads || corruption == Some(Corruption::DuplicatePk);
                 for k in 0..4 {
                     push(format_line(
                         RecordTag::Fng,
@@ -540,8 +535,8 @@ mod tests {
         let mut parsed = 0u64;
         for line in f.text.lines() {
             let rec = parse_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
-            let (_, _row) = crate::transform::transform(&rec)
-                .unwrap_or_else(|e| panic!("{e}: {line}"));
+            let (_, _row) =
+                crate::transform::transform(&rec).unwrap_or_else(|e| panic!("{e}: {line}"));
             parsed += 1;
         }
         assert_eq!(parsed, f.expected.total_emitted());
@@ -577,18 +572,17 @@ mod tests {
     fn error_injection_accounted_exactly() {
         let cfg = GenConfig::night(9, 100).with_error_rate(0.1);
         let f = generate_file(&cfg, 0);
-        assert!(f.expected.corrupted_objects > 0, "10% should corrupt something");
+        assert!(
+            f.expected.corrupted_objects > 0,
+            "10% should corrupt something"
+        );
         let emitted_obj = f.expected.emitted["objects"];
         let loadable_obj = f.expected.loadable["objects"];
         assert_eq!(emitted_obj - loadable_obj, f.expected.corrupted_objects);
         // Finger cascades: fewer loadable fingers than emitted.
         assert!(f.expected.loadable["fingers"] < f.expected.emitted["fingers"]);
         // Malformed lines really fail to parse.
-        let unparseable = f
-            .text
-            .lines()
-            .filter(|l| parse_line(l).is_err())
-            .count() as u64;
+        let unparseable = f.text.lines().filter(|l| parse_line(l).is_err()).count() as u64;
         assert_eq!(unparseable, f.expected.malformed_lines);
     }
 
@@ -618,7 +612,10 @@ mod tests {
         };
         let ia = ids(&a.text);
         let ib = ids(&b.text);
-        assert!(ia.is_disjoint(&ib), "object ids must not collide across files");
+        assert!(
+            ia.is_disjoint(&ib),
+            "object ids must not collide across files"
+        );
     }
 
     #[test]

@@ -414,9 +414,15 @@ pub fn seed_static(engine: &Engine) -> DbResult<()> {
             Value::Int(N_CCDS),
         ],
     )?;
-    for (i, (name, wl)) in [("u", 365.0), ("g", 475.0), ("r", 622.0), ("i", 763.0), ("z", 905.0)]
-        .iter()
-        .enumerate()
+    for (i, (name, wl)) in [
+        ("u", 365.0),
+        ("g", 475.0),
+        ("r", 622.0),
+        ("i", 763.0),
+        ("z", 905.0),
+    ]
+    .iter()
+    .enumerate()
     {
         engine.insert_row(
             txn,
@@ -429,9 +435,13 @@ pub fn seed_static(engine: &Engine) -> DbResult<()> {
         t("pipelines"),
         &[Value::Int(1), "quest-extract".into(), "2.3".into()],
     )?;
-    for (i, (name, value)) in [("detect_sigma", "1.5"), ("deblend_levels", "32"), ("aperture_count", "4")]
-        .iter()
-        .enumerate()
+    for (i, (name, value)) in [
+        ("detect_sigma", "1.5"),
+        ("deblend_levels", "32"),
+        ("aperture_count", "4"),
+    ]
+    .iter()
+    .enumerate()
     {
         engine.insert_row(
             txn,
@@ -461,7 +471,11 @@ pub fn seed_static(engine: &Engine) -> DbResult<()> {
     engine.insert_row(
         txn,
         t("observers"),
-        &[Value::Int(1), "PQ Survey Operations".into(), "Caltech/Yale".into()],
+        &[
+            Value::Int(1),
+            "PQ Survey Operations".into(),
+            "Caltech/Yale".into(),
+        ],
     )?;
     engine.insert_row(
         txn,

@@ -197,11 +197,11 @@ pub fn transform(rec: &RawRecord<'_>) -> Result<(&'static str, Row), TransformEr
                 p_opt_millimag(f, 6)?, // mag_auto
                 p_opt_millimag(f, 7)?, // mag_err
                 Value::Float(flux_adu as f64),
-                p_opt_f64(f, 5)?, // flux_err
-                p_opt_f64(f, 8)?, // fwhm_px
-                p_opt_f64(f, 9)?, // ellipticity
-                p_opt_f64(f, 10)?, // theta_deg
-                Value::Int(p_i64(f, 11)?), // flags
+                p_opt_f64(f, 5)?,            // flux_err
+                p_opt_f64(f, 8)?,            // fwhm_px
+                p_opt_f64(f, 9)?,            // ellipticity
+                p_opt_f64(f, 10)?,           // theta_deg
+                Value::Int(p_i64(f, 11)?),   // flags
                 Value::Float(p_f64(f, 12)?), // x_px
                 Value::Float(p_f64(f, 13)?), // y_px
             ]
@@ -269,7 +269,11 @@ mod tests {
         let line = "OBJ|42|7|400.0|-29.0|15000|1.2|17345|55||0.8|45.0|0|100.5|200.5";
         let rec = parse_line(line).unwrap();
         let (_, row) = transform(&rec).unwrap();
-        assert_eq!(row[2], Value::Float(400.0), "ra preserved for CHECK to reject");
+        assert_eq!(
+            row[2],
+            Value::Float(400.0),
+            "ra preserved for CHECK to reject"
+        );
     }
 
     #[test]
@@ -311,8 +315,8 @@ mod tests {
         ];
         for line in samples {
             let rec = parse_line(line).unwrap();
-            let (table, row) = transform(&rec)
-                .unwrap_or_else(|e| panic!("transform failed for {line}: {e}"));
+            let (table, row) =
+                transform(&rec).unwrap_or_else(|e| panic!("transform failed for {line}: {e}"));
             let tid = engine.table_id(table).unwrap();
             let schema = engine.schema(tid);
             assert_eq!(
@@ -322,9 +326,8 @@ mod tests {
             );
             for (i, (v, c)) in row.iter().zip(schema.columns.iter()).enumerate() {
                 if !v.is_null() {
-                    v.matches_type(c.dtype).unwrap_or_else(|e| {
-                        panic!("{table}.{} (col {i}): {e}", c.name)
-                    });
+                    v.matches_type(c.dtype)
+                        .unwrap_or_else(|e| panic!("{table}.{} (col {i}): {e}", c.name));
                 }
             }
         }

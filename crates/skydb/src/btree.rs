@@ -556,10 +556,7 @@ mod tests {
             t.insert(ikey(i), i as u64).unwrap();
         }
         let hits = t.range(&ikey(10), &ikey(20));
-        let keys: Vec<i64> = hits
-            .iter()
-            .map(|(k, _)| k.0[0].as_i64().unwrap())
-            .collect();
+        let keys: Vec<i64> = hits.iter().map(|(k, _)| k.0[0].as_i64().unwrap()).collect();
         assert_eq!(keys, vec![10, 12, 14, 16, 18, 20]);
         assert!(t.range(&ikey(21), &ikey(21)).is_empty());
         assert!(t.range(&ikey(30), &ikey(10)).is_empty());

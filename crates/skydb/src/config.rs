@@ -174,7 +174,10 @@ mod tests {
     fn paper_defaults_are_sane() {
         let c = DbConfig::paper(TimeScale::ZERO);
         assert_eq!(c.cpus, 8);
-        assert!(c.table_insert_slots < c.cpus, "slots below CPU count drive Fig. 7");
+        assert!(
+            c.table_insert_slots < c.cpus,
+            "slots below CPU count drive Fig. 7"
+        );
         assert!(c.bind_buffer_bytes > 0 && c.bind_buffer_bytes < 8192);
     }
 

@@ -213,10 +213,12 @@ impl Engine {
         let cols: Vec<usize> = columns
             .iter()
             .map(|c| {
-                ts.schema.column_index(c).ok_or_else(|| DbError::NoSuchColumn {
-                    table: table.into(),
-                    column: (*c).into(),
-                })
+                ts.schema
+                    .column_index(c)
+                    .ok_or_else(|| DbError::NoSuchColumn {
+                        table: table.into(),
+                        column: (*c).into(),
+                    })
             })
             .collect::<DbResult<_>>()?;
         {
@@ -342,8 +344,10 @@ impl Engine {
                 }
             }
         }
-        self.wal
-            .append(&LogRecord::Rollback(txn), self.farm.device(StorageRole::Log));
+        self.wal.append(
+            &LogRecord::Rollback(txn),
+            self.farm.device(StorageRole::Log),
+        );
         self.stats.rollbacks.inc();
         Ok(())
     }
@@ -363,7 +367,8 @@ impl Engine {
             .write()
             .remove(&Key::project(&row, &ts.schema.primary_key), payload);
         for (u, udef) in ts.uniques.iter().zip(ts.schema.uniques.iter()) {
-            u.write().remove(&Key::project(&row, &udef.columns), payload);
+            u.write()
+                .remove(&Key::project(&row, &udef.columns), payload);
         }
         let mut secs = ts.secondaries.write();
         for s in secs.iter_mut() {
@@ -414,12 +419,7 @@ impl Engine {
     /// physical deletes are not atomic against *concurrent* inserts into
     /// child tables, so run them while no loaders are writing the affected
     /// tables (as production reprocessing does).
-    pub fn delete_where(
-        &self,
-        txn: TxnId,
-        table: TableId,
-        filter: Option<&Expr>,
-    ) -> DbResult<u64> {
+    pub fn delete_where(&self, txn: TxnId, table: TableId, filter: Option<&Expr>) -> DbResult<u64> {
         self.delete_matching(txn, table, &mut |row| {
             Ok(match filter {
                 Some(f) => f.eval_truth(row)?.selects(),
@@ -634,10 +634,8 @@ impl Engine {
         };
         let rid = heap_insert.row_id;
         let payload = rid.packed();
-        self.cache.note_write(
-            (table, rid.page()),
-            self.farm.device(StorageRole::Data),
-        );
+        self.cache
+            .note_write((table, rid.page()), self.farm.device(StorageRole::Data));
 
         // 6. Primary key.
         let pk_key = Key::project(row, &schema.primary_key);
@@ -722,7 +720,8 @@ impl Engine {
             },
             self.farm.device(StorageRole::Log),
         );
-        self.txns.push_undo(txn, UndoOp::Insert { table, row_id: rid });
+        self.txns
+            .push_undo(txn, UndoOp::Insert { table, row_id: rid });
 
         // 10. Periodic database-writer cycle.
         if heap_insert.new_page {
@@ -859,7 +858,8 @@ impl Engine {
         let Some(payload) = ts.pk.read().get_first(key) else {
             return Ok(None);
         };
-        self.fetch_row(&ts, table, RowId::from_packed(payload)).map(Some)
+        self.fetch_row(&ts, table, RowId::from_packed(payload))
+            .map(Some)
     }
 
     /// Range scan over a secondary index, returning matching rows in key
@@ -942,7 +942,11 @@ impl Engine {
     /// re-created from `schema_source` (DDL is assumed re-runnable, as with
     /// any deployment's schema scripts); committed inserts are replayed in
     /// log order.
-    pub fn recover_from_log(cfg: DbConfig, schemas: Vec<TableSchema>, log: &[u8]) -> DbResult<Engine> {
+    pub fn recover_from_log(
+        cfg: DbConfig,
+        schemas: Vec<TableSchema>,
+        log: &[u8],
+    ) -> DbResult<Engine> {
         let engine = Engine::new(cfg);
         for s in schemas {
             engine.create_table(s)?;
@@ -1195,11 +1199,13 @@ mod tests {
         let txn = e.begin();
         e.insert_row(txn, f, &frame(1)).unwrap();
         for i in 0..50 {
-            e.insert_row(txn, o, &object(i, 1, (i % 10) as f64)).unwrap();
+            e.insert_row(txn, o, &object(i, 1, (i % 10) as f64))
+                .unwrap();
         }
         e.commit(txn).unwrap();
         // Create after load (the delayed-index path).
-        e.create_index("objects", "idx_mag", &["mag"], false).unwrap();
+        e.create_index("objects", "idx_mag", &["mag"], false)
+            .unwrap();
         assert_eq!(e.index_names("objects").unwrap(), vec!["idx_mag"]);
         let hits = e
             .index_range(
@@ -1224,7 +1230,9 @@ mod tests {
             .unwrap();
         assert_eq!(hits.len(), 11);
         e.drop_index("objects", "idx_mag").unwrap();
-        assert!(e.index_range("objects", "idx_mag", &Key(vec![]), &Key(vec![])).is_err());
+        assert!(e
+            .index_range("objects", "idx_mag", &Key(vec![]), &Key(vec![]))
+            .is_err());
         assert!(matches!(
             e.drop_index("objects", "idx_mag"),
             Err(DbError::NoSuchIndex(_))
@@ -1248,14 +1256,12 @@ mod tests {
     #[test]
     fn crash_recovery_replays_committed_only() {
         let schemas = || {
-            vec![
-                TableBuilder::new("frames")
-                    .col("frame_id", DataType::Int)
-                    .col("exposure", DataType::Float)
-                    .pk(&["frame_id"])
-                    .build()
-                    .unwrap(),
-            ]
+            vec![TableBuilder::new("frames")
+                .col("frame_id", DataType::Int)
+                .col("exposure", DataType::Float)
+                .pk(&["frame_id"])
+                .build()
+                .unwrap()]
         };
         let e = Engine::for_tests();
         for s in schemas() {
@@ -1284,7 +1290,8 @@ mod tests {
     fn maintenance_cost_grows_with_indexes_and_width() {
         let (e, _, o) = two_table_engine();
         let base = e.maintenance_cost(o);
-        e.create_index("objects", "idx_mag", &["mag"], false).unwrap();
+        e.create_index("objects", "idx_mag", &["mag"], false)
+            .unwrap();
         let one = e.maintenance_cost(o);
         assert!(one >= base);
         // With a nonzero per-entry cost the composite is strictly pricier.
@@ -1327,8 +1334,7 @@ mod tests {
                 let e = e.clone();
                 s.spawn(move || {
                     let txn = e.begin();
-                    let rows: Vec<Row> =
-                        (0..500).map(|i| object(t * 1000 + i, 1, 10.0)).collect();
+                    let rows: Vec<Row> = (0..500).map(|i| object(t * 1000 + i, 1, 10.0)).collect();
                     for chunk in rows.chunks(40) {
                         let out = e.apply_batch(txn, o, chunk);
                         assert!(out.is_complete(), "{:?}", out.failed);
@@ -1383,7 +1389,8 @@ mod tests {
             e.insert_row(txn, o, &object(i, 1, i as f64)).unwrap();
         }
         e.commit(txn).unwrap();
-        e.create_index("objects", "idx_mag", &["mag"], false).unwrap();
+        e.create_index("objects", "idx_mag", &["mag"], false)
+            .unwrap();
 
         let t2 = e.begin();
         let n = e
@@ -1457,14 +1464,12 @@ mod tests {
     #[test]
     fn committed_deletes_survive_recovery() {
         let schemas = || {
-            vec![
-                TableBuilder::new("frames")
-                    .col("frame_id", DataType::Int)
-                    .col("exposure", DataType::Float)
-                    .pk(&["frame_id"])
-                    .build()
-                    .unwrap(),
-            ]
+            vec![TableBuilder::new("frames")
+                .col("frame_id", DataType::Int)
+                .col("exposure", DataType::Float)
+                .pk(&["frame_id"])
+                .build()
+                .unwrap()]
         };
         let e = Engine::for_tests();
         for s in schemas() {
@@ -1477,19 +1482,27 @@ mod tests {
         }
         e.commit(t1).unwrap();
         let t2 = e.begin();
-        e.delete_where(t2, f, Some(&Expr::cmp(0, CmpOp::Lt, 4i64))).unwrap();
+        e.delete_where(t2, f, Some(&Expr::cmp(0, CmpOp::Lt, 4i64)))
+            .unwrap();
         e.commit(t2).unwrap();
         // Uncommitted delete: must NOT survive.
         let t3 = e.begin();
-        e.delete_where(t3, f, Some(&Expr::cmp(0, CmpOp::Eq, 9i64))).unwrap();
+        e.delete_where(t3, f, Some(&Expr::cmp(0, CmpOp::Eq, 9i64)))
+            .unwrap();
         let log = e.durable_log();
         drop(e);
         let recovered = Engine::recover_from_log(DbConfig::test(), schemas(), &log).unwrap();
         let f2 = recovered.table_id("frames").unwrap();
         assert_eq!(recovered.row_count(f2), 6, "4 committed deletes applied");
-        assert!(recovered.pk_get(f2, &Key(vec![Value::Int(2)])).unwrap().is_none());
+        assert!(recovered
+            .pk_get(f2, &Key(vec![Value::Int(2)]))
+            .unwrap()
+            .is_none());
         assert!(
-            recovered.pk_get(f2, &Key(vec![Value::Int(9)])).unwrap().is_some(),
+            recovered
+                .pk_get(f2, &Key(vec![Value::Int(9)]))
+                .unwrap()
+                .is_some(),
             "uncommitted delete must not replay"
         );
     }

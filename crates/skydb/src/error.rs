@@ -155,7 +155,10 @@ impl fmt::Display for DbError {
                 if constraint.is_empty() && table.is_empty() {
                     write!(f, "{kind} constraint violated: {detail}")
                 } else {
-                    write!(f, "{kind} constraint {constraint} violated on {table}: {detail}")
+                    write!(
+                        f,
+                        "{kind} constraint {constraint} violated on {table}: {detail}"
+                    )
                 }
             }
             DbError::ExprError(m) => write!(f, "expression error: {m}"),

@@ -175,11 +175,7 @@ impl Expr {
                 }
                 let (x, y) = match (a.as_f64(), b.as_f64()) {
                     (Some(x), Some(y)) => (x, y),
-                    _ => {
-                        return Err(DbError::ExprError(
-                            "arithmetic on non-numeric value".into(),
-                        ))
-                    }
+                    _ => return Err(DbError::ExprError("arithmetic on non-numeric value".into())),
                 };
                 // Keep integer arithmetic exact when both sides are ints.
                 if let (Value::Int(ia), Value::Int(ib)) = (&a, &b) {
@@ -248,18 +244,18 @@ impl Expr {
                         return Ok(Truth::True);
                     }
                 }
-                Ok(if saw_null { Truth::Unknown } else { Truth::False })
+                Ok(if saw_null {
+                    Truth::Unknown
+                } else {
+                    Truth::False
+                })
             }
-            Expr::Column(_) | Expr::Literal(_) | Expr::Arith(..) => {
-                match self.eval(row)? {
-                    Value::Bool(true) => Ok(Truth::True),
-                    Value::Bool(false) => Ok(Truth::False),
-                    Value::Null => Ok(Truth::Unknown),
-                    other => Err(DbError::ExprError(format!(
-                        "expected boolean, got {other}"
-                    ))),
-                }
-            }
+            Expr::Column(_) | Expr::Literal(_) | Expr::Arith(..) => match self.eval(row)? {
+                Value::Bool(true) => Ok(Truth::True),
+                Value::Bool(false) => Ok(Truth::False),
+                Value::Null => Ok(Truth::Unknown),
+                other => Err(DbError::ExprError(format!("expected boolean, got {other}"))),
+            },
         }
     }
 
@@ -327,11 +323,23 @@ mod tests {
     #[test]
     fn comparisons() {
         let r = row();
-        assert_eq!(Expr::cmp(0, CmpOp::Gt, 5i64).eval_truth(&r).unwrap(), Truth::True);
-        assert_eq!(Expr::cmp(0, CmpOp::Lt, 5i64).eval_truth(&r).unwrap(), Truth::False);
-        assert_eq!(Expr::cmp(2, CmpOp::Eq, "abc").eval_truth(&r).unwrap(), Truth::True);
+        assert_eq!(
+            Expr::cmp(0, CmpOp::Gt, 5i64).eval_truth(&r).unwrap(),
+            Truth::True
+        );
+        assert_eq!(
+            Expr::cmp(0, CmpOp::Lt, 5i64).eval_truth(&r).unwrap(),
+            Truth::False
+        );
+        assert_eq!(
+            Expr::cmp(2, CmpOp::Eq, "abc").eval_truth(&r).unwrap(),
+            Truth::True
+        );
         // Comparison with NULL is Unknown.
-        assert_eq!(Expr::cmp(3, CmpOp::Eq, 1i64).eval_truth(&r).unwrap(), Truth::Unknown);
+        assert_eq!(
+            Expr::cmp(3, CmpOp::Eq, 1i64).eval_truth(&r).unwrap(),
+            Truth::Unknown
+        );
     }
 
     #[test]
@@ -340,27 +348,51 @@ mod tests {
         let unknown = Expr::cmp(3, CmpOp::Eq, 1i64);
         let t = Expr::cmp(0, CmpOp::Eq, 10i64);
         let f = Expr::cmp(0, CmpOp::Ne, 10i64);
-        assert_eq!(unknown.clone().and(f.clone()).eval_truth(&r).unwrap(), Truth::False);
-        assert_eq!(unknown.clone().and(t.clone()).eval_truth(&r).unwrap(), Truth::Unknown);
+        assert_eq!(
+            unknown.clone().and(f.clone()).eval_truth(&r).unwrap(),
+            Truth::False
+        );
+        assert_eq!(
+            unknown.clone().and(t.clone()).eval_truth(&r).unwrap(),
+            Truth::Unknown
+        );
         assert_eq!(unknown.clone().or(t).eval_truth(&r).unwrap(), Truth::True);
-        assert_eq!(unknown.clone().or(f).eval_truth(&r).unwrap(), Truth::Unknown);
-        assert_eq!(Expr::Not(Box::new(unknown)).eval_truth(&r).unwrap(), Truth::Unknown);
+        assert_eq!(
+            unknown.clone().or(f).eval_truth(&r).unwrap(),
+            Truth::Unknown
+        );
+        assert_eq!(
+            Expr::Not(Box::new(unknown)).eval_truth(&r).unwrap(),
+            Truth::Unknown
+        );
     }
 
     #[test]
     fn check_semantics_pass_on_unknown() {
         let r = row();
         // CHECK (col3 > 5) where col3 is NULL: passes, as in SQL.
-        assert!(Expr::cmp(3, CmpOp::Gt, 5i64).eval_truth(&r).unwrap().passes_check());
+        assert!(Expr::cmp(3, CmpOp::Gt, 5i64)
+            .eval_truth(&r)
+            .unwrap()
+            .passes_check());
         // WHERE col3 > 5: does not select.
-        assert!(!Expr::cmp(3, CmpOp::Gt, 5i64).eval_truth(&r).unwrap().selects());
+        assert!(!Expr::cmp(3, CmpOp::Gt, 5i64)
+            .eval_truth(&r)
+            .unwrap()
+            .selects());
     }
 
     #[test]
     fn between_and_in() {
         let r = row();
-        assert_eq!(Expr::between(1, 2.0, 3.0).eval_truth(&r).unwrap(), Truth::True);
-        assert_eq!(Expr::between(1, 3.0, 9.0).eval_truth(&r).unwrap(), Truth::False);
+        assert_eq!(
+            Expr::between(1, 2.0, 3.0).eval_truth(&r).unwrap(),
+            Truth::True
+        );
+        assert_eq!(
+            Expr::between(1, 3.0, 9.0).eval_truth(&r).unwrap(),
+            Truth::False
+        );
         let in_expr = Expr::In(
             Box::new(Expr::Column(0)),
             vec![Value::Int(9), Value::Int(10)],

@@ -172,7 +172,10 @@ impl TableBuilder {
     pub fn build(self) -> DbResult<TableSchema> {
         let s = self.schema;
         if s.columns.is_empty() {
-            return Err(DbError::InvalidSchema(format!("table {} has no columns", s.name)));
+            return Err(DbError::InvalidSchema(format!(
+                "table {} has no columns",
+                s.name
+            )));
         }
         if s.primary_key.is_empty() {
             return Err(DbError::InvalidSchema(format!(
@@ -478,7 +481,10 @@ mod tests {
     fn duplicate_table_rejected() {
         let mut cat = Catalog::new();
         cat.add_table(frames()).unwrap();
-        assert!(matches!(cat.add_table(frames()), Err(DbError::AlreadyExists(_))));
+        assert!(matches!(
+            cat.add_table(frames()),
+            Err(DbError::AlreadyExists(_))
+        ));
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl Value {
                 if s.chars().count() <= max as usize {
                     Ok(())
                 } else {
-                    Err(format!("string of {} chars exceeds VARCHAR({max})", s.chars().count()))
+                    Err(format!(
+                        "string of {} chars exceeds VARCHAR({max})",
+                        s.chars().count()
+                    ))
                 }
             }
             (Value::Timestamp(_), DataType::Timestamp) => Ok(()),
@@ -448,8 +451,12 @@ mod tests {
         assert!(Value::Int(1).matches_type(DataType::Float).is_ok());
         assert!(Value::Float(1.0).matches_type(DataType::Int).is_err());
         assert!(Value::Null.matches_type(DataType::Bool).is_ok());
-        assert!(Value::Text("abc".into()).matches_type(DataType::Text(2)).is_err());
-        assert!(Value::Text("ab".into()).matches_type(DataType::Text(2)).is_ok());
+        assert!(Value::Text("abc".into())
+            .matches_type(DataType::Text(2))
+            .is_err());
+        assert!(Value::Text("ab".into())
+            .matches_type(DataType::Text(2))
+            .is_ok());
     }
 
     #[test]
@@ -477,7 +484,11 @@ mod tests {
     fn widths_reflect_encoding() {
         assert_eq!(Value::Int(0).encoded_len(), 9);
         assert_eq!(Value::Text("abc".into()).encoded_len(), 8);
-        let k = Key(vec![Value::Float(0.0), Value::Float(0.0), Value::Float(0.0)]);
+        let k = Key(vec![
+            Value::Float(0.0),
+            Value::Float(0.0),
+            Value::Float(0.0),
+        ]);
         assert_eq!(k.width(), 27);
     }
 }

@@ -244,7 +244,11 @@ mod tests {
     use crate::value::Value;
 
     fn row(i: i64) -> Row {
-        vec![Value::Int(i), Value::Float(i as f64), Value::Text("pq".into())]
+        vec![
+            Value::Int(i),
+            Value::Float(i as f64),
+            Value::Text("pq".into()),
+        ]
     }
 
     #[test]

@@ -56,11 +56,7 @@ fn parallel_writers_readers_and_writer_cycles() {
                 let rows: Vec<Row> = (0..ROWS_PER_WRITER)
                     .map(|i| {
                         let id = w * ROWS_PER_WRITER + i;
-                        vec![
-                            Value::Int(id),
-                            Value::Int(id % 8),
-                            Value::Float(id as f64),
-                        ]
+                        vec![Value::Int(id), Value::Int(id % 8), Value::Float(id as f64)]
                     })
                     .collect();
                 for chunk in rows.chunks(40) {
@@ -83,7 +79,7 @@ fn parallel_writers_readers_and_writer_cycles() {
                         assert_eq!(row.len(), 3);
                         assert_eq!(row[0], key.0[0]);
                     }
-                    if probes % 50 == 0 {
+                    if probes.is_multiple_of(50) {
                         let hits = e
                             .scan_where(parents, Some(&Expr::cmp(0, CmpOp::Ge, 0i64)))
                             .unwrap();

@@ -31,8 +31,8 @@ fn cmp_op() -> impl Strategy<Value = CmpOp> {
 
 /// A small boolean expression tree (comparisons combined with AND/OR/NOT).
 fn bool_expr() -> impl Strategy<Value = Expr> {
-    let cmp = (cmp_op(), leaf(), leaf())
-        .prop_map(|(op, a, b)| Expr::Cmp(op, Box::new(a), Box::new(b)));
+    let cmp =
+        (cmp_op(), leaf(), leaf()).prop_map(|(op, a, b)| Expr::Cmp(op, Box::new(a), Box::new(b)));
     cmp.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),

@@ -34,11 +34,7 @@ impl Cone {
 
     /// Relationship of a trixel to the cap.
     fn classify(&self, t: &Trixel) -> Overlap {
-        let inside = t
-            .vertices
-            .iter()
-            .filter(|v| self.contains(**v))
-            .count();
+        let inside = t.vertices.iter().filter(|v| self.contains(**v)).count();
         if inside == 3 {
             // All vertices inside ⇒ for caps up to a hemisphere the whole
             // (convex) trixel is inside.

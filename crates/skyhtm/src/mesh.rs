@@ -119,7 +119,10 @@ impl Trixel {
 pub fn depth_of(id: HtmId) -> u8 {
     assert!(id >= 8, "invalid htmid {id}");
     let bits = 64 - id.leading_zeros();
-    debug_assert!(bits >= 4 && bits.is_multiple_of(2), "malformed htmid {id:#b}");
+    debug_assert!(
+        bits >= 4 && bits.is_multiple_of(2),
+        "malformed htmid {id:#b}"
+    );
     ((bits - 4) / 2) as u8
 }
 
@@ -230,7 +233,12 @@ mod tests {
             for ira in 0..36 {
                 let p = Vec3::from_radec(ira as f64 * 10.0, idec as f64 * 11.0);
                 let n = Trixel::roots().filter(|t| t.contains(p)).count();
-                assert!(n >= 1, "point uncovered at ra={} dec={}", ira * 10, idec * 11);
+                assert!(
+                    n >= 1,
+                    "point uncovered at ra={} dec={}",
+                    ira * 10,
+                    idec * 11
+                );
             }
         }
     }
@@ -268,7 +276,8 @@ mod tests {
         // Points in the parent are in >=1 child.
         for t in 0..50 {
             let f = t as f64 / 50.0;
-            let p = (parent.vertices[0] * f + parent.vertices[1] * (0.7 - 0.6 * f)
+            let p = (parent.vertices[0] * f
+                + parent.vertices[1] * (0.7 - 0.6 * f)
                 + parent.vertices[2] * 0.3)
                 .normalized();
             if parent.contains(p) {

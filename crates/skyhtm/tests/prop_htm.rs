@@ -4,7 +4,9 @@ use proptest::prelude::*;
 
 use skyhtm::mesh::{self, depth_of, id_range_at_depth, is_valid, lookup, trixel_of};
 use skyhtm::vector::Vec3;
-use skyhtm::{cone_cover, equatorial_to_galactic, galactic_to_equatorial, htmid, separation_deg, Cone};
+use skyhtm::{
+    cone_cover, equatorial_to_galactic, galactic_to_equatorial, htmid, separation_deg, Cone,
+};
 
 fn radec() -> impl Strategy<Value = (f64, f64)> {
     (0.0f64..360.0, -89.9f64..89.9)

@@ -194,7 +194,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(peak.load(Ordering::SeqCst) <= 2, "semaphore admitted too many");
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "semaphore admitted too many"
+        );
         assert!(sem.blocked_acquires() > 0);
     }
 

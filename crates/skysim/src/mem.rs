@@ -87,7 +87,9 @@ impl MemoryModel {
 
     /// Release `bytes` of resident allocation.
     pub fn release(&self, bytes: u64) {
-        self.inner.resident.fetch_sub(bytes as i64, Ordering::Relaxed);
+        self.inner
+            .resident
+            .fetch_sub(bytes as i64, Ordering::Relaxed);
     }
 
     /// Currently registered resident bytes.
@@ -128,9 +130,8 @@ impl MemoryModel {
             return;
         }
         self.inner.faults.add(faulting_pages);
-        let cost = Duration::from_nanos(
-            self.inner.fault_penalty.as_nanos() as u64 * faulting_pages,
-        );
+        let cost =
+            Duration::from_nanos(self.inner.fault_penalty.as_nanos() as u64 * faulting_pages);
         self.inner.modeled.charge(cost);
         self.inner.waiter.wait(cost);
     }
@@ -173,7 +174,11 @@ mod tests {
         let m = tiny(1_000_000);
         m.allocate(2_000_000); // 50% overcommit
         m.touch(1024 * 100); // 100 pages touched → ~50 fault
-        assert!(m.faults() >= 50 && m.faults() <= 51, "faults = {}", m.faults());
+        assert!(
+            m.faults() >= 50 && m.faults() <= 51,
+            "faults = {}",
+            m.faults()
+        );
         assert!(m.modeled_time() >= Duration::from_micros(500));
     }
 

@@ -197,9 +197,18 @@ mod tests {
     #[test]
     fn scale_multiplies() {
         let s = TimeScale::new(0.5);
-        assert_eq!(s.scale(Duration::from_micros(100)), Duration::from_micros(50));
-        assert_eq!(TimeScale::REAL.scale(Duration::from_micros(7)), Duration::from_micros(7));
-        assert_eq!(TimeScale::ZERO.scale(Duration::from_secs(1)), Duration::ZERO);
+        assert_eq!(
+            s.scale(Duration::from_micros(100)),
+            Duration::from_micros(50)
+        );
+        assert_eq!(
+            TimeScale::REAL.scale(Duration::from_micros(7)),
+            Duration::from_micros(7)
+        );
+        assert_eq!(
+            TimeScale::ZERO.scale(Duration::from_secs(1)),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! Provides `queue::SegQueue` — the only crossbeam type this workspace uses —
+//! as a thread-safe FIFO over `Mutex<VecDeque>`. The real SegQueue is
+//! lock-free; this stand-in trades that for zero dependencies while keeping
+//! the same API and ordering semantics.
+
+#![warn(missing_docs)]
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded multi-producer multi-consumer FIFO queue.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Create an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Append an element at the back.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Remove the front element, or `None` if the queue is empty.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_drain_fully() {
+        let q = std::sync::Arc::new(SegQueue::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        q.push(t * 100 + i);
+                    }
+                });
+            }
+        });
+        let mut seen = 0;
+        while q.pop().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 400);
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` / `prop_assert*` / `prop_assume!` / `prop_oneof!` macros,
+//! `Strategy` with `prop_map` / `prop_recursive` / `boxed`, range and
+//! `any::<T>()` strategies, `prop::collection::{vec, btree_set}`,
+//! `prop::sample::select`, and regex-subset string strategies.
+//!
+//! Differences from the real crate: case generation is deterministic (seeded
+//! from the test name, so CI runs are reproducible) and failing cases are
+//! reported without shrinking.
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng, Union};
+
+use std::fmt;
+
+/// Per-test configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case is invalid input (does not count against `cases`).
+    Reject(String),
+    /// The property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail<T: fmt::Display>(msg: T) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// Build a rejection.
+    pub fn reject<T: fmt::Display>(msg: T) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Everything a property-test file needs, matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Collection strategies (`prop::collection::...`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy producing `Vec`s of `element` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of `element`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Collisions may leave the set under-full; bound the retries so
+            // narrow element domains still terminate.
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::...`).
+pub mod sample {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed list of options.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    /// See [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// The property-test harness macro. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(args) {}`
+/// items whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let strat = ($($strat,)+);
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(64);
+            while accepted < config.cases && attempts < max_attempts {
+                attempts += 1;
+                let values = $crate::Strategy::generate(&strat, &mut rng);
+                let shown = format!("{:?}", values);
+                let ($($pat,)+) = values;
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed on case {} with input {}: {}",
+                            stringify!($name), accepted, shown, msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                accepted >= config.cases,
+                "property `{}` rejected too many cases ({} accepted of {} wanted)",
+                stringify!($name), accepted, config.cases
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left, right, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discard the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Choose between strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,620 @@
+//! Strategies: deterministic value generators with the `proptest` trait shape.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (SplitMix64)
+// ---------------------------------------------------------------------------
+
+/// The generator backing all strategies. Deterministic: seeded from the test
+/// name so every run and machine sees the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait, boxing, combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive values: apply `recurse` up to `depth` times, starting
+    /// from `self` as the leaf strategy. `desired_size` and `expected_branch`
+    /// are accepted for API compatibility; depth alone bounds generation.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            level = recurse(level).boxed();
+        }
+        level
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! requires positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(u64::from(self.total)) as u32;
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges and tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (lo + off) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Build that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy behind `any::<T>()` for primitives.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Mix in the IEEE specials often enough to exercise NaN handling.
+        if rng.below(16) == 0 {
+            const SPECIALS: [f64; 6] = [
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                0.0,
+                -0.0,
+                f64::MIN_POSITIVE,
+            ];
+            SPECIALS[rng.below(SPECIALS.len() as u64) as usize]
+        } else {
+            // Random bit patterns cover normals, subnormals, NaN payloads.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrimitive<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection sizes
+// ---------------------------------------------------------------------------
+
+/// A collection size: exact or drawn from a range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            return self.lo;
+        }
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// String literals act as regex-subset strategies, like in real proptest.
+/// Supported syntax: literal chars, `.`, escaped chars, `[...]` classes with
+/// ranges, `(...)` groups, and `{n}` / `{m,n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self);
+        let mut out = String::new();
+        gen_seq(&atoms, rng, &mut out);
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    Dot,
+    Class(Vec<(char, char)>),
+    Group(Vec<Rep>),
+}
+
+#[derive(Debug, Clone)]
+struct Rep {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+fn gen_seq(seq: &[Rep], rng: &mut TestRng, out: &mut String) {
+    for rep in seq {
+        let n = if rep.max > rep.min {
+            rep.min + rng.below(u64::from(rep.max - rep.min + 1)) as u32
+        } else {
+            rep.min
+        };
+        for _ in 0..n {
+            gen_atom(&rep.atom, rng, out);
+        }
+    }
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Dot => {
+            // Like regex `.`: anything but newline. Mostly printable ASCII,
+            // with occasional tab / multi-byte characters.
+            let c = if rng.below(16) == 0 {
+                const ODD: [char; 4] = ['\t', '\u{e9}', '\u{3bb}', '\u{1f52d}'];
+                ODD[rng.below(ODD.len() as u64) as usize]
+            } else {
+                char::from(b' ' + rng.below(95) as u8)
+            };
+            out.push(c);
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = u64::from(*hi as u32 - *lo as u32 + 1);
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("valid class char"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("pick is within total");
+        }
+        Atom::Group(seq) => gen_seq(seq, rng, out),
+    }
+}
+
+fn parse_regex(pattern: &str) -> Vec<Rep> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (seq, consumed) = parse_seq(&chars, 0);
+    assert!(
+        consumed == chars.len(),
+        "unsupported regex `{pattern}` (stopped at char {consumed})"
+    );
+    seq
+}
+
+fn parse_seq(chars: &[char], mut i: usize) -> (Vec<Rep>, usize) {
+    let mut seq = Vec::new();
+    while i < chars.len() && chars[i] != ')' {
+        let atom;
+        match chars[i] {
+            '.' => {
+                atom = Atom::Dot;
+                i += 1;
+            }
+            '\\' => {
+                atom = Atom::Lit(chars[i + 1]);
+                i += 2;
+            }
+            '[' => {
+                let (class, next) = parse_class(chars, i + 1);
+                atom = Atom::Class(class);
+                i = next;
+            }
+            '(' => {
+                let (inner, next) = parse_seq(chars, i + 1);
+                assert!(chars.get(next) == Some(&')'), "unclosed group in regex");
+                atom = Atom::Group(inner);
+                i = next + 1;
+            }
+            c => {
+                assert!(
+                    !"{}*+?|^$".contains(c),
+                    "unsupported regex metacharacter `{c}`"
+                );
+                atom = Atom::Lit(c);
+                i += 1;
+            }
+        }
+        let (min, max, next) = parse_rep(chars, i);
+        i = next;
+        seq.push(Rep { atom, min, max });
+    }
+    (seq, i)
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    while chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            let c = chars[i];
+            i += 1;
+            c
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // `a-z` forms a range unless `-` is the last char before `]`.
+        if chars[i] == '-' && chars[i + 1] != ']' {
+            let hi = chars[i + 1];
+            i += 2;
+            assert!(c <= hi, "inverted class range in regex");
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    (ranges, i + 1)
+}
+
+fn parse_rep(chars: &[char], i: usize) -> (u32, u32, usize) {
+    if chars.get(i) != Some(&'{') {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .expect("unclosed repetition in regex")
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().expect("repetition lower bound"),
+            hi.parse().expect("repetition upper bound"),
+        ),
+        None => {
+            let n = body.parse().expect("repetition count");
+            (n, n)
+        }
+    };
+    (min, max, close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("proptest-self-test")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (-50i64..50).generate(&mut r);
+            assert!((-50..50).contains(&v));
+            let u = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&u));
+            let f = (-2.0f64..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_produces_matching_shapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[A-Z]{3}(\\|[-a-z0-9._ ]{0,4}){0,3}".generate(&mut r);
+            let head: String = s.chars().take(3).collect();
+            assert!(
+                head.chars().all(|c| c.is_ascii_uppercase()),
+                "bad head in {s:?}"
+            );
+            for part in s.chars().skip(3).collect::<String>().split('|').skip(1) {
+                assert!(part.len() <= 4);
+            }
+        }
+        for _ in 0..50 {
+            let s = "[ -~]{0,8}".generate(&mut r);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut r = rng();
+        let u = crate::prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| u.generate(&mut r)).count();
+        assert!(trues > 800, "expected ~900 trues, got {trues}");
+    }
+
+    #[test]
+    fn btree_set_respects_target_size() {
+        let mut r = rng();
+        let s = crate::collection::btree_set(0i64..1000, 5..10);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v.len() < 10);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(depth(&strat.generate(&mut r)) <= 3);
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The real serde streams values through a visitor-based data model; this
+//! stand-in routes everything through an owned, JSON-shaped [`Content`] tree,
+//! which is all the workspace needs (its only format is `serde_json`). The
+//! trait *shapes* match real serde where the workspace relies on them:
+//!
+//! - `Serialize::serialize<S: Serializer>(&self, S) -> Result<S::Ok, S::Error>`
+//! - `Deserialize::deserialize<D: Deserializer<'de>>(D) -> Result<Self, D::Error>`
+//! - `#[serde(with = "module")]`, `#[serde(default)]`, and derive macros
+//!
+//! so hand-written `mod duration_micros`-style adapters compile unchanged.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value: the single data model every serializer and
+/// deserializer in this workspace speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always < 0; non-negatives normalize to `U64`).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The object entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization half of the data model.
+pub mod ser {
+    use super::Content;
+    use std::fmt::Display;
+
+    /// Errors a [`Serializer`] may produce.
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A sink that consumes one [`Content`] tree.
+    pub trait Serializer: Sized {
+        /// Value returned on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Consume the fully-built content tree.
+        fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// The error type of [`ContentSerializer`] and content conversions.
+    #[derive(Debug, Clone)]
+    pub struct ContentError(pub String);
+
+    impl Display for ContentError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ContentError {}
+
+    impl Error for ContentError {
+        fn custom<T: Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    /// A serializer whose output *is* the content tree.
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = ContentError;
+        fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+            Ok(content)
+        }
+    }
+
+    /// Serialize any value into a [`Content`] tree.
+    pub fn to_content<T: super::Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+        value.serialize(ContentSerializer)
+    }
+}
+
+/// Deserialization half of the data model.
+pub mod de {
+    use super::Content;
+    use std::fmt::Display;
+
+    /// Errors a [`Deserializer`] may produce.
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A source that yields one [`Content`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+        /// Produce the content tree.
+        fn content(self) -> Result<Content, Self::Error>;
+    }
+
+    pub use super::ser::ContentError;
+
+    impl Error for ContentError {
+        fn custom<T: Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    /// A deserializer reading from a borrowed [`Content`] tree.
+    pub struct ContentDeserializer<'a>(&'a Content);
+
+    impl<'a> ContentDeserializer<'a> {
+        /// Wrap a content node.
+        pub fn new(content: &'a Content) -> Self {
+            ContentDeserializer(content)
+        }
+    }
+
+    impl<'de, 'a> Deserializer<'de> for ContentDeserializer<'a> {
+        type Error = ContentError;
+        fn content(self) -> Result<Content, ContentError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Deserialize any owned value out of a [`Content`] node.
+    pub fn from_content<T>(content: &Content) -> Result<T, ContentError>
+    where
+        T: for<'de> super::Deserialize<'de>,
+    {
+        T::deserialize(ContentDeserializer(content))
+    }
+
+    /// Look up a struct field by name in decoded object entries.
+    pub fn field<'a>(entries: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+        entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+use de::Error as _;
+use ser::Error as _;
+
+/// A value that can be turned into the data model.
+pub trait Serialize {
+    /// Feed this value to `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be rebuilt from the data model.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild a value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for the std types this workspace serializes.
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let content = if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                };
+                serializer.serialize_content(content)
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_content(Content::Null),
+        }
+    }
+}
+
+fn collect_seq<S, I>(serializer: S, items: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    I: IntoIterator,
+    I::Item: Serialize,
+{
+    let mut seq = Vec::new();
+    for item in items {
+        seq.push(ser::to_content(&item).map_err(S::Error::custom)?);
+    }
+    serializer.serialize_content(Content::Seq(seq))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let seq = vec![
+            ser::to_content(&self.0).map_err(S::Error::custom)?,
+            ser::to_content(&self.1).map_err(S::Error::custom)?,
+        ];
+        serializer.serialize_content(Content::Seq(seq))
+    }
+}
+
+fn collect_map<'a, S, K, V, I>(serializer: S, entries: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: IntoIterator<Item = (&'a K, &'a V)>,
+{
+    let mut map = Vec::new();
+    for (k, v) in entries {
+        let key = match ser::to_content(k).map_err(S::Error::custom)? {
+            Content::Str(s) => s,
+            _ => return Err(S::Error::custom("map key must serialize to a string")),
+        };
+        map.push((key, ser::to_content(v).map_err(S::Error::custom)?));
+    }
+    serializer.serialize_content(Content::Map(map))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_map(serializer, self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort keys by their serialized form so output is deterministic.
+        let mut entries: Vec<(Content, &V)> = Vec::new();
+        for (k, v) in self {
+            entries.push((ser::to_content(k).map_err(S::Error::custom)?, v));
+        }
+        entries.sort_by(|(a, _), (b, _)| match (a, b) {
+            (Content::Str(x), Content::Str(y)) => x.cmp(y),
+            _ => std::cmp::Ordering::Equal,
+        });
+        let mut map = Vec::new();
+        for (key, v) in entries {
+            let Content::Str(key) = key else {
+                return Err(S::Error::custom("map key must serialize to a string"));
+            };
+            map.push((key, ser::to_content(v).map_err(S::Error::custom)?));
+        }
+        serializer.serialize_content(Content::Map(map))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for the std types this workspace deserializes.
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.content()? {
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| {
+                        D::Error::custom(format!("integer {v} out of range for {}", stringify!($t)))
+                    }),
+                    other => Err(D::Error::custom(format!(
+                        "expected an unsigned integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide: i64 = match deserializer.content()? {
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("integer {v} out of range")))?,
+                    Content::I64(v) => v,
+                    other => {
+                        return Err(D::Error::custom(format!(
+                            "expected an integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    D::Error::custom(format!("integer {wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(D::Error::custom(format!(
+                "expected a number, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(D::Error::custom(format!(
+                "expected a boolean, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(D::Error::custom(format!(
+                "expected a string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Option<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Null => Ok(None),
+            other => de::from_content(&other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Seq(items) => items
+                .iter()
+                .map(|c| de::from_content(c).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected an array, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, V> Deserialize<'de> for std::collections::BTreeMap<String, V>
+where
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), de::from_content(v).map_err(D::Error::custom)?)))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected an object, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, V> Deserialize<'de> for std::collections::HashMap<String, V>
+where
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), de::from_content(v).map_err(D::Error::custom)?)))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected an object, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_content() {
+        let c = ser::to_content(&42u64).unwrap();
+        assert_eq!(c, Content::U64(42));
+        let back: u64 = de::from_content(&c).unwrap();
+        assert_eq!(back, 42);
+
+        let c = ser::to_content(&-3i64).unwrap();
+        assert_eq!(c, Content::I64(-3));
+        let back: i64 = de::from_content(&c).unwrap();
+        assert_eq!(back, -3);
+    }
+
+    #[test]
+    fn maps_require_string_keys() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        let c = ser::to_content(&m).unwrap();
+        assert_eq!(c, Content::Map(vec![("a".to_string(), Content::U64(1))]));
+
+        let mut bad = std::collections::BTreeMap::new();
+        bad.insert(1u64, 2u64);
+        assert!(ser::to_content(&bad).is_err());
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let c = ser::to_content(&Option::<u64>::None).unwrap();
+        assert_eq!(c, Content::Null);
+        let back: Option<u64> = de::from_content(&c).unwrap();
+        assert_eq!(back, None);
+        let c = ser::to_content(&Some(9u64)).unwrap();
+        let back: Option<u64> = de::from_content(&c).unwrap();
+        assert_eq!(back, Some(9));
+    }
+}

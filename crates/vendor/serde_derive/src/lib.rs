@@ -1,0 +1,415 @@
+//! Offline stand-in for [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's Content data model. Parsing is done directly on
+//! `proc_macro::TokenStream` (no `syn`/`quote` available offline), which is
+//! enough for the shapes this workspace derives: non-generic structs with
+//! named fields, and enums of unit + newtype variants. Supported field
+//! attributes: `#[serde(default)]` and `#[serde(with = "module")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: substitute `Default::default()` when absent.
+    default: bool,
+    /// `#[serde(with = "module")]`: route through `module::{serialize,deserialize}`.
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    /// Unit variant (`Foo`) vs. newtype variant (`Foo(T)`).
+    newtype: bool,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct SerdeAttrs {
+    default: bool,
+    with: Option<String>,
+}
+
+/// Skip (and interpret) any `#[...]` attributes at `i`, returning collected
+/// `#[serde(...)]` settings.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs {
+        default: false,
+        with: None,
+    };
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() == Delimiter::Bracket {
+            parse_serde_attr(g.stream(), &mut attrs);
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    attrs
+}
+
+/// If the bracketed attribute body is `serde(...)`, fold its settings in.
+fn parse_serde_attr(body: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let [TokenTree::Ident(name), TokenTree::Group(args)] = &tokens[..] else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return;
+    }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                attrs.default = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                // with = "module::path"
+                let Some(TokenTree::Literal(lit)) = args.get(j + 2) else {
+                    panic!("#[serde(with = ...)] expects a string literal");
+                };
+                let raw = lit.to_string();
+                let path = raw
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .unwrap_or_else(|| panic!("#[serde(with = ...)] expects a plain string"));
+                attrs.with = Some(path.to_string());
+                j += 3;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            other => panic!("unsupported #[serde(...)] setting: {other}"),
+        }
+    }
+}
+
+/// Skip `pub` / `pub(...)` if present.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected a type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive on generic type `{name}` is not supported by the vendored serde_derive");
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "derive on `{name}` requires a braced body (named-field struct or enum), found {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive for item kind `{other}`"),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected a field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type: everything up to the next comma at angle-depth 0.
+        // `->` must not count its `>` against the depth.
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    ',' if depth == 0 => break,
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+            i += 1;
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            with: attrs.with,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected a variant name, found {other:?}"),
+        };
+        i += 1;
+        let mut newtype = false;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    newtype = true;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("struct-variant `{name}` is not supported by the vendored serde_derive")
+                }
+                _ => {}
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const SER_CUSTOM: &str = "<S::Error as serde::ser::Error>::custom";
+const DE_CUSTOM: &str = "<D::Error as serde::de::Error>::custom";
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let value = match &f.with {
+            Some(path) => format!(
+                "{path}::serialize(&self.{field}, serde::ser::ContentSerializer).map_err({SER_CUSTOM})?",
+                field = f.name
+            ),
+            None => format!(
+                "serde::ser::to_content(&self.{field}).map_err({SER_CUSTOM})?",
+                field = f.name
+            ),
+        };
+        body.push_str(&format!(
+            "entries.push((String::from(\"{field}\"), {value}));\n",
+            field = f.name
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                 let mut entries: Vec<(String, serde::Content)> = Vec::new();\n\
+                 {body}\
+                 serializer.serialize_content(serde::Content::Map(entries))\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let present = match &f.with {
+            Some(path) => format!(
+                "{path}::deserialize(serde::de::ContentDeserializer::new(c)).map_err({DE_CUSTOM})?"
+            ),
+            None => format!("serde::de::from_content(c).map_err({DE_CUSTOM})?"),
+        };
+        let absent = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err({DE_CUSTOM}(\"missing field `{field}` in {name}\"))",
+                field = f.name
+            )
+        };
+        body.push_str(&format!(
+            "{field}: match serde::de::field(&entries, \"{field}\") {{\n\
+                 Some(c) => {present},\n\
+                 None => {absent},\n\
+             }},\n",
+            field = f.name
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                 let entries = match deserializer.content()? {{\n\
+                     serde::Content::Map(entries) => entries,\n\
+                     other => return Err({DE_CUSTOM}(format!(\"expected an object for {name}, found {{other:?}}\"))),\n\
+                 }};\n\
+                 Ok({name} {{\n\
+                     {body}\
+                 }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        if v.newtype {
+            arms.push_str(&format!(
+                "{name}::{variant}(inner) => serde::Content::Map(vec![(String::from(\"{variant}\"), serde::ser::to_content(inner).map_err({SER_CUSTOM})?)]),\n",
+                variant = v.name
+            ));
+        } else {
+            arms.push_str(&format!(
+                "{name}::{variant} => serde::Content::Str(String::from(\"{variant}\")),\n",
+                variant = v.name
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                 let content = match self {{\n\
+                     {arms}\
+                 }};\n\
+                 serializer.serialize_content(content)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut newtype_arms = String::new();
+    for v in variants {
+        if v.newtype {
+            newtype_arms.push_str(&format!(
+                "\"{variant}\" => Ok({name}::{variant}(serde::de::from_content(value).map_err({DE_CUSTOM})?)),\n",
+                variant = v.name
+            ));
+        } else {
+            unit_arms.push_str(&format!(
+                "\"{variant}\" => Ok({name}::{variant}),\n",
+                variant = v.name
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                 match deserializer.content()? {{\n\
+                     serde::Content::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err({DE_CUSTOM}(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                         let (key, value) = &entries[0];\n\
+                         match key.as_str() {{\n\
+                             {newtype_arms}\
+                             other => Err({DE_CUSTOM}(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err({DE_CUSTOM}(format!(\"invalid representation of enum {name}: {{other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -33,7 +33,10 @@ fn main() {
     );
     let session = server.connect();
     let report = load_catalog_file(&session, &LoaderConfig::paper(), &file).expect("load");
-    println!("loaded {} rows ({} objects)", report.rows_loaded, report.loaded_by_table["objects"]);
+    println!(
+        "loaded {} rows ({} objects)",
+        report.rows_loaded, report.loaded_by_table["objects"]
+    );
 
     // The generated file covers a stripe near ra 150, dec -1.2..1.2; aim
     // the cone into it.
@@ -72,7 +75,10 @@ fn main() {
             }
         }
     }
-    println!("index path: {candidates} candidates from the cover, {} true matches", hits.len());
+    println!(
+        "index path: {candidates} candidates from the cover, {} true matches",
+        hits.len()
+    );
 
     // Cross-check against a brute-force scan of every object.
     let objects = engine.table_id("objects").expect("objects");

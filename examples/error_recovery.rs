@@ -38,9 +38,7 @@ fn main() {
     let report = load_catalog_file(&session, &LoaderConfig::paper(), &dirty).expect("load");
     println!(
         "loaded {} rows, skipped {} ({} batched calls)",
-        report.rows_loaded,
-        report.rows_skipped,
-        report.batch_calls
+        report.rows_loaded, report.rows_skipped, report.batch_calls
     );
     println!("skips by cause:");
     for (kind, n) in &report.skipped_by_kind {
@@ -70,15 +68,12 @@ fn main() {
         .map(|l| l.len() + 1)
         .sum();
     let session = server.connect();
-    let partial = load_catalog_text_with_journal(
-        &session,
-        &cfg,
-        &clean.name,
-        &clean.text[..cut],
-        &journal,
-    )
-    .expect("partial load");
-    session.rollback().expect("crash: uncommitted tail discarded");
+    let partial =
+        load_catalog_text_with_journal(&session, &cfg, &clean.name, &clean.text[..cut], &journal)
+            .expect("partial load");
+    session
+        .rollback()
+        .expect("crash: uncommitted tail discarded");
     println!(
         "crash after {} committed lines (journal) — {} rows were loaded before the crash",
         journal.committed_lines(&clean.name),

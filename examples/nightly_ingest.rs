@@ -82,7 +82,12 @@ fn main() {
     // photometry index that was too expensive to maintain during loading.
     server
         .engine()
-        .create_index("objects", "idx_objects_photo", &["ra", "dec", "flux"], false)
+        .create_index(
+            "objects",
+            "idx_objects_photo",
+            &["ra", "dec", "flux"],
+            false,
+        )
         .expect("rebuild composite index");
     println!(
         "secondary indexes now present on objects: {:?}",

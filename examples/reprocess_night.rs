@@ -55,6 +55,8 @@ fn main() {
         let got = server.engine().row_count(tid);
         assert_eq!(got, *expect, "{table}");
     }
-    println!("repository now matches the v2 extraction exactly — {} recovered rows",
-             night.rows_loaded() - r1.rows_loaded);
+    println!(
+        "repository now matches the v2 extraction exactly — {} recovered rows",
+        night.rows_loaded() - r1.rows_loaded
+    );
 }

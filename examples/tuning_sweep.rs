@@ -26,10 +26,7 @@ fn factory() -> Arc<Server> {
 
 fn main() {
     // A "typical data file" — one CCD group's worth of a night.
-    let sample = generate_file(
-        &GenConfig::night(11, 100).with_frames_per_ccd(6),
-        0,
-    );
+    let sample = generate_file(&GenConfig::night(11, 100).with_frames_per_ccd(6), 0);
     println!(
         "sample file: {} rows, {} KB\n",
         sample.expected.total_emitted(),
@@ -41,8 +38,16 @@ fn main() {
     println!("batch-size sweep (modeled 2005 cost per candidate):");
     let batches = autotune_batch_size(factory, &sample, &base, &[10, 20, 30, 40, 50, 60]);
     for p in &batches.points {
-        let marker = if p.value == batches.best { "  <== best" } else { "" };
-        println!("  batch {:>3}: {:>9.1} ms{marker}", p.value, p.modeled_us as f64 / 1000.0);
+        let marker = if p.value == batches.best {
+            "  <== best"
+        } else {
+            ""
+        };
+        println!(
+            "  batch {:>3}: {:>9.1} ms{marker}",
+            p.value,
+            p.modeled_us as f64 / 1000.0
+        );
     }
     println!();
 
@@ -54,8 +59,16 @@ fn main() {
         &[250, 500, 750, 1000, 1250, 1500],
     );
     for p in &arrays.points {
-        let marker = if p.value == arrays.best { "  <== best" } else { "" };
-        println!("  array {:>4}: {:>9.1} ms{marker}", p.value, p.modeled_us as f64 / 1000.0);
+        let marker = if p.value == arrays.best {
+            "  <== best"
+        } else {
+            ""
+        };
+        println!(
+            "  array {:>4}: {:>9.1} ms{marker}",
+            p.value,
+            p.modeled_us as f64 / 1000.0
+        );
     }
     println!();
 

@@ -122,7 +122,11 @@ fn journal_resume_after_crash_then_wal_recovery_is_still_exact() {
 
     for (table, expect) in &file.expected.loadable {
         let tid = recovered.table_id(table).unwrap();
-        assert_eq!(recovered.row_count(tid), *expect, "{table} after the gauntlet");
+        assert_eq!(
+            recovered.row_count(tid),
+            *expect,
+            "{table} after the gauntlet"
+        );
     }
 }
 

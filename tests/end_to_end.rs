@@ -18,7 +18,9 @@ fn fresh_server() -> Arc<Server> {
 
 #[test]
 fn full_night_parallel_load_is_exact() {
-    let cfg = GenConfig::night(101, 100).with_files(10).with_error_rate(0.03);
+    let cfg = GenConfig::night(101, 100)
+        .with_files(10)
+        .with_error_rate(0.03);
     let files = generate_observation(&cfg);
     let expected = aggregate_expected(&files);
     assert!(expected.corrupted_objects > 0, "want a dirty night");
@@ -119,7 +121,11 @@ fn static_and_dynamic_assignment_agree_on_results() {
     for policy in [AssignmentPolicy::Dynamic, AssignmentPolicy::Static] {
         let server = fresh_server();
         let report = load_night(&server, &files, &LoaderConfig::test(), 3, policy);
-        assert_eq!(report.rows_loaded(), expected.total_loadable(), "{policy:?}");
+        assert_eq!(
+            report.rows_loaded(),
+            expected.total_loadable(),
+            "{policy:?}"
+        );
     }
 }
 

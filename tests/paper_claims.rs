@@ -8,9 +8,7 @@ use std::time::Duration;
 
 use skycat::gen::{generate_file, GenConfig};
 use skydb::{DbConfig, Server};
-use skyloader::{
-    load_catalog_file, CommitPolicy, ExecMode, LoaderConfig, ModeledCost,
-};
+use skyloader::{load_catalog_file, CommitPolicy, ExecMode, LoaderConfig, ModeledCost};
 use skysim::time::TimeScale;
 
 fn paper_server(cfg: DbConfig) -> Arc<Server> {
@@ -81,7 +79,10 @@ fn fig5_batching_beats_tiny_batches_and_optimum_is_interior() {
     let b10 = at(10);
     let b50 = at(50);
     let b100 = at(100);
-    assert!(b10 > b50, "batch 10 ({b10:?}) should cost more than 50 ({b50:?})");
+    assert!(
+        b10 > b50,
+        "batch 10 ({b10:?}) should cost more than 50 ({b50:?})"
+    );
     assert!(
         b100 > b50,
         "batch 100 ({b100:?}) should cost more than 50 ({b50:?}): bind-array spill"
@@ -102,7 +103,10 @@ fn fig6_array_size_has_interior_optimum() {
     let small = at(100);
     let paper = at(1000);
     let big = at(2500);
-    assert!(small > paper, "tiny arrays ({small:?}) should lose to 1000 ({paper:?})");
+    assert!(
+        small > paper,
+        "tiny arrays ({small:?}) should lose to 1000 ({paper:?})"
+    );
     assert!(
         big > paper,
         "oversized arrays ({big:?}) should page and lose to 1000 ({paper:?})"
@@ -189,10 +193,7 @@ fn sec455_smaller_cache_loads_faster() {
 #[test]
 fn sec454_presorted_input_dirties_fewer_index_pages() {
     let run = |presorted: bool| {
-        let file = generate_file(
-            &GenConfig::night(213, 100).with_presorted(presorted),
-            0,
-        );
+        let file = generate_file(&GenConfig::night(213, 100).with_presorted(presorted), 0);
         let server = paper_server(DbConfig::paper(TimeScale::ZERO));
         let session = server.connect();
         load_catalog_file(&session, &LoaderConfig::paper(), &file).unwrap();

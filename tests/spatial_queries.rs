@@ -140,10 +140,7 @@ fn galactic_coordinates_queryable_and_consistent() {
     // Objects near the equatorial stripe at ra≈150 sit at northern
     // galactic latitudes; a |b| < 5° query should be empty there.
     let plane = engine
-        .scan_where(
-            objects,
-            Some(&skydb::Expr::between(gal_b, -5.0f64, 5.0f64)),
-        )
+        .scan_where(objects, Some(&skydb::Expr::between(gal_b, -5.0f64, 5.0f64)))
         .unwrap();
     assert!(
         plane.is_empty(),
