@@ -424,8 +424,12 @@ impl FlushWorker<'_> {
             match self.session.execute(&stmt, row.clone()) {
                 Ok(()) => self.report.lock().note_loaded(table, 1),
                 Err(e) => {
-                    // Protocol-level failures abort; row-level errors skip.
-                    if matches!(e, DbError::Protocol(_)) {
+                    // Connection-level failures abort (transient ones are
+                    // the retry layer's job); row-level errors skip.
+                    if !matches!(
+                        crate::resilience::classify(&e),
+                        crate::resilience::ErrorClass::Permanent
+                    ) {
                         return Err(e);
                     }
                     self.report.lock().note_skipped(

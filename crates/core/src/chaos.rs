@@ -1,0 +1,329 @@
+//! Chaos-soak harness: load a full night under a seeded multi-kind fault
+//! plan — resets, busy rejections, latency spikes, disk-full commits,
+//! per-batch corruption and a mid-night crash-on-flush — and verify that
+//! the repository still ends up with **exactly one copy of every loadable
+//! row**.
+//!
+//! The harness owns the piece the retry layer deliberately does not: when
+//! the server crashes (torn commit flush), it recovers a fresh engine from
+//! the durable log, re-installs the fault plan (without the crash, which
+//! already fired), and resumes the remaining files from the shared
+//! checkpoint journal. Everything in between — backoff, breaker trips,
+//! degradation — is [`crate::parallel::load_night_with_journal`]'s job.
+//!
+//! Every fault decision derives from [`ChaosConfig::seed`], so a run is
+//! reproducible bit-for-bit: same seed, same fault schedule.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use skycat::gen::{aggregate_expected, generate_observation, CatalogFile, GenConfig};
+use skydb::engine::Engine;
+use skydb::fault::{FaultPlan, FaultPlanConfig};
+use skydb::{DbConfig, Server};
+use skysim::cluster::AssignmentPolicy;
+
+use crate::config::{CommitPolicy, LoaderConfig};
+use crate::recovery::LoadJournal;
+use crate::report::ser_duration;
+use crate::resilience::{DegradeTransition, RetryPolicy};
+
+/// How many crash/recover cycles the harness tolerates before declaring
+/// the soak wedged.
+const MAX_RESTARTS: usize = 8;
+
+/// How many load generations (including non-crash retries of failed
+/// files) the harness runs before giving up.
+const MAX_GENERATIONS: usize = 24;
+
+/// Knobs for one chaos soak.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosConfig {
+    /// Master seed: drives both the synthetic night and the fault plan.
+    pub seed: u64,
+    /// Catalog files in the night.
+    pub files: usize,
+    /// Parallel loader nodes.
+    pub nodes: usize,
+    /// Generator object-corruption rate (dirty *data*, distinct from
+    /// injected *faults*).
+    pub error_rate: f64,
+    /// Quick mode: a smaller night and a gentler plan, for CI.
+    pub quick: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 2005,
+            files: 6,
+            nodes: 3,
+            error_rate: 0.02,
+            quick: false,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The fault plan this soak runs under. `with_crash` adds the one
+    /// crash-on-flush; the post-recovery generations run without it.
+    pub fn fault_plan(&self, with_crash: bool) -> FaultPlanConfig {
+        // Rates are per *call*: they must leave clean windows long enough
+        // for a whole flush (several batch calls + a commit) to land, or
+        // the load cannot make forward progress between faults.
+        let mut plan = FaultPlanConfig::new(self.seed)
+            .with_resets(0.006)
+            .with_busy(0.006)
+            .with_latency(0.015, Duration::from_millis(20))
+            .with_disk_full(0.06)
+            .with_corruption(0.01);
+        if with_crash {
+            // Far enough in that real work is committed before the crash,
+            // early enough that it reliably fires even in quick mode.
+            plan = plan.with_crash_on_flush(7);
+        }
+        plan
+    }
+
+    /// The loader configuration the soak drives: per-flush commits so the
+    /// journal advances under fire, and a retry policy whose call-timeout
+    /// budget is tighter than the plan's latency spike (so spikes surface
+    /// as timeouts and exercise that path too).
+    pub fn loader(&self) -> LoaderConfig {
+        LoaderConfig::test()
+            .with_array_size(300)
+            .with_commit_policy(CommitPolicy::PerFlush)
+            .with_retry(
+                RetryPolicy::default()
+                    .with_seed(self.seed)
+                    .with_call_timeout(Duration::from_millis(10)),
+            )
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        let files = if self.quick {
+            self.files.min(4)
+        } else {
+            self.files
+        };
+        GenConfig::night(self.seed, 100)
+            .with_files(files.max(1))
+            .with_error_rate(self.error_rate)
+    }
+}
+
+/// What a soak observed, and the exactly-once verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosReport {
+    /// The configuration the soak ran with.
+    pub config: ChaosConfig,
+    /// Load generations executed (1 = no crash, no stragglers).
+    pub generations: usize,
+    /// Crash/recover cycles survived.
+    pub restarts: usize,
+    /// Faults injected per kind, accumulated across server generations.
+    pub faults_by_kind: BTreeMap<String, u64>,
+    /// Client-side retry attempts across all generations.
+    pub retries: u64,
+    /// Circuit-breaker trips across all generations.
+    pub breaker_trips: u64,
+    /// Wall-clock time the fleet spent below full batch mode.
+    #[serde(with = "ser_duration")]
+    pub degraded_time: Duration,
+    /// Every degradation-ladder move, in order, across generations.
+    pub degrade_transitions: Vec<DegradeTransition>,
+    /// Rows the repository should hold, per table.
+    pub expected_rows: u64,
+    /// Rows the repository holds after the soak.
+    pub actual_rows: u64,
+    /// Rows expected but missing (must be 0).
+    pub lost_rows: u64,
+    /// Rows present more than once (must be 0).
+    pub duplicated_rows: u64,
+    /// Per-table mismatches, if any (empty on success).
+    pub mismatches: Vec<String>,
+    /// Files that never loaded (empty on success).
+    pub unfinished_files: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Did every loadable row land exactly once?
+    pub fn exactly_once(&self) -> bool {
+        self.lost_rows == 0 && self.duplicated_rows == 0 && self.unfinished_files.is_empty()
+    }
+
+    /// Distinct fault kinds that actually fired.
+    pub fn fault_kinds_fired(&self) -> usize {
+        self.faults_by_kind.values().filter(|&&n| n > 0).count()
+    }
+}
+
+fn fresh_server(obs_id: i64) -> Result<Arc<Server>, String> {
+    let server = Server::start(DbConfig::test());
+    skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_observation(server.engine(), 1, obs_id).map_err(|e| e.to_string())?;
+    Ok(server)
+}
+
+/// Run one chaos soak to completion.
+///
+/// Loads a synthetic night under the seeded fault plan, recovering the
+/// server from its durable log whenever a crash-on-flush downs it, and
+/// retrying failed files across bounded generations. Never panics on
+/// fault-induced failures; the verdict lands in the report.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    let files = generate_observation(&cfg.gen_config());
+    let expected = aggregate_expected(&files);
+    let loader = cfg.loader();
+    loader.validate()?;
+    let journal = LoadJournal::new();
+
+    let mut server = fresh_server(100)?;
+    server.set_fault_plan(Some(FaultPlan::new(cfg.fault_plan(true))));
+
+    let mut faults_by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut retries = 0u64;
+    let mut breaker_trips = 0u64;
+    let mut degraded_time = Duration::ZERO;
+    let mut degrade_transitions = Vec::new();
+    let mut generations = 0usize;
+    let mut restarts = 0usize;
+    let mut remaining: Vec<CatalogFile> = files.clone();
+
+    while !remaining.is_empty() && generations < MAX_GENERATIONS {
+        generations += 1;
+        let night = crate::parallel::load_night_with_journal(
+            &server,
+            &remaining,
+            &loader,
+            cfg.nodes,
+            AssignmentPolicy::Dynamic,
+            Some(&journal),
+        );
+        retries += night.retries;
+        breaker_trips += night.breaker_trips;
+        degraded_time += night.degraded_time;
+        degrade_transitions.extend(night.degrade_transitions.iter().cloned());
+        let done: BTreeSet<&str> = night.files.iter().map(|f| f.file.as_str()).collect();
+        remaining.retain(|f| !done.contains(f.name.as_str()));
+        if remaining.is_empty() {
+            break;
+        }
+        if server.is_crashed() {
+            // Bank this generation's fault counters before the server is
+            // replaced, then recover from the durable log. The crash
+            // already fired, so later generations run the same plan minus
+            // crash-on-flush.
+            for (kind, n) in server.faults_by_kind() {
+                *faults_by_kind.entry(kind.to_owned()).or_insert(0) += n;
+            }
+            restarts += 1;
+            if restarts > MAX_RESTARTS {
+                break;
+            }
+            let log = server.engine().durable_log();
+            let engine = Engine::recover_from_log(DbConfig::test(), skycat::build_schemas(), &log)
+                .map_err(|e| format!("recovery failed: {e}"))?;
+            server = Server::with_engine(engine);
+            server.set_fault_plan(Some(FaultPlan::new(cfg.fault_plan(false))));
+        }
+        // Not crashed: some files exhausted their budgets. The journal
+        // kept their progress; the next generation retries them.
+    }
+    for (kind, n) in server.faults_by_kind() {
+        *faults_by_kind.entry(kind.to_owned()).or_insert(0) += n;
+    }
+
+    // The verdict: count every table against the generator's ground truth.
+    server.set_fault_plan(None);
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    let mut actual_rows = 0u64;
+    let mut mismatches = Vec::new();
+    for (table, expect) in &expected.loadable {
+        let tid = server.engine().table_id(table).map_err(|e| e.to_string())?;
+        let got = server.engine().row_count(tid);
+        actual_rows += got;
+        if got < *expect {
+            lost += expect - got;
+            mismatches.push(format!("{table}: expected {expect}, got {got} (lost)"));
+        } else if got > *expect {
+            duplicated += got - expect;
+            mismatches.push(format!(
+                "{table}: expected {expect}, got {got} (duplicated)"
+            ));
+        }
+    }
+
+    Ok(ChaosReport {
+        config: cfg.clone(),
+        generations,
+        restarts,
+        faults_by_kind,
+        retries,
+        breaker_trips,
+        degraded_time,
+        degrade_transitions,
+        expected_rows: expected.total_loadable(),
+        actual_rows,
+        lost_rows: lost,
+        duplicated_rows: duplicated,
+        mismatches,
+        unfinished_files: remaining.into_iter().map(|f| f.name).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_soak_delivers_exactly_once() {
+        let cfg = ChaosConfig {
+            seed: 11,
+            files: 4,
+            nodes: 2,
+            quick: true,
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg).unwrap();
+        assert!(
+            report.exactly_once(),
+            "lost={} dup={} unfinished={:?} mismatches={:?}",
+            report.lost_rows,
+            report.duplicated_rows,
+            report.unfinished_files,
+            report.mismatches
+        );
+        assert!(report.restarts >= 1, "the crash-on-flush never fired");
+        assert!(
+            report.fault_kinds_fired() >= 4,
+            "only {:?} fired",
+            report.faults_by_kind
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_fault_schedule() {
+        // Single-node runs are fully deterministic: two soaks with one
+        // seed must observe the identical fault counters.
+        let cfg = ChaosConfig {
+            seed: 29,
+            files: 3,
+            nodes: 1,
+            quick: true,
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos(&cfg).unwrap();
+        let b = run_chaos(&cfg).unwrap();
+        assert_eq!(a.faults_by_kind, b.faults_by_kind);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.generations, b.generations);
+        assert_eq!(a.restarts, b.restarts);
+        assert!(a.exactly_once() && b.exactly_once());
+    }
+}

@@ -90,6 +90,22 @@ pub enum Command {
         /// File to inspect.
         file: PathBuf,
     },
+    /// Chaos-soak a synthetic night under a seeded fault plan and verify
+    /// exactly-once delivery.
+    Chaos {
+        /// Master seed for night generation and the fault schedule.
+        seed: u64,
+        /// Catalog files in the synthetic night.
+        files: usize,
+        /// Parallel loader nodes.
+        nodes: usize,
+        /// Generator object-corruption rate (dirty data, not faults).
+        error_rate: f64,
+        /// Smaller night and plan, for CI.
+        quick: bool,
+        /// Write the chaos report as JSON here.
+        report: Option<PathBuf>,
+    },
     /// Print usage.
     Help,
 }
@@ -105,7 +121,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "verify" | "audit" => {
+                "verify" | "audit" | "quick" => {
                     flags.insert(name.to_owned(), "true".into());
                 }
                 _ => {
@@ -153,6 +169,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 })
                 .transpose()?,
         }),
+        "chaos" => {
+            let defaults = crate::chaos::ChaosConfig::default();
+            Ok(Command::Chaos {
+                seed: parse_num("seed", defaults.seed)?,
+                files: parse_num("files", defaults.files as u64)? as usize,
+                nodes: parse_num("nodes", defaults.nodes as u64)? as usize,
+                error_rate: get("error-rate")
+                    .map(|v| v.parse::<f64>().map_err(|e| format!("--error-rate: {e}")))
+                    .unwrap_or(Ok(defaults.error_rate))?,
+                quick: flags.contains_key("quick"),
+                report: get("report").map(PathBuf::from),
+            })
+        }
         "inspect" => {
             let file = positional
                 .first()
@@ -188,6 +217,14 @@ USAGE:
 
   skyload inspect FILE
       Parse a catalog file and summarize rows per table and bad lines.
+
+  skyload chaos [--seed N] [--files N] [--nodes N] [--error-rate F]
+                [--quick] [--report out.json]
+      Load a synthetic night under a seeded multi-kind fault plan
+      (resets, busy rejections, latency spikes, disk-full commits,
+      batch corruption, one crash-on-flush) and verify that every
+      loadable row landed exactly once. Same seed, same fault
+      schedule. Exits 1 on any lost or duplicated row.
 
   skyload help
       This message.
@@ -235,6 +272,67 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             )
             .map_err(|e| e.to_string())?;
             Ok(0)
+        }
+        Command::Chaos {
+            seed,
+            files,
+            nodes,
+            error_rate,
+            quick,
+            report,
+        } => {
+            let cfg = crate::chaos::ChaosConfig {
+                seed,
+                files,
+                nodes,
+                error_rate,
+                quick,
+            };
+            let soak = crate::chaos::run_chaos(&cfg)?;
+            writeln!(
+                out,
+                "chaos soak: seed {} · {} generations · {} restart(s) · {} retries · {} breaker trip(s)",
+                seed, soak.generations, soak.restarts, soak.retries, soak.breaker_trips
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(out, "faults injected:").map_err(|e| e.to_string())?;
+            for (kind, n) in &soak.faults_by_kind {
+                writeln!(out, "  {kind:<16} {n:>6}").map_err(|e| e.to_string())?;
+            }
+            writeln!(
+                out,
+                "time degraded: {:.2?} across {} ladder move(s)",
+                soak.degraded_time,
+                soak.degrade_transitions.len()
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "rows: {} expected, {} present, {} lost, {} duplicated",
+                soak.expected_rows, soak.actual_rows, soak.lost_rows, soak.duplicated_rows
+            )
+            .map_err(|e| e.to_string())?;
+            for m in &soak.mismatches {
+                writeln!(out, "  MISMATCH {m}").map_err(|e| e.to_string())?;
+            }
+            for f in &soak.unfinished_files {
+                writeln!(out, "  UNFINISHED {f}").map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = report {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&soak).expect("chaos report serializes"),
+                )
+                .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "report written to {}", path.display()).map_err(|e| e.to_string())?;
+            }
+            if soak.exactly_once() {
+                writeln!(out, "exactly-once: PASS").map_err(|e| e.to_string())?;
+                Ok(0)
+            } else {
+                writeln!(out, "exactly-once: FAIL").map_err(|e| e.to_string())?;
+                Ok(1)
+            }
         }
         Command::Inspect { file } => {
             let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file:?}: {e}"))?;
@@ -333,6 +431,29 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             }
             for (t, n) in night.loaded_by_table() {
                 writeln!(out, "  {t:<24} {n:>7}").map_err(|e| e.to_string())?;
+            }
+            if night.retries > 0 || night.breaker_trips > 0 {
+                writeln!(
+                    out,
+                    "resilience: {} retries · {} breaker trip(s) · {:.2?} degraded ({} ladder moves)",
+                    night.retries,
+                    night.breaker_trips,
+                    night.degraded_time,
+                    night.degrade_transitions.len()
+                )
+                .map_err(|e| e.to_string())?;
+                for (kind, n) in &night.faults_survived {
+                    writeln!(out, "  survived {kind:<16} {n:>6}").map_err(|e| e.to_string())?;
+                }
+            }
+            if !night.is_complete() {
+                for f in &night.failed_files {
+                    writeln!(out, "  FAILED {}: {}", f.file, f.error).map_err(|e| e.to_string())?;
+                }
+                return Err(format!(
+                    "{} file(s) failed to load; the journal (if any) holds their progress",
+                    night.failed_files.len()
+                ));
             }
 
             if let Some(path) = report {
@@ -565,6 +686,52 @@ mod tests {
             text.contains("verified against manifest: exact match"),
             "{text}"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_chaos_flags() {
+        match parse_args(&args("chaos --seed 3 --files 2 --nodes 2 --quick")).unwrap() {
+            Command::Chaos {
+                seed,
+                files,
+                nodes,
+                quick,
+                report,
+                ..
+            } => {
+                assert_eq!((seed, files, nodes, quick), (3, 2, 2, true));
+                assert_eq!(report, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("chaos")).unwrap() {
+            Command::Chaos { quick, .. } => assert!(!quick),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_command_runs_quick_soak() {
+        let dir = tmpdir("chaos");
+        let report_path = dir.join("chaos.json");
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "chaos --seed 11 --files 3 --nodes 2 --quick --report {}",
+                report_path.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("exactly-once: PASS"), "{text}");
+        assert!(text.contains("faults injected:"), "{text}");
+        assert!(report_path.exists());
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"faults_by_kind\""), "{json}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

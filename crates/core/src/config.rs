@@ -13,6 +13,8 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use crate::resilience::RetryPolicy;
+
 /// How inserts are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecMode {
@@ -100,6 +102,11 @@ pub struct LoaderConfig {
     /// Cap on per-row skip records kept with full detail (all skips are
     /// always *counted*).
     pub max_skip_details: usize,
+    /// Retry / backoff / circuit-breaker / degradation policy for the
+    /// parallel loader fleet. Defaults keep configuration files written
+    /// before the resilience layer existed valid.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 mod duration_micros {
@@ -140,6 +147,7 @@ impl LoaderConfig {
             // `PipelineMode::Double` has anything to overlap.
             client_parse_cost: Duration::ZERO,
             max_skip_details: 1000,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -196,6 +204,12 @@ impl LoaderConfig {
         self
     }
 
+    /// Builder-style: set the retry/resilience policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Builder-style: override one table's array size.
     pub fn with_table_array_size(mut self, table: &str, n: usize) -> Self {
         self.per_table_array_sizes.insert(table.to_owned(), n);
@@ -238,7 +252,7 @@ impl LoaderConfig {
         if self.client_overhead_factor < 1.0 {
             return Err("client_overhead_factor must be >= 1".into());
         }
-        Ok(())
+        self.retry.validate()
     }
 }
 
@@ -318,6 +332,24 @@ mod tests {
         assert_eq!(c.pipeline, PipelineMode::Off);
         assert_eq!(c.client_parse_cost, Duration::ZERO);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn retry_policy_defaults_and_roundtrips() {
+        // Configs written before the resilience layer stay valid…
+        assert_eq!(LoaderConfig::paper().retry, RetryPolicy::default());
+        // …and tuned policies survive the JSON round trip.
+        let tweaked = LoaderConfig::paper().with_retry(
+            RetryPolicy::default()
+                .with_breaker_threshold(9)
+                .with_call_timeout(Duration::from_millis(7))
+                .with_degradation(3, 6),
+        );
+        let back = LoaderConfig::from_json(&tweaked.to_json()).unwrap();
+        assert_eq!(back.retry.breaker_threshold, 9);
+        assert_eq!(back.retry.call_timeout, Some(Duration::from_millis(7)));
+        assert_eq!(back.retry.degrade_after, 3);
+        assert_eq!(back.retry, tweaked.retry);
     }
 
     #[test]

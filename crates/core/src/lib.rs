@@ -19,8 +19,9 @@
 //! 4. **Database and system tuning** — [`tune`]: the §4.5 guidelines as
 //!    executable presets plus batch/array autotuning sweeps.
 //!
-//! Plus [`recovery`] (checkpoint journal for crash-resume) and [`report`]
-//! (per-file/night reports and the modeled-cost breakdown).
+//! Plus [`recovery`] (checkpoint journal for crash-resume), [`resilience`]
+//! (retry/backoff/circuit-breaker/degradation policy for flaky links) and
+//! [`report`] (per-file/night reports and the modeled-cost breakdown).
 //!
 //! ## Quick start
 //!
@@ -47,23 +48,30 @@
 pub mod arrayset;
 pub mod audit;
 pub mod bulk;
+pub mod chaos;
 pub mod cli;
 pub mod config;
 pub mod parallel;
 pub mod recovery;
 pub mod report;
 pub mod reprocess;
+pub mod resilience;
 pub mod tune;
 pub mod twophase;
 
 pub use arrayset::{ArraySet, SealedArraySet};
 pub use audit::{audit_repository, AuditReport};
 pub use bulk::{load_catalog_file, load_catalog_text, load_catalog_text_with_journal};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use config::{CommitPolicy, ExecMode, LoaderConfig, PipelineMode};
 pub use parallel::{load_night, load_night_with_journal};
 pub use recovery::LoadJournal;
-pub use report::{FileReport, ModeledCost, NightReport, SkipKind, SkipRecord};
+pub use report::{FailedFile, FileReport, ModeledCost, NightReport, SkipKind, SkipRecord};
 pub use reprocess::{delete_observation, reprocess_observation, PurgeReport};
+pub use resilience::{
+    classify, fault_label, Backoff, CircuitBreaker, DegradeTransition, Degrader, ErrorClass,
+    RetryPolicy, MAX_DEGRADE_LEVEL,
+};
 pub use tune::{autotune_array_size, autotune_batch_size, SweepResult, TuningGuideline};
 pub use twophase::{load_two_phase, start_task_server, TwoPhaseReport};
 

@@ -10,24 +10,35 @@
 //! a round-robin pre-partition (the rejected baseline, kept for ablation
 //! A2).
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use skycat::CatalogFile;
-use skydb::server::Server;
+use skydb::server::{Server, Session};
 use skysim::cluster::{run_dynamic, run_static, AssignmentPolicy, NodeSpec};
+use skysim::time::Waiter;
 
-use crate::bulk::load_catalog_file;
 use crate::config::LoaderConfig;
 use crate::recovery::LoadJournal;
-use crate::report::{FileReport, NightReport};
+use crate::report::{FailedFile, FileReport, NightReport};
+use crate::resilience::{classify, fault_label, Backoff, CircuitBreaker, Degrader, ErrorClass};
+
+/// Bounded number of extra dynamic rounds for files whose connection's
+/// circuit breaker tripped mid-load.
+const MAX_REQUEUE_ROUNDS: usize = 64;
 
 /// Load an observation's files with `nodes` parallel loader processes.
 ///
 /// # Panics
-/// Panics if a loader hits a protocol-level failure (row-level errors are
-/// skipped and reported, as in the paper).
+/// Panics if a loader hits a protocol-level failure it cannot retire within
+/// the configured retry/requeue budget (row-level errors are skipped and
+/// reported, as in the paper). Callers that prefer a report over a panic
+/// use [`load_night_with_journal`] and inspect
+/// [`NightReport::failed_files`].
 pub fn load_night(
     server: &Arc<Server>,
     files: &[CatalogFile],
@@ -35,10 +46,38 @@ pub fn load_night(
     nodes: usize,
     policy: AssignmentPolicy,
 ) -> NightReport {
-    load_night_with_journal(server, files, cfg, nodes, policy, None)
+    let night = load_night_with_journal(server, files, cfg, nodes, policy, None);
+    if let Some(f) = night.failed_files.first() {
+        panic!("loading {} failed: {}", f.file, f.error);
+    }
+    night
+}
+
+/// Per-node retry state: the connection's circuit breaker and its seeded
+/// backoff stream.
+struct NodeState {
+    breaker: CircuitBreaker,
+    backoff: Backoff,
 }
 
 /// [`load_night`] with an optional shared checkpoint journal.
+///
+/// Connection-level failures (driver timeouts, resets, busy rejections,
+/// disk-full commits, corrupt-payload rejections) are retried per
+/// `cfg.retry`: roll back the broken transaction, back off with seeded
+/// jitter, then reload. With a journal the retry resumes from the last
+/// commit and the attempt budget refreshes whenever an attempt *made
+/// progress* (the journal advanced) or the fleet changed degradation level
+/// — a long file on a flaky link may take many resumes but always
+/// converges. Without a journal, any rows committed before the failure
+/// re-surface as PK-duplicate skips, so the repository still converges to
+/// exactly one copy of every row.
+///
+/// A connection whose breaker trips is quarantined: the loader reconnects
+/// and the in-flight file is requeued through dynamic assignment. Files
+/// that cannot be retired (including everything pending when the server
+/// crashes) are reported in [`NightReport::failed_files`] rather than
+/// panicking.
 pub fn load_night_with_journal(
     server: &Arc<Server>,
     files: &[CatalogFile],
@@ -49,81 +88,192 @@ pub fn load_night_with_journal(
 ) -> NightReport {
     assert!(nodes > 0, "need at least one loader node");
     let pool = NodeSpec::pool(nodes);
-    // One session per node, like one loader process per Condor node.
-    let sessions: Vec<_> = (0..nodes).map(|_| server.connect()).collect();
+    let retry = &cfg.retry;
+    // One session per node, like one loader process per Condor node. The
+    // Mutex allows a tripped connection to be swapped for a fresh one.
+    let sessions: Vec<Mutex<Session>> = (0..nodes)
+        .map(|_| {
+            let s = server.connect();
+            s.set_call_timeout(retry.call_timeout);
+            Mutex::new(s)
+        })
+        .collect();
+    let node_states: Vec<Mutex<NodeState>> = (0..nodes)
+        .map(|i| {
+            Mutex::new(NodeState {
+                breaker: CircuitBreaker::new(retry.breaker_threshold),
+                backoff: Backoff::new(retry, i as u64),
+            })
+        })
+        .collect();
+    let degrader = Degrader::new(retry);
+    let waiter = Waiter::new(server.engine().scale());
     let reports: Mutex<Vec<FileReport>> = Mutex::new(Vec::with_capacity(files.len()));
+    let requeued: Mutex<Vec<&CatalogFile>> = Mutex::new(Vec::new());
+    let failed: Mutex<Vec<FailedFile>> = Mutex::new(Vec::new());
+    let retries = AtomicU64::new(0);
+    let survived: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
 
-    // Connection-level failures (driver timeouts, resets) are retried:
-    // roll back the broken transaction, then reload. With a journal the
-    // retry resumes from the last commit and the attempt budget refreshes
-    // whenever an attempt *made progress* (the journal advanced) — a long
-    // file on a flaky link may take many resumes but always converges.
-    // Without a journal, any rows committed before the failure re-surface
-    // as PK-duplicate skips, so the repository still converges to exactly
-    // one copy of every row.
-    const MAX_STALLED_ATTEMPTS: usize = 3;
-    let work = |node_idx: usize, file: &CatalogFile| {
-        let session = &sessions[node_idx];
-        let mut last_err = None;
+    let give_up = |file: &CatalogFile, why: String| {
+        failed.lock().push(FailedFile {
+            file: file.name.clone(),
+            error: why,
+        });
+    };
+
+    let work = |node_idx: usize, file| {
+        let file: &CatalogFile = file;
         let mut stalled = 0usize;
-        while stalled < MAX_STALLED_ATTEMPTS {
+        let mut attempts = 0u64;
+        let mut last_level = degrader.level();
+        loop {
+            // Load under the degradation ladder's current shape.
+            let effective = degrader.shape(cfg);
             let progress_before = journal.map(|j| j.committed_lines(&file.name));
-            let result = match journal {
-                Some(j) => crate::bulk::load_catalog_text_with_journal(
-                    session, cfg, &file.name, &file.text, j,
-                ),
-                None => load_catalog_file(session, cfg, file),
+            let result = {
+                let session = sessions[node_idx].lock();
+                match journal {
+                    Some(j) => crate::bulk::load_catalog_text_with_journal(
+                        &session, &effective, &file.name, &file.text, j,
+                    ),
+                    None => {
+                        crate::bulk::load_catalog_text(&session, &effective, &file.name, &file.text)
+                    }
+                }
             };
-            match result {
-                Ok(report) => {
+            let err = match result {
+                Ok(mut report) => {
+                    report.retries = attempts;
+                    degrader.note_success();
+                    let mut st = node_states[node_idx].lock();
+                    st.breaker.record_success();
+                    st.backoff.reset();
+                    drop(st);
                     reports.lock().push(report);
                     return;
                 }
-                Err(e) => {
-                    // The rollback itself crosses the wire and can hit the
-                    // same flaky link; insist a little.
-                    for _ in 0..MAX_STALLED_ATTEMPTS {
-                        if session.rollback().is_ok() {
-                            break;
-                        }
+                Err(e) => e,
+            };
+            attempts += 1;
+            retries.fetch_add(1, Ordering::Relaxed);
+            match classify(&err) {
+                ErrorClass::Permanent => {
+                    let _ = sessions[node_idx].lock().rollback();
+                    give_up(file, err.to_string());
+                    return;
+                }
+                ErrorClass::ServerLost => {
+                    // The server is down; retrying any connection is futile.
+                    // Report and let the caller (e.g. the chaos harness)
+                    // recover the repository and resume from the journal.
+                    give_up(file, err.to_string());
+                    return;
+                }
+                ErrorClass::Transient => {}
+            }
+            *survived.lock().entry(fault_label(&err)).or_insert(0) += 1;
+            degrader.note_failure();
+            // The rollback itself crosses the wire and can hit the same
+            // flaky link; insist a little.
+            {
+                let session = sessions[node_idx].lock();
+                for _ in 0..3 {
+                    if session.rollback().is_ok() {
+                        break;
                     }
-                    let progressed = match (progress_before, journal) {
-                        (Some(before), Some(j)) => j.committed_lines(&file.name) > before,
-                        _ => false,
-                    };
-                    if progressed {
-                        stalled = 0;
-                    } else {
-                        stalled += 1;
-                    }
-                    last_err = Some(e);
                 }
             }
+            let tripped = node_states[node_idx].lock().breaker.record_failure();
+            if tripped {
+                // Quarantine the sick connection: reconnect, requeue the
+                // file through dynamic assignment for a later round.
+                let fresh = server.connect();
+                fresh.set_call_timeout(retry.call_timeout);
+                *sessions[node_idx].lock() = fresh;
+                requeued.lock().push(file);
+                return;
+            }
+            // The attempt budget counts only *stalled* attempts: journal
+            // progress or a degradation-ladder move refreshes it.
+            let progressed = match (progress_before, journal) {
+                (Some(before), Some(j)) => j.committed_lines(&file.name) > before,
+                _ => false,
+            };
+            let level = degrader.level();
+            if progressed || level != last_level {
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            last_level = level;
+            if stalled >= retry.max_attempts {
+                give_up(
+                    file,
+                    format!("no progress after {} attempts: {err}", retry.max_attempts),
+                );
+                return;
+            }
+            waiter.wait(node_states[node_idx].lock().backoff.next_delay());
         }
-        panic!(
-            "loading {} failed after {MAX_STALLED_ATTEMPTS} attempts without progress: {}",
-            file.name,
-            last_err.expect("had an error")
-        );
     };
 
     let items: Vec<&CatalogFile> = files.iter().collect();
-    let cluster = match policy {
+    let mut cluster = match policy {
         AssignmentPolicy::Dynamic => run_dynamic(&pool, items, work),
         AssignmentPolicy::Static => run_static(&pool, items, work),
     };
 
+    // Requeue rounds: files orphaned by breaker trips go back through
+    // dynamic assignment (fresh connections, refreshed budgets) until the
+    // queue drains, the server crashes, or the round budget runs out.
+    let mut extra = Duration::ZERO;
+    for _ in 0..MAX_REQUEUE_ROUNDS {
+        let queue: Vec<&CatalogFile> = std::mem::take(&mut *requeued.lock());
+        if queue.is_empty() {
+            break;
+        }
+        if server.is_crashed() {
+            for f in queue {
+                give_up(
+                    f,
+                    "server crashed before the requeued file could load".into(),
+                );
+            }
+            break;
+        }
+        extra += run_dynamic(&pool, queue, work).makespan;
+    }
+    for f in std::mem::take(&mut *requeued.lock()) {
+        give_up(
+            f,
+            format!("requeue budget ({MAX_REQUEUE_ROUNDS} rounds) exhausted"),
+        );
+    }
+    cluster.makespan += extra;
+
     // Close out any session-held transactions (loads commit per policy, but
-    // be safe if a file had zero commits).
+    // be safe if a file had zero commits). Best effort: on a crashed or
+    // still-faulty server the commit may fail; the rows at stake were never
+    // journaled, so a resumed load re-sends them.
     for s in &sessions {
-        s.commit().expect("final commit");
+        let s = s.lock();
+        if s.commit().is_err() {
+            let _ = s.rollback();
+        }
     }
 
+    let breaker_trips = node_states.iter().map(|st| st.lock().breaker.trips()).sum();
     NightReport {
         files: reports.into_inner(),
         makespan: cluster.makespan,
         nodes,
         node_imbalance: cluster.imbalance(),
+        retries: retries.into_inner(),
+        faults_survived: survived.into_inner(),
+        breaker_trips,
+        degraded_time: degrader.degraded_time(),
+        degrade_transitions: degrader.transitions(),
+        failed_files: failed.into_inner(),
     }
 }
 
@@ -249,6 +399,104 @@ mod tests {
         assert_eq!(report.files.len(), 3);
         assert!(report.rows_loaded() > 0);
         assert!((report.node_imbalance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degradation_round_trip_under_batch_corruption() {
+        use crate::resilience::{RetryPolicy, MAX_DEGRADE_LEVEL};
+        use skydb::fault::{FaultPlan, FaultPlanConfig};
+
+        // Every batch call is rejected as corrupt, so the fleet must walk
+        // the full degradation ladder down to per-row inserts (which the
+        // corruption fault cannot touch), then climb back to batch mode
+        // after enough clean files.
+        let cfg = GenConfig::night(41, 100).with_files(6);
+        let files = generate_observation(&cfg);
+        let expected = aggregate_expected(&files);
+        let server = fresh_server();
+        server.set_fault_plan(Some(FaultPlan::new(
+            FaultPlanConfig::new(7).with_corruption(1.0),
+        )));
+        let retry = RetryPolicy::default()
+            .with_degradation(1, 2)
+            .with_breaker_threshold(100);
+        let loader = LoaderConfig::test().with_retry(retry);
+        let journal = LoadJournal::new();
+        let night = load_night_with_journal(
+            &server,
+            &files,
+            &loader,
+            2,
+            AssignmentPolicy::Dynamic,
+            Some(&journal),
+        );
+        assert!(night.is_complete(), "failed: {:?}", night.failed_files);
+        assert_eq!(night.rows_loaded(), expected.total_loadable());
+        for (table, expect) in &expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(server.engine().row_count(tid), *expect, "{table}");
+        }
+        // The ladder bottomed out at per-row inserts...
+        assert!(
+            night
+                .degrade_transitions
+                .iter()
+                .any(|t| t.to == MAX_DEGRADE_LEVEL && t.trigger == "degrade"),
+            "never reached per-row fallback: {:?}",
+            night.degrade_transitions
+        );
+        // ...and batch mode was restored once loads went clean again.
+        assert!(
+            night
+                .degrade_transitions
+                .iter()
+                .any(|t| t.to == 0 && t.trigger == "restore"),
+            "never restored batch mode: {:?}",
+            night.degrade_transitions
+        );
+        assert!(night.degraded_time > Duration::ZERO);
+        assert!(night.retries > 0);
+        assert!(*night.faults_survived.get("corruption").unwrap_or(&0) > 0);
+    }
+
+    #[test]
+    fn breaker_trip_quarantines_connection_and_requeues_file() {
+        use crate::resilience::RetryPolicy;
+
+        // A hair-trigger breaker: the first reset on a connection
+        // quarantines it; the file must come back through dynamic
+        // assignment on a fresh session and still land exactly once.
+        let cfg = GenConfig::night(43, 100).with_files(6);
+        let files = generate_observation(&cfg);
+        let expected = aggregate_expected(&files);
+        let server = fresh_server();
+        // Rare faults: each one trips the hair-trigger breaker, but the
+        // requeued reload usually gets a long clean window to resume in.
+        server.inject_call_faults(251);
+        let loader = LoaderConfig::test()
+            .with_array_size(300)
+            .with_commit_policy(crate::config::CommitPolicy::PerFlush)
+            .with_retry(RetryPolicy::default().with_breaker_threshold(1));
+        let journal = LoadJournal::new();
+        let night = load_night_with_journal(
+            &server,
+            &files,
+            &loader,
+            2,
+            AssignmentPolicy::Dynamic,
+            Some(&journal),
+        );
+        assert!(night.is_complete(), "failed: {:?}", night.failed_files);
+        assert!(night.breaker_trips > 0);
+        assert!(night.retries > 0);
+        // Reports from requeued files only count rows loaded after their
+        // journal resume point, so the repository itself is the
+        // exactly-once oracle.
+        assert!(night.rows_loaded() <= expected.total_loadable());
+        for (table, expect) in &expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(server.engine().row_count(tid), *expect, "{table}");
+        }
     }
 
     #[test]

@@ -67,9 +67,20 @@ impl LoadJournal {
         })
     }
 
-    /// Persist to a file.
+    /// Persist to a file, atomically: the JSON is written to a temporary
+    /// sibling and renamed into place, so a crash mid-save leaves either
+    /// the old journal or the new one on disk — never a torn half of
+    /// both.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        let tmp = path.with_extension("journal.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 
     /// Load from a file; a missing file yields an empty journal.
@@ -209,6 +220,35 @@ mod tests {
             let tid = server.engine().table_id(table).unwrap();
             assert_eq!(server.engine().row_count(tid), *expect);
         }
+    }
+
+    #[test]
+    fn save_is_atomic_and_partial_json_is_rejected_not_panicked() {
+        let dir = std::env::temp_dir().join(format!("skyloader-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.json");
+
+        // A save leaves exactly the journal behind — no temp residue.
+        let j = LoadJournal::new();
+        j.record("x.cat", 7);
+        j.save(&path).unwrap();
+        assert!(!path.with_extension("journal.tmp").exists());
+
+        // A crash mid-write leaves a truncated JSON on disk; loading it
+        // must surface InvalidData, not panic, and must not clobber the
+        // caller's state.
+        let torn = &j.to_json()[..j.to_json().len() / 2];
+        std::fs::write(&path, torn).unwrap();
+        let err = LoadJournal::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Overwriting the torn file with a good save recovers cleanly.
+        j.save(&path).unwrap();
+        assert_eq!(
+            LoadJournal::load(&path).unwrap().committed_lines("x.cat"),
+            7
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

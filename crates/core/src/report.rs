@@ -9,6 +9,8 @@ use serde::Serialize;
 use skydb::error::{ConstraintKind, DbError};
 use skydb::server::Server;
 
+use crate::resilience::DegradeTransition;
+
 /// Why a row was skipped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
 pub enum SkipKind {
@@ -112,6 +114,8 @@ pub struct FileReport {
     pub skip_details: Vec<SkipRecord>,
     /// Lines resumed past (when loading with a journal).
     pub lines_resumed: u64,
+    /// Failed attempts retried before this file loaded (0 = first try).
+    pub retries: u64,
     /// Modeled time in the parse stage: input lines × the configured
     /// client parse cost.
     #[serde(with = "ser_duration")]
@@ -177,8 +181,17 @@ impl FileReport {
     }
 }
 
-/// Outcome of loading a whole observation (many files, possibly parallel).
+/// A file that could not be loaded within the retry/requeue budget.
 #[derive(Debug, Clone, Serialize)]
+pub struct FailedFile {
+    /// Source file name.
+    pub file: String,
+    /// The last error observed for it.
+    pub error: String,
+}
+
+/// Outcome of loading a whole observation (many files, possibly parallel).
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct NightReport {
     /// Per-file reports, in completion order.
     pub files: Vec<FileReport>,
@@ -189,9 +202,29 @@ pub struct NightReport {
     pub nodes: usize,
     /// Busiest/idlest node busy-time ratio (1.0 = perfectly balanced).
     pub node_imbalance: f64,
+    /// Failed file-load attempts retried across the night.
+    pub retries: u64,
+    /// Retried transport errors by kind label (the faults the fleet
+    /// survived; latency spikes absorbed within the call budget are
+    /// invisible here but counted server-side).
+    pub faults_survived: BTreeMap<&'static str, u64>,
+    /// Circuit-breaker trips (connections quarantined and replaced).
+    pub breaker_trips: u64,
+    /// Wall-clock time the fleet spent below full batch mode.
+    #[serde(with = "ser_duration")]
+    pub degraded_time: Duration,
+    /// Every degradation-ladder move, in order.
+    pub degrade_transitions: Vec<DegradeTransition>,
+    /// Files given up on (empty on a fully successful night).
+    pub failed_files: Vec<FailedFile>,
 }
 
 impl NightReport {
+    /// `true` when every file loaded (possibly after retries/requeues).
+    pub fn is_complete(&self) -> bool {
+        self.failed_files.is_empty()
+    }
+
     /// Total rows committed.
     pub fn rows_loaded(&self) -> u64 {
         self.files.iter().map(|f| f.rows_loaded).sum()
@@ -307,10 +340,12 @@ impl ModeledCost {
     }
 }
 
-mod ser_duration {
+pub(crate) mod ser_duration {
+    //! Serialize a [`Duration`] as integer microseconds.
     use serde::{Serialize, Serializer};
     use std::time::Duration;
 
+    /// Serde `with`-hook: emit the duration as whole microseconds.
     pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
         (d.as_micros() as u64).serialize(s)
     }
@@ -374,7 +409,9 @@ mod tests {
             makespan: Duration::from_secs(3),
             nodes: 2,
             node_imbalance: 1.1,
+            ..NightReport::default()
         };
+        assert!(night.is_complete());
         assert_eq!(night.rows_loaded(), 30);
         assert_eq!(night.bytes_read(), 3_000_000);
         assert!((night.throughput_mb_per_s() - 1.0).abs() < 1e-9);

@@ -326,6 +326,25 @@ impl Engine {
         Ok(())
     }
 
+    /// Fault injection: a crash in the middle of the commit's log flush.
+    ///
+    /// The commit record is appended, but the flush tears `torn_tail` bytes
+    /// short of durability — on a torn tail inside the commit record the
+    /// transaction is *not* durably committed and a redo scan drops all its
+    /// work. The transaction is deliberately left open (the crashed server
+    /// never answered), so engine-side state matches what a power cut at
+    /// this instant would leave: recovery must come from [`Engine::
+    /// recover_from_log`] on [`Engine::durable_log`].
+    pub fn simulate_torn_commit_flush(&self, txn: TxnId, torn_tail: usize) -> DbResult<()> {
+        if !self.txns.is_active(txn) {
+            return Err(DbError::NoTransaction);
+        }
+        let log_dev = self.farm.device(StorageRole::Log);
+        self.wal.append(&LogRecord::Commit(txn), log_dev);
+        self.wal.flush_torn(log_dev, torn_tail);
+        Ok(())
+    }
+
     /// Roll back: reverse every write of the transaction.
     pub fn rollback(&self, txn: TxnId) -> DbResult<()> {
         if !self.txns.is_active(txn) {

@@ -85,6 +85,21 @@ pub enum DbError {
     InvalidSchema(String),
     /// A wire-protocol frame could not be decoded.
     Protocol(String),
+    /// The server refused the call because it is momentarily overloaded
+    /// (transient; the client should back off and retry).
+    ServerBusy(String),
+    /// A client-side driver timeout: the call exceeded the session's
+    /// per-call budget (the server may or may not have processed it).
+    Timeout(String),
+    /// The log device rejected a write for lack of space (transient once
+    /// the operator frees space; the transaction stays open).
+    DiskFull(String),
+    /// The server has crashed; every further call on any session fails
+    /// until the repository is recovered into a fresh server.
+    ServerDown(String),
+    /// The server detected a corrupted request payload (checksum mismatch)
+    /// and rejected the whole call before applying anything.
+    Corruption(String),
     /// A batch failed at `offset`; rows before the offset were applied.
     Batch {
         /// Zero-based index of the failing row within the batch.
@@ -164,6 +179,11 @@ impl fmt::Display for DbError {
             DbError::ExprError(m) => write!(f, "expression error: {m}"),
             DbError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
             DbError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DbError::ServerBusy(m) => write!(f, "server busy: {m}"),
+            DbError::Timeout(m) => write!(f, "call timed out: {m}"),
+            DbError::DiskFull(m) => write!(f, "disk full: {m}"),
+            DbError::ServerDown(m) => write!(f, "server down: {m}"),
+            DbError::Corruption(m) => write!(f, "corrupt payload: {m}"),
             DbError::Batch { offset, cause } => {
                 write!(f, "batch failed at row offset {offset}: {cause}")
             }

@@ -1,0 +1,476 @@
+//! The deterministic fault-plan engine.
+//!
+//! The paper's §3 makes "automatic recovery from errors" a basic
+//! requirement of the loading framework; exercising that requirement needs
+//! a richer failure source than the original every-Nth connection reset.
+//! A [`FaultPlan`] decides, per client call, whether to inject one of six
+//! fault kinds — connection reset, transient "server busy", a latency
+//! spike, disk-full on the commit's WAL flush, a crash mid-flush (torn log
+//! write), or per-batch payload corruption — each with an independently
+//! configurable rate or schedule.
+//!
+//! Every decision is a **pure function of the plan's seed and the call's
+//! per-class ordinal** (via [`SplitMix64`]), so one seed reproduces the
+//! identical fault schedule regardless of which loader thread happens to
+//! issue a given call: the *n*-th commit tears its flush on every run, the
+//! *k*-th batch is corrupt on every run. That is what makes the chaos-soak
+//! harness replayable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use skysim::rng::SplitMix64;
+
+use crate::error::DbError;
+
+/// The injectable fault kinds, in decision-priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Crash during the commit's log flush: a torn WAL write, then every
+    /// later call fails with [`DbError::ServerDown`] until recovery.
+    CrashOnFlush,
+    /// The log device rejects the commit's WAL flush
+    /// ([`DbError::DiskFull`]); the transaction stays open and retryable.
+    DiskFull,
+    /// The server detects a corrupted batch payload and rejects the whole
+    /// call before applying any row ([`DbError::Corruption`]).
+    Corruption,
+    /// Connection reset ([`DbError::Protocol`]), the legacy fault.
+    Reset,
+    /// Transient overload ([`DbError::ServerBusy`]).
+    Busy,
+    /// A latency spike: the call stalls for the configured duration, and
+    /// fails with [`DbError::Timeout`] if the session's per-call budget is
+    /// shorter than the spike.
+    Latency,
+}
+
+/// Every fault kind, for report iteration.
+pub const FAULT_KINDS: [FaultKind; 6] = [
+    FaultKind::CrashOnFlush,
+    FaultKind::DiskFull,
+    FaultKind::Corruption,
+    FaultKind::Reset,
+    FaultKind::Busy,
+    FaultKind::Latency,
+];
+
+impl FaultKind {
+    /// Stable label for report maps.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::CrashOnFlush => "crash_on_flush",
+            FaultKind::DiskFull => "disk_full",
+            FaultKind::Corruption => "corruption",
+            FaultKind::Reset => "reset",
+            FaultKind::Busy => "busy",
+            FaultKind::Latency => "latency",
+        }
+    }
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::CrashOnFlush => 0,
+            FaultKind::DiskFull => 1,
+            FaultKind::Corruption => 2,
+            FaultKind::Reset => 3,
+            FaultKind::Busy => 4,
+            FaultKind::Latency => 5,
+        }
+    }
+}
+
+/// Which class of server call a fault decision applies to. Class-specific
+/// kinds (disk-full, crash-on-flush on commits; corruption on batches) use
+/// per-class ordinals so their schedules are independent of how many calls
+/// of other classes interleave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallClass {
+    /// A single-row insert.
+    Single,
+    /// A batched insert.
+    Batch,
+    /// A commit.
+    Commit,
+    /// A rollback.
+    Rollback,
+}
+
+/// Configuration of a fault plan: one seed plus per-kind rates/schedules.
+/// All rates are per-applicable-call Bernoulli probabilities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Seed every schedule derives from.
+    pub seed: u64,
+    /// Legacy schedule: fail every `n`th call with a connection reset
+    /// (0 = off). Kept exact for the `inject_call_faults` shim.
+    pub reset_every: u64,
+    /// Connection-reset probability per call.
+    pub reset_rate: f64,
+    /// Server-busy probability per call.
+    pub busy_rate: f64,
+    /// Latency-spike probability per call.
+    pub latency_rate: f64,
+    /// Modeled duration of one latency spike.
+    pub latency_spike: Duration,
+    /// Disk-full probability per commit call.
+    pub disk_full_rate: f64,
+    /// Batch-corruption probability per batch call.
+    pub corruption_rate: f64,
+    /// Crash (torn WAL write) on the `n`-th commit call, 1-based.
+    pub crash_on_flush_at: Option<u64>,
+}
+
+impl Default for FaultPlanConfig {
+    /// Everything off; a 20 ms modeled spike if latency is enabled.
+    fn default() -> Self {
+        FaultPlanConfig {
+            seed: 0,
+            reset_every: 0,
+            reset_rate: 0.0,
+            busy_rate: 0.0,
+            latency_rate: 0.0,
+            latency_spike: Duration::from_millis(20),
+            disk_full_rate: 0.0,
+            corruption_rate: 0.0,
+            crash_on_flush_at: None,
+        }
+    }
+}
+
+impl FaultPlanConfig {
+    /// A plan seeded with `seed` and everything off.
+    pub fn new(seed: u64) -> Self {
+        FaultPlanConfig {
+            seed,
+            ..FaultPlanConfig::default()
+        }
+    }
+
+    /// Builder-style: connection-reset rate.
+    pub fn with_resets(mut self, rate: f64) -> Self {
+        self.reset_rate = rate;
+        self
+    }
+
+    /// Builder-style: server-busy rate.
+    pub fn with_busy(mut self, rate: f64) -> Self {
+        self.busy_rate = rate;
+        self
+    }
+
+    /// Builder-style: latency-spike rate and spike duration.
+    pub fn with_latency(mut self, rate: f64, spike: Duration) -> Self {
+        self.latency_rate = rate;
+        self.latency_spike = spike;
+        self
+    }
+
+    /// Builder-style: disk-full rate (per commit).
+    pub fn with_disk_full(mut self, rate: f64) -> Self {
+        self.disk_full_rate = rate;
+        self
+    }
+
+    /// Builder-style: batch-corruption rate (per batch).
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        self.corruption_rate = rate;
+        self
+    }
+
+    /// Builder-style: crash on the `n`-th commit (1-based).
+    pub fn with_crash_on_flush(mut self, nth_commit: u64) -> Self {
+        self.crash_on_flush_at = Some(nth_commit);
+        self
+    }
+
+    /// Validate rates.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, r) in [
+            ("reset_rate", self.reset_rate),
+            ("busy_rate", self.busy_rate),
+            ("latency_rate", self.latency_rate),
+            ("disk_full_rate", self.disk_full_rate),
+            ("corruption_rate", self.corruption_rate),
+        ] {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("{name} must be in [0, 1], got {r}"));
+            }
+        }
+        if self.crash_on_flush_at == Some(0) {
+            return Err("crash_on_flush_at is 1-based; 0 never fires".into());
+        }
+        Ok(())
+    }
+}
+
+/// What the plan decided for one call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultDecision {
+    /// No fault: dispatch normally.
+    Proceed,
+    /// Fail the call with this error before dispatch.
+    Fail(FaultKind, DbError),
+    /// Stall the call by this modeled duration (then dispatch, unless the
+    /// session's call budget expires first).
+    Delay(Duration),
+    /// Tear the commit's WAL flush and crash the server.
+    CrashFlush,
+}
+
+/// A live fault plan: configuration plus per-class call counters.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultPlanConfig,
+    calls_seen: AtomicU64,
+    batch_calls: AtomicU64,
+    commit_calls: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Build a plan from its configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (rates outside `[0, 1]`).
+    pub fn new(cfg: FaultPlanConfig) -> Self {
+        cfg.validate().expect("valid fault-plan config");
+        FaultPlan {
+            cfg,
+            calls_seen: AtomicU64::new(0),
+            batch_calls: AtomicU64::new(0),
+            commit_calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The legacy every-Nth connection-reset schedule, exactly as
+    /// `Server::inject_call_faults` always behaved.
+    pub fn every_nth(every: u64) -> Self {
+        FaultPlan::new(FaultPlanConfig {
+            reset_every: every,
+            ..FaultPlanConfig::default()
+        })
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.cfg
+    }
+
+    /// Calls this plan has adjudicated.
+    pub fn calls_seen(&self) -> u64 {
+        self.calls_seen.load(Ordering::Relaxed)
+    }
+
+    /// Seed-deterministic Bernoulli draw for (kind, per-class ordinal):
+    /// pure, so the schedule is independent of thread interleaving.
+    fn fires(seed: u64, kind: FaultKind, ordinal: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let salt = 0xA076_1D64_78BD_642F_u64.wrapping_mul(kind.index() as u64 + 1);
+        let mut rng = SplitMix64::new(seed ^ salt.wrapping_add(ordinal));
+        // Discard one output to decorrelate adjacent ordinals.
+        rng.next_u64();
+        rng.next_f64() < rate
+    }
+
+    /// Adjudicate one call. At most one fault fires per call; class-specific
+    /// kinds take priority over connection-level kinds.
+    pub fn decide(&self, class: CallClass) -> FaultDecision {
+        let n = self.calls_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let cfg = &self.cfg;
+        match class {
+            CallClass::Commit => {
+                let c = self.commit_calls.fetch_add(1, Ordering::Relaxed) + 1;
+                if cfg.crash_on_flush_at == Some(c) {
+                    return FaultDecision::CrashFlush;
+                }
+                if Self::fires(cfg.seed, FaultKind::DiskFull, c, cfg.disk_full_rate) {
+                    return FaultDecision::Fail(
+                        FaultKind::DiskFull,
+                        DbError::DiskFull("log device out of space (injected fault)".into()),
+                    );
+                }
+            }
+            CallClass::Batch => {
+                let b = self.batch_calls.fetch_add(1, Ordering::Relaxed) + 1;
+                if Self::fires(cfg.seed, FaultKind::Corruption, b, cfg.corruption_rate) {
+                    return FaultDecision::Fail(
+                        FaultKind::Corruption,
+                        DbError::Corruption(
+                            "batch payload checksum mismatch (injected fault); nothing applied"
+                                .into(),
+                        ),
+                    );
+                }
+            }
+            CallClass::Single | CallClass::Rollback => {}
+        }
+        if (cfg.reset_every != 0 && n.is_multiple_of(cfg.reset_every))
+            || Self::fires(cfg.seed, FaultKind::Reset, n, cfg.reset_rate)
+        {
+            return FaultDecision::Fail(
+                FaultKind::Reset,
+                DbError::Protocol("connection reset by peer (injected fault)".into()),
+            );
+        }
+        if Self::fires(cfg.seed, FaultKind::Busy, n, cfg.busy_rate) {
+            return FaultDecision::Fail(
+                FaultKind::Busy,
+                DbError::ServerBusy("too many concurrent requests (injected fault)".into()),
+            );
+        }
+        if Self::fires(cfg.seed, FaultKind::Latency, n, cfg.latency_rate) {
+            return FaultDecision::Delay(cfg.latency_spike);
+        }
+        FaultDecision::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(plan: &FaultPlan, classes: &[CallClass]) -> Vec<FaultDecision> {
+        classes.iter().map(|c| plan.decide(*c)).collect()
+    }
+
+    fn mixed_sequence(n: usize) -> Vec<CallClass> {
+        (0..n)
+            .map(|i| match i % 7 {
+                0..=3 => CallClass::Batch,
+                4 => CallClass::Single,
+                5 => CallClass::Commit,
+                _ => CallClass::Rollback,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultPlanConfig::new(42)
+            .with_resets(0.05)
+            .with_busy(0.05)
+            .with_latency(0.05, Duration::from_millis(5))
+            .with_disk_full(0.2)
+            .with_corruption(0.1)
+            .with_crash_on_flush(40);
+        let seq = mixed_sequence(500);
+        let a = drive(&FaultPlan::new(cfg.clone()), &seq);
+        let b = drive(&FaultPlan::new(cfg), &seq);
+        assert_eq!(a, b, "identical seed must reproduce the schedule");
+        assert!(
+            a.iter().any(|d| !matches!(d, FaultDecision::Proceed)),
+            "plan with nonzero rates should fire"
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mk = |seed| {
+            FaultPlanConfig::new(seed)
+                .with_resets(0.1)
+                .with_busy(0.1)
+                .with_corruption(0.1)
+        };
+        let seq = mixed_sequence(400);
+        let a = drive(&FaultPlan::new(mk(1)), &seq);
+        let b = drive(&FaultPlan::new(mk(2)), &seq);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn class_specific_ordinals_are_interleave_independent() {
+        // The same batch ordinals must get the same corruption decisions no
+        // matter how many commits/singles are interleaved between them.
+        let cfg = FaultPlanConfig::new(7).with_corruption(0.3);
+        let pure_batches = drive(&FaultPlan::new(cfg.clone()), &[CallClass::Batch; 60]);
+        let interleaved: Vec<CallClass> = (0..180)
+            .map(|i| {
+                if i % 3 == 0 {
+                    CallClass::Batch
+                } else if i % 3 == 1 {
+                    CallClass::Single
+                } else {
+                    CallClass::Commit
+                }
+            })
+            .collect();
+        let mixed = drive(&FaultPlan::new(cfg), &interleaved);
+        let mixed_batch_decisions: Vec<&FaultDecision> = interleaved
+            .iter()
+            .zip(mixed.iter())
+            .filter(|(c, _)| **c == CallClass::Batch)
+            .map(|(_, d)| d)
+            .collect();
+        for (i, (pure, inter)) in pure_batches.iter().zip(mixed_batch_decisions).enumerate() {
+            // Corruption decisions only (connection-level kinds use the
+            // global ordinal, which legitimately differs).
+            let pure_corrupt = matches!(pure, FaultDecision::Fail(FaultKind::Corruption, _));
+            let inter_corrupt = matches!(inter, FaultDecision::Fail(FaultKind::Corruption, _));
+            assert_eq!(pure_corrupt, inter_corrupt, "batch ordinal {i}");
+        }
+    }
+
+    #[test]
+    fn every_nth_matches_legacy_semantics() {
+        let plan = FaultPlan::every_nth(3);
+        let out = drive(&plan, &[CallClass::Single; 9]);
+        for (i, d) in out.iter().enumerate() {
+            let should_fail = (i + 1) % 3 == 0;
+            match d {
+                FaultDecision::Fail(FaultKind::Reset, DbError::Protocol(m)) => {
+                    assert!(should_fail, "call {} failed unexpectedly", i + 1);
+                    assert!(m.contains("connection reset by peer"));
+                }
+                FaultDecision::Proceed => assert!(!should_fail, "call {} should fail", i + 1),
+                other => panic!("unexpected decision {other:?}"),
+            }
+        }
+        assert_eq!(plan.calls_seen(), 9);
+    }
+
+    #[test]
+    fn crash_fires_on_exact_commit_ordinal() {
+        let cfg = FaultPlanConfig::new(9).with_crash_on_flush(3);
+        let plan = FaultPlan::new(cfg);
+        let seq = [
+            CallClass::Batch,
+            CallClass::Commit,
+            CallClass::Batch,
+            CallClass::Commit,
+            CallClass::Commit,
+        ];
+        let out = drive(&plan, &seq);
+        assert_eq!(out[4], FaultDecision::CrashFlush, "third commit crashes");
+        assert!(out[..4].iter().all(|d| *d == FaultDecision::Proceed));
+    }
+
+    #[test]
+    fn rates_roughly_honoured() {
+        let cfg = FaultPlanConfig::new(123).with_busy(0.2);
+        let plan = FaultPlan::new(cfg);
+        let fired = drive(&plan, &[CallClass::Single; 5000])
+            .iter()
+            .filter(|d| matches!(d, FaultDecision::Fail(FaultKind::Busy, _)))
+            .count();
+        let rate = fired as f64 / 5000.0;
+        assert!((rate - 0.2).abs() < 0.03, "busy rate {rate} far from 0.2");
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        assert!(FaultPlanConfig::new(1).with_busy(1.5).validate().is_err());
+        assert!(FaultPlanConfig {
+            crash_on_flush_at: Some(0),
+            ..FaultPlanConfig::default()
+        }
+        .validate()
+        .is_err());
+        FaultPlanConfig::new(1).validate().unwrap();
+    }
+}

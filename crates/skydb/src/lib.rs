@@ -18,7 +18,11 @@
 //!   parallelism ([`txn`]);
 //! * a binary wire protocol and a server that admits each call through an
 //!   8-permit CPU gate and charges network round trips per call ([`wire`],
-//!   [`server`]).
+//!   [`server`]);
+//! * a seed-deterministic fault-plan engine injecting connection resets,
+//!   busy rejections, latency spikes, disk-full commits, torn-write
+//!   crashes and corrupt batches, for exercising loader recovery
+//!   ([`fault`]).
 //!
 //! ## Quick start
 //!
@@ -51,6 +55,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod expr;
+pub mod fault;
 pub mod heap;
 pub mod schema;
 pub mod server;
@@ -66,6 +71,9 @@ pub mod prelude {
     pub use crate::engine::{BatchOutcome, Engine};
     pub use crate::error::{ConstraintKind, DbError, DbResult};
     pub use crate::expr::{CmpOp, Expr};
+    pub use crate::fault::{
+        CallClass, FaultDecision, FaultKind, FaultPlan, FaultPlanConfig, FAULT_KINDS,
+    };
     pub use crate::schema::{Catalog, TableBuilder, TableId, TableSchema};
     pub use crate::server::{BatchResult, PreparedInsert, Server, Session};
     pub use crate::stats::StatsSnapshot;

@@ -15,6 +15,8 @@
 //! `(applied, offset, error)` exactly as the paper's Fig. 3 recovery logic
 //! requires.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,6 +29,7 @@ use skysim::net::NetworkModel;
 use crate::config::DbConfig;
 use crate::engine::Engine;
 use crate::error::{DbError, DbResult};
+use crate::fault::{CallClass, FaultDecision, FaultKind, FaultPlan, FAULT_KINDS};
 use crate::schema::TableId;
 use crate::value::Row;
 use crate::wal::TxnId;
@@ -37,11 +40,16 @@ pub struct Server {
     engine: Engine,
     cpu: CpuGate,
     net: NetworkModel,
-    /// Fault injection: fail every Nth client call with a connection error
-    /// (0 = disabled). Exercises the loaders' process-level recovery.
-    fail_every: std::sync::atomic::AtomicU64,
-    calls_seen: std::sync::atomic::AtomicU64,
-    faults_injected: std::sync::atomic::AtomicU64,
+    /// Fault injection: the active plan, if any. Swappable at runtime so a
+    /// chaos harness can change the weather mid-load.
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
+    /// Faults injected so far, by [`FaultKind::index`]. Owned by the server
+    /// (not the plan) so counts survive plan swaps.
+    fault_counts: [AtomicU64; FAULT_KINDS.len()],
+    /// Set once a crash-on-flush fault fires; every later call on any
+    /// session fails with [`DbError::ServerDown`] until the repository is
+    /// recovered into a fresh server.
+    crashed: AtomicBool,
 }
 
 /// Client-side handle to a prepared `INSERT INTO <table> VALUES (…)`.
@@ -85,14 +93,7 @@ impl Server {
     pub fn start(cfg: DbConfig) -> Arc<Server> {
         let cpu = CpuGate::new(cfg.cpus, cfg.scale);
         let net = NetworkModel::new(cfg.net_rtt, cfg.net_bytes_per_sec, cfg.scale);
-        Arc::new(Server {
-            engine: Engine::new(cfg),
-            cpu,
-            net,
-            fail_every: std::sync::atomic::AtomicU64::new(0),
-            calls_seen: std::sync::atomic::AtomicU64::new(0),
-            faults_injected: std::sync::atomic::AtomicU64::new(0),
-        })
+        Server::assemble(Engine::new(cfg), cpu, net)
     }
 
     /// Start a server around an existing engine (used by recovery tests).
@@ -100,13 +101,17 @@ impl Server {
         let cfg = engine.config();
         let cpu = CpuGate::new(cfg.cpus, cfg.scale);
         let net = NetworkModel::new(cfg.net_rtt, cfg.net_bytes_per_sec, cfg.scale);
+        Server::assemble(engine, cpu, net)
+    }
+
+    fn assemble(engine: Engine, cpu: CpuGate, net: NetworkModel) -> Arc<Server> {
         Arc::new(Server {
             engine,
             cpu,
             net,
-            fail_every: std::sync::atomic::AtomicU64::new(0),
-            calls_seen: std::sync::atomic::AtomicU64::new(0),
-            faults_injected: std::sync::atomic::AtomicU64::new(0),
+            fault_plan: Mutex::new(None),
+            fault_counts: Default::default(),
+            crashed: AtomicBool::new(false),
         })
     }
 
@@ -129,34 +134,107 @@ impl Server {
     /// Models the flaky links and driver timeouts a multi-hour production
     /// load inevitably hits; loaders must recover without losing or
     /// duplicating rows.
+    ///
+    /// Thin shim over [`Server::set_fault_plan`]: installs (or, for 0,
+    /// removes) a [`FaultPlan::every_nth`] schedule. Call counting starts
+    /// from the installation point, exactly as the original counter only
+    /// advanced while a schedule was active.
     pub fn inject_call_faults(&self, every: u64) {
-        self.fail_every
-            .store(every, std::sync::atomic::Ordering::Relaxed);
+        let plan = (every != 0).then(|| FaultPlan::every_nth(every));
+        self.set_fault_plan(plan);
     }
 
-    /// Connection faults injected so far.
+    /// Install (or, with `None`, remove) a fault plan. Per-kind fault
+    /// counters are owned by the server and survive the swap.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault_plan.lock() = plan.map(Arc::new);
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.lock().clone()
+    }
+
+    /// Faults injected so far, across every kind and every plan this
+    /// server has run under.
     pub fn faults_injected(&self) -> u64 {
-        self.faults_injected
-            .load(std::sync::atomic::Ordering::Relaxed)
+        self.fault_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
-    fn maybe_inject_fault(&self) -> DbResult<()> {
-        let every = self.fail_every.load(std::sync::atomic::Ordering::Relaxed);
-        if every == 0 {
-            return Ok(());
-        }
-        let n = self
-            .calls_seen
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-            + 1;
-        if n.is_multiple_of(every) {
-            self.faults_injected
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Err(DbError::Protocol(
-                "connection reset by peer (injected fault)".into(),
+    /// Faults injected so far for one kind.
+    pub fn fault_count(&self, kind: FaultKind) -> u64 {
+        self.fault_counts[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far, labeled by kind (zero counts omitted).
+    pub fn faults_by_kind(&self) -> BTreeMap<&'static str, u64> {
+        FAULT_KINDS
+            .iter()
+            .filter_map(|k| {
+                let n = self.fault_count(*k);
+                (n > 0).then(|| (k.label(), n))
+            })
+            .collect()
+    }
+
+    /// `true` once a crash-on-flush fault has taken the server down.
+    /// Recover with [`Engine::durable_log`] + [`Engine::recover_from_log`]
+    /// into a fresh [`Server::with_engine`].
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    fn note_fault(&self, kind: FaultKind) {
+        self.fault_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adjudicate one client call against the crash flag and the active
+    /// fault plan. Runs after the round trip is charged and before
+    /// dispatch, so an injected failure reaches the server-side state
+    /// machine exactly like a dropped connection: nothing was applied.
+    fn fault_gate(&self, class: CallClass, txn: TxnId, budget: Option<Duration>) -> DbResult<()> {
+        if self.is_crashed() {
+            return Err(DbError::ServerDown(
+                "server crashed (injected fault); recover from the durable log".into(),
             ));
         }
-        Ok(())
+        let Some(plan) = self.fault_plan.lock().clone() else {
+            return Ok(());
+        };
+        match plan.decide(class) {
+            FaultDecision::Proceed => Ok(()),
+            FaultDecision::Fail(kind, err) => {
+                self.note_fault(kind);
+                Err(err)
+            }
+            FaultDecision::Delay(spike) => {
+                self.note_fault(FaultKind::Latency);
+                self.net.delay(spike);
+                match budget {
+                    Some(b) if spike > b => Err(DbError::Timeout(format!(
+                        "call exceeded its {}µs budget during a {}µs latency spike",
+                        b.as_micros(),
+                        spike.as_micros()
+                    ))),
+                    _ => Ok(()),
+                }
+            }
+            FaultDecision::CrashFlush => {
+                self.note_fault(FaultKind::CrashOnFlush);
+                // Tear 1–8 bytes off the commit record (it encodes as 9
+                // bytes), deterministically from the plan's call count, so
+                // the record is always truncated mid-encode.
+                let torn = 1 + (plan.calls_seen() % 8) as usize;
+                let _ = self.engine.simulate_torn_commit_flush(txn, torn);
+                self.crashed.store(true, Ordering::Release);
+                Err(DbError::ServerDown(
+                    "server crashed during commit flush (injected fault)".into(),
+                ))
+            }
+        }
     }
 
     /// Open a client session.
@@ -165,6 +243,7 @@ impl Server {
             server: Arc::clone(self),
             txn: Mutex::new(None),
             closed: Mutex::new(false),
+            call_timeout: Mutex::new(None),
         }
     }
 
@@ -272,6 +351,9 @@ pub struct Session {
     server: Arc<Server>,
     txn: Mutex<Option<TxnId>>,
     closed: Mutex<bool>,
+    /// Per-call driver budget: a latency spike longer than this surfaces
+    /// as [`DbError::Timeout`] (JDBC `setQueryTimeout` equivalent).
+    call_timeout: Mutex<Option<Duration>>,
 }
 
 impl Session {
@@ -303,14 +385,26 @@ impl Session {
         *self.txn.lock()
     }
 
+    /// Set (or, with `None`, clear) the per-call timeout budget.
+    pub fn set_call_timeout(&self, budget: Option<Duration>) {
+        *self.call_timeout.lock() = budget;
+    }
+
     fn call(&self, request: &Request) -> DbResult<Response> {
         let txn = self.ensure_txn()?;
+        let class = match request {
+            Request::InsertBatch { .. } => CallClass::Batch,
+            Request::InsertSingle { .. } => CallClass::Single,
+            Request::Commit => CallClass::Commit,
+            Request::Rollback => CallClass::Rollback,
+        };
         // Client-side marshaling: real serialization work.
         let mut buf = BytesMut::with_capacity(256);
         let req_len = request.encode(&mut buf);
         // One round trip carries the request and the (small) response.
         self.server.net.round_trip(req_len + 16);
-        self.server.maybe_inject_fault()?;
+        self.server
+            .fault_gate(class, txn, *self.call_timeout.lock())?;
         let resp_bytes = self.server.dispatch(txn, &buf)?;
         let mut rd = resp_bytes.as_slice();
         Response::decode(&mut rd)
@@ -560,6 +654,137 @@ mod tests {
         sess.execute_batch(&stmt, &rows).unwrap();
         assert!(s.engine().stats().snapshot().bind_spills >= 1);
         assert!(s.engine().stats().snapshot().bind_spill_bytes > 0);
+    }
+
+    #[test]
+    fn fault_shim_preserves_every_nth_semantics() {
+        let s = server();
+        s.inject_call_faults(2);
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        // Call 1 proceeds, call 2 resets, …
+        sess.execute(&stmt, frame(1)).unwrap();
+        let err = sess.execute(&stmt, frame(2)).unwrap_err();
+        assert!(matches!(err, DbError::Protocol(m) if m.contains("connection reset")));
+        assert_eq!(s.fault_count(crate::fault::FaultKind::Reset), 1);
+        s.inject_call_faults(0);
+        sess.execute(&stmt, frame(2)).unwrap();
+        sess.commit().unwrap();
+        assert_eq!(s.faults_injected(), 1, "counts survive plan removal");
+        assert_eq!(s.faults_by_kind().get("reset"), Some(&1));
+    }
+
+    #[test]
+    fn busy_fault_surfaces_server_busy() {
+        let s = server();
+        s.set_fault_plan(Some(FaultPlan::new(
+            crate::fault::FaultPlanConfig::new(5).with_busy(1.0),
+        )));
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        let err = sess.execute(&stmt, frame(1)).unwrap_err();
+        assert!(matches!(err, DbError::ServerBusy(_)));
+        assert!(s.fault_count(crate::fault::FaultKind::Busy) >= 1);
+    }
+
+    #[test]
+    fn latency_spike_times_out_only_past_budget() {
+        let mk = || {
+            let s = server();
+            s.set_fault_plan(Some(FaultPlan::new(
+                crate::fault::FaultPlanConfig::new(5).with_latency(1.0, Duration::from_millis(10)),
+            )));
+            s
+        };
+        // Generous budget: the spike is absorbed, the call succeeds.
+        let s = mk();
+        let sess = s.connect();
+        sess.set_call_timeout(Some(Duration::from_secs(1)));
+        let stmt = sess.prepare_insert("frames").unwrap();
+        sess.execute(&stmt, frame(1)).unwrap();
+        assert!(s.fault_count(crate::fault::FaultKind::Latency) >= 1);
+        let spiked = s.network().modeled_time();
+        assert!(spiked >= Duration::from_millis(10), "spike charged to net");
+        // Tight budget: the same spike now breaches it.
+        let s = mk();
+        let sess = s.connect();
+        sess.set_call_timeout(Some(Duration::from_millis(5)));
+        let stmt = sess.prepare_insert("frames").unwrap();
+        let err = sess.execute(&stmt, frame(1)).unwrap_err();
+        assert!(matches!(err, DbError::Timeout(_)));
+    }
+
+    #[test]
+    fn disk_full_keeps_transaction_retryable() {
+        let s = server();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        sess.execute(&stmt, frame(1)).unwrap();
+        s.set_fault_plan(Some(FaultPlan::new(
+            crate::fault::FaultPlanConfig::new(5).with_disk_full(1.0),
+        )));
+        let err = sess.commit().unwrap_err();
+        assert!(matches!(err, DbError::DiskFull(_)));
+        // The transaction is still open: clearing the plan and retrying
+        // the commit lands the row exactly once.
+        assert!(sess.current_txn().is_some());
+        s.set_fault_plan(None);
+        sess.commit().unwrap();
+        let fid = s.engine().table_id("frames").unwrap();
+        assert_eq!(s.engine().row_count(fid), 1);
+    }
+
+    #[test]
+    fn corruption_rejects_batch_before_anything_applies() {
+        let s = server();
+        s.set_fault_plan(Some(FaultPlan::new(
+            crate::fault::FaultPlanConfig::new(5).with_corruption(1.0),
+        )));
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        let err = sess
+            .execute_batch(&stmt, &[frame(1), frame(2)])
+            .unwrap_err();
+        assert!(matches!(err, DbError::Corruption(_)));
+        s.set_fault_plan(None);
+        sess.rollback().unwrap();
+        let fid = s.engine().table_id("frames").unwrap();
+        assert_eq!(s.engine().row_count(fid), 0, "nothing applied");
+    }
+
+    #[test]
+    fn crash_on_flush_downs_server_until_recovery() {
+        let s = server();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        sess.execute(&stmt, frame(1)).unwrap();
+        sess.commit().unwrap();
+        // Crash on the next commit (the plan counts from installation).
+        s.set_fault_plan(Some(FaultPlan::new(
+            crate::fault::FaultPlanConfig::new(5).with_crash_on_flush(1),
+        )));
+        sess.execute(&stmt, frame(2)).unwrap();
+        let err = sess.commit().unwrap_err();
+        assert!(matches!(err, DbError::ServerDown(_)));
+        assert!(s.is_crashed());
+        // Every further call fails, on any session.
+        let sess2 = s.connect();
+        let stmt2 = sess2.prepare_insert("frames").unwrap();
+        assert!(matches!(
+            sess2.execute(&stmt2, frame(3)),
+            Err(DbError::ServerDown(_))
+        ));
+        // Recovery from the durable log sees only the first commit.
+        let log = s.engine().durable_log();
+        let schemas: Vec<_> = ["frames", "objects"]
+            .iter()
+            .map(|n| (*s.engine().schema(s.engine().table_id(n).unwrap())).clone())
+            .collect();
+        let engine = Engine::recover_from_log(DbConfig::test(), schemas, &log).unwrap();
+        let s2 = Server::with_engine(engine);
+        assert!(!s2.is_crashed());
+        let fid = s2.engine().table_id("frames").unwrap();
+        assert_eq!(s2.engine().row_count(fid), 1, "torn commit not replayed");
     }
 
     #[test]

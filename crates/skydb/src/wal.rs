@@ -197,6 +197,26 @@ impl Wal {
         }
     }
 
+    /// A flush interrupted by a crash: only a prefix of the buffered bytes
+    /// reaches the device — the final `torn_tail` bytes are lost, typically
+    /// cutting the last record mid-encode. [`decode_log`] discards the
+    /// truncated record on recovery, exactly as a real redo scan does.
+    ///
+    /// No barrier is issued: the crash happens before the sync completes.
+    pub fn flush_torn(&self, log_dev: &DiskDevice, torn_tail: usize) {
+        let mut bufs = self.buffers.lock();
+        let pending = bufs.pending.split();
+        if pending.is_empty() {
+            return;
+        }
+        let keep = pending.len().saturating_sub(torn_tail);
+        let pages = pending.len().div_ceil(PAGE_BYTES) as u64;
+        log_dev.write_run(pages, Access::Sequential);
+        self.flushes.inc();
+        self.bytes_flushed.add(keep as u64);
+        bufs.durable.extend_from_slice(&pending[..keep]);
+    }
+
     /// The durable portion of the log — what a crash would preserve.
     /// Unflushed buffer contents are intentionally *not* included.
     pub fn durable_log(&self) -> Vec<u8> {
@@ -384,6 +404,36 @@ mod tests {
         assert!(wal.flushes() >= 1, "buffer should have flushed");
         assert!(d.writes() >= 1);
         assert_eq!(d.syncs(), 0, "background flush has no barrier");
+    }
+
+    #[test]
+    fn torn_flush_loses_the_tail_record_only() {
+        let wal = Wal::new(1 << 20);
+        let d = dev();
+        wal.append(&insert(1, 0, b"first"), &d);
+        wal.append(&LogRecord::Commit(TxnId(1)), &d);
+        wal.append(&insert(2, 0, b"second"), &d);
+        wal.append(&LogRecord::Commit(TxnId(2)), &d);
+        // Tear 4 bytes off the second commit record (9 bytes encoded).
+        wal.flush_torn(&d, 4);
+        let recs = decode_log(&wal.durable_log());
+        assert_eq!(recs.len(), 3, "torn commit record must be discarded");
+        let rec = recover(&wal.durable_log());
+        assert_eq!(rec.len(), 1, "only txn 1 committed durably");
+        match &rec[0] {
+            RecoveredOp::Insert { txn, .. } => assert_eq!(*txn, TxnId(1)),
+            other => panic!("expected insert, got {other:?}"),
+        }
+        assert_eq!(d.syncs(), 0, "a torn flush never completes its barrier");
+    }
+
+    #[test]
+    fn torn_flush_of_empty_buffer_is_a_noop() {
+        let wal = Wal::new(1 << 20);
+        let d = dev();
+        wal.flush_torn(&d, 5);
+        assert!(wal.durable_log().is_empty());
+        assert_eq!(d.writes(), 0);
     }
 
     #[test]

@@ -75,6 +75,10 @@ pub fn encode_error_kind(e: &DbError) -> u8 {
         Some(ConstraintKind::NotNull) => 5,
         None => match e {
             DbError::TypeMismatch { .. } | DbError::ArityMismatch { .. } => 6,
+            DbError::ServerBusy(_) => 7,
+            DbError::DiskFull(_) => 8,
+            DbError::Corruption(_) => 9,
+            DbError::ServerDown(_) => 10,
             _ => 0,
         },
     }
@@ -101,6 +105,10 @@ pub fn decode_error_kind(kind: u8, message: String) -> DbError {
             column: String::new(),
             detail: message,
         },
+        7 => DbError::ServerBusy(message),
+        8 => DbError::DiskFull(message),
+        9 => DbError::Corruption(message),
+        10 => DbError::ServerDown(message),
         _ => DbError::Protocol(message),
     }
 }

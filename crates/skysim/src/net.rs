@@ -98,6 +98,17 @@ impl NetworkModel {
         cost
     }
 
+    /// Account (and, depending on the scale, wait out) an extra one-off
+    /// delay on the link — a latency spike beyond the modeled round trip
+    /// (congestion, a retransmit burst, a GC pause on the far side). Used
+    /// by fault injection; charged to the same modeled-time counter as
+    /// regular round trips so spikes show up in experiment accounting.
+    pub fn delay(&self, spike: Duration) -> Duration {
+        self.inner.modeled.charge(spike);
+        self.inner.waiter.wait(spike);
+        spike
+    }
+
     /// Total round trips accounted so far.
     pub fn calls(&self) -> u64 {
         self.inner.calls.get()

@@ -3,8 +3,11 @@
 
 use std::sync::Arc;
 
+use proptest::prelude::*;
+
 use skycat::gen::{generate_file, GenConfig};
 use skydb::engine::Engine;
+use skydb::fault::{FaultPlan, FaultPlanConfig};
 use skydb::{DbConfig, Server};
 use skyloader::{
     load_catalog_file, load_catalog_text_with_journal, CommitPolicy, LoadJournal, LoaderConfig,
@@ -127,6 +130,67 @@ fn journal_resume_after_crash_then_wal_recovery_is_still_exact() {
             *expect,
             "{table} after the gauntlet"
         );
+    }
+}
+
+proptest! {
+    // Each case drives a full load through the wire; keep the case count
+    // moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For ANY seed and ANY commit ordinal the crash-on-flush fault tears,
+    /// recovery must replay the durable log to a state consistent with the
+    /// checkpoint journal, and a journaled resume must finish the file
+    /// with zero lost and zero duplicated rows.
+    #[test]
+    fn torn_commit_flush_recovers_consistent_and_resumes_exactly_once(
+        seed in 1u64..500,
+        crash_at in 1u64..8,
+    ) {
+        let file = generate_file(&GenConfig::small(seed, 100), 0);
+        let server = fresh_server();
+        let journal = LoadJournal::new();
+        let cfg = LoaderConfig::test()
+            .with_array_size(150)
+            .with_commit_policy(CommitPolicy::PerFlush);
+        server.set_fault_plan(Some(FaultPlan::new(
+            FaultPlanConfig::new(seed).with_crash_on_flush(crash_at),
+        )));
+
+        // Drive the raw loader (no retry layer): the torn commit surfaces
+        // as an error, exactly as a real loader process would see it.
+        let s1 = server.connect();
+        let first = load_catalog_text_with_journal(&s1, &cfg, &file.name, &file.text, &journal);
+        if first.is_err() {
+            assert!(server.is_crashed(), "load failed but the server is up");
+        }
+        let committed_before = journal.committed_lines(&file.name);
+
+        // CRASH: keep only the durable log; the torn tail must be dropped.
+        let log = server.engine().durable_log();
+        drop(s1);
+        drop(server);
+        let recovered = Engine::recover_from_log(DbConfig::test(), schemas(), &log).unwrap();
+        let server2 = Server::with_engine(recovered);
+
+        // Resume on the recovered server and finish the file. If the
+        // journal ran ahead of the durable state, rows would be lost; if
+        // it fell behind, re-inserts would surface as PK-duplicate skips.
+        // Either way the exact per-table counts below would break.
+        let s2 = server2.connect();
+        let resumed =
+            load_catalog_text_with_journal(&s2, &cfg, &file.name, &file.text, &journal).unwrap();
+        assert_eq!(resumed.lines_resumed, committed_before);
+
+        // Exactly once, to the row, on every table.
+        for (table, expect) in &file.expected.loadable {
+            let tid = server2.engine().table_id(table).unwrap();
+            assert_eq!(
+                server2.engine().row_count(tid),
+                *expect,
+                "{table} after torn-write recovery + resume"
+            );
+        }
     }
 }
 
