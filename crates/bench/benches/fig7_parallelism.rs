@@ -29,7 +29,8 @@ fn bench_fig7(c: &mut Criterion) {
                         &LoaderConfig::paper(),
                         nodes,
                         AssignmentPolicy::Dynamic,
-                    );
+                    )
+                    .expect("night load succeeds");
                     black_box(report.rows_loaded())
                 },
                 BatchSize::PerIteration,

@@ -105,6 +105,7 @@ fn bench_wire(c: &mut Criterion) {
     let request = Request::InsertBatch {
         table: TableId(8),
         rows: vec![row; 40],
+        fence: None,
     };
     let mut group = c.benchmark_group("wire");
     group.bench_function("encode_decode_batch40", |b| {

@@ -254,7 +254,8 @@ pub fn fig7(scale: Scale, max_nodes: usize, total_mb: f64, repeats: usize) -> Fi
                     &LoaderConfig::paper(),
                     nodes,
                     AssignmentPolicy::Dynamic,
-                );
+                )
+                .expect("night load succeeds");
                 (report.makespan, server.engine().lock_waits())
             })
             .min_by_key(|(m, _)| *m)
@@ -490,7 +491,8 @@ pub fn ablate_assignment(scale: Scale, nodes: usize, total_mb: f64) -> Figure {
         .enumerate()
     {
         let server = setup::paper_server(TimeScale::new(scale.time));
-        let report = load_night(&server, &files, &LoaderConfig::paper(), nodes, policy);
+        let report = load_night(&server, &files, &LoaderConfig::paper(), nodes, policy)
+            .expect("night load succeeds");
         let paper_s = scale.wall_to_paper_seconds(report.makespan);
         series.points.push(Point {
             x: i as f64,
@@ -638,7 +640,8 @@ pub fn ablate_devices(scale: Scale, nodes: usize, total_mb: f64) -> Figure {
             &LoaderConfig::paper(),
             nodes,
             AssignmentPolicy::Dynamic,
-        );
+        )
+        .expect("night load succeeds");
         let y = scale.wall_to_paper_seconds(report.makespan);
         series.points.push(Point { x: i as f64, y });
         notes.push(format!(
@@ -713,7 +716,8 @@ pub fn ablate_pipeline(scale: Scale, max_nodes: usize, total_mb: f64, repeats: u
             let best = (0..repeats.max(1))
                 .map(|_| {
                     let server = setup::paper_server(TimeScale::new(scale.time));
-                    let report = load_night(&server, &files, cfg, nodes, AssignmentPolicy::Dynamic);
+                    let report = load_night(&server, &files, cfg, nodes, AssignmentPolicy::Dynamic)
+                        .expect("night load succeeds");
                     report.makespan
                 })
                 .min()
@@ -855,7 +859,8 @@ pub fn headline(scale: Scale, total_mb: f64) -> Figure {
         &naive_cfg,
         5,
         AssignmentPolicy::Dynamic,
-    );
+    )
+    .expect("night load succeeds");
 
     let tuned_server = setup::paper_server(ts);
     let tuned = load_night(
@@ -864,7 +869,8 @@ pub fn headline(scale: Scale, total_mb: f64) -> Figure {
         &LoaderConfig::paper(),
         5,
         AssignmentPolicy::Dynamic,
-    );
+    )
+    .expect("night load succeeds");
 
     let naive_s = scale.wall_to_paper_seconds(naive.makespan);
     let tuned_s = scale.wall_to_paper_seconds(tuned.makespan);

@@ -53,6 +53,15 @@ pub struct ChaosConfig {
     pub error_rate: f64,
     /// Quick mode: a smaller night and a gentler plan, for CI.
     pub quick: bool,
+    /// Kill the loader holding the Nth lease grant (1-based) mid-file.
+    pub loader_kill_at: Option<u64>,
+    /// Freeze the loader holding the Nth lease grant (1-based) past its
+    /// TTL, then let it wake as a zombie and flush under its stale epoch.
+    pub loader_stall_at: Option<u64>,
+    /// Lease TTL for the soak's fleet — short, so reclaims happen on a
+    /// test timescale rather than the production default.
+    #[serde(with = "ser_duration")]
+    pub lease_ttl: Duration,
 }
 
 impl Default for ChaosConfig {
@@ -63,6 +72,9 @@ impl Default for ChaosConfig {
             nodes: 3,
             error_rate: 0.02,
             quick: false,
+            loader_kill_at: None,
+            loader_stall_at: None,
+            lease_ttl: Duration::from_millis(250),
         }
     }
 }
@@ -85,6 +97,12 @@ impl ChaosConfig {
             // early enough that it reliably fires even in quick mode.
             plan = plan.with_crash_on_flush(7);
         }
+        if let Some(n) = self.loader_kill_at {
+            plan = plan.with_loader_kill_at(n);
+        }
+        if let Some(n) = self.loader_stall_at {
+            plan = plan.with_loader_stall_at(n);
+        }
         plan
     }
 
@@ -100,6 +118,11 @@ impl ChaosConfig {
                 RetryPolicy::default()
                     .with_seed(self.seed)
                     .with_call_timeout(Duration::from_millis(10)),
+            )
+            .with_fleet(
+                crate::fleet::FleetPolicy::default()
+                    .with_lease_ttl(self.lease_ttl)
+                    .with_heartbeat_interval((self.lease_ttl / 4).max(Duration::from_millis(1))),
             )
     }
 
@@ -130,6 +153,14 @@ pub struct ChaosReport {
     pub retries: u64,
     /// Circuit-breaker trips across all generations.
     pub breaker_trips: u64,
+    /// Loader processes killed mid-file by the fault plan.
+    pub loader_kills: u64,
+    /// Loader processes frozen past their lease TTL by the fault plan.
+    pub loader_stalls: u64,
+    /// Expired leases the supervisor reclaimed and reassigned.
+    pub lease_reclaims: u64,
+    /// Stale-epoch flushes the database fenced out before anything applied.
+    pub fencing_rejections: u64,
     /// Wall-clock time the fleet spent below full batch mode.
     #[serde(with = "ser_duration")]
     pub degraded_time: Duration,
@@ -188,6 +219,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     let mut faults_by_kind: BTreeMap<String, u64> = BTreeMap::new();
     let mut retries = 0u64;
     let mut breaker_trips = 0u64;
+    let mut loader_kills = 0u64;
+    let mut loader_stalls = 0u64;
+    let mut lease_reclaims = 0u64;
+    let mut fencing_rejections = 0u64;
     let mut degraded_time = Duration::ZERO;
     let mut degrade_transitions = Vec::new();
     let mut generations = 0usize;
@@ -203,9 +238,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             cfg.nodes,
             AssignmentPolicy::Dynamic,
             Some(&journal),
-        );
+        )
+        .map_err(|e| e.to_string())?;
         retries += night.retries;
         breaker_trips += night.breaker_trips;
+        loader_kills += night.loader_kills;
+        loader_stalls += night.loader_stalls;
+        lease_reclaims += night.lease_reclaims;
+        fencing_rejections += night.fencing_rejections;
         degraded_time += night.degraded_time;
         degrade_transitions.extend(night.degrade_transitions.iter().cloned());
         let done: BTreeSet<&str> = night.files.iter().map(|f| f.file.as_str()).collect();
@@ -266,6 +306,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         faults_by_kind,
         retries,
         breaker_trips,
+        loader_kills,
+        loader_stalls,
+        lease_reclaims,
+        fencing_rejections,
         degraded_time,
         degrade_transitions,
         expected_rows: expected.total_loadable(),
@@ -304,6 +348,43 @@ mod tests {
             report.fault_kinds_fired() >= 4,
             "only {:?} fired",
             report.faults_by_kind
+        );
+    }
+
+    #[test]
+    fn loader_kill_and_zombie_soak_stays_exactly_once() {
+        // A loader killed on the first grant and another frozen into a
+        // zombie on the second, on top of the usual connection weather:
+        // the supervisor must reclaim both leases and the zombie's stale
+        // flush must be fenced — with every loadable row landing once.
+        let cfg = ChaosConfig {
+            seed: 77,
+            files: 4,
+            nodes: 2,
+            quick: true,
+            loader_kill_at: Some(1),
+            loader_stall_at: Some(2),
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg).unwrap();
+        assert!(
+            report.exactly_once(),
+            "lost={} dup={} unfinished={:?} mismatches={:?}",
+            report.lost_rows,
+            report.duplicated_rows,
+            report.unfinished_files,
+            report.mismatches
+        );
+        assert!(report.loader_kills >= 1, "the loader kill never fired");
+        assert!(report.loader_stalls >= 1, "the loader stall never fired");
+        assert!(
+            report.lease_reclaims >= 2,
+            "expected both faulted leases reclaimed, got {}",
+            report.lease_reclaims
+        );
+        assert!(
+            report.fencing_rejections >= 1,
+            "the zombie's stale flush was never fenced"
         );
     }
 

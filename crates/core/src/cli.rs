@@ -103,6 +103,12 @@ pub enum Command {
         error_rate: f64,
         /// Smaller night and plan, for CI.
         quick: bool,
+        /// Kill the loader holding the Nth lease grant (1-based).
+        loader_kill_at: Option<u64>,
+        /// Freeze the loader holding the Nth lease grant into a zombie.
+        loader_stall_at: Option<u64>,
+        /// Lease TTL override, in milliseconds.
+        lease_ttl_ms: Option<u64>,
         /// Write the chaos report as JSON here.
         report: Option<PathBuf>,
     },
@@ -179,6 +185,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map(|v| v.parse::<f64>().map_err(|e| format!("--error-rate: {e}")))
                     .unwrap_or(Ok(defaults.error_rate))?,
                 quick: flags.contains_key("quick"),
+                loader_kill_at: get("loader-kill")
+                    .map(|v| v.parse::<u64>().map_err(|e| format!("--loader-kill: {e}")))
+                    .transpose()?,
+                loader_stall_at: get("loader-stall")
+                    .map(|v| v.parse::<u64>().map_err(|e| format!("--loader-stall: {e}")))
+                    .transpose()?,
+                lease_ttl_ms: get("lease-ttl")
+                    .map(|v| v.parse::<u64>().map_err(|e| format!("--lease-ttl: {e}")))
+                    .transpose()?,
                 report: get("report").map(PathBuf::from),
             })
         }
@@ -219,11 +234,16 @@ USAGE:
       Parse a catalog file and summarize rows per table and bad lines.
 
   skyload chaos [--seed N] [--files N] [--nodes N] [--error-rate F]
-                [--quick] [--report out.json]
+                [--quick] [--loader-kill N] [--loader-stall N]
+                [--lease-ttl MS] [--report out.json]
       Load a synthetic night under a seeded multi-kind fault plan
       (resets, busy rejections, latency spikes, disk-full commits,
       batch corruption, one crash-on-flush) and verify that every
-      loadable row landed exactly once. Same seed, same fault
+      loadable row landed exactly once. --loader-kill N kills the
+      loader holding the Nth lease grant mid-file; --loader-stall N
+      freezes it past its lease TTL and lets it wake as a zombie
+      (whose stale flush must be fenced out); --lease-ttl sets the
+      fleet's lease TTL in milliseconds. Same seed, same fault
       schedule. Exits 1 on any lost or duplicated row.
 
   skyload help
@@ -279,15 +299,27 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             nodes,
             error_rate,
             quick,
+            loader_kill_at,
+            loader_stall_at,
+            lease_ttl_ms,
             report,
         } => {
-            let cfg = crate::chaos::ChaosConfig {
+            let mut cfg = crate::chaos::ChaosConfig {
                 seed,
                 files,
                 nodes,
                 error_rate,
                 quick,
+                loader_kill_at,
+                loader_stall_at,
+                ..crate::chaos::ChaosConfig::default()
             };
+            if let Some(ms) = lease_ttl_ms {
+                if ms == 0 {
+                    return Err("--lease-ttl must be at least 1 ms".into());
+                }
+                cfg.lease_ttl = std::time::Duration::from_millis(ms);
+            }
             let soak = crate::chaos::run_chaos(&cfg)?;
             writeln!(
                 out,
@@ -306,6 +338,14 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 soak.degrade_transitions.len()
             )
             .map_err(|e| e.to_string())?;
+            if soak.loader_kills + soak.loader_stalls + soak.lease_reclaims > 0 {
+                writeln!(
+                    out,
+                    "fleet: {} loader kill(s) · {} stall(s) · {} lease reclaim(s) · {} fenced flush(es)",
+                    soak.loader_kills, soak.loader_stalls, soak.lease_reclaims, soak.fencing_rejections
+                )
+                .map_err(|e| e.to_string())?;
+            }
             writeln!(
                 out,
                 "rows: {} expected, {} present, {} lost, {} duplicated",
@@ -405,7 +445,8 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 nodes,
                 AssignmentPolicy::Dynamic,
                 journal_store.as_ref(),
-            );
+            )
+            .map_err(|e| e.to_string())?;
             if let (Some(path), Some(j)) = (&journal, &journal_store) {
                 j.save(path).map_err(|e| e.to_string())?;
             }
@@ -445,6 +486,17 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 for (kind, n) in &night.faults_survived {
                     writeln!(out, "  survived {kind:<16} {n:>6}").map_err(|e| e.to_string())?;
                 }
+            }
+            if night.loader_kills + night.loader_stalls + night.lease_reclaims > 0 {
+                writeln!(
+                    out,
+                    "fleet: {} loader kill(s) · {} stall(s) · {} lease reclaim(s) · {} fenced flush(es)",
+                    night.loader_kills,
+                    night.loader_stalls,
+                    night.lease_reclaims,
+                    night.fencing_rejections
+                )
+                .map_err(|e| e.to_string())?;
             }
             if !night.is_complete() {
                 for f in &night.failed_files {

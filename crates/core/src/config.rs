@@ -13,6 +13,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fleet::FleetPolicy;
 use crate::resilience::RetryPolicy;
 
 /// How inserts are executed.
@@ -107,6 +108,11 @@ pub struct LoaderConfig {
     /// before the resilience layer existed valid.
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Lease-TTL / heartbeat / reclaim policy for loader-fleet
+    /// supervision. Defaults keep configuration files written before the
+    /// fleet layer existed valid.
+    #[serde(default)]
+    pub fleet: FleetPolicy,
 }
 
 mod duration_micros {
@@ -148,6 +154,7 @@ impl LoaderConfig {
             client_parse_cost: Duration::ZERO,
             max_skip_details: 1000,
             retry: RetryPolicy::default(),
+            fleet: FleetPolicy::default(),
         }
     }
 
@@ -210,6 +217,12 @@ impl LoaderConfig {
         self
     }
 
+    /// Builder-style: set the fleet-supervision (lease/fencing) policy.
+    pub fn with_fleet(mut self, fleet: FleetPolicy) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
     /// Builder-style: override one table's array size.
     pub fn with_table_array_size(mut self, table: &str, n: usize) -> Self {
         self.per_table_array_sizes.insert(table.to_owned(), n);
@@ -252,7 +265,8 @@ impl LoaderConfig {
         if self.client_overhead_factor < 1.0 {
             return Err("client_overhead_factor must be >= 1".into());
         }
-        self.retry.validate()
+        self.retry.validate()?;
+        self.fleet.validate()
     }
 }
 

@@ -1,0 +1,675 @@
+//! Loader-fleet supervision: lease-fenced dynamic assignment.
+//!
+//! §4.4's dynamic on-the-fly assignment trusted every Condor node to either
+//! finish its file or die loudly. Real fleets misbehave in two quieter
+//! ways: a node is **killed** mid-file (Condor evicts the job, the machine
+//! reboots) and never reports back, or it **stalls** (GC pause, NFS hang,
+//! network partition) long enough to be presumed dead — then wakes up as a
+//! *zombie* and keeps flushing rows for a file that has been reassigned.
+//!
+//! This module closes both holes with a classic lease + fencing design:
+//!
+//! * every file grant is a [`Lease`] carrying a per-file **epoch** and a
+//!   TTL; the holder renews it via [`FleetSupervisor::heartbeat`];
+//! * the supervisor reclaims expired leases, bumps the epoch, advances the
+//!   server-side fence floor for the file, and requeues it;
+//! * every mutating call a loader makes is fenced by its lease epoch
+//!   ([`skydb::wire::Fence`]), so a revived zombie's flushes are rejected
+//!   at the session layer with [`DbError::FencedOut`] before any row
+//!   lands — the new holder's work is never interleaved with stale writes;
+//! * exactly-once delivery is preserved by the existing journal watermark:
+//!   the reassigned loader resumes past whatever the dead holder committed,
+//!   and the journal's per-file epoch manifest
+//!   ([`LoadJournal::record_epoch`](crate::recovery::LoadJournal::record_epoch))
+//!   lets a restarted coordinator issue strictly newer epochs.
+//!
+//! Two per-file budgets bound reassignment, replacing an unbounded
+//! requeue loop: a tight **reclaim** budget for leases that expire (a
+//! file whose holders keep dying is cursed) and a larger **requeue**
+//! budget for voluntary returns (breaker trips are ordinary weather on a
+//! flaky link and must not exhaust the crash-recovery budget).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A granted right to load one file: valid only while the supervisor's
+/// lease for `file_idx` still carries this `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Index of the file in the night's file list.
+    pub file_idx: usize,
+    /// Stable fencing key for the file (shared by every epoch of it).
+    pub key: u64,
+    /// This grant's epoch; the server's fence floor for `key` equals the
+    /// newest reclaimed-or-granted epoch, so stale holders are rejected.
+    pub epoch: u64,
+}
+
+/// What [`FleetSupervisor::next_assignment`] hands a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Load this file under this lease.
+    Grant(Lease),
+    /// Nothing grantable right now, but leases are outstanding — poll
+    /// again shortly (one of them may expire and requeue its file).
+    Wait,
+    /// Every file is completed or abandoned; the worker may exit.
+    Done,
+}
+
+/// Lease-TTL / heartbeat / reclaim knobs for the fleet supervisor.
+///
+/// Serialized with the loader configuration; every field has a default so
+/// configuration files written before this layer existed stay valid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FleetPolicy {
+    /// How long a grant stays valid without a heartbeat. Expired leases
+    /// are reclaimed: epoch bumped, fence advanced, file requeued.
+    #[serde(with = "duration_micros", default = "default_lease_ttl")]
+    pub lease_ttl: Duration,
+    /// How often a healthy holder renews its lease. Must be shorter than
+    /// the TTL (by enough slack to absorb scheduling hiccups).
+    #[serde(with = "duration_micros", default = "default_heartbeat_interval")]
+    pub heartbeat_interval: Duration,
+    /// How many times one file's lease may expire (holder presumed dead)
+    /// before the file is reported failed.
+    #[serde(default = "default_max_reclaims")]
+    pub max_reclaims_per_file: u64,
+    /// How many times one file may be voluntarily returned (circuit
+    /// breaker tripped, connection quarantined) before it is reported
+    /// failed. Returns are part of healthy retry traffic on a flaky
+    /// link, so this budget is much larger than the reclaim budget.
+    #[serde(default = "default_max_requeues")]
+    pub max_requeues_per_file: u64,
+}
+
+fn default_lease_ttl() -> Duration {
+    FleetPolicy::default().lease_ttl
+}
+
+fn default_heartbeat_interval() -> Duration {
+    FleetPolicy::default().heartbeat_interval
+}
+
+fn default_max_reclaims() -> u64 {
+    FleetPolicy::default().max_reclaims_per_file
+}
+
+fn default_max_requeues() -> u64 {
+    FleetPolicy::default().max_requeues_per_file
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy {
+            lease_ttl: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_secs(10),
+            max_reclaims_per_file: 8,
+            max_requeues_per_file: 64,
+        }
+    }
+}
+
+impl FleetPolicy {
+    /// Builder: lease TTL.
+    pub fn with_lease_ttl(mut self, ttl: Duration) -> Self {
+        self.lease_ttl = ttl;
+        self
+    }
+
+    /// Builder: heartbeat interval.
+    pub fn with_heartbeat_interval(mut self, hb: Duration) -> Self {
+        self.heartbeat_interval = hb;
+        self
+    }
+
+    /// Builder: per-file reclaim budget.
+    pub fn with_max_reclaims(mut self, n: u64) -> Self {
+        self.max_reclaims_per_file = n;
+        self
+    }
+
+    /// Builder: per-file voluntary-requeue budget.
+    pub fn with_max_requeues(mut self, n: u64) -> Self {
+        self.max_requeues_per_file = n;
+        self
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lease_ttl.is_zero() {
+            return Err("fleet.lease_ttl must be positive".into());
+        }
+        if self.heartbeat_interval >= self.lease_ttl {
+            return Err("fleet.heartbeat_interval must be shorter than lease_ttl".into());
+        }
+        if self.max_reclaims_per_file == 0 {
+            return Err("fleet.max_reclaims_per_file must be positive".into());
+        }
+        if self.max_requeues_per_file == 0 {
+            return Err("fleet.max_requeues_per_file must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+mod duration_micros {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        (d.as_micros() as u64).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_micros(u64::deserialize(d)?))
+    }
+}
+
+/// Stable fencing key for a file name: the key must survive coordinator
+/// restarts (a new process must advance the *same* server-side floor), so
+/// it is derived from the name, not from queue position.
+pub fn fence_key(name: &str) -> u64 {
+    // FNV-1a, 64-bit: tiny, dependency-free, stable across runs.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Why a lease ended without its file completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaseEnd {
+    /// TTL expired without a heartbeat: holder presumed dead.
+    Expired,
+    /// Holder gave the file back (e.g. its circuit breaker tripped).
+    Returned,
+}
+
+/// A file the supervisor gave up on: its reclaim budget is spent.
+#[derive(Debug, Clone)]
+pub struct AbandonedFile {
+    /// Index into the night's file list.
+    pub file_idx: usize,
+    /// Human-readable reason for the report's failed-files list.
+    pub reason: String,
+}
+
+#[derive(Debug)]
+struct FileState {
+    /// Fencing key (stable hash of the file name).
+    key: u64,
+    /// Last epoch issued for this file (0 = never granted; restarts seed
+    /// this from the journal manifest so new grants are strictly newer).
+    epoch: u64,
+    /// Node index currently holding the lease, if any.
+    holder: Option<usize>,
+    /// Wall-clock instant the current lease expires.
+    deadline: Option<Instant>,
+    /// How many times this file's lease expired (holder presumed dead).
+    reclaims: u64,
+    /// How many times the holder voluntarily returned the file.
+    returns: u64,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct SupervisorInner {
+    queue: VecDeque<usize>,
+    states: Vec<FileState>,
+    /// Leases currently held (granted, not yet completed/reclaimed).
+    outstanding: usize,
+    /// Files whose reclaim budget ran out.
+    abandoned: Vec<AbandonedFile>,
+}
+
+/// The coordinator-side lease table for one night's file list.
+///
+/// Thread-safe: workers call [`next_assignment`](Self::next_assignment) /
+/// [`heartbeat`](Self::heartbeat) / [`complete`](Self::complete)
+/// concurrently. Fence floors are pushed to the database through the
+/// `advance_fence` callback at grant and reclaim time, so a reclaimed
+/// holder's epoch is invalid *before* its file can be re-granted.
+pub struct FleetSupervisor {
+    policy: FleetPolicy,
+    inner: Mutex<SupervisorInner>,
+    grants: AtomicU64,
+    reclaims: AtomicU64,
+    advance_fence: Box<dyn Fn(u64, u64) + Send + Sync>,
+}
+
+impl std::fmt::Debug for FleetSupervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSupervisor")
+            .field("policy", &self.policy)
+            .field("grants", &self.grants.load(Ordering::Relaxed))
+            .field("reclaims", &self.reclaims.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetSupervisor {
+    /// Build a supervisor over `files` (name, initial epoch) pairs. The
+    /// initial epoch is the newest epoch ever issued for the file (from
+    /// the journal manifest, max-merged with the server's fence floor);
+    /// the first grant uses `initial + 1`. `advance_fence` pushes
+    /// `(key, min_valid_epoch)` to the database server.
+    pub fn new(
+        files: &[(String, u64)],
+        policy: FleetPolicy,
+        advance_fence: impl Fn(u64, u64) + Send + Sync + 'static,
+    ) -> FleetSupervisor {
+        let states = files
+            .iter()
+            .map(|(name, epoch)| FileState {
+                key: fence_key(name),
+                epoch: *epoch,
+                holder: None,
+                deadline: None,
+                reclaims: 0,
+                returns: 0,
+                done: false,
+            })
+            .collect();
+        FleetSupervisor {
+            policy,
+            inner: Mutex::new(SupervisorInner {
+                queue: (0..files.len()).collect(),
+                states,
+                outstanding: 0,
+                abandoned: Vec::new(),
+            }),
+            grants: AtomicU64::new(0),
+            reclaims: AtomicU64::new(0),
+            advance_fence: Box::new(advance_fence),
+        }
+    }
+
+    /// Claim the next file for `node`. Runs expired-lease reclamation
+    /// first, so a single surviving worker still recovers files whose
+    /// holders died (there is no separate supervisor thread to rely on).
+    pub fn next_assignment(&self, node: usize) -> Assignment {
+        let mut inner = self.inner.lock();
+        self.reclaim_expired_locked(&mut inner, Instant::now());
+        match inner.queue.pop_front() {
+            Some(idx) => {
+                let ttl = self.policy.lease_ttl;
+                let st = &mut inner.states[idx];
+                st.epoch += 1;
+                st.holder = Some(node);
+                st.deadline = Some(Instant::now() + ttl);
+                let lease = Lease {
+                    file_idx: idx,
+                    key: st.key,
+                    epoch: st.epoch,
+                };
+                inner.outstanding += 1;
+                self.grants.fetch_add(1, Ordering::Relaxed);
+                // Granting epoch e makes e the floor: every older epoch is
+                // fenced out from this moment, the holder itself passes.
+                (self.advance_fence)(lease.key, lease.epoch);
+                Assignment::Grant(lease)
+            }
+            None if inner.outstanding > 0 => Assignment::Wait,
+            None => Assignment::Done,
+        }
+    }
+
+    /// Renew `lease`. Returns `false` if the lease is no longer held by
+    /// this grant (expired and reclaimed, or the file completed) — the
+    /// caller must stop working on the file and discard its transaction.
+    pub fn heartbeat(&self, lease: &Lease) -> bool {
+        let mut inner = self.inner.lock();
+        let ttl = self.policy.lease_ttl;
+        let st = &mut inner.states[lease.file_idx];
+        if st.epoch == lease.epoch && st.holder.is_some() {
+            st.deadline = Some(Instant::now() + ttl);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True once `lease` has been reclaimed (its file re-granted or
+    /// requeued under a newer epoch). Drives expiry itself, so a zombie
+    /// polling this converges even when every other worker is busy.
+    pub fn lease_lost(&self, lease: &Lease) -> bool {
+        let mut inner = self.inner.lock();
+        self.reclaim_expired_locked(&mut inner, Instant::now());
+        let st = &inner.states[lease.file_idx];
+        st.epoch != lease.epoch || st.holder.is_none()
+    }
+
+    /// The holder finished its file (successfully or by reporting a
+    /// permanent failure itself). Ignored if the lease was already
+    /// reclaimed — the newer holder owns the outcome.
+    pub fn complete(&self, lease: &Lease) {
+        let mut inner = self.inner.lock();
+        let st = &mut inner.states[lease.file_idx];
+        if st.epoch == lease.epoch && st.holder.is_some() {
+            st.holder = None;
+            st.deadline = None;
+            st.done = true;
+            inner.outstanding -= 1;
+        }
+    }
+
+    /// The holder voluntarily gives the file back (circuit breaker
+    /// tripped, connection quarantined): requeue it under a bumped fence
+    /// so the stale session cannot touch it, charging the requeue budget
+    /// (not the reclaim budget — the holder is alive and cooperative).
+    pub fn requeue(&self, lease: &Lease) {
+        let mut inner = self.inner.lock();
+        let st = &mut inner.states[lease.file_idx];
+        if st.epoch == lease.epoch && st.holder.is_some() {
+            self.end_lease_locked(&mut inner, lease.file_idx, LeaseEnd::Returned);
+        }
+    }
+
+    /// Total grants issued (every assignment, including re-grants).
+    pub fn grants(&self) -> u64 {
+        self.grants.load(Ordering::Relaxed)
+    }
+
+    /// Total leases reclaimed after TTL expiry (not voluntary requeues).
+    pub fn reclaims(&self) -> u64 {
+        self.reclaims.load(Ordering::Relaxed)
+    }
+
+    /// Files abandoned because their reclaim budget ran out.
+    pub fn take_abandoned(&self) -> Vec<AbandonedFile> {
+        std::mem::take(&mut self.inner.lock().abandoned)
+    }
+
+    /// The newest epoch issued for each file, for the journal manifest.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.inner.lock().states.iter().map(|s| s.epoch).collect()
+    }
+
+    fn reclaim_expired_locked(&self, inner: &mut SupervisorInner, now: Instant) {
+        let expired: Vec<usize> = inner
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.holder.is_some() && st.deadline.map(|d| d <= now).unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect();
+        for idx in expired {
+            self.end_lease_locked(inner, idx, LeaseEnd::Expired);
+        }
+    }
+
+    /// Terminate the current lease on `idx`: advance the fence past its
+    /// epoch, then requeue the file or abandon it if the budget is spent.
+    fn end_lease_locked(&self, inner: &mut SupervisorInner, idx: usize, how: LeaseEnd) {
+        let st = &mut inner.states[idx];
+        st.holder = None;
+        st.deadline = None;
+        // Invalidate the dead holder's epoch *now*, before any re-grant:
+        // from this point its flushes are fenced out at the server.
+        (self.advance_fence)(st.key, st.epoch + 1);
+        // Expiry reclaims (a presumed-dead holder) and voluntary returns
+        // (a quarantined connection handing the file back) draw on
+        // separate budgets: returns are healthy retry traffic on a flaky
+        // link and must not starve a file of its crash-recovery budget.
+        let (spent, budget, what) = match how {
+            LeaseEnd::Expired => {
+                st.reclaims += 1;
+                self.reclaims.fetch_add(1, Ordering::Relaxed);
+                (st.reclaims, self.policy.max_reclaims_per_file, "reclaimed")
+            }
+            LeaseEnd::Returned => {
+                st.returns += 1;
+                (st.returns, self.policy.max_requeues_per_file, "requeued")
+            }
+        };
+        inner.outstanding -= 1;
+        if spent >= budget {
+            inner.abandoned.push(AbandonedFile {
+                file_idx: idx,
+                reason: format!("lease {what} {budget} times (budget exhausted)"),
+            });
+        } else {
+            inner.queue.push_back(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn policy_ms(ttl: u64) -> FleetPolicy {
+        FleetPolicy::default()
+            .with_lease_ttl(Duration::from_millis(ttl))
+            .with_heartbeat_interval(Duration::from_millis(ttl / 3))
+    }
+
+    fn files(names: &[&str]) -> Vec<(String, u64)> {
+        names.iter().map(|n| ((*n).to_owned(), 0)).collect()
+    }
+
+    type FenceLog = Arc<Mutex<Vec<(u64, u64)>>>;
+
+    /// Record every fence advance for assertions.
+    fn recording() -> (FenceLog, impl Fn(u64, u64)) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let log = Arc::clone(&log);
+            move |k: u64, e: u64| log.lock().push((k, e))
+        };
+        (log, sink)
+    }
+
+    #[test]
+    fn policy_defaults_validate_and_serde_roundtrip() {
+        let p = FleetPolicy::default();
+        p.validate().unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<FleetPolicy>(&json).unwrap(), p);
+        // Old configs without a fleet section still deserialize.
+        assert_eq!(serde_json::from_str::<FleetPolicy>("{}").unwrap(), p);
+    }
+
+    #[test]
+    fn policy_invariants_enforced() {
+        assert!(FleetPolicy::default()
+            .with_lease_ttl(Duration::ZERO)
+            .validate()
+            .is_err());
+        assert!(FleetPolicy::default()
+            .with_heartbeat_interval(Duration::from_secs(30))
+            .validate()
+            .is_err());
+        assert!(FleetPolicy::default()
+            .with_max_reclaims(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn fence_keys_are_stable_and_distinct() {
+        assert_eq!(fence_key("night_001.cat"), fence_key("night_001.cat"));
+        assert_ne!(fence_key("night_001.cat"), fence_key("night_002.cat"));
+    }
+
+    #[test]
+    fn happy_path_grants_every_file_once_then_done() {
+        let sup = FleetSupervisor::new(&files(&["a", "b"]), policy_ms(1000), |_, _| {});
+        let Assignment::Grant(l1) = sup.next_assignment(0) else {
+            panic!("expected grant")
+        };
+        let Assignment::Grant(l2) = sup.next_assignment(1) else {
+            panic!("expected grant")
+        };
+        assert_eq!((l1.epoch, l2.epoch), (1, 1));
+        assert!(sup.heartbeat(&l1));
+        // Queue drained but leases outstanding: workers wait, not exit.
+        assert_eq!(sup.next_assignment(2), Assignment::Wait);
+        sup.complete(&l1);
+        sup.complete(&l2);
+        assert_eq!(sup.next_assignment(0), Assignment::Done);
+        assert_eq!(sup.grants(), 2);
+        assert_eq!(sup.reclaims(), 0);
+        assert!(sup.take_abandoned().is_empty());
+    }
+
+    #[test]
+    fn expired_lease_is_reclaimed_fenced_and_regranted() {
+        let (log, sink) = recording();
+        let sup = FleetSupervisor::new(&files(&["a"]), policy_ms(30), sink);
+        let Assignment::Grant(l1) = sup.next_assignment(0) else {
+            panic!("expected grant")
+        };
+        assert_eq!(l1.epoch, 1);
+        std::thread::sleep(Duration::from_millis(45));
+        // The dead holder's lease is gone...
+        assert!(sup.lease_lost(&l1));
+        assert!(!sup.heartbeat(&l1), "reclaimed lease must not renew");
+        // ...and the file is re-granted under a strictly newer epoch.
+        let Assignment::Grant(l2) = sup.next_assignment(1) else {
+            panic!("expected re-grant")
+        };
+        assert_eq!(l2.epoch, 2);
+        assert_eq!(l2.key, l1.key);
+        assert_eq!(sup.reclaims(), 1);
+        // Fence floor advanced at grant(1), reclaim(2), re-grant(2):
+        // monotone per key, and the reclaim fires before the re-grant.
+        assert_eq!(
+            log.lock().as_slice(),
+            &[(l1.key, 1), (l1.key, 2), (l1.key, 2)]
+        );
+        // The late completion from the dead holder is ignored.
+        sup.complete(&l1);
+        assert_eq!(sup.next_assignment(2), Assignment::Wait);
+        sup.complete(&l2);
+        assert_eq!(sup.next_assignment(2), Assignment::Done);
+    }
+
+    #[test]
+    fn heartbeats_keep_a_slow_lease_alive() {
+        let sup = FleetSupervisor::new(&files(&["a"]), policy_ms(40), |_, _| {});
+        let Assignment::Grant(l) = sup.next_assignment(0) else {
+            panic!("expected grant")
+        };
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(15));
+            assert!(sup.heartbeat(&l), "renewed lease must stay valid");
+        }
+        assert!(!sup.lease_lost(&l));
+        sup.complete(&l);
+        assert_eq!(sup.next_assignment(0), Assignment::Done);
+        assert_eq!(sup.reclaims(), 0);
+    }
+
+    #[test]
+    fn reclaim_budget_abandons_a_file_that_keeps_dying() {
+        let sup = FleetSupervisor::new(
+            &files(&["cursed"]),
+            policy_ms(10).with_max_reclaims(3),
+            |_, _| {},
+        );
+        for round in 0..3 {
+            let Assignment::Grant(l) = sup.next_assignment(0) else {
+                panic!("expected grant in round {round}")
+            };
+            assert_eq!(l.epoch, round + 1);
+            std::thread::sleep(Duration::from_millis(15));
+            assert!(sup.lease_lost(&l));
+        }
+        // Budget spent: the file is abandoned, not requeued forever.
+        assert_eq!(sup.next_assignment(0), Assignment::Done);
+        let abandoned = sup.take_abandoned();
+        assert_eq!(abandoned.len(), 1);
+        assert_eq!(abandoned[0].file_idx, 0);
+        assert!(abandoned[0].reason.contains("budget"));
+    }
+
+    #[test]
+    fn voluntary_requeue_bumps_epoch_without_counting_as_reclaim() {
+        let (log, sink) = recording();
+        let sup = FleetSupervisor::new(&files(&["a"]), policy_ms(1000), sink);
+        let Assignment::Grant(l1) = sup.next_assignment(0) else {
+            panic!("expected grant")
+        };
+        sup.requeue(&l1);
+        assert_eq!(sup.reclaims(), 0, "voluntary return is not a reclaim");
+        let Assignment::Grant(l2) = sup.next_assignment(1) else {
+            panic!("expected re-grant")
+        };
+        assert_eq!(l2.epoch, 2);
+        assert!(log.lock().contains(&(l1.key, 2)));
+    }
+
+    #[test]
+    fn requeues_draw_on_their_own_budget_not_the_reclaim_budget() {
+        // Many voluntary returns (breaker trips on a flaky link) must not
+        // burn the crash-recovery budget: with max_reclaims = 2 the file
+        // survives far more than 2 requeues and still completes.
+        let sup = FleetSupervisor::new(
+            &files(&["a"]),
+            policy_ms(1000).with_max_reclaims(2).with_max_requeues(64),
+            |_, _| {},
+        );
+        for _ in 0..20 {
+            let Assignment::Grant(l) = sup.next_assignment(0) else {
+                panic!("expected re-grant after a voluntary return")
+            };
+            sup.requeue(&l);
+        }
+        let Assignment::Grant(l) = sup.next_assignment(0) else {
+            panic!("expected grant")
+        };
+        sup.complete(&l);
+        assert_eq!(sup.next_assignment(0), Assignment::Done);
+        assert!(sup.take_abandoned().is_empty());
+        assert_eq!(sup.reclaims(), 0);
+    }
+
+    #[test]
+    fn requeue_budget_still_bounds_a_file_no_connection_can_load() {
+        let sup = FleetSupervisor::new(
+            &files(&["cursed"]),
+            policy_ms(1000).with_max_requeues(3),
+            |_, _| {},
+        );
+        for _ in 0..3 {
+            let Assignment::Grant(l) = sup.next_assignment(0) else {
+                panic!("expected grant")
+            };
+            sup.requeue(&l);
+        }
+        assert_eq!(sup.next_assignment(0), Assignment::Done);
+        let abandoned = sup.take_abandoned();
+        assert_eq!(abandoned.len(), 1);
+        assert!(abandoned[0].reason.contains("requeued"));
+    }
+
+    #[test]
+    fn restart_epochs_resume_past_the_manifest() {
+        // A restarted coordinator seeds epochs from the journal manifest:
+        // grants must be strictly newer than anything issued before.
+        let sup = FleetSupervisor::new(
+            &[("a".into(), 4), ("b".into(), 0)],
+            policy_ms(1000),
+            |_, _| {},
+        );
+        let Assignment::Grant(la) = sup.next_assignment(0) else {
+            panic!("expected grant")
+        };
+        let Assignment::Grant(lb) = sup.next_assignment(0) else {
+            panic!("expected grant")
+        };
+        assert_eq!(la.epoch, 5);
+        assert_eq!(lb.epoch, 1);
+        assert_eq!(sup.epochs(), vec![5, 1]);
+    }
+}

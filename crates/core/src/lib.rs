@@ -51,6 +51,7 @@ pub mod bulk;
 pub mod chaos;
 pub mod cli;
 pub mod config;
+pub mod fleet;
 pub mod parallel;
 pub mod recovery;
 pub mod report;
@@ -64,7 +65,8 @@ pub use audit::{audit_repository, AuditReport};
 pub use bulk::{load_catalog_file, load_catalog_text, load_catalog_text_with_journal};
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use config::{CommitPolicy, ExecMode, LoaderConfig, PipelineMode};
-pub use parallel::{load_night, load_night_with_journal};
+pub use fleet::{Assignment, FleetPolicy, FleetSupervisor, Lease};
+pub use parallel::{load_night, load_night_with_journal, NightError};
 pub use recovery::LoadJournal;
 pub use report::{FailedFile, FileReport, ModeledCost, NightReport, SkipKind, SkipRecord};
 pub use reprocess::{delete_observation, reprocess_observation, PurgeReport};

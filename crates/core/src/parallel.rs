@@ -9,48 +9,94 @@
 //! session, pulling files from a shared queue (dynamic assignment) or from
 //! a round-robin pre-partition (the rejected baseline, kept for ablation
 //! A2).
+//!
+//! Dynamic assignment is **lease-based** (see [`crate::fleet`]): every file
+//! grant carries a fencing epoch and a TTL, healthy loaders heartbeat
+//! between attempts, and the supervisor reclaims expired leases — so a
+//! loader killed mid-file has its file reassigned, and a stalled loader
+//! that wakes up as a zombie finds its flushes rejected at the session
+//! layer ([`DbError::FencedOut`]) before a single stale row lands. The
+//! checkpoint journal's watermark keeps reassigned files exactly-once, and
+//! its epoch manifest lets a restarted coordinator issue strictly newer
+//! leases.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use skycat::CatalogFile;
+use skydb::error::DbError;
+use skydb::fault::FaultKind;
 use skydb::server::{Server, Session};
-use skysim::cluster::{run_dynamic, run_static, AssignmentPolicy, NodeSpec};
+use skydb::wire::Fence;
+use skysim::cluster::AssignmentPolicy;
 use skysim::time::Waiter;
 
 use crate::config::LoaderConfig;
+use crate::fleet::{Assignment, FleetSupervisor, Lease};
 use crate::recovery::LoadJournal;
 use crate::report::{FailedFile, FileReport, NightReport};
 use crate::resilience::{classify, fault_label, Backoff, CircuitBreaker, Degrader, ErrorClass};
 
-/// Bounded number of extra dynamic rounds for files whose connection's
-/// circuit breaker tripped mid-load.
+/// Bounded number of extra rounds for files whose connection's circuit
+/// breaker tripped mid-load under *static* assignment. (Dynamic assignment
+/// bounds reassignments per file via the fleet policy's reclaim and
+/// requeue budgets instead.)
 const MAX_REQUEUE_ROUNDS: usize = 64;
+
+/// A night-level orchestration failure: a loader worker died (panicked),
+/// or — from [`load_night`] — the night ended with unretirable files.
+/// Per-file failures a caller may want to inspect are in
+/// [`NightReport::failed_files`]; `NightError` is for the cases where no
+/// useful report exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NightError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for NightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "night load failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for NightError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "loader worker panicked".to_owned()
+    }
+}
 
 /// Load an observation's files with `nodes` parallel loader processes.
 ///
-/// # Panics
-/// Panics if a loader hits a protocol-level failure it cannot retire within
-/// the configured retry/requeue budget (row-level errors are skipped and
-/// reported, as in the paper). Callers that prefer a report over a panic
-/// use [`load_night_with_journal`] and inspect
-/// [`NightReport::failed_files`].
+/// Returns an error if any file could not be retired within the configured
+/// retry/requeue budget, or if a loader worker died (row-level errors are
+/// skipped and reported, as in the paper). Callers that prefer a report
+/// with the per-file failure list use [`load_night_with_journal`] and
+/// inspect [`NightReport::failed_files`].
 pub fn load_night(
     server: &Arc<Server>,
     files: &[CatalogFile],
     cfg: &LoaderConfig,
     nodes: usize,
     policy: AssignmentPolicy,
-) -> NightReport {
-    let night = load_night_with_journal(server, files, cfg, nodes, policy, None);
+) -> Result<NightReport, NightError> {
+    let night = load_night_with_journal(server, files, cfg, nodes, policy, None)?;
     if let Some(f) = night.failed_files.first() {
-        panic!("loading {} failed: {}", f.file, f.error);
+        return Err(NightError {
+            message: format!("loading {} failed: {}", f.file, f.error),
+        });
     }
-    night
+    Ok(night)
 }
 
 /// Per-node retry state: the connection's circuit breaker and its seeded
@@ -58,6 +104,32 @@ pub fn load_night(
 struct NodeState {
     breaker: CircuitBreaker,
     backoff: Backoff,
+}
+
+/// How one assignment of one file to one node ended.
+enum FileOutcome {
+    /// Loaded, failed permanently, or given up: do not reassign.
+    Retired,
+    /// Breaker trip: the file should be requeued on a healthy session.
+    Requeue,
+    /// The lease was reclaimed (or the flush fenced out) mid-file: the
+    /// new holder owns the outcome; nothing to do here.
+    TakenAway,
+}
+
+/// The first `keep` lines of `text` (the whole text if it has fewer) —
+/// what a loader killed or frozen mid-file managed to consume.
+fn line_prefix(text: &str, keep: usize) -> &str {
+    if keep == 0 {
+        return "";
+    }
+    match text.split_inclusive('\n').nth(keep - 1) {
+        Some(last) => {
+            let end = last.as_ptr() as usize - text.as_ptr() as usize + last.len();
+            &text[..end]
+        }
+        None => text,
+    }
 }
 
 /// [`load_night`] with an optional shared checkpoint journal.
@@ -73,11 +145,18 @@ struct NodeState {
 /// re-surface as PK-duplicate skips, so the repository still converges to
 /// exactly one copy of every row.
 ///
-/// A connection whose breaker trips is quarantined: the loader reconnects
-/// and the in-flight file is requeued through dynamic assignment. Files
-/// that cannot be retired (including everything pending when the server
-/// crashes) are reported in [`NightReport::failed_files`] rather than
-/// panicking.
+/// Under dynamic assignment every grant is a lease (`cfg.fleet`): loaders
+/// heartbeat between attempts, expired leases are reclaimed and their
+/// files reassigned under a bumped fencing epoch, and a zombie holder's
+/// stale flushes are rejected by the database before anything applies. A
+/// connection whose breaker trips is quarantined: the loader reconnects
+/// and the in-flight file is requeued (charging the per-file requeue
+/// budget, which is separate from — and larger than — the reclaim
+/// budget). Files that cannot be retired (including everything pending
+/// when the server crashes) are reported in [`NightReport::failed_files`].
+///
+/// `Err` is reserved for orchestration failures — a loader worker dying —
+/// not for per-file load failures.
 pub fn load_night_with_journal(
     server: &Arc<Server>,
     files: &[CatalogFile],
@@ -85,10 +164,10 @@ pub fn load_night_with_journal(
     nodes: usize,
     policy: AssignmentPolicy,
     journal: Option<&LoadJournal>,
-) -> NightReport {
+) -> Result<NightReport, NightError> {
     assert!(nodes > 0, "need at least one loader node");
-    let pool = NodeSpec::pool(nodes);
     let retry = &cfg.retry;
+    let fleet = &cfg.fleet;
     // One session per node, like one loader process per Condor node. The
     // Mutex allows a tripped connection to be swapped for a fresh one.
     let sessions: Vec<Mutex<Session>> = (0..nodes)
@@ -109,10 +188,12 @@ pub fn load_night_with_journal(
     let degrader = Degrader::new(retry);
     let waiter = Waiter::new(server.engine().scale());
     let reports: Mutex<Vec<FileReport>> = Mutex::new(Vec::with_capacity(files.len()));
-    let requeued: Mutex<Vec<&CatalogFile>> = Mutex::new(Vec::new());
     let failed: Mutex<Vec<FailedFile>> = Mutex::new(Vec::new());
     let retries = AtomicU64::new(0);
     let survived: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+    let loader_kills = AtomicU64::new(0);
+    let loader_stalls = AtomicU64::new(0);
+    let fencing_rejections = AtomicU64::new(0);
 
     let give_up = |file: &CatalogFile, why: String| {
         failed.lock().push(FailedFile {
@@ -121,12 +202,41 @@ pub fn load_night_with_journal(
         });
     };
 
-    let work = |node_idx: usize, file| {
-        let file: &CatalogFile = file;
+    // The per-attempt retry loop shared by both assignment policies.
+    // `heartbeat` renews the node's lease (always `true` under static
+    // assignment, which has no leases).
+    let drive_file = |node_idx: usize,
+                      file: &CatalogFile,
+                      lease: Option<&Lease>,
+                      heartbeat: &(dyn Fn(&Lease) -> bool + Sync)|
+     -> FileOutcome {
         let mut stalled = 0usize;
         let mut attempts = 0u64;
         let mut last_level = degrader.level();
+        if let Some(l) = lease {
+            sessions[node_idx].lock().set_fence(Some(Fence {
+                key: l.key,
+                epoch: l.epoch,
+            }));
+        }
+        let clear_fence = || {
+            if lease.is_some() {
+                sessions[node_idx].lock().set_fence(None);
+            }
+        };
         loop {
+            // Renew the lease before burning time on an attempt. A failed
+            // renewal means we were presumed dead and the file reassigned:
+            // discard the half-done transaction and walk away — the new
+            // holder resumes from the journal.
+            if let Some(l) = lease {
+                if !heartbeat(l) {
+                    let s = sessions[node_idx].lock();
+                    let _ = s.rollback();
+                    s.set_fence(None);
+                    return FileOutcome::TakenAway;
+                }
+            }
             // Load under the degradation ladder's current shape.
             let effective = degrader.shape(cfg);
             let progress_before = journal.map(|j| j.committed_lines(&file.name));
@@ -150,24 +260,38 @@ pub fn load_night_with_journal(
                     st.backoff.reset();
                     drop(st);
                     reports.lock().push(report);
-                    return;
+                    clear_fence();
+                    return FileOutcome::Retired;
                 }
                 Err(e) => e,
             };
             attempts += 1;
             retries.fetch_add(1, Ordering::Relaxed);
+            if matches!(err, DbError::FencedOut(_)) {
+                // Our lease was reclaimed while a call was in flight: the
+                // database rejected the stale flush before anything
+                // applied. The file belongs to its new holder — roll back
+                // the leftover transaction and abandon silently.
+                fencing_rejections.fetch_add(1, Ordering::Relaxed);
+                let s = sessions[node_idx].lock();
+                let _ = s.rollback();
+                s.set_fence(None);
+                return FileOutcome::TakenAway;
+            }
             match classify(&err) {
                 ErrorClass::Permanent => {
                     let _ = sessions[node_idx].lock().rollback();
                     give_up(file, err.to_string());
-                    return;
+                    clear_fence();
+                    return FileOutcome::Retired;
                 }
                 ErrorClass::ServerLost => {
                     // The server is down; retrying any connection is futile.
                     // Report and let the caller (e.g. the chaos harness)
                     // recover the repository and resume from the journal.
                     give_up(file, err.to_string());
-                    return;
+                    clear_fence();
+                    return FileOutcome::Retired;
                 }
                 ErrorClass::Transient => {}
             }
@@ -186,12 +310,11 @@ pub fn load_night_with_journal(
             let tripped = node_states[node_idx].lock().breaker.record_failure();
             if tripped {
                 // Quarantine the sick connection: reconnect, requeue the
-                // file through dynamic assignment for a later round.
+                // file for a later assignment on a healthy session.
                 let fresh = server.connect();
                 fresh.set_call_timeout(retry.call_timeout);
                 *sessions[node_idx].lock() = fresh;
-                requeued.lock().push(file);
-                return;
+                return FileOutcome::Requeue;
             }
             // The attempt budget counts only *stalled* attempts: journal
             // progress or a degradation-ladder move refreshes it.
@@ -211,70 +334,305 @@ pub fn load_night_with_journal(
                     file,
                     format!("no progress after {} attempts: {err}", retry.max_attempts),
                 );
-                return;
+                clear_fence();
+                return FileOutcome::Retired;
             }
             waiter.wait(node_states[node_idx].lock().backoff.next_delay());
         }
     };
 
-    let items: Vec<&CatalogFile> = files.iter().collect();
-    let mut cluster = match policy {
-        AssignmentPolicy::Dynamic => run_dynamic(&pool, items, work),
-        AssignmentPolicy::Static => run_static(&pool, items, work),
-    };
+    let start = Instant::now();
+    let (busy, lease_reclaims) = match policy {
+        AssignmentPolicy::Dynamic => {
+            // Lease-fenced dynamic assignment through the fleet supervisor.
+            let initial: Vec<(String, u64)> = files
+                .iter()
+                .map(|f| {
+                    let key = crate::fleet::fence_key(&f.name);
+                    let manifest = journal.map(|j| j.epoch_for(&f.name)).unwrap_or(0);
+                    // Max-merge with the server's floor so a restarted
+                    // coordinator (or a reused server) always issues
+                    // strictly newer epochs than anything fenced before.
+                    (f.name.clone(), manifest.max(server.fence_floor(key)))
+                })
+                .collect();
+            let supervisor = {
+                let server = Arc::clone(server);
+                FleetSupervisor::new(&initial, fleet.clone(), move |key, epoch| {
+                    server.advance_fence(key, epoch)
+                })
+            };
+            let supervisor = &supervisor;
+            let poll = (fleet.lease_ttl / 8).max(Duration::from_millis(1));
+            let renew = |l: &Lease| supervisor.heartbeat(l);
 
-    // Requeue rounds: files orphaned by breaker trips go back through
-    // dynamic assignment (fresh connections, refreshed budgets) until the
-    // queue drains, the server crashes, or the round budget runs out.
-    let mut extra = Duration::ZERO;
-    for _ in 0..MAX_REQUEUE_ROUNDS {
-        let queue: Vec<&CatalogFile> = std::mem::take(&mut *requeued.lock());
-        if queue.is_empty() {
-            break;
+            // Injected loader faults (chaos): a kill loads a truncated
+            // prefix and loses its process — the database aborts the dead
+            // connection's open transaction, the node restarts with a
+            // fresh session, and the lease is never released: TTL expiry
+            // is the recovery path. A stall loads a prefix, freezes past
+            // its TTL, then wakes as a zombie and flushes the rest under
+            // its stale epoch — which fencing rejects before anything
+            // applies.
+            let truncated_prefix_load = |node_idx: usize, lease: &Lease, file: &CatalogFile| {
+                let keep = file.text.lines().count() / 2;
+                let prefix = line_prefix(&file.text, keep);
+                let s = sessions[node_idx].lock();
+                s.set_fence(Some(Fence {
+                    key: lease.key,
+                    epoch: lease.epoch,
+                }));
+                let _ = match journal {
+                    Some(j) => {
+                        crate::bulk::load_catalog_text_with_journal(&s, cfg, &file.name, prefix, j)
+                    }
+                    None => crate::bulk::load_catalog_text(&s, cfg, &file.name, prefix),
+                };
+            };
+            let kill_loader = |node_idx: usize, lease: &Lease, file: &CatalogFile| {
+                server.note_injected_fault(FaultKind::LoaderKill);
+                loader_kills.fetch_add(1, Ordering::Relaxed);
+                truncated_prefix_load(node_idx, lease, file);
+                {
+                    // The dead connection's open transaction is aborted by
+                    // the database (modeled as a rollback; deliberately
+                    // unfenced so cleanup always works).
+                    let s = sessions[node_idx].lock();
+                    for _ in 0..3 {
+                        if s.rollback().is_ok() {
+                            break;
+                        }
+                    }
+                }
+                // The Condor node restarts with a fresh loader process;
+                // the lease is left to expire.
+                let fresh = server.connect();
+                fresh.set_call_timeout(retry.call_timeout);
+                *sessions[node_idx].lock() = fresh;
+            };
+            let stall_loader = |node_idx: usize, lease: &Lease, file: &CatalogFile| {
+                server.note_injected_fault(FaultKind::LoaderStall);
+                loader_stalls.fetch_add(1, Ordering::Relaxed);
+                truncated_prefix_load(node_idx, lease, file);
+                // Freeze: no heartbeats until the supervisor presumes us
+                // dead and reassigns the file. (The poll drives expiry,
+                // so this converges even on a single-node fleet.)
+                while !supervisor.lease_lost(lease) {
+                    std::thread::sleep(poll);
+                }
+                // Zombie wakes and flushes the remainder under the stale
+                // epoch: the fence rejects it before a single row lands.
+                // Other injected faults can beat the fence check to the
+                // wire, so insist a few times — once the lease is
+                // reclaimed the fence verdict is permanent.
+                let s = sessions[node_idx].lock();
+                for _ in 0..16 {
+                    let res = match journal {
+                        Some(j) => crate::bulk::load_catalog_text_with_journal(
+                            &s, cfg, &file.name, &file.text, j,
+                        ),
+                        None => crate::bulk::load_catalog_text(&s, cfg, &file.name, &file.text),
+                    };
+                    match res {
+                        Err(DbError::FencedOut(_)) => {
+                            fencing_rejections.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        // Transient noise before the fence check; retry.
+                        Err(_) => continue,
+                        // Nothing left to send (the journal already covers
+                        // the whole file): no stale call, nothing landed.
+                        Ok(_) => break,
+                    }
+                }
+                for _ in 0..3 {
+                    if s.rollback().is_ok() {
+                        break;
+                    }
+                }
+                s.set_fence(None);
+            };
+
+            let fleet_worker = |node_idx: usize| -> Duration {
+                let mut busy = Duration::ZERO;
+                loop {
+                    match supervisor.next_assignment(node_idx) {
+                        Assignment::Done => return busy,
+                        Assignment::Wait => std::thread::sleep(poll),
+                        Assignment::Grant(lease) => {
+                            let t0 = Instant::now();
+                            let file = &files[lease.file_idx];
+                            if let Some(j) = journal {
+                                j.record_epoch(&file.name, lease.epoch);
+                            }
+                            match server.fault_plan().and_then(|p| p.decide_loader_fault()) {
+                                Some(FaultKind::LoaderKill) => kill_loader(node_idx, &lease, file),
+                                Some(FaultKind::LoaderStall) => {
+                                    stall_loader(node_idx, &lease, file)
+                                }
+                                _ => match drive_file(node_idx, file, Some(&lease), &renew) {
+                                    FileOutcome::Retired => supervisor.complete(&lease),
+                                    FileOutcome::Requeue => supervisor.requeue(&lease),
+                                    FileOutcome::TakenAway => {} // already reclaimed
+                                },
+                            }
+                            busy += t0.elapsed();
+                        }
+                    }
+                }
+            };
+
+            let busy = run_workers(nodes, &fleet_worker)?;
+            // Files whose reclaim or requeue budget ran out are
+            // failures, not limbo.
+            for a in supervisor.take_abandoned() {
+                give_up(&files[a.file_idx], a.reason);
+            }
+            (busy, supervisor.reclaims())
         }
-        if server.is_crashed() {
-            for f in queue {
+        AssignmentPolicy::Static => {
+            // Round-robin pre-partition (the baseline §4.4 argues
+            // against), plus bounded requeue rounds for breaker trips.
+            let partitions: Vec<Mutex<VecDeque<&CatalogFile>>> =
+                (0..nodes).map(|_| Mutex::new(VecDeque::new())).collect();
+            for (i, f) in files.iter().enumerate() {
+                partitions[i % nodes].lock().push_back(f);
+            }
+            let requeued: Mutex<Vec<&CatalogFile>> = Mutex::new(Vec::new());
+            let no_lease: &(dyn Fn(&Lease) -> bool + Sync) = &|_| true;
+            let static_worker = |node_idx: usize| -> Duration {
+                let t0 = Instant::now();
+                while let Some(file) = { partitions[node_idx].lock().pop_front() } {
+                    if let FileOutcome::Requeue = drive_file(node_idx, file, None, no_lease) {
+                        requeued.lock().push(file);
+                    }
+                }
+                t0.elapsed()
+            };
+            let mut busy = run_workers(nodes, &static_worker)?;
+
+            // Requeue rounds: files orphaned by breaker trips go back
+            // through a shared queue (fresh connections, refreshed
+            // budgets) until it drains, the server crashes, or the round
+            // budget runs out.
+            for _ in 0..MAX_REQUEUE_ROUNDS {
+                let queue: Vec<&CatalogFile> = std::mem::take(&mut *requeued.lock());
+                if queue.is_empty() {
+                    break;
+                }
+                if server.is_crashed() {
+                    for f in queue {
+                        give_up(
+                            f,
+                            "server crashed before the requeued file could load".into(),
+                        );
+                    }
+                    break;
+                }
+                let shared: Mutex<VecDeque<&CatalogFile>> = Mutex::new(queue.into());
+                let round_worker = |node_idx: usize| -> Duration {
+                    let t0 = Instant::now();
+                    while let Some(file) = { shared.lock().pop_front() } {
+                        if let FileOutcome::Requeue = drive_file(node_idx, file, None, no_lease) {
+                            requeued.lock().push(file);
+                        }
+                    }
+                    t0.elapsed()
+                };
+                let round_busy = run_workers(nodes, &round_worker)?;
+                for (b, extra) in busy.iter_mut().zip(round_busy) {
+                    *b += extra;
+                }
+            }
+            for f in std::mem::take(&mut *requeued.lock()) {
                 give_up(
                     f,
-                    "server crashed before the requeued file could load".into(),
+                    format!("requeue budget ({MAX_REQUEUE_ROUNDS} rounds) exhausted"),
                 );
             }
-            break;
+            (busy, 0)
         }
-        extra += run_dynamic(&pool, queue, work).makespan;
-    }
-    for f in std::mem::take(&mut *requeued.lock()) {
-        give_up(
-            f,
-            format!("requeue budget ({MAX_REQUEUE_ROUNDS} rounds) exhausted"),
-        );
-    }
-    cluster.makespan += extra;
+    };
+    let makespan = start.elapsed();
+
+    // Persist the newest committed-line watermarks' sibling manifest: the
+    // journal already recorded each grant's epoch as it was issued, so a
+    // restarted coordinator fences past everything this run handed out.
 
     // Close out any session-held transactions (loads commit per policy, but
     // be safe if a file had zero commits). Best effort: on a crashed or
     // still-faulty server the commit may fail; the rows at stake were never
-    // journaled, so a resumed load re-sends them.
+    // journaled, so a resumed load re-sends them. Fences are cleared first
+    // so a leftover lease token cannot veto the sweep.
     for s in &sessions {
         let s = s.lock();
+        s.set_fence(None);
         if s.commit().is_err() {
             let _ = s.rollback();
         }
     }
 
     let breaker_trips = node_states.iter().map(|st| st.lock().breaker.trips()).sum();
-    NightReport {
+    Ok(NightReport {
         files: reports.into_inner(),
-        makespan: cluster.makespan,
+        makespan,
         nodes,
-        node_imbalance: cluster.imbalance(),
+        node_imbalance: imbalance(&busy),
         retries: retries.into_inner(),
         faults_survived: survived.into_inner(),
         breaker_trips,
         degraded_time: degrader.degraded_time(),
         degrade_transitions: degrader.transitions(),
+        loader_kills: loader_kills.into_inner(),
+        loader_stalls: loader_stalls.into_inner(),
+        lease_reclaims,
+        fencing_rejections: fencing_rejections.into_inner(),
         failed_files: failed.into_inner(),
+    })
+}
+
+/// Ratio of the busiest node's busy time to the idlest node's (1.0 is
+/// perfectly balanced), mirroring
+/// [`ClusterReport::imbalance`](skysim::cluster::ClusterReport::imbalance).
+fn imbalance(busy: &[Duration]) -> f64 {
+    let max = busy.iter().map(Duration::as_secs_f64).fold(0.0, f64::max);
+    let min = busy
+        .iter()
+        .map(Duration::as_secs_f64)
+        .fold(f64::INFINITY, f64::min);
+    if min <= 0.0 {
+        f64::INFINITY
+    } else {
+        max / min
     }
+}
+
+/// Run one worker closure per node on scoped threads, propagating panics
+/// as [`NightError`] instead of unwinding through the caller.
+fn run_workers(
+    nodes: usize,
+    worker: &(impl Fn(usize) -> Duration + Sync),
+) -> Result<Vec<Duration>, NightError> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nodes).map(|i| s.spawn(move || worker(i))).collect();
+        let mut busy = Vec::with_capacity(nodes);
+        let mut first_panic: Option<String> = None;
+        for h in handles {
+            match h.join() {
+                Ok(b) => busy.push(b),
+                Err(p) => {
+                    let msg = panic_message(p);
+                    first_panic.get_or_insert(msg);
+                }
+            }
+        }
+        match first_panic {
+            Some(message) => Err(NightError {
+                message: format!("loader worker panicked: {message}"),
+            }),
+            None => Ok(busy),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -282,6 +640,7 @@ mod tests {
     use super::*;
     use skycat::gen::{aggregate_expected, generate_observation, GenConfig};
     use skydb::config::DbConfig;
+    use skydb::fault::{FaultPlan, FaultPlanConfig};
 
     fn fresh_server() -> Arc<Server> {
         let server = Server::start(DbConfig::test());
@@ -289,6 +648,15 @@ mod tests {
         skycat::seed_static(server.engine()).unwrap();
         skycat::seed_observation(server.engine(), 1, 100).unwrap();
         server
+    }
+
+    /// A fleet policy with timings short enough for tests that actually
+    /// exercise reclamation (wall-clock TTLs), but long enough that a
+    /// healthy file attempt finishes inside one lease term.
+    fn quick_fleet() -> crate::fleet::FleetPolicy {
+        crate::fleet::FleetPolicy::default()
+            .with_lease_ttl(Duration::from_millis(250))
+            .with_heartbeat_interval(Duration::from_millis(50))
     }
 
     #[test]
@@ -303,13 +671,17 @@ mod tests {
             &LoaderConfig::test(),
             4,
             AssignmentPolicy::Dynamic,
-        );
+        )
+        .unwrap();
         assert_eq!(report.files.len(), 8);
         assert_eq!(report.rows_loaded(), expected.total_loadable());
         for (table, expect) in &expected.loadable {
             let tid = server.engine().table_id(table).unwrap();
             assert_eq!(server.engine().row_count(tid), *expect, "{table}");
         }
+        // A healthy night needs no supervision interventions.
+        assert_eq!(report.lease_reclaims, 0);
+        assert_eq!(report.fencing_rejections, 0);
     }
 
     #[test]
@@ -323,7 +695,7 @@ mod tests {
         let expected = aggregate_expected(&files);
         let run = |loader: &LoaderConfig| {
             let server = fresh_server();
-            let night = load_night(&server, &files, loader, 3, AssignmentPolicy::Dynamic);
+            let night = load_night(&server, &files, loader, 3, AssignmentPolicy::Dynamic).unwrap();
             let counts: Vec<u64> = expected
                 .loadable
                 .keys()
@@ -359,7 +731,8 @@ mod tests {
             &LoaderConfig::test(),
             3,
             AssignmentPolicy::Dynamic,
-        );
+        )
+        .unwrap();
         assert_eq!(report.rows_loaded(), expected.total_loadable());
         assert_eq!(
             report.rows_skipped(),
@@ -379,7 +752,8 @@ mod tests {
             &LoaderConfig::test(),
             2,
             AssignmentPolicy::Static,
-        );
+        )
+        .unwrap();
         assert_eq!(report.rows_loaded(), expected.total_loadable());
         assert_eq!(report.nodes, 2);
     }
@@ -395,16 +769,37 @@ mod tests {
             &LoaderConfig::test(),
             1,
             AssignmentPolicy::Dynamic,
-        );
+        )
+        .unwrap();
         assert_eq!(report.files.len(), 3);
         assert!(report.rows_loaded() > 0);
         assert!((report.node_imbalance - 1.0).abs() < 1e-9);
     }
 
     #[test]
+    fn failed_night_is_an_error_not_a_panic() {
+        // Crash the server on the very first flush: every file fails, and
+        // load_night must surface that as Err, never a panic.
+        let cfg = GenConfig::night(45, 100).with_files(2);
+        let files = generate_observation(&cfg);
+        let server = fresh_server();
+        server.set_fault_plan(Some(FaultPlan::new(
+            FaultPlanConfig::new(9).with_crash_on_flush(1),
+        )));
+        let err = load_night(
+            &server,
+            &files,
+            &LoaderConfig::test(),
+            2,
+            AssignmentPolicy::Dynamic,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("failed"), "got: {err}");
+    }
+
+    #[test]
     fn degradation_round_trip_under_batch_corruption() {
         use crate::resilience::{RetryPolicy, MAX_DEGRADE_LEVEL};
-        use skydb::fault::{FaultPlan, FaultPlanConfig};
 
         // Every batch call is rejected as corrupt, so the fleet must walk
         // the full degradation ladder down to per-row inserts (which the
@@ -429,7 +824,8 @@ mod tests {
             2,
             AssignmentPolicy::Dynamic,
             Some(&journal),
-        );
+        )
+        .unwrap();
         assert!(night.is_complete(), "failed: {:?}", night.failed_files);
         assert_eq!(night.rows_loaded(), expected.total_loadable());
         for (table, expect) in &expected.loadable {
@@ -485,7 +881,8 @@ mod tests {
             2,
             AssignmentPolicy::Dynamic,
             Some(&journal),
-        );
+        )
+        .unwrap();
         assert!(night.is_complete(), "failed: {:?}", night.failed_files);
         assert!(night.breaker_trips > 0);
         assert!(night.retries > 0);
@@ -493,6 +890,88 @@ mod tests {
         // journal resume point, so the repository itself is the
         // exactly-once oracle.
         assert!(night.rows_loaded() <= expected.total_loadable());
+        for (table, expect) in &expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(server.engine().row_count(tid), *expect, "{table}");
+        }
+    }
+
+    #[test]
+    fn loader_kill_recovers_via_lease_reclaim() {
+        // Kill the very first granted loader mid-file: its lease must
+        // expire, the file must be reassigned, and every loadable row must
+        // land exactly once (journal watermark + fencing).
+        let cfg = GenConfig::night(47, 100).with_files(4);
+        let files = generate_observation(&cfg);
+        let expected = aggregate_expected(&files);
+        let server = fresh_server();
+        server.set_fault_plan(Some(FaultPlan::new(
+            FaultPlanConfig::new(47).with_loader_kill_at(1),
+        )));
+        let loader = LoaderConfig::test()
+            .with_commit_policy(crate::config::CommitPolicy::PerFlush)
+            .with_fleet(quick_fleet());
+        let journal = LoadJournal::new();
+        let night = load_night_with_journal(
+            &server,
+            &files,
+            &loader,
+            2,
+            AssignmentPolicy::Dynamic,
+            Some(&journal),
+        )
+        .unwrap();
+        assert!(night.is_complete(), "failed: {:?}", night.failed_files);
+        assert_eq!(night.loader_kills, 1);
+        assert!(
+            night.lease_reclaims >= 1,
+            "the killed loader's lease was never reclaimed"
+        );
+        for (table, expect) in &expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(server.engine().row_count(tid), *expect, "{table}");
+        }
+        // The reassigned grant runs at a higher epoch, and the manifest
+        // remembers it for coordinator restarts.
+        let bumped = files
+            .iter()
+            .filter(|f| journal.epoch_for(&f.name) >= 2)
+            .count();
+        assert!(bumped >= 1, "no file was ever re-leased");
+    }
+
+    #[test]
+    fn loader_stall_zombie_is_fenced_out() {
+        // Freeze the first granted loader past its TTL: the file is
+        // reassigned, and when the zombie wakes and flushes, fencing must
+        // reject it — rows still land exactly once.
+        let cfg = GenConfig::night(49, 100).with_files(4);
+        let files = generate_observation(&cfg);
+        let expected = aggregate_expected(&files);
+        let server = fresh_server();
+        server.set_fault_plan(Some(FaultPlan::new(
+            FaultPlanConfig::new(49).with_loader_stall_at(1),
+        )));
+        let loader = LoaderConfig::test()
+            .with_commit_policy(crate::config::CommitPolicy::PerFlush)
+            .with_fleet(quick_fleet());
+        let journal = LoadJournal::new();
+        let night = load_night_with_journal(
+            &server,
+            &files,
+            &loader,
+            2,
+            AssignmentPolicy::Dynamic,
+            Some(&journal),
+        )
+        .unwrap();
+        assert!(night.is_complete(), "failed: {:?}", night.failed_files);
+        assert_eq!(night.loader_stalls, 1);
+        assert!(night.lease_reclaims >= 1, "stalled lease never reclaimed");
+        assert!(
+            night.fencing_rejections >= 1,
+            "the zombie's stale flush was never fenced"
+        );
         for (table, expect) in &expected.loadable {
             let tid = server.engine().table_id(table).unwrap();
             assert_eq!(server.engine().row_count(tid), *expect, "{table}");
@@ -510,7 +989,8 @@ mod tests {
             &LoaderConfig::test(),
             2,
             AssignmentPolicy::Dynamic,
-        );
+        )
+        .unwrap();
         assert!(report.throughput_mb_per_s() > 0.0);
         assert!(report.bytes_read() > 0);
     }

@@ -15,15 +15,25 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Per-file commit progress, safe to share across loader threads.
+///
+/// Since the fleet supervisor arrived this is a per-file *manifest*: next
+/// to the committed-lines watermark it records the highest lease epoch
+/// ever issued for each file, so a restarted coordinator seeds its lease
+/// epochs from the journal and can never re-issue an epoch an earlier
+/// incarnation already fenced out.
 #[derive(Debug, Default)]
 pub struct LoadJournal {
     inner: Mutex<BTreeMap<String, u64>>,
+    epochs: Mutex<BTreeMap<String, u64>>,
 }
 
-/// Serialized journal contents.
+/// Serialized journal contents. `epochs` is defaulted so journals written
+/// before the fleet supervisor existed still load.
 #[derive(Debug, Serialize, Deserialize)]
 struct JournalFile {
     committed_lines: BTreeMap<String, u64>,
+    #[serde(default)]
+    epochs: BTreeMap<String, u64>,
 }
 
 impl LoadJournal {
@@ -45,6 +55,21 @@ impl LoadJournal {
         self.inner.lock().get(file).copied().unwrap_or(0)
     }
 
+    /// Record that a lease for `file` was issued at `epoch`. Monotonic
+    /// (max-merge), like the committed-lines watermark.
+    pub fn record_epoch(&self, file: &str, epoch: u64) {
+        let mut epochs = self.epochs.lock();
+        let e = epochs.entry(file.to_owned()).or_insert(0);
+        *e = (*e).max(epoch);
+    }
+
+    /// The highest lease epoch ever recorded for `file` (0 if never
+    /// leased). A coordinator restarting over this journal starts issuing
+    /// at `epoch_for(file) + 1`.
+    pub fn epoch_for(&self, file: &str) -> u64 {
+        self.epochs.lock().get(file).copied().unwrap_or(0)
+    }
+
     /// Files with recorded progress.
     pub fn files(&self) -> Vec<String> {
         self.inner.lock().keys().cloned().collect()
@@ -52,9 +77,9 @@ impl LoadJournal {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
-        let inner = self.inner.lock();
         serde_json::to_string_pretty(&JournalFile {
-            committed_lines: inner.clone(),
+            committed_lines: self.inner.lock().clone(),
+            epochs: self.epochs.lock().clone(),
         })
         .expect("journal serializes")
     }
@@ -64,6 +89,7 @@ impl LoadJournal {
         let parsed: JournalFile = serde_json::from_str(json)?;
         Ok(LoadJournal {
             inner: Mutex::new(parsed.committed_lines),
+            epochs: Mutex::new(parsed.epochs),
         })
     }
 
@@ -121,6 +147,45 @@ mod tests {
         assert_eq!(j.committed_lines("a.cat"), 100);
         j.record("a.cat", 150);
         assert_eq!(j.committed_lines("a.cat"), 150);
+    }
+
+    #[test]
+    fn replay_after_partial_reload_cannot_regress_watermark() {
+        // A reclaimed file is re-loaded from line 0 by its new lease
+        // holder. The replay's early checkpoints (40, 80, …) are *smaller*
+        // than the watermark the dead loader already committed (100); the
+        // journal must keep the max, or a crash between checkpoints would
+        // resume too early and double-apply rows.
+        let j = LoadJournal::new();
+        j.record("n1.cat", 100);
+        for replay_checkpoint in [40, 80, 100, 140] {
+            j.record("n1.cat", replay_checkpoint);
+            assert!(
+                j.committed_lines("n1.cat") >= 100,
+                "checkpoint {replay_checkpoint} regressed the watermark"
+            );
+        }
+        assert_eq!(j.committed_lines("n1.cat"), 140);
+        // The invariant survives serialization too.
+        let back = LoadJournal::from_json(&j.to_json()).unwrap();
+        back.record("n1.cat", 5);
+        assert_eq!(back.committed_lines("n1.cat"), 140);
+    }
+
+    #[test]
+    fn epochs_are_monotonic_and_survive_roundtrip() {
+        let j = LoadJournal::new();
+        assert_eq!(j.epoch_for("a.cat"), 0);
+        j.record_epoch("a.cat", 3);
+        j.record_epoch("a.cat", 2); // stale coordinator write
+        assert_eq!(j.epoch_for("a.cat"), 3);
+        let back = LoadJournal::from_json(&j.to_json()).unwrap();
+        assert_eq!(back.epoch_for("a.cat"), 3);
+        // Pre-fleet journals (no epochs key) still load.
+        let legacy = r#"{ "committed_lines": { "b.cat": 9 } }"#;
+        let old = LoadJournal::from_json(legacy).unwrap();
+        assert_eq!(old.committed_lines("b.cat"), 9);
+        assert_eq!(old.epoch_for("b.cat"), 0);
     }
 
     #[test]

@@ -215,6 +215,14 @@ pub struct NightReport {
     pub degraded_time: Duration,
     /// Every degradation-ladder move, in order.
     pub degrade_transitions: Vec<DegradeTransition>,
+    /// Loaders killed mid-file by the fault plan (Condor eviction model).
+    pub loader_kills: u64,
+    /// Loaders frozen mid-file by the fault plan (zombie model).
+    pub loader_stalls: u64,
+    /// Leases reclaimed after TTL expiry (files reassigned to live nodes).
+    pub lease_reclaims: u64,
+    /// Stale-epoch flushes rejected at the session layer by fencing.
+    pub fencing_rejections: u64,
     /// Files given up on (empty on a fully successful night).
     pub failed_files: Vec<FailedFile>,
 }

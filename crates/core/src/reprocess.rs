@@ -148,13 +148,17 @@ pub fn reprocess_observation(
     nodes: usize,
 ) -> DbResult<(PurgeReport, NightReport)> {
     let purge = delete_observation(server.engine(), obs_id)?;
-    let night = crate::parallel::load_night(
+    // Per-file failures stay inspectable in the report's failed_files;
+    // only an orchestration failure (a loader worker dying) becomes Err.
+    let night = crate::parallel::load_night_with_journal(
         server,
         new_files,
         cfg,
         nodes,
         skysim::cluster::AssignmentPolicy::Dynamic,
-    );
+        None,
+    )
+    .map_err(|e| skydb::error::DbError::Protocol(e.to_string()))?;
     Ok((purge, night))
 }
 

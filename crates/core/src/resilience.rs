@@ -60,6 +60,10 @@ pub fn classify(e: &DbError) -> ErrorClass {
         | DbError::Corruption(_) => ErrorClass::Transient,
         DbError::ServerDown(_) => ErrorClass::ServerLost,
         DbError::Batch { cause, .. } => classify(cause),
+        // A fenced-out call means this loader's lease was reclaimed and the
+        // file reassigned: retrying under the stale epoch is futile, and the
+        // fleet layer handles the rollback. Deliberately not Transient.
+        DbError::FencedOut(_) => ErrorClass::Permanent,
         _ => ErrorClass::Permanent,
     }
 }
@@ -75,6 +79,7 @@ pub fn fault_label(e: &DbError) -> &'static str {
         DbError::DiskFull(_) => "disk_full",
         DbError::Corruption(_) => "corruption",
         DbError::ServerDown(_) => "server_down",
+        DbError::FencedOut(_) => "fenced_out",
         DbError::Batch { cause, .. } => fault_label(cause),
         _ => "other",
     }
@@ -453,6 +458,7 @@ mod tests {
             (DbError::DiskFull("log".into()), Transient),
             (DbError::Corruption("cksum".into()), Transient),
             (DbError::ServerDown("crash".into()), ServerLost),
+            (DbError::FencedOut("stale epoch".into()), Permanent),
             (DbError::NoTransaction, Permanent),
             (DbError::SessionClosed, Permanent),
             (DbError::InvalidSchema("x".into()), Permanent),
@@ -466,6 +472,10 @@ mod tests {
         };
         assert_eq!(classify(&wrapped), Transient);
         assert_eq!(fault_label(&wrapped), "reset");
+        assert_eq!(
+            fault_label(&DbError::FencedOut("stale epoch".into())),
+            "fenced_out"
+        );
     }
 
     #[test]

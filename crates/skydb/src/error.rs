@@ -107,6 +107,12 @@ pub enum DbError {
         /// The underlying error for the failing row.
         cause: Box<DbError>,
     },
+    /// The call carried a fencing token whose epoch is older than the
+    /// minimum the server has been told to accept: a newer lease holder has
+    /// taken over the work, and this (zombie) session's writes must not
+    /// apply. Rejected before anything is applied; not retryable on this
+    /// lease.
+    FencedOut(String),
     /// The session has no active transaction for the requested operation.
     NoTransaction,
     /// The engine rejected a statement because the session is closed.
@@ -187,6 +193,7 @@ impl fmt::Display for DbError {
             DbError::Batch { offset, cause } => {
                 write!(f, "batch failed at row offset {offset}: {cause}")
             }
+            DbError::FencedOut(m) => write!(f, "fenced out: {m}"),
             DbError::NoTransaction => write!(f, "no active transaction"),
             DbError::SessionClosed => write!(f, "session is closed"),
         }

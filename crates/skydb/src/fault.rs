@@ -40,19 +40,30 @@ pub enum FaultKind {
     /// Transient overload ([`DbError::ServerBusy`]).
     Busy,
     /// A latency spike: the call stalls for the configured duration, and
-    /// fails with [`DbError::Timeout`] if the session's per-call budget is
+    /// fails with [`DbError::Timeout`] if the session's call budget is
     /// shorter than the spike.
     Latency,
+    /// A whole loader process dies mid-file (the Condor "job killed" case):
+    /// it loads a truncated prefix, then vanishes without releasing its
+    /// lease. Decided per file grant, injected by the fleet layer.
+    LoaderKill,
+    /// A loader freezes mid-file (a "zombie"): it stops heartbeating, its
+    /// lease is reclaimed and the file reassigned, and then it wakes up and
+    /// tries to flush stale work — which fencing must reject. Decided per
+    /// file grant, injected by the fleet layer.
+    LoaderStall,
 }
 
 /// Every fault kind, for report iteration.
-pub const FAULT_KINDS: [FaultKind; 6] = [
+pub const FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::CrashOnFlush,
     FaultKind::DiskFull,
     FaultKind::Corruption,
     FaultKind::Reset,
     FaultKind::Busy,
     FaultKind::Latency,
+    FaultKind::LoaderKill,
+    FaultKind::LoaderStall,
 ];
 
 impl FaultKind {
@@ -65,6 +76,8 @@ impl FaultKind {
             FaultKind::Reset => "reset",
             FaultKind::Busy => "busy",
             FaultKind::Latency => "latency",
+            FaultKind::LoaderKill => "loader_kill",
+            FaultKind::LoaderStall => "loader_stall",
         }
     }
 
@@ -77,6 +90,8 @@ impl FaultKind {
             FaultKind::Reset => 3,
             FaultKind::Busy => 4,
             FaultKind::Latency => 5,
+            FaultKind::LoaderKill => 6,
+            FaultKind::LoaderStall => 7,
         }
     }
 }
@@ -120,6 +135,14 @@ pub struct FaultPlanConfig {
     pub corruption_rate: f64,
     /// Crash (torn WAL write) on the `n`-th commit call, 1-based.
     pub crash_on_flush_at: Option<u64>,
+    /// Loader-kill probability per file grant (fleet-level fault).
+    pub loader_kill_rate: f64,
+    /// Loader-stall (zombie) probability per file grant (fleet-level fault).
+    pub loader_stall_rate: f64,
+    /// Kill the loader holding the `n`-th file grant, 1-based.
+    pub loader_kill_at: Option<u64>,
+    /// Stall the loader holding the `n`-th file grant, 1-based.
+    pub loader_stall_at: Option<u64>,
 }
 
 impl Default for FaultPlanConfig {
@@ -135,6 +158,10 @@ impl Default for FaultPlanConfig {
             disk_full_rate: 0.0,
             corruption_rate: 0.0,
             crash_on_flush_at: None,
+            loader_kill_rate: 0.0,
+            loader_stall_rate: 0.0,
+            loader_kill_at: None,
+            loader_stall_at: None,
         }
     }
 }
@@ -185,6 +212,30 @@ impl FaultPlanConfig {
         self
     }
 
+    /// Builder-style: loader-kill rate (per file grant).
+    pub fn with_loader_kills(mut self, rate: f64) -> Self {
+        self.loader_kill_rate = rate;
+        self
+    }
+
+    /// Builder-style: loader-stall rate (per file grant).
+    pub fn with_loader_stalls(mut self, rate: f64) -> Self {
+        self.loader_stall_rate = rate;
+        self
+    }
+
+    /// Builder-style: kill the loader holding the `n`-th grant (1-based).
+    pub fn with_loader_kill_at(mut self, nth_grant: u64) -> Self {
+        self.loader_kill_at = Some(nth_grant);
+        self
+    }
+
+    /// Builder-style: stall the loader holding the `n`-th grant (1-based).
+    pub fn with_loader_stall_at(mut self, nth_grant: u64) -> Self {
+        self.loader_stall_at = Some(nth_grant);
+        self
+    }
+
     /// Validate rates.
     pub fn validate(&self) -> Result<(), String> {
         for (name, r) in [
@@ -193,6 +244,8 @@ impl FaultPlanConfig {
             ("latency_rate", self.latency_rate),
             ("disk_full_rate", self.disk_full_rate),
             ("corruption_rate", self.corruption_rate),
+            ("loader_kill_rate", self.loader_kill_rate),
+            ("loader_stall_rate", self.loader_stall_rate),
         ] {
             if !(0.0..=1.0).contains(&r) {
                 return Err(format!("{name} must be in [0, 1], got {r}"));
@@ -200,6 +253,9 @@ impl FaultPlanConfig {
         }
         if self.crash_on_flush_at == Some(0) {
             return Err("crash_on_flush_at is 1-based; 0 never fires".into());
+        }
+        if self.loader_kill_at == Some(0) || self.loader_stall_at == Some(0) {
+            return Err("loader_kill_at/loader_stall_at are 1-based; 0 never fires".into());
         }
         Ok(())
     }
@@ -226,6 +282,7 @@ pub struct FaultPlan {
     calls_seen: AtomicU64,
     batch_calls: AtomicU64,
     commit_calls: AtomicU64,
+    grants: AtomicU64,
 }
 
 impl FaultPlan {
@@ -240,6 +297,7 @@ impl FaultPlan {
             calls_seen: AtomicU64::new(0),
             batch_calls: AtomicU64::new(0),
             commit_calls: AtomicU64::new(0),
+            grants: AtomicU64::new(0),
         }
     }
 
@@ -328,6 +386,28 @@ impl FaultPlan {
             return FaultDecision::Delay(cfg.latency_spike);
         }
         FaultDecision::Proceed
+    }
+
+    /// Adjudicate one file grant for the fleet layer: should the loader
+    /// holding it die mid-file ([`FaultKind::LoaderKill`]) or freeze into a
+    /// zombie ([`FaultKind::LoaderStall`])? Grant ordinals are 1-based and
+    /// global across the plan, so — like every other schedule — the decision
+    /// is a pure function of (seed, grant ordinal) and independent of which
+    /// loader thread draws the grant. Kill takes priority over stall.
+    pub fn decide_loader_fault(&self) -> Option<FaultKind> {
+        let g = self.grants.fetch_add(1, Ordering::Relaxed) + 1;
+        let cfg = &self.cfg;
+        if cfg.loader_kill_at == Some(g)
+            || Self::fires(cfg.seed, FaultKind::LoaderKill, g, cfg.loader_kill_rate)
+        {
+            return Some(FaultKind::LoaderKill);
+        }
+        if cfg.loader_stall_at == Some(g)
+            || Self::fires(cfg.seed, FaultKind::LoaderStall, g, cfg.loader_stall_rate)
+        {
+            return Some(FaultKind::LoaderStall);
+        }
+        None
     }
 }
 
@@ -460,6 +540,37 @@ mod tests {
             .count();
         let rate = fired as f64 / 5000.0;
         assert!((rate - 0.2).abs() < 0.03, "busy rate {rate} far from 0.2");
+    }
+
+    #[test]
+    fn loader_fault_schedule_is_seed_deterministic() {
+        let cfg = FaultPlanConfig::new(55)
+            .with_loader_kills(0.25)
+            .with_loader_stalls(0.25);
+        let draw = |cfg: FaultPlanConfig| {
+            let plan = FaultPlan::new(cfg);
+            (0..200)
+                .map(|_| plan.decide_loader_fault())
+                .collect::<Vec<_>>()
+        };
+        let a = draw(cfg.clone());
+        let b = draw(cfg);
+        assert_eq!(a, b, "identical seed must reproduce the grant schedule");
+        assert!(a.contains(&Some(FaultKind::LoaderKill)));
+        assert!(a.contains(&Some(FaultKind::LoaderStall)));
+    }
+
+    #[test]
+    fn loader_fault_exact_ordinals_fire() {
+        let plan = FaultPlan::new(
+            FaultPlanConfig::new(1)
+                .with_loader_kill_at(2)
+                .with_loader_stall_at(3),
+        );
+        assert_eq!(plan.decide_loader_fault(), None);
+        assert_eq!(plan.decide_loader_fault(), Some(FaultKind::LoaderKill));
+        assert_eq!(plan.decide_loader_fault(), Some(FaultKind::LoaderStall));
+        assert_eq!(plan.decide_loader_fault(), None);
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub mod prelude {
     pub use crate::stats::StatsSnapshot;
     pub use crate::value::{DataType, Key, Row, Value};
     pub use crate::wal::TxnId;
+    pub use crate::wire::Fence;
 }
 
 pub use prelude::*;

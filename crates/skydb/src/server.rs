@@ -33,7 +33,7 @@ use crate::fault::{CallClass, FaultDecision, FaultKind, FaultPlan, FAULT_KINDS};
 use crate::schema::TableId;
 use crate::value::Row;
 use crate::wal::TxnId;
-use crate::wire::{decode_error_kind, encode_error_kind, Request, Response};
+use crate::wire::{decode_error_kind, encode_error_kind, Fence, Request, Response};
 
 /// A database server: engine + CPU gate + network endpoint.
 pub struct Server {
@@ -50,6 +50,11 @@ pub struct Server {
     /// session fails with [`DbError::ServerDown`] until the repository is
     /// recovered into a fresh server.
     crashed: AtomicBool,
+    /// Fencing registry: minimum acceptable epoch per fence key. A fenced
+    /// request whose epoch is below the floor is rejected before anything
+    /// applies ([`DbError::FencedOut`]); the fleet supervisor raises the
+    /// floor whenever it reclaims a lease and reassigns the work.
+    fences: Mutex<BTreeMap<u64, u64>>,
 }
 
 /// Client-side handle to a prepared `INSERT INTO <table> VALUES (…)`.
@@ -112,6 +117,7 @@ impl Server {
             fault_plan: Mutex::new(None),
             fault_counts: Default::default(),
             crashed: AtomicBool::new(false),
+            fences: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -191,6 +197,48 @@ impl Server {
         self.fault_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a fault injected *outside* the server's own call gate — the
+    /// fleet layer kills and stalls whole loaders, but their counts belong
+    /// in the same per-kind ledger so [`Server::faults_by_kind`] stays the
+    /// one place reports read from.
+    pub fn note_injected_fault(&self, kind: FaultKind) {
+        self.note_fault(kind);
+    }
+
+    /// Raise the fencing floor for `key` to at least `epoch` (max-merge;
+    /// floors never move backwards). After this, any fenced call carrying
+    /// an epoch `< epoch` for `key` is rejected with
+    /// [`DbError::FencedOut`] before anything is applied.
+    pub fn advance_fence(&self, key: u64, epoch: u64) {
+        let mut fences = self.fences.lock();
+        let floor = fences.entry(key).or_insert(0);
+        *floor = (*floor).max(epoch);
+    }
+
+    /// The current fencing floor for `key` (0 if never fenced).
+    pub fn fence_floor(&self, key: u64) -> u64 {
+        self.fences.lock().get(&key).copied().unwrap_or(0)
+    }
+
+    /// Check one request's fencing token against the registry.
+    fn check_fence(&self, fence: Option<Fence>) -> Result<(), Response> {
+        let Some(f) = fence else { return Ok(()) };
+        let floor = self.fence_floor(f.key);
+        if f.epoch < floor {
+            let e = DbError::FencedOut(format!(
+                "epoch {} below fence floor {} for key {}; lease was reclaimed",
+                f.epoch, floor, f.key
+            ));
+            return Err(Response::Err {
+                applied: 0,
+                offset: u32::MAX,
+                kind: encode_error_kind(&e),
+                message: e.to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// Adjudicate one client call against the crash flag and the active
     /// fault plan. Runs after the round trip is charged and before
     /// dispatch, so an injected failure reaches the server-side state
@@ -244,6 +292,7 @@ impl Server {
             txn: Mutex::new(None),
             closed: Mutex::new(false),
             call_timeout: Mutex::new(None),
+            fence: Mutex::new(None),
         }
     }
 
@@ -253,8 +302,16 @@ impl Server {
         let request = Request::decode(&mut rd)?;
         let cfg = self.engine.config();
 
+        // Fencing runs before any work: a stale-epoch call must observe
+        // "nothing applied" semantics, exactly like a rejected batch.
+        if let Err(rejection) = self.check_fence(request.fence()) {
+            let mut buf = BytesMut::with_capacity(64);
+            rejection.encode(&mut buf);
+            return Ok(buf.to_vec());
+        }
+
         let response = match request {
-            Request::InsertBatch { table, rows } => {
+            Request::InsertBatch { table, rows, .. } => {
                 let service = self.call_service(request_bytes.len());
                 let outcome = self
                     .cpu
@@ -271,7 +328,7 @@ impl Server {
                     },
                 }
             }
-            Request::InsertSingle { table, row } => {
+            Request::InsertSingle { table, row, .. } => {
                 let service = self.call_service(request_bytes.len());
                 let result = self
                     .cpu
@@ -286,7 +343,7 @@ impl Server {
                     },
                 }
             }
-            Request::Commit => {
+            Request::Commit { .. } => {
                 let service = cfg.per_call_cpu + cfg.commit_cpu;
                 let result = self.cpu.run(service, || self.engine.commit(txn));
                 match result {
@@ -354,6 +411,10 @@ pub struct Session {
     /// Per-call driver budget: a latency spike longer than this surfaces
     /// as [`DbError::Timeout`] (JDBC `setQueryTimeout` equivalent).
     call_timeout: Mutex<Option<Duration>>,
+    /// Fencing token attached to every mutating call (inserts, commits —
+    /// never rollbacks) while set. The fleet layer points this at the
+    /// session's current lease so a reclaimed lease fences the session out.
+    fence: Mutex<Option<Fence>>,
 }
 
 impl Session {
@@ -390,12 +451,23 @@ impl Session {
         *self.call_timeout.lock() = budget;
     }
 
+    /// Set (or, with `None`, clear) the fencing token attached to this
+    /// session's mutating calls.
+    pub fn set_fence(&self, fence: Option<Fence>) {
+        *self.fence.lock() = fence;
+    }
+
+    /// The session's current fencing token, if any.
+    pub fn fence(&self) -> Option<Fence> {
+        *self.fence.lock()
+    }
+
     fn call(&self, request: &Request) -> DbResult<Response> {
         let txn = self.ensure_txn()?;
         let class = match request {
             Request::InsertBatch { .. } => CallClass::Batch,
             Request::InsertSingle { .. } => CallClass::Single,
-            Request::Commit => CallClass::Commit,
+            Request::Commit { .. } => CallClass::Commit,
             Request::Rollback => CallClass::Rollback,
         };
         // Client-side marshaling: real serialization work.
@@ -416,6 +488,7 @@ impl Session {
         match self.call(&Request::InsertSingle {
             table: stmt.table,
             row,
+            fence: self.fence(),
         })? {
             Response::Ok { .. } => Ok(()),
             Response::Err { kind, message, .. } => Err(decode_error_kind(kind, message)),
@@ -430,6 +503,7 @@ impl Session {
         match self.call(&Request::InsertBatch {
             table: stmt.table,
             rows: rows.to_vec(),
+            fence: self.fence(),
         })? {
             Response::Ok { rows } => Ok(BatchResult {
                 applied: rows as usize,
@@ -440,10 +514,18 @@ impl Session {
                 offset,
                 kind,
                 message,
-            } => Ok(BatchResult {
-                applied: applied as usize,
-                failed: Some((offset as usize, decode_error_kind(kind, message))),
-            }),
+            } => {
+                let e = decode_error_kind(kind, message);
+                if matches!(e, DbError::FencedOut(_)) {
+                    // A fenced-out batch is a call-level rejection (nothing
+                    // applied), not a bad row the caller should skip past.
+                    return Err(e);
+                }
+                Ok(BatchResult {
+                    applied: applied as usize,
+                    failed: Some((offset as usize, e)),
+                })
+            }
         }
     }
 
@@ -465,11 +547,24 @@ impl Session {
         if !had_txn {
             return Ok(());
         }
-        let resp = self.call(&Request::Commit)?;
-        *self.txn.lock() = None;
+        let resp = self.call(&Request::Commit {
+            fence: self.fence(),
+        })?;
         match resp {
-            Response::Ok { .. } => Ok(()),
-            Response::Err { kind, message, .. } => Err(decode_error_kind(kind, message)),
+            Response::Ok { .. } => {
+                *self.txn.lock() = None;
+                Ok(())
+            }
+            Response::Err { kind, message, .. } => {
+                let e = decode_error_kind(kind, message);
+                // A fenced-out commit was rejected before the server
+                // touched the transaction: keep it open client-side so the
+                // (unfenced) rollback can still discard the stale work.
+                if !matches!(e, DbError::FencedOut(_)) {
+                    *self.txn.lock() = None;
+                }
+                Err(e)
+            }
         }
     }
 
@@ -785,6 +880,37 @@ mod tests {
         assert!(!s2.is_crashed());
         let fid = s2.engine().table_id("frames").unwrap();
         assert_eq!(s2.engine().row_count(fid), 1, "torn commit not replayed");
+    }
+
+    #[test]
+    fn stale_epoch_is_fenced_out_before_anything_applies() {
+        let s = server();
+        let zombie = s.connect();
+        zombie.set_fence(Some(Fence { key: 7, epoch: 1 }));
+        let stmt = zombie.prepare_insert("frames").unwrap();
+        zombie.execute(&stmt, frame(1)).unwrap();
+        // The lease is reclaimed: the floor moves past the zombie's epoch.
+        s.advance_fence(7, 2);
+        assert_eq!(s.fence_floor(7), 2);
+        let err = zombie.execute(&stmt, frame(2)).unwrap_err();
+        assert!(matches!(err, DbError::FencedOut(_)), "got {err}");
+        let err = zombie.commit().unwrap_err();
+        assert!(matches!(err, DbError::FencedOut(_)), "commit fenced: {err}");
+        // Rollback is deliberately unfenced, so the zombie can still
+        // discard the stale rows it applied before the fence moved…
+        assert!(zombie.current_txn().is_some(), "fenced commit keeps txn");
+        zombie.rollback().unwrap();
+        // …and the new lease holder at the floor epoch proceeds normally.
+        let holder = s.connect();
+        holder.set_fence(Some(Fence { key: 7, epoch: 2 }));
+        let hstmt = holder.prepare_insert("frames").unwrap();
+        holder.execute(&hstmt, frame(10)).unwrap();
+        holder.commit().unwrap();
+        let fid = s.engine().table_id("frames").unwrap();
+        assert_eq!(s.engine().row_count(fid), 1, "only the holder's row");
+        // Floors are max-merged, never regressed.
+        s.advance_fence(7, 1);
+        assert_eq!(s.fence_floor(7), 2);
     }
 
     #[test]

@@ -12,6 +12,19 @@ use crate::error::{ConstraintKind, DbError, DbResult};
 use crate::schema::TableId;
 use crate::value::{decode_row, encode_row, Row};
 
+/// A fencing token carried by mutating requests. `key` names a unit of
+/// fenced work (the fleet layer uses one key per catalog file) and `epoch`
+/// is the caller's lease generation; the server rejects any fenced call
+/// whose epoch is below the minimum registered for that key, so a zombie
+/// holder of a reclaimed lease cannot apply stale writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fence {
+    /// Identifies the fenced unit of work.
+    pub key: u64,
+    /// The caller's lease epoch for that unit.
+    pub epoch: u64,
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -21,6 +34,8 @@ pub enum Request {
         table: TableId,
         /// The row.
         row: Row,
+        /// Optional fencing token.
+        fence: Option<Fence>,
     },
     /// Insert a batch of rows with JDBC semantics.
     InsertBatch {
@@ -28,10 +43,16 @@ pub enum Request {
         table: TableId,
         /// The rows, applied in order.
         rows: Vec<Row>,
+        /// Optional fencing token.
+        fence: Option<Fence>,
     },
     /// Commit the session's transaction.
-    Commit,
-    /// Roll back the session's transaction.
+    Commit {
+        /// Optional fencing token.
+        fence: Option<Fence>,
+    },
+    /// Roll back the session's transaction. Deliberately *not* fenced: a
+    /// fenced-out zombie must still be able to discard its own stale work.
     Rollback,
 }
 
@@ -79,6 +100,7 @@ pub fn encode_error_kind(e: &DbError) -> u8 {
             DbError::DiskFull(_) => 8,
             DbError::Corruption(_) => 9,
             DbError::ServerDown(_) => 10,
+            DbError::FencedOut(_) => 11,
             _ => 0,
         },
     }
@@ -109,7 +131,39 @@ pub fn decode_error_kind(kind: u8, message: String) -> DbError {
         8 => DbError::DiskFull(message),
         9 => DbError::Corruption(message),
         10 => DbError::ServerDown(message),
+        11 => DbError::FencedOut(message),
         _ => DbError::Protocol(message),
+    }
+}
+
+/// Encode an optional fence: one presence byte, then key + epoch.
+fn put_fence(buf: &mut BytesMut, fence: &Option<Fence>) {
+    match fence {
+        Some(f) => {
+            buf.put_u8(1);
+            buf.put_u64_le(f.key);
+            buf.put_u64_le(f.epoch);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Decode an optional fence written by [`put_fence`].
+fn get_fence(buf: &mut impl Buf) -> DbResult<Option<Fence>> {
+    if buf.remaining() < 1 {
+        return Err(DbError::Protocol("truncated fence marker".into()));
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            if buf.remaining() < 16 {
+                return Err(DbError::Protocol("truncated fence token".into()));
+            }
+            let key = buf.get_u64_le();
+            let epoch = buf.get_u64_le();
+            Ok(Some(Fence { key, epoch }))
+        }
+        b => Err(DbError::Protocol(format!("bad fence marker {b}"))),
     }
 }
 
@@ -118,20 +172,25 @@ impl Request {
     pub fn encode(&self, buf: &mut BytesMut) -> usize {
         let start = buf.len();
         match self {
-            Request::InsertSingle { table, row } => {
+            Request::InsertSingle { table, row, fence } => {
                 buf.put_u8(OP_INSERT_SINGLE);
+                put_fence(buf, fence);
                 buf.put_u32_le(table.0);
                 encode_row(row, buf);
             }
-            Request::InsertBatch { table, rows } => {
+            Request::InsertBatch { table, rows, fence } => {
                 buf.put_u8(OP_INSERT_BATCH);
+                put_fence(buf, fence);
                 buf.put_u32_le(table.0);
                 buf.put_u32_le(rows.len() as u32);
                 for r in rows {
                     encode_row(r, buf);
                 }
             }
-            Request::Commit => buf.put_u8(OP_COMMIT),
+            Request::Commit { fence } => {
+                buf.put_u8(OP_COMMIT);
+                put_fence(buf, fence);
+            }
             Request::Rollback => buf.put_u8(OP_ROLLBACK),
         }
         buf.len() - start
@@ -144,14 +203,16 @@ impl Request {
         }
         match buf.get_u8() {
             OP_INSERT_SINGLE => {
+                let fence = get_fence(buf)?;
                 if buf.remaining() < 4 {
                     return Err(DbError::Protocol("truncated insert".into()));
                 }
                 let table = TableId(buf.get_u32_le());
                 let row = decode_row(buf)?;
-                Ok(Request::InsertSingle { table, row })
+                Ok(Request::InsertSingle { table, row, fence })
             }
             OP_INSERT_BATCH => {
+                let fence = get_fence(buf)?;
                 if buf.remaining() < 8 {
                     return Err(DbError::Protocol("truncated batch header".into()));
                 }
@@ -170,11 +231,24 @@ impl Request {
                 for _ in 0..n {
                     rows.push(decode_row(buf)?);
                 }
-                Ok(Request::InsertBatch { table, rows })
+                Ok(Request::InsertBatch { table, rows, fence })
             }
-            OP_COMMIT => Ok(Request::Commit),
+            OP_COMMIT => {
+                let fence = get_fence(buf)?;
+                Ok(Request::Commit { fence })
+            }
             OP_ROLLBACK => Ok(Request::Rollback),
             op => Err(DbError::Protocol(format!("unknown opcode {op}"))),
+        }
+    }
+
+    /// The request's fencing token, if any.
+    pub fn fence(&self) -> Option<Fence> {
+        match self {
+            Request::InsertSingle { fence, .. }
+            | Request::InsertBatch { fence, .. }
+            | Request::Commit { fence } => *fence,
+            Request::Rollback => None,
         }
     }
 }
@@ -261,16 +335,30 @@ mod tests {
 
     #[test]
     fn request_roundtrips() {
+        let fence = Some(Fence { key: 9, epoch: 3 });
         let reqs = vec![
             Request::InsertSingle {
                 table: TableId(3),
                 row: row(1),
+                fence: None,
+            },
+            Request::InsertSingle {
+                table: TableId(3),
+                row: row(1),
+                fence,
             },
             Request::InsertBatch {
                 table: TableId(7),
                 rows: (0..5).map(row).collect(),
+                fence: None,
             },
-            Request::Commit,
+            Request::InsertBatch {
+                table: TableId(7),
+                rows: (0..5).map(row).collect(),
+                fence,
+            },
+            Request::Commit { fence: None },
+            Request::Commit { fence },
             Request::Rollback,
         ];
         for r in reqs {
@@ -324,6 +412,11 @@ mod tests {
             }),
             6
         );
+        assert_eq!(encode_error_kind(&DbError::FencedOut("stale".into())), 11);
+        assert!(matches!(
+            decode_error_kind(11, "x".into()),
+            DbError::FencedOut(_)
+        ));
         assert!(matches!(
             decode_error_kind(0, "x".into()),
             DbError::Protocol(_)
@@ -336,10 +429,12 @@ mod tests {
         Request::InsertBatch {
             table: TableId(1),
             rows: vec![row(1), row(2)],
+            fence: Some(Fence { key: 1, epoch: 2 }),
         }
         .encode(&mut buf);
         let full = buf.freeze();
-        for cut in [0, 1, 5, 9, full.len() - 1] {
+        // Cuts land mid-fence (1..18), mid-header and mid-row.
+        for cut in [0, 1, 5, 9, 17, 20, full.len() - 1] {
             let mut partial = full.slice(0..cut);
             assert!(Request::decode(&mut partial).is_err(), "cut {cut}");
         }
@@ -351,15 +446,17 @@ mod tests {
         Request::InsertBatch {
             table: TableId(0),
             rows: vec![row(1)],
+            fence: None,
         }
         .encode(&mut one);
         let mut forty = BytesMut::new();
         Request::InsertBatch {
             table: TableId(0),
             rows: (0..40).map(row).collect(),
+            fence: None,
         }
         .encode(&mut forty);
-        assert!(forty.len() > one.len() * 30, "batch payload should scale");
+        assert!(forty.len() > one.len() * 25, "batch payload should scale");
         assert!(forty.len() < one.len() * 41, "no super-linear blowup");
     }
 }

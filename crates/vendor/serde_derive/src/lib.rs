@@ -5,7 +5,8 @@
 //! `proc_macro::TokenStream` (no `syn`/`quote` available offline), which is
 //! enough for the shapes this workspace derives: non-generic structs with
 //! named fields, and enums of unit + newtype variants. Supported field
-//! attributes: `#[serde(default)]` and `#[serde(with = "module")]`.
+//! attributes: `#[serde(default)]`, `#[serde(default = "path")]` and
+//! `#[serde(with = "module")]`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -37,6 +38,8 @@ struct Field {
     name: String,
     /// `#[serde(default)]`: substitute `Default::default()` when absent.
     default: bool,
+    /// `#[serde(default = "path")]`: substitute `path()` when absent.
+    default_path: Option<String>,
     /// `#[serde(with = "module")]`: route through `module::{serialize,deserialize}`.
     with: Option<String>,
 }
@@ -64,6 +67,7 @@ enum Item {
 
 struct SerdeAttrs {
     default: bool,
+    default_path: Option<String>,
     with: Option<String>,
 }
 
@@ -72,6 +76,7 @@ struct SerdeAttrs {
 fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
     let mut attrs = SerdeAttrs {
         default: false,
+        default_path: None,
         with: None,
     };
     while *i + 1 < tokens.len() {
@@ -108,6 +113,24 @@ fn parse_serde_attr(body: TokenStream, attrs: &mut SerdeAttrs) {
     while j < args.len() {
         match &args[j] {
             TokenTree::Ident(id) if id.to_string() == "default" => {
+                // Bare `default`, or `default = "path::to::fn"`.
+                if let Some(TokenTree::Punct(p)) = args.get(j + 1) {
+                    if p.as_char() == '=' {
+                        let Some(TokenTree::Literal(lit)) = args.get(j + 2) else {
+                            panic!("#[serde(default = ...)] expects a string literal");
+                        };
+                        let raw = lit.to_string();
+                        let path = raw
+                            .strip_prefix('"')
+                            .and_then(|s| s.strip_suffix('"'))
+                            .unwrap_or_else(|| {
+                                panic!("#[serde(default = ...)] expects a plain string")
+                            });
+                        attrs.default_path = Some(path.to_string());
+                        j += 3;
+                        continue;
+                    }
+                }
                 attrs.default = true;
                 j += 1;
             }
@@ -229,6 +252,7 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name,
             default: attrs.default,
+            default_path: attrs.default_path,
             with: attrs.with,
         });
     }
@@ -315,7 +339,9 @@ fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
             ),
             None => format!("serde::de::from_content(c).map_err({DE_CUSTOM})?"),
         };
-        let absent = if f.default {
+        let absent = if let Some(path) = &f.default_path {
+            format!("{path}()")
+        } else if f.default {
             "::std::default::Default::default()".to_string()
         } else {
             format!(

@@ -53,7 +53,8 @@ fn main() {
         &LoaderConfig::paper(),
         5,
         AssignmentPolicy::Dynamic,
-    );
+    )
+    .expect("night load succeeds");
     println!(
         "night loaded: {} rows committed, {} skipped, wall {:.2?}, node imbalance {:.2}",
         report.rows_loaded(),

@@ -13,6 +13,7 @@ fn full_night_survives_a_multi_kind_fault_plan_exactly_once() {
         nodes: 3,
         error_rate: 0.02,
         quick: false,
+        ..ChaosConfig::default()
     };
     let report = run_chaos(&cfg).expect("soak runs");
     assert!(
@@ -42,6 +43,47 @@ fn full_night_survives_a_multi_kind_fault_plan_exactly_once() {
 }
 
 #[test]
+fn killed_loader_hands_its_file_to_the_fleet_exactly_once() {
+    // A loader is killed mid-file on the very first lease grant, on top
+    // of the full connection-fault weather. The file's lease must expire
+    // and be reclaimed (>= 1 reclaim), another loader must finish the
+    // file from the journal watermark, and every loadable row must land
+    // exactly once — on three distinct fixed seeds.
+    for seed in [2005u64, 11, 77] {
+        let cfg = ChaosConfig {
+            seed,
+            files: 4,
+            nodes: 2,
+            quick: true,
+            loader_kill_at: Some(1),
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg).expect("soak runs");
+        assert!(
+            report.exactly_once(),
+            "seed {seed}: lost={} duplicated={} unfinished={:?} mismatches={:?}",
+            report.lost_rows,
+            report.duplicated_rows,
+            report.unfinished_files,
+            report.mismatches
+        );
+        assert!(
+            report.loader_kills >= 1,
+            "seed {seed}: the loader kill never fired"
+        );
+        assert!(
+            report.lease_reclaims >= 1,
+            "seed {seed}: the killed loader's lease was never reclaimed"
+        );
+        assert!(
+            *report.faults_by_kind.get("loader_kill").unwrap_or(&0) >= 1,
+            "seed {seed}: {:?}",
+            report.faults_by_kind
+        );
+    }
+}
+
+#[test]
 fn chaos_schedule_is_a_pure_function_of_the_seed() {
     // Single-node soaks are fully deterministic end to end: the fault
     // counters, retry counts and generation structure must be identical
@@ -53,6 +95,7 @@ fn chaos_schedule_is_a_pure_function_of_the_seed() {
             nodes: 1,
             error_rate: 0.02,
             quick: true,
+            ..ChaosConfig::default()
         })
         .expect("soak runs")
     };

@@ -33,7 +33,8 @@ fn full_night_parallel_load_is_exact() {
         &LoaderConfig::test(),
         4,
         AssignmentPolicy::Dynamic,
-    );
+    )
+    .expect("night load succeeds");
 
     assert_eq!(report.rows_loaded(), expected.total_loadable());
     assert_eq!(
@@ -120,7 +121,8 @@ fn static_and_dynamic_assignment_agree_on_results() {
 
     for policy in [AssignmentPolicy::Dynamic, AssignmentPolicy::Static] {
         let server = fresh_server();
-        let report = load_night(&server, &files, &LoaderConfig::test(), 3, policy);
+        let report = load_night(&server, &files, &LoaderConfig::test(), 3, policy)
+            .expect("night load succeeds");
         assert_eq!(
             report.rows_loaded(),
             expected.total_loadable(),

@@ -31,13 +31,19 @@ fn flaky_connection_with_journal_loads_exactly_once() {
     let cfg = LoaderConfig::test()
         .with_array_size(300)
         .with_commit_policy(CommitPolicy::PerFlush);
-    load_night_with_journal(
+    let report = load_night_with_journal(
         &server,
         &files,
         &cfg,
         2,
         AssignmentPolicy::Dynamic,
         Some(&journal),
+    )
+    .expect("night load succeeds");
+    assert!(
+        report.failed_files.is_empty(),
+        "every file must retire on a flaky link: {:?}",
+        report.failed_files
     );
 
     assert!(
@@ -70,7 +76,8 @@ fn flaky_connection_without_journal_still_converges() {
         1,
         AssignmentPolicy::Dynamic,
         None,
-    );
+    )
+    .expect("night load succeeds");
     server.inject_call_faults(0);
     for (table, expect) in &file.expected.loadable {
         let tid = server.engine().table_id(table).unwrap();
