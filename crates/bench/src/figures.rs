@@ -84,6 +84,11 @@ impl Figure {
 
 /// Load one file on a fresh paper server (after `prepare`), returning the
 /// modeled cost attributable to that load.
+///
+/// Costs are read from the server's telemetry registry: a snapshot before
+/// the load, a snapshot after, and [`ModeledCost::from_snapshot`] turns
+/// the pair into the per-stage delta (the same numbers the old direct
+/// probes produced, now via the one observability spine).
 fn measure_single(
     db_cfg: DbConfig,
     loader_cfg: &LoaderConfig,
@@ -92,11 +97,12 @@ fn measure_single(
 ) -> (skyloader::FileReport, ModeledCost) {
     let server = setup::server_with(db_cfg);
     prepare(&server);
-    let baseline = ModeledCost::measure(&server, Duration::ZERO);
+    let baseline = server.obs_snapshot();
     let session = server.connect();
     let report = load_catalog_file(&session, loader_cfg, file).expect("load");
     server.engine().checkpoint();
-    let cost = ModeledCost::measure(&server, report.client_paging).since(baseline);
+    let cost = ModeledCost::from_snapshot(&server.obs_snapshot(), report.client_paging)
+        .since(ModeledCost::from_snapshot(&baseline, Duration::ZERO));
     (report, cost)
 }
 
@@ -563,11 +569,12 @@ pub fn ablate_presort(scale: Scale) -> Figure {
     for (i, presorted) in [true, false].into_iter().enumerate() {
         let file = file_with_rows(14_000, OBS_ID, rows, 0.0, presorted);
         let server = setup::server_with(DbConfig::paper(TimeScale::ZERO));
-        let baseline = ModeledCost::measure(&server, Duration::ZERO);
+        let baseline = server.obs_snapshot();
         let session = server.connect();
         let report = load_catalog_file(&session, &LoaderConfig::paper(), &file).expect("load");
         server.engine().checkpoint();
-        let cost = ModeledCost::measure(&server, report.client_paging).since(baseline);
+        let cost = ModeledCost::from_snapshot(&server.obs_snapshot(), report.client_paging)
+            .since(ModeledCost::from_snapshot(&baseline, Duration::ZERO));
         let y = scale.to_paper_seconds(cost.total());
         let idx_writes = server
             .engine()
@@ -809,14 +816,17 @@ pub fn ablate_two_phase(scale: Scale, sizes_mb: &[f64]) -> Figure {
         // Two phase: pay both the Task server and the Publish server.
         let task = skyloader::start_task_server(DbConfig::paper(TimeScale::ZERO));
         let publish = setup::server_with(DbConfig::paper(TimeScale::ZERO));
-        let publish_baseline = ModeledCost::measure(&publish, Duration::ZERO);
+        let publish_baseline = publish.obs_snapshot();
         skyloader::load_two_phase(&task, &publish, &LoaderConfig::paper(), &file)
             .expect("two-phase load");
         task.engine().checkpoint();
         publish.engine().checkpoint();
-        let cost_two = ModeledCost::measure(&task, Duration::ZERO).total()
-            + ModeledCost::measure(&publish, Duration::ZERO)
-                .since(publish_baseline)
+        let cost_two = ModeledCost::from_snapshot(&task.obs_snapshot(), Duration::ZERO).total()
+            + ModeledCost::from_snapshot(&publish.obs_snapshot(), Duration::ZERO)
+                .since(ModeledCost::from_snapshot(
+                    &publish_baseline,
+                    Duration::ZERO,
+                ))
                 .total();
         let y_two = scale.to_paper_seconds(cost_two);
 

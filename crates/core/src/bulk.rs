@@ -31,6 +31,7 @@
 //! ([`pipeline_makespan`]).
 
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -152,6 +153,8 @@ impl<'a> Loader<'a> {
             arrays,
             report: &report,
             waiter: Waiter::new(scale),
+            obs: session.server().obs().clone(),
+            file: &file,
             parse_spans: Vec::new(),
             lines_in_segment: 0,
             bytes_read: 0,
@@ -184,6 +187,13 @@ impl<'a> Loader<'a> {
         let commit_base = ModeledCost::measure(session.server(), Duration::ZERO);
         worker.commit(parse.current_line)?;
         let commit_cost = ModeledCost::measure(session.server(), Duration::ZERO).since(commit_base);
+        session.server().obs().span(
+            "commit",
+            file.as_str(),
+            commit_base.total().as_micros() as u64,
+            commit_cost.total().as_micros() as u64,
+            "ok",
+        );
         worker.flush_spans.push(commit_cost.total());
 
         let parse_spans = std::mem::take(&mut parse.parse_spans);
@@ -245,6 +255,10 @@ struct ParseSide<'a> {
     arrays: ArraySet,
     report: &'a Mutex<FileReport>,
     waiter: Waiter,
+    /// Telemetry sink for per-segment `parse` spans.
+    obs: Arc<skyobs::Registry>,
+    /// File name, carried as the span attribute.
+    file: &'a str,
     /// Modeled parse time per sealed segment (`p_i`), plus at most one
     /// trailing segment for lines after the last seal.
     parse_spans: Vec<Duration>,
@@ -328,6 +342,16 @@ impl ParseSide<'_> {
         }
         let p = self.cfg.client_parse_cost * self.lines_in_segment as u32;
         self.lines_in_segment = 0;
+        // Span timeline lives on the parse side's own modeled clock: the
+        // segment starts where the previous segments ended.
+        let start: Duration = self.parse_spans.iter().sum();
+        self.obs.span(
+            "parse",
+            self.file,
+            start.as_micros() as u64,
+            p.as_micros() as u64,
+            "ok",
+        );
         self.parse_spans.push(p);
         self.waiter.wait(p);
     }
@@ -373,6 +397,15 @@ impl FlushWorker<'_> {
             self.commit(lines_through)?;
         }
         let cost = ModeledCost::measure(self.session.server(), Duration::ZERO).since(baseline);
+        // One `flush` span per bulk-loading cycle, on the server's modeled
+        // cost clock: start is the pre-drain total, duration the delta.
+        self.session.server().obs().span(
+            "flush",
+            self.file,
+            baseline.total().as_micros() as u64,
+            cost.total().as_micros() as u64,
+            "ok",
+        );
         self.flush_spans.push(cost.total());
         Ok(())
     }

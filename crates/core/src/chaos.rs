@@ -192,8 +192,8 @@ impl ChaosReport {
     }
 }
 
-fn fresh_server(obs_id: i64) -> Result<Arc<Server>, String> {
-    let server = Server::start(DbConfig::test());
+fn fresh_server(obs_id: i64, obs: Arc<skyobs::Registry>) -> Result<Arc<Server>, String> {
+    let server = Server::start_with_obs(DbConfig::test(), obs);
     skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
     skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
     skycat::seed_observation(server.engine(), 1, obs_id).map_err(|e| e.to_string())?;
@@ -207,23 +207,31 @@ fn fresh_server(obs_id: i64) -> Result<Arc<Server>, String> {
 /// retrying failed files across bounded generations. Never panics on
 /// fault-induced failures; the verdict lands in the report.
 pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    run_chaos_with_obs(cfg, &Arc::new(skyobs::Registry::new()))
+}
+
+/// [`run_chaos`], observed through a caller-supplied telemetry registry.
+///
+/// One registry spans every server generation: the coordinator hands the
+/// same [`skyobs::Registry`] to the initial server and to each recovered
+/// one, so fault and loader counters accumulate across crash/recover
+/// cycles with no per-generation banking. The report's totals are a view
+/// over the registry's final snapshot (delta since entry), which is what
+/// makes a `--metrics` JSONL dump agree with the report exactly.
+pub fn run_chaos_with_obs(
+    cfg: &ChaosConfig,
+    obs: &Arc<skyobs::Registry>,
+) -> Result<ChaosReport, String> {
     let files = generate_observation(&cfg.gen_config());
     let expected = aggregate_expected(&files);
     let loader = cfg.loader();
     loader.validate()?;
     let journal = LoadJournal::new();
+    let baseline = obs.snapshot();
 
-    let mut server = fresh_server(100)?;
+    let mut server = fresh_server(100, obs.clone())?;
     server.set_fault_plan(Some(FaultPlan::new(cfg.fault_plan(true))));
 
-    let mut faults_by_kind: BTreeMap<String, u64> = BTreeMap::new();
-    let mut retries = 0u64;
-    let mut breaker_trips = 0u64;
-    let mut loader_kills = 0u64;
-    let mut loader_stalls = 0u64;
-    let mut lease_reclaims = 0u64;
-    let mut fencing_rejections = 0u64;
-    let mut degraded_time = Duration::ZERO;
     let mut degrade_transitions = Vec::new();
     let mut generations = 0usize;
     let mut restarts = 0usize;
@@ -240,13 +248,6 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             Some(&journal),
         )
         .map_err(|e| e.to_string())?;
-        retries += night.retries;
-        breaker_trips += night.breaker_trips;
-        loader_kills += night.loader_kills;
-        loader_stalls += night.loader_stalls;
-        lease_reclaims += night.lease_reclaims;
-        fencing_rejections += night.fencing_rejections;
-        degraded_time += night.degraded_time;
         degrade_transitions.extend(night.degrade_transitions.iter().cloned());
         let done: BTreeSet<&str> = night.files.iter().map(|f| f.file.as_str()).collect();
         remaining.retain(|f| !done.contains(f.name.as_str()));
@@ -254,13 +255,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             break;
         }
         if server.is_crashed() {
-            // Bank this generation's fault counters before the server is
-            // replaced, then recover from the durable log. The crash
-            // already fired, so later generations run the same plan minus
-            // crash-on-flush.
-            for (kind, n) in server.faults_by_kind() {
-                *faults_by_kind.entry(kind.to_owned()).or_insert(0) += n;
-            }
+            // Recover from the durable log. The replacement engine keeps
+            // its own private registry (replaying the log must not double
+            // the coordinator's counters) while the server rejoins the
+            // shared one, so fault counters keep accumulating in place.
             restarts += 1;
             if restarts > MAX_RESTARTS {
                 break;
@@ -268,15 +266,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             let log = server.engine().durable_log();
             let engine = Engine::recover_from_log(DbConfig::test(), skycat::build_schemas(), &log)
                 .map_err(|e| format!("recovery failed: {e}"))?;
-            server = Server::with_engine(engine);
+            server = Server::with_engine_and_obs(engine, obs.clone());
             server.set_fault_plan(Some(FaultPlan::new(cfg.fault_plan(false))));
         }
         // Not crashed: some files exhausted their budgets. The journal
         // kept their progress; the next generation retries them.
     }
-    for (kind, n) in server.faults_by_kind() {
-        *faults_by_kind.entry(kind.to_owned()).or_insert(0) += n;
-    }
+    let delta = server.obs_snapshot().since(&baseline);
 
     // The verdict: count every table against the generator's ground truth.
     server.set_fault_plan(None);
@@ -303,14 +299,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         config: cfg.clone(),
         generations,
         restarts,
-        faults_by_kind,
-        retries,
-        breaker_trips,
-        loader_kills,
-        loader_stalls,
-        lease_reclaims,
-        fencing_rejections,
-        degraded_time,
+        faults_by_kind: delta.with_prefix("server.faults."),
+        retries: delta.counter("retries"),
+        breaker_trips: delta.counter("breaker_trips"),
+        loader_kills: delta.counter("loader_kills"),
+        loader_stalls: delta.counter("loader_stalls"),
+        lease_reclaims: delta.counter("fleet.reclaims"),
+        fencing_rejections: delta.counter("fleet.fence_rejections"),
+        degraded_time: Duration::from_micros(delta.counter("degrade.time_us")),
         degrade_transitions,
         expected_rows: expected.total_loadable(),
         actual_rows,

@@ -84,11 +84,17 @@ pub enum Command {
         /// Pipeline-mode override (`--pipeline off|double`); `None` keeps
         /// the config file's (or default) setting.
         pipeline: Option<PipelineMode>,
+        /// Dump the telemetry registry as JSONL here after the load.
+        metrics: Option<PathBuf>,
     },
-    /// Parse one catalog file and summarize its contents.
+    /// Parse one catalog file and summarize its contents, or — with
+    /// `--top-spans N` — treat the file as a telemetry JSONL dump and
+    /// print the N slowest spans it records.
     Inspect {
         /// File to inspect.
         file: PathBuf,
+        /// Print the N slowest spans from a `--metrics` JSONL dump.
+        top_spans: Option<usize>,
     },
     /// Chaos-soak a synthetic night under a seeded fault plan and verify
     /// exactly-once delivery.
@@ -111,6 +117,8 @@ pub enum Command {
         lease_ttl_ms: Option<u64>,
         /// Write the chaos report as JSON here.
         report: Option<PathBuf>,
+        /// Dump the telemetry registry as JSONL here after the soak.
+        metrics: Option<PathBuf>,
     },
     /// Print usage.
     Help,
@@ -174,6 +182,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     )),
                 })
                 .transpose()?,
+            metrics: get("metrics").map(PathBuf::from),
         }),
         "chaos" => {
             let defaults = crate::chaos::ChaosConfig::default();
@@ -195,6 +204,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map(|v| v.parse::<u64>().map_err(|e| format!("--lease-ttl: {e}")))
                     .transpose()?,
                 report: get("report").map(PathBuf::from),
+                metrics: get("metrics").map(PathBuf::from),
             })
         }
         "inspect" => {
@@ -205,6 +215,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .ok_or("inspect needs a FILE")?;
             Ok(Command::Inspect {
                 file: PathBuf::from(file),
+                top_spans: get("top-spans")
+                    .map(|v| v.parse::<usize>().map_err(|e| format!("--top-spans: {e}")))
+                    .transpose()?,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -222,20 +235,24 @@ USAGE:
 
   skyload load --dir DIR [--nodes N] [--config loader.json]
                [--journal J.json] [--report out.json] [--verify] [--audit]
-               [--pipeline off|double]
+               [--pipeline off|double] [--metrics out.jsonl]
       Load every *.cat file in DIR into a fresh repository with N
       parallel loaders. --journal enables checkpoint/resume; --verify
       checks final row counts against DIR/manifest.json; --audit runs
       the full post-load integrity audit (FKs, PK indexes, CHECKs,
       recomputed htmid/galactic columns); --pipeline double overlaps
-      each loader's parse and flush stages with double buffering.
+      each loader's parse and flush stages with double buffering;
+      --metrics dumps the telemetry registry (counters, gauges,
+      histograms, spans) as JSONL.
 
-  skyload inspect FILE
+  skyload inspect FILE [--top-spans N]
       Parse a catalog file and summarize rows per table and bad lines.
+      With --top-spans N, FILE is a --metrics JSONL dump instead: print
+      the N slowest recorded spans (parse / flush / commit timeline).
 
   skyload chaos [--seed N] [--files N] [--nodes N] [--error-rate F]
                 [--quick] [--loader-kill N] [--loader-stall N]
-                [--lease-ttl MS] [--report out.json]
+                [--lease-ttl MS] [--report out.json] [--metrics out.jsonl]
       Load a synthetic night under a seeded multi-kind fault plan
       (resets, busy rejections, latency spikes, disk-full commits,
       batch corruption, one crash-on-flush) and verify that every
@@ -244,7 +261,9 @@ USAGE:
       freezes it past its lease TTL and lets it wake as a zombie
       (whose stale flush must be fenced out); --lease-ttl sets the
       fleet's lease TTL in milliseconds. Same seed, same fault
-      schedule. Exits 1 on any lost or duplicated row.
+      schedule. Exits 1 on any lost or duplicated row. --metrics
+      dumps the shared telemetry registry — whose counters the chaos
+      report is a view over — as JSONL.
 
   skyload help
       This message.
@@ -303,6 +322,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             loader_stall_at,
             lease_ttl_ms,
             report,
+            metrics,
         } => {
             let mut cfg = crate::chaos::ChaosConfig {
                 seed,
@@ -320,7 +340,8 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 }
                 cfg.lease_ttl = std::time::Duration::from_millis(ms);
             }
-            let soak = crate::chaos::run_chaos(&cfg)?;
+            let obs = Arc::new(skyobs::Registry::new());
+            let soak = crate::chaos::run_chaos_with_obs(&cfg, &obs)?;
             writeln!(
                 out,
                 "chaos soak: seed {} · {} generations · {} restart(s) · {} retries · {} breaker trip(s)",
@@ -358,6 +379,13 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             for f in &soak.unfinished_files {
                 writeln!(out, "  UNFINISHED {f}").map_err(|e| e.to_string())?;
             }
+            write_telemetry_summary(out, &obs)?;
+            if let Some(path) = metrics {
+                std::fs::write(&path, obs.to_jsonl())
+                    .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "metrics written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
             if let Some(path) = report {
                 std::fs::write(
                     &path,
@@ -374,8 +402,11 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 Ok(1)
             }
         }
-        Command::Inspect { file } => {
+        Command::Inspect { file, top_spans } => {
             let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file:?}: {e}"))?;
+            if let Some(n) = top_spans {
+                return inspect_top_spans(out, &file, &text, n);
+            }
             let mut by_table: BTreeMap<&'static str, u64> = BTreeMap::new();
             let mut bad = 0u64;
             for line in text.lines() {
@@ -400,6 +431,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             verify,
             audit,
             pipeline,
+            metrics,
         } => {
             let mut loader_cfg = match config {
                 Some(path) => {
@@ -498,6 +530,14 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 )
                 .map_err(|e| e.to_string())?;
             }
+            let _ = server.obs_snapshot(); // sync model.* gauges into the registry
+            write_telemetry_summary(out, server.obs())?;
+            if let Some(path) = &metrics {
+                std::fs::write(path, server.obs().to_jsonl())
+                    .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "metrics written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
             if !night.is_complete() {
                 for f in &night.failed_files {
                     writeln!(out, "  FAILED {}: {}", f.file, f.error).map_err(|e| e.to_string())?;
@@ -565,6 +605,90 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             Ok(0)
         }
     }
+}
+
+/// One-line telemetry summary: registry population and span-ring state.
+fn write_telemetry_summary(
+    out: &mut dyn std::io::Write,
+    obs: &skyobs::Registry,
+) -> Result<(), String> {
+    let snap = obs.snapshot();
+    writeln!(
+        out,
+        "telemetry: {} counters · {} gauges · {} span(s) held ({} dropped)",
+        snap.counters.len(),
+        snap.gauges.len(),
+        obs.spans().len(),
+        obs.spans_dropped()
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Print the N slowest spans recorded in a `--metrics` JSONL dump.
+fn inspect_top_spans(
+    out: &mut dyn std::io::Write,
+    file: &Path,
+    text: &str,
+    n: usize,
+) -> Result<i32, String> {
+    let mut spans: Vec<(u64, u64, String, String, String)> = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"type\":\"span\"") {
+            continue;
+        }
+        let (Some(name), Some(attr), Some(outcome)) = (
+            json_str_field(line, "name"),
+            json_str_field(line, "attr"),
+            json_str_field(line, "outcome"),
+        ) else {
+            continue;
+        };
+        let (Some(start), Some(dur)) = (
+            json_u64_field(line, "start_us"),
+            json_u64_field(line, "dur_us"),
+        ) else {
+            continue;
+        };
+        spans.push((dur, start, name, attr, outcome));
+    }
+    if spans.is_empty() {
+        writeln!(out, "no spans recorded in {}", file.display()).map_err(|e| e.to_string())?;
+        return Ok(0);
+    }
+    // Slowest first; ties resolve by start time so output is deterministic.
+    spans.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    writeln!(
+        out,
+        "top {} span(s) by duration in {}:",
+        n.min(spans.len()),
+        file.display()
+    )
+    .map_err(|e| e.to_string())?;
+    for (dur, start, name, attr, outcome) in spans.iter().take(n) {
+        writeln!(
+            out,
+            "  {dur:>10} us  {name:<8} {attr:<28} start={start} us  [{outcome}]"
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(0)
+}
+
+/// Extract a `"key":"value"` string field from one JSONL line.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Extract a `"key":123` numeric field from one JSONL line.
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let digits: &str = &rest[..rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len())];
+    digits.parse().ok()
 }
 
 /// Read every `*.cat` file in a directory, sorted by name.
@@ -784,6 +908,111 @@ mod tests {
         assert!(report_path.exists());
         let json = std::fs::read_to_string(&report_path).unwrap();
         assert!(json.contains("\"faults_by_kind\""), "{json}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_metrics_and_top_spans_flags() {
+        match parse_args(&args("load --dir /tmp/x --metrics m.jsonl")).unwrap() {
+            Command::Load { metrics, .. } => assert_eq!(metrics, Some(PathBuf::from("m.jsonl"))),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("chaos --quick --metrics m.jsonl")).unwrap() {
+            Command::Chaos { metrics, .. } => assert_eq!(metrics, Some(PathBuf::from("m.jsonl"))),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("inspect m.jsonl --top-spans 5")).unwrap() {
+            Command::Inspect { file, top_spans } => {
+                assert_eq!(file, PathBuf::from("m.jsonl"));
+                assert_eq!(top_spans, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("inspect m.jsonl --top-spans five")).is_err());
+    }
+
+    #[test]
+    fn chaos_metrics_counters_match_report_totals() {
+        // The acceptance check in miniature: the JSONL dump and the chaos
+        // report are two views over one registry, so the headline counters
+        // must agree exactly, line for line.
+        let cfg = crate::chaos::ChaosConfig {
+            seed: 11,
+            files: 3,
+            nodes: 2,
+            quick: true,
+            ..crate::chaos::ChaosConfig::default()
+        };
+        let obs = Arc::new(skyobs::Registry::new());
+        let soak = crate::chaos::run_chaos_with_obs(&cfg, &obs).unwrap();
+        let jsonl = obs.to_jsonl();
+        let line = |name: &str, value: u64| {
+            format!("{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}")
+        };
+        for (name, value) in [
+            ("retries", soak.retries),
+            ("breaker_trips", soak.breaker_trips),
+            ("loader_kills", soak.loader_kills),
+            ("loader_stalls", soak.loader_stalls),
+            ("fleet.reclaims", soak.lease_reclaims),
+            ("fleet.fence_rejections", soak.fencing_rejections),
+        ] {
+            assert!(
+                jsonl.lines().any(|l| l == line(name, value)),
+                "dump disagrees with report on {name}={value}"
+            );
+        }
+        for (kind, n) in &soak.faults_by_kind {
+            assert!(
+                jsonl
+                    .lines()
+                    .any(|l| l == line(&format!("server.faults.{kind}"), *n)),
+                "dump disagrees with report on fault kind {kind}={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_metrics_dump_feeds_top_spans() {
+        let dir = tmpdir("chaos-metrics");
+        let metrics_path = dir.join("metrics.jsonl");
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "chaos --seed 11 --files 2 --nodes 2 --quick --metrics {}",
+                metrics_path.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("telemetry:"), "{text}");
+        assert!(text.contains("metrics written to"), "{text}");
+        let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+        for line in jsonl.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not a JSON object line: {line}"
+            );
+        }
+        assert!(jsonl.contains("\"type\":\"span\""), "no spans in dump");
+
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "inspect {} --top-spans 3",
+                metrics_path.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("top 3 span(s) by duration"), "{text}");
+        assert!(text.contains("flush"), "{text}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

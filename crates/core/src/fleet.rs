@@ -30,7 +30,6 @@
 //! flaky link and must not exhaust the crash-recovery budget).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -240,8 +239,8 @@ struct SupervisorInner {
 pub struct FleetSupervisor {
     policy: FleetPolicy,
     inner: Mutex<SupervisorInner>,
-    grants: AtomicU64,
-    reclaims: AtomicU64,
+    grants: skyobs::CounterHandle,
+    reclaims: skyobs::CounterHandle,
     advance_fence: Box<dyn Fn(u64, u64) + Send + Sync>,
 }
 
@@ -249,8 +248,8 @@ impl std::fmt::Debug for FleetSupervisor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetSupervisor")
             .field("policy", &self.policy)
-            .field("grants", &self.grants.load(Ordering::Relaxed))
-            .field("reclaims", &self.reclaims.load(Ordering::Relaxed))
+            .field("grants", &self.grants.get())
+            .field("reclaims", &self.reclaims.get())
             .finish_non_exhaustive()
     }
 }
@@ -265,6 +264,18 @@ impl FleetSupervisor {
         files: &[(String, u64)],
         policy: FleetPolicy,
         advance_fence: impl Fn(u64, u64) + Send + Sync + 'static,
+    ) -> FleetSupervisor {
+        FleetSupervisor::new_with_obs(files, policy, advance_fence, &skyobs::Registry::new())
+    }
+
+    /// Like [`FleetSupervisor::new`], but registering the grant/reclaim
+    /// counters in `obs` (`fleet.grants` / `fleet.reclaims`) so the
+    /// coordinator's registry snapshot covers the fleet.
+    pub fn new_with_obs(
+        files: &[(String, u64)],
+        policy: FleetPolicy,
+        advance_fence: impl Fn(u64, u64) + Send + Sync + 'static,
+        obs: &skyobs::Registry,
     ) -> FleetSupervisor {
         let states = files
             .iter()
@@ -286,8 +297,8 @@ impl FleetSupervisor {
                 outstanding: 0,
                 abandoned: Vec::new(),
             }),
-            grants: AtomicU64::new(0),
-            reclaims: AtomicU64::new(0),
+            grants: obs.counter("fleet.grants"),
+            reclaims: obs.counter("fleet.reclaims"),
             advance_fence: Box::new(advance_fence),
         }
     }
@@ -311,7 +322,7 @@ impl FleetSupervisor {
                     epoch: st.epoch,
                 };
                 inner.outstanding += 1;
-                self.grants.fetch_add(1, Ordering::Relaxed);
+                self.grants.inc();
                 // Granting epoch e makes e the floor: every older epoch is
                 // fenced out from this moment, the holder itself passes.
                 (self.advance_fence)(lease.key, lease.epoch);
@@ -375,12 +386,12 @@ impl FleetSupervisor {
 
     /// Total grants issued (every assignment, including re-grants).
     pub fn grants(&self) -> u64 {
-        self.grants.load(Ordering::Relaxed)
+        self.grants.get()
     }
 
     /// Total leases reclaimed after TTL expiry (not voluntary requeues).
     pub fn reclaims(&self) -> u64 {
-        self.reclaims.load(Ordering::Relaxed)
+        self.reclaims.get()
     }
 
     /// Files abandoned because their reclaim budget ran out.
@@ -422,7 +433,7 @@ impl FleetSupervisor {
         let (spent, budget, what) = match how {
             LeaseEnd::Expired => {
                 st.reclaims += 1;
-                self.reclaims.fetch_add(1, Ordering::Relaxed);
+                self.reclaims.inc();
                 (st.reclaims, self.policy.max_reclaims_per_file, "reclaimed")
             }
             LeaseEnd::Returned => {

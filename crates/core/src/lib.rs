@@ -63,7 +63,7 @@ pub mod twophase;
 pub use arrayset::{ArraySet, SealedArraySet};
 pub use audit::{audit_repository, AuditReport};
 pub use bulk::{load_catalog_file, load_catalog_text, load_catalog_text_with_journal};
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use chaos::{run_chaos, run_chaos_with_obs, ChaosConfig, ChaosReport};
 pub use config::{CommitPolicy, ExecMode, LoaderConfig, PipelineMode};
 pub use fleet::{Assignment, FleetPolicy, FleetSupervisor, Lease};
 pub use parallel::{load_night, load_night_with_journal, NightError};
@@ -82,4 +82,5 @@ pub use twophase::{load_two_phase, start_task_server, TwoPhaseReport};
 pub use skycat;
 pub use skydb;
 pub use skyhtm;
+pub use skyobs;
 pub use skysim;

@@ -20,8 +20,7 @@
 //! its epoch manifest lets a restarted coordinator issue strictly newer
 //! leases.
 
-use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -170,6 +169,20 @@ pub fn load_night_with_journal(
     let fleet = &cfg.fleet;
     // One session per node, like one loader process per Condor node. The
     // Mutex allows a tripped connection to be swapped for a fresh one.
+    // The coordinator's telemetry registry: the server's registry, which by
+    // default is also the engine's. Every counter the night report needs is
+    // incremented here as the event happens; the report is a view over the
+    // closing snapshot delta (the counter-merge-drift fix: final assembly,
+    // per-file accounting, and chaos aggregation all read one ledger).
+    let obs = server.obs().clone();
+    let baseline = obs.snapshot();
+    let retries = obs.counter("retries");
+    let loader_kills = obs.counter("loader_kills");
+    let loader_stalls = obs.counter("loader_stalls");
+    let fencing_rejections = obs.counter("fleet.fence_rejections");
+    let backoff_waits = obs.counter("backoff.waits");
+    let backoff_wait_us = obs.counter("backoff.wait_us");
+    let breaker_trips = obs.counter("breaker_trips");
     let sessions: Vec<Mutex<Session>> = (0..nodes)
         .map(|_| {
             let s = server.connect();
@@ -180,7 +193,8 @@ pub fn load_night_with_journal(
     let node_states: Vec<Mutex<NodeState>> = (0..nodes)
         .map(|i| {
             Mutex::new(NodeState {
-                breaker: CircuitBreaker::new(retry.breaker_threshold),
+                breaker: CircuitBreaker::new(retry.breaker_threshold)
+                    .with_trips_counter(breaker_trips.clone()),
                 backoff: Backoff::new(retry, i as u64),
             })
         })
@@ -189,11 +203,6 @@ pub fn load_night_with_journal(
     let waiter = Waiter::new(server.engine().scale());
     let reports: Mutex<Vec<FileReport>> = Mutex::new(Vec::with_capacity(files.len()));
     let failed: Mutex<Vec<FailedFile>> = Mutex::new(Vec::new());
-    let retries = AtomicU64::new(0);
-    let survived: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
-    let loader_kills = AtomicU64::new(0);
-    let loader_stalls = AtomicU64::new(0);
-    let fencing_rejections = AtomicU64::new(0);
 
     let give_up = |file: &CatalogFile, why: String| {
         failed.lock().push(FailedFile {
@@ -266,13 +275,13 @@ pub fn load_night_with_journal(
                 Err(e) => e,
             };
             attempts += 1;
-            retries.fetch_add(1, Ordering::Relaxed);
+            retries.inc();
             if matches!(err, DbError::FencedOut(_)) {
                 // Our lease was reclaimed while a call was in flight: the
                 // database rejected the stale flush before anything
                 // applied. The file belongs to its new holder — roll back
                 // the leftover transaction and abandon silently.
-                fencing_rejections.fetch_add(1, Ordering::Relaxed);
+                fencing_rejections.inc();
                 let s = sessions[node_idx].lock();
                 let _ = s.rollback();
                 s.set_fence(None);
@@ -295,7 +304,8 @@ pub fn load_night_with_journal(
                 }
                 ErrorClass::Transient => {}
             }
-            *survived.lock().entry(fault_label(&err)).or_insert(0) += 1;
+            obs.counter(&format!("faults.survived.{}", fault_label(&err)))
+                .inc();
             degrader.note_failure();
             // The rollback itself crosses the wire and can hit the same
             // flaky link; insist a little.
@@ -337,12 +347,15 @@ pub fn load_night_with_journal(
                 clear_fence();
                 return FileOutcome::Retired;
             }
-            waiter.wait(node_states[node_idx].lock().backoff.next_delay());
+            let delay = node_states[node_idx].lock().backoff.next_delay();
+            backoff_waits.inc();
+            backoff_wait_us.add(delay.as_micros() as u64);
+            waiter.wait(delay);
         }
     };
 
     let start = Instant::now();
-    let (busy, lease_reclaims) = match policy {
+    let busy = match policy {
         AssignmentPolicy::Dynamic => {
             // Lease-fenced dynamic assignment through the fleet supervisor.
             let initial: Vec<(String, u64)> = files
@@ -358,9 +371,12 @@ pub fn load_night_with_journal(
                 .collect();
             let supervisor = {
                 let server = Arc::clone(server);
-                FleetSupervisor::new(&initial, fleet.clone(), move |key, epoch| {
-                    server.advance_fence(key, epoch)
-                })
+                FleetSupervisor::new_with_obs(
+                    &initial,
+                    fleet.clone(),
+                    move |key, epoch| server.advance_fence(key, epoch),
+                    &obs,
+                )
             };
             let supervisor = &supervisor;
             let poll = (fleet.lease_ttl / 8).max(Duration::from_millis(1));
@@ -391,7 +407,7 @@ pub fn load_night_with_journal(
             };
             let kill_loader = |node_idx: usize, lease: &Lease, file: &CatalogFile| {
                 server.note_injected_fault(FaultKind::LoaderKill);
-                loader_kills.fetch_add(1, Ordering::Relaxed);
+                loader_kills.inc();
                 truncated_prefix_load(node_idx, lease, file);
                 {
                     // The dead connection's open transaction is aborted by
@@ -412,7 +428,7 @@ pub fn load_night_with_journal(
             };
             let stall_loader = |node_idx: usize, lease: &Lease, file: &CatalogFile| {
                 server.note_injected_fault(FaultKind::LoaderStall);
-                loader_stalls.fetch_add(1, Ordering::Relaxed);
+                loader_stalls.inc();
                 truncated_prefix_load(node_idx, lease, file);
                 // Freeze: no heartbeats until the supervisor presumes us
                 // dead and reassigns the file. (The poll drives expiry,
@@ -435,7 +451,7 @@ pub fn load_night_with_journal(
                     };
                     match res {
                         Err(DbError::FencedOut(_)) => {
-                            fencing_rejections.fetch_add(1, Ordering::Relaxed);
+                            fencing_rejections.inc();
                             break;
                         }
                         // Transient noise before the fence check; retry.
@@ -488,7 +504,7 @@ pub fn load_night_with_journal(
             for a in supervisor.take_abandoned() {
                 give_up(&files[a.file_idx], a.reason);
             }
-            (busy, supervisor.reclaims())
+            busy
         }
         AssignmentPolicy::Static => {
             // Round-robin pre-partition (the baseline §4.4 argues
@@ -550,7 +566,7 @@ pub fn load_night_with_journal(
                     format!("requeue budget ({MAX_REQUEUE_ROUNDS} rounds) exhausted"),
                 );
             }
-            (busy, 0)
+            busy
         }
     };
     let makespan = start.elapsed();
@@ -572,23 +588,25 @@ pub fn load_night_with_journal(
         }
     }
 
-    let breaker_trips = node_states.iter().map(|st| st.lock().breaker.trips()).sum();
-    Ok(NightReport {
-        files: reports.into_inner(),
-        makespan,
-        nodes,
-        node_imbalance: imbalance(&busy),
-        retries: retries.into_inner(),
-        faults_survived: survived.into_inner(),
-        breaker_trips,
-        degraded_time: degrader.degraded_time(),
-        degrade_transitions: degrader.transitions(),
-        loader_kills: loader_kills.into_inner(),
-        loader_stalls: loader_stalls.into_inner(),
-        lease_reclaims,
-        fencing_rejections: fencing_rejections.into_inner(),
-        failed_files: failed.into_inner(),
-    })
+    // Fold the degrader's wall-clock accounting into the registry before
+    // the closing snapshot, so the report and any later `--metrics` dump
+    // read the same ledger.
+    obs.counter("degrade.time_us")
+        .add(degrader.degraded_time().as_micros() as u64);
+    obs.counter("degrade.transitions")
+        .add(degrader.transitions().len() as u64);
+
+    // The night report's counter fields are a view over the telemetry
+    // delta; only run-shape fields are filled in by hand.
+    let delta = obs.snapshot().since(&baseline);
+    let mut night = NightReport::from_telemetry(&delta);
+    night.files = reports.into_inner();
+    night.makespan = makespan;
+    night.nodes = nodes;
+    night.node_imbalance = imbalance(&busy);
+    night.degrade_transitions = degrader.transitions();
+    night.failed_files = failed.into_inner();
+    Ok(night)
 }
 
 /// Ratio of the busiest node's busy time to the idlest node's (1.0 is
@@ -993,5 +1011,73 @@ mod tests {
         .unwrap();
         assert!(report.throughput_mb_per_s() > 0.0);
         assert!(report.bytes_read() > 0);
+    }
+
+    #[test]
+    fn night_report_agrees_with_registry_delta_under_faults() {
+        // Regression guard for the old three-way counter drift: the night
+        // report and an independently taken registry delta must agree on a
+        // 2-loader run under connection weather. (The third path, the
+        // chaos re-aggregation, is covered by the chaos metrics test.)
+        let cfg = GenConfig::night(53, 100).with_files(4);
+        let files = generate_observation(&cfg);
+        let server = fresh_server();
+        server.set_fault_plan(Some(FaultPlan::new(
+            FaultPlanConfig::new(53).with_resets(0.004).with_busy(0.004),
+        )));
+        let loader = LoaderConfig::test()
+            .with_commit_policy(crate::config::CommitPolicy::PerFlush)
+            .with_retry(
+                crate::resilience::RetryPolicy::default()
+                    .with_max_attempts(16)
+                    .with_breaker_threshold(100),
+            );
+        let journal = LoadJournal::new();
+        let before = server.obs_snapshot();
+        let night = load_night_with_journal(
+            &server,
+            &files,
+            &loader,
+            2,
+            AssignmentPolicy::Dynamic,
+            Some(&journal),
+        )
+        .unwrap();
+        let delta = server.obs_snapshot().since(&before);
+        assert!(night.retries > 0, "fault plan injected nothing — vacuous");
+        assert_eq!(night.retries, delta.counter("retries"));
+        assert_eq!(night.breaker_trips, delta.counter("breaker_trips"));
+        assert_eq!(night.loader_kills, delta.counter("loader_kills"));
+        assert_eq!(night.loader_stalls, delta.counter("loader_stalls"));
+        assert_eq!(night.lease_reclaims, delta.counter("fleet.reclaims"));
+        assert_eq!(
+            night.fencing_rejections,
+            delta.counter("fleet.fence_rejections")
+        );
+        assert_eq!(night.faults_survived, delta.with_prefix("faults.survived."));
+    }
+
+    #[test]
+    fn per_file_rows_agree_with_engine_counters_on_a_clean_run() {
+        // The second leg of the drift guard: on a clean 2-loader run the
+        // per-file reports, the night total, and the engine's own
+        // rows_inserted counter all describe the same rows.
+        let cfg = GenConfig::night(57, 100).with_files(4);
+        let files = generate_observation(&cfg);
+        let server = fresh_server();
+        let before = server.obs_snapshot();
+        let night = load_night(
+            &server,
+            &files,
+            &LoaderConfig::test(),
+            2,
+            AssignmentPolicy::Dynamic,
+        )
+        .unwrap();
+        let delta = server.obs_snapshot().since(&before);
+        let per_file: u64 = night.files.iter().map(|f| f.rows_loaded).sum();
+        assert!(per_file > 0);
+        assert_eq!(per_file, night.rows_loaded());
+        assert_eq!(per_file, delta.counter("engine.rows_inserted"));
     }
 }

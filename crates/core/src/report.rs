@@ -8,6 +8,7 @@ use serde::Serialize;
 
 use skydb::error::{ConstraintKind, DbError};
 use skydb::server::Server;
+use skyobs::Snapshot;
 
 use crate::resilience::DegradeTransition;
 
@@ -207,7 +208,7 @@ pub struct NightReport {
     /// Retried transport errors by kind label (the faults the fleet
     /// survived; latency spikes absorbed within the call budget are
     /// invisible here but counted server-side).
-    pub faults_survived: BTreeMap<&'static str, u64>,
+    pub faults_survived: BTreeMap<String, u64>,
     /// Circuit-breaker trips (connections quarantined and replaced).
     pub breaker_trips: u64,
     /// Wall-clock time the fleet spent below full batch mode.
@@ -228,6 +229,28 @@ pub struct NightReport {
 }
 
 impl NightReport {
+    /// Build the counter-backed fields from a telemetry snapshot (usually a
+    /// [`Snapshot::since`] delta over the night). This is the **single**
+    /// counter→report mapping: the coordinator's final assembly, the chaos
+    /// aggregation, and the CLI metrics dump all read the same registry
+    /// names, so the three paths cannot drift.
+    ///
+    /// Shape-only fields (`files`, `makespan`, `degrade_transitions`, …)
+    /// stay default; the caller fills them in.
+    pub fn from_telemetry(delta: &Snapshot) -> NightReport {
+        NightReport {
+            retries: delta.counter("retries"),
+            breaker_trips: delta.counter("breaker_trips"),
+            degraded_time: Duration::from_micros(delta.counter("degrade.time_us")),
+            loader_kills: delta.counter("loader_kills"),
+            loader_stalls: delta.counter("loader_stalls"),
+            lease_reclaims: delta.counter("fleet.reclaims"),
+            fencing_rejections: delta.counter("fleet.fence_rejections"),
+            faults_survived: delta.with_prefix("faults.survived."),
+            ..NightReport::default()
+        }
+    }
+
     /// `true` when every file loaded (possibly after retries/requeues).
     pub fn is_complete(&self) -> bool {
         self.failed_files.is_empty()
@@ -308,16 +331,22 @@ pub struct ModeledCost {
 
 impl ModeledCost {
     /// Snapshot a server's accumulated modeled costs, adding client-side
-    /// paging time measured by the loader.
+    /// paging time measured by the loader. A view over the telemetry
+    /// snapshot: [`skydb::server::Server::obs_snapshot`] syncs the
+    /// `model.*_us` gauges, and this reads them back.
     pub fn measure(server: &Server, client_paging: Duration) -> ModeledCost {
-        let engine = server.engine();
+        ModeledCost::from_snapshot(&server.obs_snapshot(), client_paging)
+    }
+
+    /// Read the modeled-cost breakdown out of a telemetry snapshot (the
+    /// `model.*_us` gauges synced by `Server::obs_snapshot`).
+    pub fn from_snapshot(snap: &Snapshot, client_paging: Duration) -> ModeledCost {
         ModeledCost {
-            network_us: server.network().modeled_time().as_micros() as u64,
-            server_cpu_us: (server.cpu().modeled_time() + engine.row_service_time()).as_micros()
-                as u64,
-            disk_us: engine.farm().modeled_time().as_micros() as u64,
-            lock_wait_us: engine.lock_wait_time().as_micros() as u64,
-            cache_scan_us: engine.cache().scan_cpu().as_micros() as u64,
+            network_us: snap.gauge("model.network_us"),
+            server_cpu_us: snap.gauge("model.server_cpu_us"),
+            disk_us: snap.gauge("model.disk_us"),
+            lock_wait_us: snap.gauge("model.lock_wait_us"),
+            cache_scan_us: snap.gauge("model.cache_scan_us"),
             client_paging_us: client_paging.as_micros() as u64,
         }
     }
@@ -454,5 +483,109 @@ mod tests {
         r.note_loaded("objects", 1);
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"rows_loaded\":1"));
+    }
+
+    #[test]
+    fn night_report_counters_come_from_telemetry() {
+        let reg = skyobs::Registry::new();
+        reg.counter("retries").add(3);
+        reg.counter("breaker_trips").add(1);
+        reg.counter("fleet.reclaims").add(2);
+        reg.counter("fleet.fence_rejections").add(4);
+        reg.counter("loader_kills").inc();
+        reg.counter("degrade.time_us").add(1500);
+        reg.counter("faults.survived.reset").add(2);
+        let night = NightReport::from_telemetry(&reg.snapshot());
+        assert_eq!(night.retries, 3);
+        assert_eq!(night.breaker_trips, 1);
+        assert_eq!(night.lease_reclaims, 2);
+        assert_eq!(night.fencing_rejections, 4);
+        assert_eq!(night.loader_kills, 1);
+        assert_eq!(night.degraded_time, Duration::from_micros(1500));
+        assert_eq!(night.faults_survived.get("reset"), Some(&2));
+    }
+
+    /// Byte-level key compatibility: the snapshot→report mapping must keep
+    /// every pre-telemetry JSON field name, so archived `repro-results/*.json`
+    /// stay comparable across the refactor.
+    #[test]
+    fn report_json_keys_are_stable() {
+        let mut f = FileReport::default();
+        f.note_loaded("objects", 1);
+        f.note_skipped(1, "objects", Some(0), SkipKind::Parse, "x".into());
+        let file_json = serde_json::to_string(&f).unwrap();
+        const FILE_KEYS: &[&str] = &[
+            "file",
+            "loaded_by_table",
+            "skipped_by_kind",
+            "rows_loaded",
+            "rows_skipped",
+            "batch_calls",
+            "single_calls",
+            "commits",
+            "cycles",
+            "bytes_read",
+            "elapsed",
+            "client_paging",
+            "client_faults",
+            "skip_details",
+            "lines_resumed",
+            "retries",
+            "stage_parse",
+            "stage_flush",
+            "stage_overlap",
+            "modeled_makespan",
+        ];
+        for key in FILE_KEYS {
+            assert!(
+                file_json.contains(&format!("\"{key}\":")),
+                "FileReport lost key {key}"
+            );
+        }
+
+        let reg = skyobs::Registry::new();
+        reg.counter("faults.survived.reset").inc();
+        let night = NightReport {
+            makespan: Duration::from_secs(1),
+            ..NightReport::from_telemetry(&reg.snapshot())
+        };
+        let night_json = serde_json::to_string(&night).unwrap();
+        const NIGHT_KEYS: &[&str] = &[
+            "files",
+            "makespan",
+            "nodes",
+            "node_imbalance",
+            "retries",
+            "faults_survived",
+            "breaker_trips",
+            "degraded_time",
+            "degrade_transitions",
+            "loader_kills",
+            "loader_stalls",
+            "lease_reclaims",
+            "fencing_rejections",
+            "failed_files",
+        ];
+        for key in NIGHT_KEYS {
+            assert!(
+                night_json.contains(&format!("\"{key}\":")),
+                "NightReport lost key {key}"
+            );
+        }
+        // String-keyed faults_survived serializes exactly like the old
+        // &'static str keys did.
+        assert!(night_json.contains("\"faults_survived\":{\"reset\":1}"));
+    }
+
+    #[test]
+    fn modeled_cost_reads_model_gauges() {
+        let reg = skyobs::Registry::new();
+        reg.gauge("model.network_us").set(100);
+        reg.gauge("model.disk_us").set(30);
+        let cost = ModeledCost::from_snapshot(&reg.snapshot(), Duration::from_micros(7));
+        assert_eq!(cost.network_us, 100);
+        assert_eq!(cost.disk_us, 30);
+        assert_eq!(cost.client_paging_us, 7);
+        assert_eq!(cost.total(), Duration::from_micros(137));
     }
 }

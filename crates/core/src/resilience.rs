@@ -268,6 +268,10 @@ pub struct CircuitBreaker {
     threshold: u64,
     consecutive: u64,
     trips: u64,
+    /// Shared telemetry counter (`breaker_trips`) incremented on every
+    /// trip, so the registry sees fleet-wide trips without a final
+    /// per-breaker summation pass.
+    trips_counter: Option<skyobs::CounterHandle>,
 }
 
 impl CircuitBreaker {
@@ -278,7 +282,15 @@ impl CircuitBreaker {
             threshold,
             consecutive: 0,
             trips: 0,
+            trips_counter: None,
         }
+    }
+
+    /// Attach a shared telemetry counter that every trip also increments
+    /// (the fleet hands every breaker the same `breaker_trips` handle).
+    pub fn with_trips_counter(mut self, counter: skyobs::CounterHandle) -> CircuitBreaker {
+        self.trips_counter = Some(counter);
+        self
     }
 
     /// Record a transport failure; `true` means the breaker just tripped
@@ -288,6 +300,9 @@ impl CircuitBreaker {
         if self.threshold > 0 && self.consecutive >= self.threshold {
             self.consecutive = 0;
             self.trips += 1;
+            if let Some(c) = &self.trips_counter {
+                c.inc();
+            }
             return true;
         }
         false

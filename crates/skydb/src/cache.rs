@@ -19,8 +19,9 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use skyobs::{CounterHandle, Registry};
 use skysim::disk::{Access, DiskDevice};
-use skysim::metrics::{Counter, TimeCharge};
+use skysim::metrics::TimeCharge;
 use skysim::time::{TimeScale, Waiter};
 
 use crate::schema::TableId;
@@ -48,19 +49,25 @@ pub struct BufferPool {
     per_frame_scan: Duration,
     state: Mutex<PoolState>,
     waiter: Waiter,
-    hits: Counter,
-    misses: Counter,
-    evictions: Counter,
-    writer_cycles: Counter,
-    frames_scanned: Counter,
-    pages_flushed: Counter,
+    hits: CounterHandle,
+    misses: CounterHandle,
+    evictions: CounterHandle,
+    writer_cycles: CounterHandle,
+    frames_scanned: CounterHandle,
+    pages_flushed: CounterHandle,
     scan_cpu: TimeCharge,
 }
 
 impl BufferPool {
     /// A pool holding up to `capacity` pages. `per_frame_scan` is the CPU
-    /// cost the writer pays per frame examined during a cycle.
-    pub fn new(capacity: usize, per_frame_scan: Duration, scale: TimeScale) -> Self {
+    /// cost the writer pays per frame examined during a cycle. Counters are
+    /// registered in `obs` under `cache.*`.
+    pub fn new(
+        capacity: usize,
+        per_frame_scan: Duration,
+        scale: TimeScale,
+        obs: &Registry,
+    ) -> Self {
         assert!(capacity > 0, "cache needs at least one frame");
         BufferPool {
             capacity,
@@ -71,12 +78,12 @@ impl BufferPool {
                 dirty: 0,
             }),
             waiter: Waiter::new(scale),
-            hits: Counter::new(),
-            misses: Counter::new(),
-            evictions: Counter::new(),
-            writer_cycles: Counter::new(),
-            frames_scanned: Counter::new(),
-            pages_flushed: Counter::new(),
+            hits: obs.counter("cache.hits"),
+            misses: obs.counter("cache.misses"),
+            evictions: obs.counter("cache.evictions"),
+            writer_cycles: obs.counter("cache.writer_cycles"),
+            frames_scanned: obs.counter("cache.frames_scanned"),
+            pages_flushed: obs.counter("cache.pages_flushed"),
             scan_cpu: TimeCharge::new(),
         }
     }
@@ -255,7 +262,12 @@ mod tests {
 
     #[test]
     fn writes_dirty_and_writer_flushes() {
-        let pool = BufferPool::new(100, Duration::from_nanos(10), TimeScale::ZERO);
+        let pool = BufferPool::new(
+            100,
+            Duration::from_nanos(10),
+            TimeScale::ZERO,
+            &Registry::new(),
+        );
         let d = dev();
         for p in 0..10 {
             pool.note_write(key(p), &d);
@@ -273,8 +285,18 @@ mod tests {
 
     #[test]
     fn scan_cost_proportional_to_capacity_not_dirty() {
-        let small = BufferPool::new(10, Duration::from_nanos(100), TimeScale::ZERO);
-        let large = BufferPool::new(10_000, Duration::from_nanos(100), TimeScale::ZERO);
+        let small = BufferPool::new(
+            10,
+            Duration::from_nanos(100),
+            TimeScale::ZERO,
+            &Registry::new(),
+        );
+        let large = BufferPool::new(
+            10_000,
+            Duration::from_nanos(100),
+            TimeScale::ZERO,
+            &Registry::new(),
+        );
         let d = dev();
         small.note_write(key(0), &d);
         large.note_write(key(0), &d);
@@ -287,7 +309,7 @@ mod tests {
 
     #[test]
     fn capacity_eviction_flushes_dirty_victims() {
-        let pool = BufferPool::new(4, Duration::ZERO, TimeScale::ZERO);
+        let pool = BufferPool::new(4, Duration::ZERO, TimeScale::ZERO, &Registry::new());
         let d = dev();
         for p in 0..8 {
             pool.note_write(key(p), &d);
@@ -299,7 +321,7 @@ mod tests {
 
     #[test]
     fn read_hits_and_misses() {
-        let pool = BufferPool::new(10, Duration::ZERO, TimeScale::ZERO);
+        let pool = BufferPool::new(10, Duration::ZERO, TimeScale::ZERO, &Registry::new());
         let d = dev();
         assert!(!pool.note_read(key(1), &d), "cold read is a miss");
         assert!(pool.note_read(key(1), &d), "second read hits");
@@ -310,7 +332,7 @@ mod tests {
 
     #[test]
     fn clean_evictions_do_not_write() {
-        let pool = BufferPool::new(2, Duration::ZERO, TimeScale::ZERO);
+        let pool = BufferPool::new(2, Duration::ZERO, TimeScale::ZERO, &Registry::new());
         let d = dev();
         for p in 0..5 {
             pool.note_read(key(p), &d); // resident clean

@@ -86,6 +86,10 @@ pub struct Engine {
     locks: RwLock<LockManager>,
     farm: DiskFarm,
     stats: EngineStats,
+    /// The observability registry backing [`EngineStats`] and the cache /
+    /// WAL / txn counters. The server attaches itself to the same registry
+    /// by default, so one snapshot covers the whole stack.
+    obs: Arc<skyobs::Registry>,
     dirty_events: AtomicUsize,
     /// Waits out modeled per-row SQL-layer service *while the table insert
     /// slot is held*, so lock contention sees realistic hold times.
@@ -94,25 +98,35 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// A fresh engine with the given configuration.
+    /// A fresh engine with the given configuration and its own private
+    /// observability registry.
     pub fn new(cfg: DbConfig) -> Self {
+        Engine::with_obs(cfg, Arc::new(skyobs::Registry::new()))
+    }
+
+    /// A fresh engine registering its counters in the given registry —
+    /// used when a coordinator wants one registry spanning several engine
+    /// generations (chaos recovery) or the whole loader stack.
+    pub fn with_obs(cfg: DbConfig, obs: Arc<skyobs::Registry>) -> Self {
         let farm = if cfg.separate_devices {
             DiskFarm::separated(cfg.disk, cfg.scale)
         } else {
             DiskFarm::shared(cfg.disk, cfg.scale)
         };
         Engine {
-            cache: BufferPool::new(cfg.cache_pages, cfg.per_frame_scan, cfg.scale),
-            wal: Wal::new(cfg.log_buffer_bytes),
-            txns: TxnManager::new(cfg.max_concurrent_txns),
+            cache: BufferPool::new(cfg.cache_pages, cfg.per_frame_scan, cfg.scale, &obs),
+            wal: Wal::new(cfg.log_buffer_bytes, &obs),
+            txns: TxnManager::new(cfg.max_concurrent_txns, &obs),
             locks: RwLock::new(LockManager::new(
                 0,
                 cfg.table_insert_slots,
                 cfg.lock_wait_penalty,
                 cfg.scale,
+                &obs,
             )),
             farm,
-            stats: EngineStats::default(),
+            stats: EngineStats::new(&obs),
+            obs,
             dirty_events: AtomicUsize::new(0),
             service_waiter: skysim::time::Waiter::new(cfg.scale),
             row_service: skysim::metrics::TimeCharge::new(),
@@ -125,6 +139,11 @@ impl Engine {
     /// A test engine (no modeled costs, generous limits).
     pub fn for_tests() -> Self {
         Engine::new(DbConfig::test())
+    }
+
+    /// The observability registry this engine's counters live in.
+    pub fn obs(&self) -> &Arc<skyobs::Registry> {
+        &self.obs
     }
 
     /// The configuration this engine runs with.

@@ -16,7 +16,7 @@
 //! requires.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -43,9 +43,14 @@ pub struct Server {
     /// Fault injection: the active plan, if any. Swappable at runtime so a
     /// chaos harness can change the weather mid-load.
     fault_plan: Mutex<Option<Arc<FaultPlan>>>,
-    /// Faults injected so far, by [`FaultKind::index`]. Owned by the server
-    /// (not the plan) so counts survive plan swaps.
-    fault_counts: [AtomicU64; FAULT_KINDS.len()],
+    /// The observability registry server-level counters live in. Defaults
+    /// to the engine's registry; a chaos coordinator passes its own so
+    /// counts survive crash/recover server generations.
+    obs: Arc<skyobs::Registry>,
+    /// Fault counters by [`FaultKind::index`] — handles into `obs` under
+    /// `server.faults.<kind>`. Registry-owned, so counts survive plan swaps
+    /// (and, with a shared registry, server restarts).
+    fault_counts: [skyobs::CounterHandle; FAULT_KINDS.len()],
     /// Set once a crash-on-flush fault fires; every later call on any
     /// session fails with [`DbError::ServerDown`] until the repository is
     /// recovered into a fresh server.
@@ -94,28 +99,57 @@ impl BatchResult {
 }
 
 impl Server {
-    /// Start a server with a fresh engine built from `cfg`.
+    /// Start a server with a fresh engine built from `cfg`. Server-level
+    /// counters join the engine's registry, so one snapshot covers both.
     pub fn start(cfg: DbConfig) -> Arc<Server> {
+        let obs = Arc::new(skyobs::Registry::new());
+        Server::start_with_obs(cfg, obs)
+    }
+
+    /// Start a server with a fresh engine, registering both engine- and
+    /// server-level counters in `obs`. A chaos coordinator passes a shared
+    /// registry here so fault and loader counters accumulate across
+    /// crash/recover generations.
+    pub fn start_with_obs(cfg: DbConfig, obs: Arc<skyobs::Registry>) -> Arc<Server> {
         let cpu = CpuGate::new(cfg.cpus, cfg.scale);
         let net = NetworkModel::new(cfg.net_rtt, cfg.net_bytes_per_sec, cfg.scale);
-        Server::assemble(Engine::new(cfg), cpu, net)
+        Server::assemble(Engine::with_obs(cfg, obs.clone()), cpu, net, obs)
     }
 
     /// Start a server around an existing engine (used by recovery tests).
+    /// Server counters join the engine's registry.
     pub fn with_engine(engine: Engine) -> Arc<Server> {
+        let obs = engine.obs().clone();
+        Server::with_engine_and_obs(engine, obs)
+    }
+
+    /// Start a server around an existing engine with server-level counters
+    /// in `obs` (the chaos coordinator's shared registry; the recovered
+    /// engine keeps its own per-generation registry so replayed rows are
+    /// not double-counted).
+    pub fn with_engine_and_obs(engine: Engine, obs: Arc<skyobs::Registry>) -> Arc<Server> {
         let cfg = engine.config();
         let cpu = CpuGate::new(cfg.cpus, cfg.scale);
         let net = NetworkModel::new(cfg.net_rtt, cfg.net_bytes_per_sec, cfg.scale);
-        Server::assemble(engine, cpu, net)
+        Server::assemble(engine, cpu, net, obs)
     }
 
-    fn assemble(engine: Engine, cpu: CpuGate, net: NetworkModel) -> Arc<Server> {
+    fn assemble(
+        engine: Engine,
+        cpu: CpuGate,
+        net: NetworkModel,
+        obs: Arc<skyobs::Registry>,
+    ) -> Arc<Server> {
+        let fault_counts = std::array::from_fn(|i| {
+            obs.counter(&format!("server.faults.{}", FAULT_KINDS[i].label()))
+        });
         Arc::new(Server {
             engine,
             cpu,
             net,
             fault_plan: Mutex::new(None),
-            fault_counts: Default::default(),
+            obs,
+            fault_counts,
             crashed: AtomicBool::new(false),
             fences: Mutex::new(BTreeMap::new()),
         })
@@ -124,6 +158,36 @@ impl Server {
     /// The underlying engine (DDL, queries, stats).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The observability registry server-level counters live in.
+    pub fn obs(&self) -> &Arc<skyobs::Registry> {
+        &self.obs
+    }
+
+    /// Snapshot the registry after syncing the modeled-clock gauges
+    /// (`model.network_us`, `model.server_cpu_us`, `model.disk_us`,
+    /// `model.lock_wait_us`, `model.cache_scan_us`), so reports and the
+    /// bench harness can read modeled costs from telemetry instead of
+    /// probing each subsystem by hand.
+    pub fn obs_snapshot(&self) -> skyobs::Snapshot {
+        let e = &self.engine;
+        self.obs
+            .gauge("model.network_us")
+            .set(self.net.modeled_time().as_micros() as u64);
+        self.obs
+            .gauge("model.server_cpu_us")
+            .set((self.cpu.modeled_time() + e.row_service_time()).as_micros() as u64);
+        self.obs
+            .gauge("model.disk_us")
+            .set(e.farm().modeled_time().as_micros() as u64);
+        self.obs
+            .gauge("model.lock_wait_us")
+            .set(e.lock_wait_time().as_micros() as u64);
+        self.obs
+            .gauge("model.cache_scan_us")
+            .set(e.cache().scan_cpu().as_micros() as u64);
+        self.obs.snapshot()
     }
 
     /// The shared network model (for experiment accounting).
@@ -164,26 +228,19 @@ impl Server {
     /// Faults injected so far, across every kind and every plan this
     /// server has run under.
     pub fn faults_injected(&self) -> u64 {
-        self.fault_counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum()
+        self.fault_counts.iter().map(|c| c.get()).sum()
     }
 
     /// Faults injected so far for one kind.
     pub fn fault_count(&self, kind: FaultKind) -> u64 {
-        self.fault_counts[kind.index()].load(Ordering::Relaxed)
+        self.fault_counts[kind.index()].get()
     }
 
-    /// Faults injected so far, labeled by kind (zero counts omitted).
-    pub fn faults_by_kind(&self) -> BTreeMap<&'static str, u64> {
-        FAULT_KINDS
-            .iter()
-            .filter_map(|k| {
-                let n = self.fault_count(*k);
-                (n > 0).then(|| (k.label(), n))
-            })
-            .collect()
+    /// Faults injected so far, labeled by kind (zero counts omitted) — the
+    /// `server.faults.*` projection of the registry snapshot. With a shared
+    /// chaos registry this is cumulative across server generations.
+    pub fn faults_by_kind(&self) -> BTreeMap<String, u64> {
+        self.obs.snapshot().with_prefix("server.faults.")
     }
 
     /// `true` once a crash-on-flush fault has taken the server down.
@@ -194,7 +251,7 @@ impl Server {
     }
 
     fn note_fault(&self, kind: FaultKind) {
-        self.fault_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.fault_counts[kind.index()].inc();
     }
 
     /// Record a fault injected *outside* the server's own call gate — the

@@ -1,46 +1,86 @@
 //! Engine statistics: counters for everything the experiments measure.
+//!
+//! Since the telemetry refactor the fields are [`skyobs`] registry handles
+//! registered under `engine.<field>`, so one registry snapshot covers the
+//! engine alongside the server, fleet, and loader counters. The access
+//! syntax (`stats().rows_inserted.inc()`) and the serialized
+//! [`StatsSnapshot`] are unchanged.
 
 use serde::Serialize;
 
-use skysim::metrics::Counter;
+use skyobs::{CounterHandle, Registry};
 
-/// Live counters owned by the engine. Snapshot with [`EngineStats::snapshot`].
-#[derive(Debug, Default)]
+/// Live counters owned by the engine, backed by the engine's [`Registry`].
+/// Snapshot with [`EngineStats::snapshot`].
+#[derive(Debug)]
 pub struct EngineStats {
     /// Rows successfully inserted.
-    pub rows_inserted: Counter,
+    pub rows_inserted: CounterHandle,
     /// Rows rejected by a constraint or type error.
-    pub rows_rejected: Counter,
+    pub rows_rejected: CounterHandle,
     /// Rows deleted by `delete_where`.
-    pub rows_deleted: Counter,
+    pub rows_deleted: CounterHandle,
     /// Batch database calls served.
-    pub batch_calls: Counter,
+    pub batch_calls: CounterHandle,
     /// Singleton insert calls served.
-    pub single_calls: Counter,
+    pub single_calls: CounterHandle,
     /// Commits performed.
-    pub commits: Counter,
+    pub commits: CounterHandle,
     /// Rollbacks performed.
-    pub rollbacks: Counter,
+    pub rollbacks: CounterHandle,
     /// Primary-key violations.
-    pub pk_violations: Counter,
+    pub pk_violations: CounterHandle,
     /// Foreign-key violations.
-    pub fk_violations: Counter,
+    pub fk_violations: CounterHandle,
     /// Unique-constraint violations.
-    pub unique_violations: Counter,
+    pub unique_violations: CounterHandle,
     /// CHECK-constraint violations.
-    pub check_violations: Counter,
+    pub check_violations: CounterHandle,
     /// NOT NULL violations.
-    pub not_null_violations: Counter,
+    pub not_null_violations: CounterHandle,
     /// Type/arity errors.
-    pub type_errors: Counter,
+    pub type_errors: CounterHandle,
     /// Index entries maintained (all indexes).
-    pub index_entries: Counter,
+    pub index_entries: CounterHandle,
     /// Bind-array spills (batch payload exceeded the bind buffer).
-    pub bind_spills: Counter,
+    pub bind_spills: CounterHandle,
     /// Bytes spilled past the bind buffer.
-    pub bind_spill_bytes: Counter,
+    pub bind_spill_bytes: CounterHandle,
     /// Full-table-scan page visits (query path).
-    pub scan_pages: Counter,
+    pub scan_pages: CounterHandle,
+}
+
+impl EngineStats {
+    /// Counters registered in `obs` under `engine.<field>`.
+    pub fn new(obs: &Registry) -> Self {
+        EngineStats {
+            rows_inserted: obs.counter("engine.rows_inserted"),
+            rows_rejected: obs.counter("engine.rows_rejected"),
+            rows_deleted: obs.counter("engine.rows_deleted"),
+            batch_calls: obs.counter("engine.batch_calls"),
+            single_calls: obs.counter("engine.single_calls"),
+            commits: obs.counter("engine.commits"),
+            rollbacks: obs.counter("engine.rollbacks"),
+            pk_violations: obs.counter("engine.pk_violations"),
+            fk_violations: obs.counter("engine.fk_violations"),
+            unique_violations: obs.counter("engine.unique_violations"),
+            check_violations: obs.counter("engine.check_violations"),
+            not_null_violations: obs.counter("engine.not_null_violations"),
+            type_errors: obs.counter("engine.type_errors"),
+            index_entries: obs.counter("engine.index_entries"),
+            bind_spills: obs.counter("engine.bind_spills"),
+            bind_spill_bytes: obs.counter("engine.bind_spill_bytes"),
+            scan_pages: obs.counter("engine.scan_pages"),
+        }
+    }
+}
+
+impl Default for EngineStats {
+    /// Stats bound to a private throwaway registry (tests only; the engine
+    /// always uses [`EngineStats::new`] with its own registry).
+    fn default() -> Self {
+        EngineStats::new(&Registry::new())
+    }
 }
 
 /// A serializable point-in-time copy of [`EngineStats`].

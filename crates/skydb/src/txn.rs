@@ -22,8 +22,9 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use skyobs::{CounterHandle, Registry};
 use skysim::cpu::Semaphore;
-use skysim::metrics::{Counter, TimeCharge};
+use skysim::metrics::TimeCharge;
 use skysim::time::{TimeScale, Waiter};
 
 use crate::heap::RowId;
@@ -61,22 +62,22 @@ pub struct TxnManager {
     max_concurrent: usize,
     state: Mutex<TxnTable>,
     slot_free: Condvar,
-    begins: Counter,
-    limit_stalls: Counter,
+    begins: CounterHandle,
+    limit_stalls: CounterHandle,
 }
 
 impl TxnManager {
     /// A manager admitting at most `max_concurrent` simultaneous
-    /// transactions.
-    pub fn new(max_concurrent: usize) -> Self {
+    /// transactions. Counters are registered in `obs` under `txn.*`.
+    pub fn new(max_concurrent: usize, obs: &Registry) -> Self {
         assert!(max_concurrent > 0, "need at least one transaction slot");
         TxnManager {
             next: AtomicU64::new(1),
             max_concurrent,
             state: Mutex::new(TxnTable::default()),
             slot_free: Condvar::new(),
-            begins: Counter::new(),
-            limit_stalls: Counter::new(),
+            begins: obs.counter("txn.begins"),
+            limit_stalls: obs.counter("txn.limit_stalls"),
         }
     }
 
@@ -140,7 +141,7 @@ pub struct LockManager {
     tables: Vec<TableLock>,
     wait_penalty: Duration,
     waiter: Waiter,
-    waits: Counter,
+    waits: CounterHandle,
     wait_time: TimeCharge,
 }
 
@@ -162,12 +163,14 @@ impl Drop for SlotGuard<'_> {
 
 impl LockManager {
     /// A manager for `n_tables` tables, each with `slots_per_table` insert
-    /// slots; blocked acquisitions are charged `wait_penalty`.
+    /// slots; blocked acquisitions are charged `wait_penalty`. The wait
+    /// counter is registered in `obs` as `lock.waits`.
     pub fn new(
         n_tables: usize,
         slots_per_table: usize,
         wait_penalty: Duration,
         scale: TimeScale,
+        obs: &Registry,
     ) -> Self {
         assert!(slots_per_table > 0, "tables need at least one insert slot");
         LockManager {
@@ -178,7 +181,7 @@ impl LockManager {
                 .collect(),
             wait_penalty,
             waiter: Waiter::new(scale),
-            waits: Counter::new(),
+            waits: obs.counter("lock.waits"),
             wait_time: TimeCharge::new(),
         }
     }
@@ -231,7 +234,7 @@ mod tests {
 
     #[test]
     fn begin_end_roundtrip() {
-        let tm = TxnManager::new(4);
+        let tm = TxnManager::new(4, &Registry::new());
         let t1 = tm.begin();
         let t2 = tm.begin();
         assert_ne!(t1, t2);
@@ -252,7 +255,7 @@ mod tests {
 
     #[test]
     fn concurrency_limit_blocks_and_releases() {
-        let tm = Arc::new(TxnManager::new(2));
+        let tm = Arc::new(TxnManager::new(2, &Registry::new()));
         let a = tm.begin();
         let _b = tm.begin();
         let tm2 = tm.clone();
@@ -269,7 +272,7 @@ mod tests {
 
     #[test]
     fn undo_after_end_is_dropped() {
-        let tm = TxnManager::new(2);
+        let tm = TxnManager::new(2, &Registry::new());
         let t = tm.begin();
         tm.end(t);
         tm.push_undo(
@@ -289,6 +292,7 @@ mod tests {
             2,
             Duration::from_micros(100),
             TimeScale::ZERO,
+            &Registry::new(),
         ));
         let live = Arc::new(AtomicU64::new(0));
         let peak = Arc::new(AtomicU64::new(0));
@@ -311,7 +315,13 @@ mod tests {
 
     #[test]
     fn uncontended_slot_has_no_penalty() {
-        let lm = LockManager::new(2, 4, Duration::from_millis(10), TimeScale::ZERO);
+        let lm = LockManager::new(
+            2,
+            4,
+            Duration::from_millis(10),
+            TimeScale::ZERO,
+            &Registry::new(),
+        );
         {
             let _g = lm.acquire_insert_slot(TableId(1));
         }
@@ -321,7 +331,7 @@ mod tests {
 
     #[test]
     fn ensure_tables_grows() {
-        let mut lm = LockManager::new(1, 1, Duration::ZERO, TimeScale::ZERO);
+        let mut lm = LockManager::new(1, 1, Duration::ZERO, TimeScale::ZERO, &Registry::new());
         lm.ensure_tables(5, 1);
         let _g = lm.acquire_insert_slot(TableId(4));
     }

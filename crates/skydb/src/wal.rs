@@ -15,8 +15,8 @@
 use bytes::{Buf, BufMut, BytesMut};
 use parking_lot::Mutex;
 
+use skyobs::{CounterHandle, Registry};
 use skysim::disk::{Access, DiskDevice};
-use skysim::metrics::Counter;
 
 use crate::error::{DbError, DbResult};
 use crate::heap::PAGE_BYTES;
@@ -149,21 +149,24 @@ struct WalBuffers {
 pub struct Wal {
     buffers: Mutex<WalBuffers>,
     buffer_capacity: usize,
-    flushes: Counter,
-    bytes_flushed: Counter,
-    records: Counter,
+    flushes: CounterHandle,
+    bytes_flushed: CounterHandle,
+    records: CounterHandle,
+    fsyncs: CounterHandle,
 }
 
 impl Wal {
     /// A WAL whose in-memory buffer holds `buffer_capacity` bytes before an
-    /// automatic background flush.
-    pub fn new(buffer_capacity: usize) -> Self {
+    /// automatic background flush. Counters are registered in `obs` under
+    /// `wal.*`.
+    pub fn new(buffer_capacity: usize, obs: &Registry) -> Self {
         Wal {
             buffers: Mutex::new(WalBuffers::default()),
             buffer_capacity: buffer_capacity.max(PAGE_BYTES),
-            flushes: Counter::new(),
-            bytes_flushed: Counter::new(),
-            records: Counter::new(),
+            flushes: obs.counter("wal.flushes"),
+            bytes_flushed: obs.counter("wal.bytes_flushed"),
+            records: obs.counter("wal.records"),
+            fsyncs: obs.counter("wal.fsyncs"),
         }
     }
 
@@ -193,6 +196,7 @@ impl Wal {
             bufs.durable.extend_from_slice(&pending);
         }
         if barrier {
+            self.fsyncs.inc();
             log_dev.sync();
         }
     }
@@ -236,6 +240,11 @@ impl Wal {
     /// Records appended (durable or not).
     pub fn records(&self) -> u64 {
         self.records.get()
+    }
+
+    /// Commit-path barriers issued.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.get()
     }
 }
 
@@ -350,7 +359,7 @@ mod tests {
 
     #[test]
     fn commit_makes_inserts_durable() {
-        let wal = Wal::new(1 << 20);
+        let wal = Wal::new(1 << 20, &Registry::new());
         let d = dev();
         wal.append(&LogRecord::Begin(TxnId(1)), &d);
         wal.append(&insert(1, 0, b"row1"), &d);
@@ -369,7 +378,7 @@ mod tests {
 
     #[test]
     fn uncommitted_inserts_not_recovered() {
-        let wal = Wal::new(1 << 20);
+        let wal = Wal::new(1 << 20, &Registry::new());
         let d = dev();
         wal.append(&insert(1, 0, b"committed"), &d);
         wal.append(&LogRecord::Commit(TxnId(1)), &d);
@@ -385,7 +394,7 @@ mod tests {
 
     #[test]
     fn rolled_back_inserts_not_recovered() {
-        let wal = Wal::new(1 << 20);
+        let wal = Wal::new(1 << 20, &Registry::new());
         let d = dev();
         wal.append(&insert(3, 1, b"undone"), &d);
         wal.append(&LogRecord::Rollback(TxnId(3)), &d);
@@ -395,7 +404,7 @@ mod tests {
 
     #[test]
     fn buffer_fills_trigger_background_flush() {
-        let wal = Wal::new(PAGE_BYTES); // minimum capacity
+        let wal = Wal::new(PAGE_BYTES, &Registry::new()); // minimum capacity
         let d = dev();
         let big = vec![0u8; 3000];
         for _ in 0..4 {
@@ -408,7 +417,7 @@ mod tests {
 
     #[test]
     fn torn_flush_loses_the_tail_record_only() {
-        let wal = Wal::new(1 << 20);
+        let wal = Wal::new(1 << 20, &Registry::new());
         let d = dev();
         wal.append(&insert(1, 0, b"first"), &d);
         wal.append(&LogRecord::Commit(TxnId(1)), &d);
@@ -429,7 +438,7 @@ mod tests {
 
     #[test]
     fn torn_flush_of_empty_buffer_is_a_noop() {
-        let wal = Wal::new(1 << 20);
+        let wal = Wal::new(1 << 20, &Registry::new());
         let d = dev();
         wal.flush_torn(&d, 5);
         assert!(wal.durable_log().is_empty());
@@ -438,7 +447,7 @@ mod tests {
 
     #[test]
     fn flush_counters_track_bytes() {
-        let wal = Wal::new(1 << 20);
+        let wal = Wal::new(1 << 20, &Registry::new());
         let d = dev();
         wal.append(&insert(1, 0, b"abc"), &d);
         wal.flush_sync(&d);

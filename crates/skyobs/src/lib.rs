@@ -1,0 +1,528 @@
+//! `skyobs` — the observability core shared by `skydb`, `skyloader`, and the
+//! bench harness.
+//!
+//! One [`Registry`] per coordinator (or per engine) hands out cheap
+//! atomic-backed handles:
+//!
+//! * [`CounterHandle`] — monotone named counters (`retries`,
+//!   `fleet.reclaims`, `engine.rows_inserted`, …). Handles are `Arc`-backed,
+//!   so hot paths pay one relaxed atomic op and never touch the registry
+//!   lock after creation.
+//! * [`GaugeHandle`] — last-write-wins values (modeled clock readings such
+//!   as `model.network_us`).
+//! * [`HistogramHandle`] — fixed log-scale (power-of-two) buckets; fully
+//!   deterministic, no wall-clock reads.
+//! * Span events — [`SpanRecord`]s pushed into a bounded in-memory ring
+//!   (drop-oldest, with a drop counter), drainable as JSONL.
+//!
+//! A [`Snapshot`] is a point-in-time copy of every counter and gauge keyed
+//! by name. Reports are *views* over snapshots: [`Snapshot::since`] gives
+//! per-run deltas while the registry itself accumulates monotonically, and
+//! [`Snapshot::with_prefix`] projects subsystem maps (e.g. every
+//! `server.faults.*` counter) without per-subsystem snapshot types.
+//!
+//! The crate is dependency-free; JSONL rendering is hand-rolled (names are
+//! programmer-chosen identifiers, but strings are escaped anyway).
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets. Bucket `i` (for `i >= 1`) holds values in
+/// `(2^(i-1), 2^i]`; bucket 0 holds `{0, 1}`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Default span-ring capacity.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// A handle to a named monotone counter. Cloning is cheap (an `Arc` bump);
+/// all clones observe the same value.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A handle to a named gauge (last write wins).
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+impl GaugeHandle {
+    /// Set the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistInner {
+    fn new() -> Self {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A handle to a named log-scale histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<HistInner>);
+
+/// Bucket index for a value: 0 holds `{0, 1}`, bucket `i` holds
+/// `(2^(i-1), 2^i]`.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    ((HIST_BUCKETS as u32 - (v - 1).leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+impl HistogramHandle {
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the bucket
+    /// containing the `q`-th observation. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        self.max()
+    }
+}
+
+/// One span event: a named stage with a modeled start offset, duration, and
+/// outcome, plus one free-form attribute (e.g. the table being flushed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name (`flush`, `parse`, `commit`, …).
+    pub name: String,
+    /// One attribute refining the stage (table name, file stem, …).
+    pub attr: String,
+    /// Start offset in microseconds (modeled clock, not wall clock).
+    pub start_us: u64,
+    /// Duration in microseconds (modeled clock).
+    pub dur_us: u64,
+    /// Outcome label (`ok`, `error`, `retried`, …).
+    pub outcome: String,
+}
+
+impl SpanRecord {
+    /// Render as one JSON object (one JSONL line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"type\":\"span\",\"name\":\"{}\",\"attr\":\"{}\",\"start_us\":{},\"dur_us\":{},\"outcome\":\"{}\"}}",
+            escape(&self.name),
+            escape(&self.attr),
+            self.start_us,
+            self.dur_us,
+            escape(&self.outcome)
+        )
+    }
+}
+
+/// Record a span into a registry:
+/// `span!(reg, "flush", table, start_us, dur_us, "ok")`.
+#[macro_export]
+macro_rules! span {
+    ($reg:expr, $name:expr, $attr:expr, $start_us:expr, $dur_us:expr, $outcome:expr) => {
+        $reg.span($name, $attr, $start_us, $dur_us, $outcome)
+    };
+}
+
+/// The metrics registry: named counters, gauges, histograms, and a bounded
+/// span ring. Cheap handles are created on first use of a name; repeated
+/// lookups return handles to the same underlying atomic.
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, CounterHandle>>,
+    gauges: Mutex<BTreeMap<String, GaugeHandle>>,
+    hists: Mutex<BTreeMap<String, HistogramHandle>>,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    span_capacity: usize,
+    spans_dropped: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh registry with the default span-ring capacity.
+    pub fn new() -> Self {
+        Registry::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A fresh registry whose span ring holds at most `capacity` records
+    /// (older records are dropped first; drops are counted).
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(VecDeque::new()),
+            span_capacity: capacity.max(1),
+            spans_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self.hists.lock().unwrap();
+        map.entry(name.to_owned())
+            .or_insert_with(|| HistogramHandle(Arc::new(HistInner::new())))
+            .clone()
+    }
+
+    /// Record a span event into the ring (drop-oldest past capacity).
+    pub fn span(
+        &self,
+        name: impl Into<String>,
+        attr: impl Into<String>,
+        start_us: u64,
+        dur_us: u64,
+        outcome: impl Into<String>,
+    ) {
+        self.record_span(SpanRecord {
+            name: name.into(),
+            attr: attr.into(),
+            start_us,
+            dur_us,
+            outcome: outcome.into(),
+        });
+    }
+
+    /// Record an already-built [`SpanRecord`].
+    pub fn record_span(&self, record: SpanRecord) {
+        let mut ring = self.spans.lock().unwrap();
+        while ring.len() >= self.span_capacity {
+            ring.pop_front();
+            self.spans_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record);
+    }
+
+    /// Copy of the current span ring, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The configured span-ring bound.
+    pub fn span_capacity(&self) -> usize {
+        self.span_capacity
+    }
+
+    /// Spans dropped because the ring was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of every counter and gauge. Histograms contribute
+    /// `<name>.count` / `<name>.sum` / `<name>.max` counters (all monotone).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: BTreeMap<String, u64> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        for (name, h) in self.hists.lock().unwrap().iter() {
+            counters.insert(format!("{name}.count"), h.count());
+            counters.insert(format!("{name}.sum"), h.sum());
+            counters.insert(format!("{name}.max"), h.max());
+        }
+        counters.insert("obs.spans_dropped".to_owned(), self.spans_dropped());
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        Snapshot { counters, gauges }
+    }
+
+    /// Render the full registry — counters, gauges, histogram summaries,
+    /// then spans — as JSONL (one JSON object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let snap = self.snapshot();
+        for (name, value) in &snap.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
+                escape(name),
+                value
+            ));
+        }
+        for (name, value) in &snap.gauges {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+                escape(name),
+                value
+            ));
+        }
+        for (name, h) in self.hists.lock().unwrap().iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{}}}\n",
+                escape(name),
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            ));
+        }
+        for span in self.spans.lock().unwrap().iter() {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A point-in-time copy of a registry's counters and gauges, keyed by name.
+/// Counters are monotone in registry time; gauges are last-write-wins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-key delta against an earlier snapshot: counters subtract
+    /// (saturating) the baseline, gauges keep their current value.
+    pub fn since(&self, baseline: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(baseline.counter(k))))
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+        }
+    }
+
+    /// Counters under `prefix`, with the prefix stripped and zero entries
+    /// dropped — the subsystem-map projection (`server.faults.` →
+    /// `{reset: 1, …}`).
+    pub fn with_prefix(&self, prefix: &str) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter(|(k, &v)| k.starts_with(prefix) && v > 0)
+            .map(|(k, &v)| (k[prefix.len()..].to_owned(), v))
+            .collect()
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let reg = Registry::new();
+        let a = reg.counter("retries");
+        let b = reg.counter("retries");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("retries").get(), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("retries"), 3);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_since_is_a_per_key_delta() {
+        let reg = Registry::new();
+        reg.counter("a").add(5);
+        let base = reg.snapshot();
+        reg.counter("a").add(7);
+        reg.counter("b").inc();
+        let delta = reg.snapshot().since(&base);
+        assert_eq!(delta.counter("a"), 7);
+        assert_eq!(delta.counter("b"), 1);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let reg = Registry::new();
+        reg.gauge("model.network_us").set(10);
+        reg.gauge("model.network_us").set(4);
+        assert_eq!(reg.snapshot().gauge("model.network_us"), 4);
+    }
+
+    #[test]
+    fn prefix_projection_strips_and_drops_zeros() {
+        let reg = Registry::new();
+        reg.counter("server.faults.reset").inc();
+        reg.counter("server.faults.busy"); // stays zero
+        reg.counter("other").inc();
+        let map = reg.snapshot().with_prefix("server.faults.");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get("reset"), Some(&1));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        let reg = Registry::new();
+        let h = reg.histogram("flush_us");
+        for v in [0, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1110);
+        assert_eq!(h.max(), 1000);
+        assert!(h.quantile(0.5) >= 2);
+        assert!(h.quantile(1.0) >= 1000);
+        // Snapshot carries monotone summaries.
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("flush_us.count"), 7);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn span_ring_is_bounded_and_counts_drops() {
+        let reg = Registry::with_span_capacity(3);
+        for i in 0..5 {
+            span!(reg, "flush", format!("t{i}"), i, 10, "ok");
+        }
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(reg.spans_dropped(), 2);
+        assert_eq!(spans[0].attr, "t2", "oldest dropped first");
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let reg = Registry::new();
+        reg.counter("retries").add(2);
+        reg.gauge("model.disk_us").set(9);
+        reg.histogram("flush_us").record(17);
+        reg.span("flush", "objects \"quoted\"", 0, 42, "ok");
+        let jsonl = reg.to_jsonl();
+        let mut names = Vec::new();
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            let tail = line.split("\"name\":\"").nth(1).expect("has a name");
+            names.push(tail.split('"').next().unwrap().to_owned());
+        }
+        assert!(names.iter().any(|n| n == "retries"));
+        assert!(names.iter().any(|n| n == "flush_us"));
+        assert!(names.iter().any(|n| n == "flush"));
+        assert!(jsonl.contains("objects \\\"quoted\\\""), "attr is escaped");
+    }
+}

@@ -16,7 +16,10 @@
 //!   format, synthetic generator and per-row transform pipeline;
 //! * [`skyhtm`] — Hierarchical Triangular Mesh and sky coordinates;
 //! * [`skysim`] — the modeled 2005 hardware (network, disks, CPUs, client
-//!   memory, Condor-style cluster).
+//!   memory, Condor-style cluster);
+//! * [`skyobs`] — the telemetry spine: one metrics registry (counters,
+//!   gauges, histograms) plus a bounded span ring, shared by the engine,
+//!   server, loader fleet and reporting layer.
 //!
 //! Runnable examples live in `examples/`; the evaluation harness is the
 //! `skyloader-bench` crate (`cargo run -p skyloader-bench --bin repro`).
@@ -25,4 +28,5 @@ pub use skycat;
 pub use skydb;
 pub use skyhtm;
 pub use skyloader;
+pub use skyobs;
 pub use skysim;
