@@ -18,6 +18,7 @@ struct Plan {
     wall_time_scale: f64,
     fig7_mb: f64,
     headline_mb: f64,
+    quick: bool,
 }
 
 impl Plan {
@@ -27,6 +28,7 @@ impl Plan {
             wall_time_scale: 0.3,
             fig7_mb: 1120.0,
             headline_mb: 560.0,
+            quick: false,
         }
     }
 
@@ -36,6 +38,7 @@ impl Plan {
             wall_time_scale: 0.3,
             fig7_mb: 560.0,
             headline_mb: 140.0,
+            quick: true,
         }
     }
 
@@ -47,7 +50,7 @@ impl Plan {
     }
 }
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "fig4",
     "fig5",
     "fig6",
@@ -62,6 +65,7 @@ const ALL: [&str; 15] = [
     "ablate-devices",
     "ablate-two-phase",
     "ablate-pipeline",
+    "interference",
     "headline",
 ];
 
@@ -82,6 +86,13 @@ fn run_one(name: &str, plan: &Plan) -> Option<Figure> {
         "ablate-devices" => figures::ablate_devices(plan.wall_scale(), 5, 280.0),
         "ablate-two-phase" => figures::ablate_two_phase(scale, &[200.0, 600.0, 1200.0]),
         "ablate-pipeline" => figures::ablate_pipeline(plan.wall_scale(), 8, 280.0, 2),
+        "interference" => {
+            if plan.quick {
+                figures::interference(2005, &[1, 2, 4], &[0, 2], true)
+            } else {
+                figures::interference(2005, &[1, 2, 4, 8], &[0, 2, 4], false)
+            }
+        }
         "headline" => figures::headline(plan.wall_scale(), plan.headline_mb),
         other => {
             eprintln!("unknown experiment: {other}");

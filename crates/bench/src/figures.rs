@@ -848,6 +848,100 @@ pub fn ablate_two_phase(scale: Scale, sizes_mb: &[f64]) -> Figure {
     }
 }
 
+// ------------------------------------------------------------ Interference
+
+/// E8 (serving tier): fast-queue tail latency vs concurrent users under
+/// increasing nightly-ingest pressure — the CasJobs-style interference
+/// curve. One series per loader-fleet size; x is the number of query
+/// users, y the fast-queue wall-clock p99. Wall time is the right axis
+/// here: the interference *is* the CPU-gate and lock contention between
+/// readers and the flushing fleet, which modeled serial cost cannot see.
+/// The notes carry the modeled (seed-deterministic) percentiles that the
+/// CI latency gate keys on.
+pub fn interference(
+    seed: u64,
+    user_counts: &[usize],
+    fleet_sizes: &[usize],
+    quick: bool,
+) -> Figure {
+    use skyloader::{run_serve_load, ServeLoadConfig};
+    let mut series: Vec<Series> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    let queries = if quick { 10 } else { 25 };
+    let mut baseline_p99_ms: Option<f64> = None;
+    let mut worst_p99_ms: f64 = 0.0;
+    for &nodes in fleet_sizes {
+        let label = match nodes {
+            0 => "serve-only baseline".to_owned(),
+            1 => "1 loader node".to_owned(),
+            n => format!("{n} loader nodes"),
+        };
+        let mut s = Series {
+            label,
+            points: Vec::new(),
+        };
+        for &users in user_counts {
+            let out = run_serve_load(
+                &ServeLoadConfig::default()
+                    .with_seed(seed)
+                    .with_users(users)
+                    .with_queries_per_user(queries)
+                    .with_ingest_nodes(nodes)
+                    .with_quick(quick),
+            )
+            .expect("serve-under-ingest run succeeds");
+            let r = out.report;
+            assert!(
+                nodes == 0 || r.ingest_complete,
+                "ingest must finish under query load"
+            );
+            let p99_ms = r.fast_wall.p99_us as f64 / 1000.0;
+            s.points.push(Point {
+                x: users as f64,
+                y: p99_ms,
+            });
+            if users == *user_counts.last().expect("user counts") {
+                if nodes == 0 {
+                    baseline_p99_ms = Some(p99_ms);
+                } else {
+                    worst_p99_ms = worst_p99_ms.max(p99_ms);
+                }
+                notes.push(format!(
+                    "{} users × {nodes} loaders: fast wall p50/p99 {}/{} us, \
+                     modeled p50/p99 {}/{} us (seed-deterministic), \
+                     {} demoted, {} slow jobs, ingest {} rows",
+                    users,
+                    r.fast_wall.p50_us,
+                    r.fast_wall.p99_us,
+                    r.fast_modeled.p50_us,
+                    r.fast_modeled.p99_us,
+                    r.fast_demoted,
+                    r.slow_completed,
+                    r.ingest_rows,
+                ));
+            }
+        }
+        series.push(s);
+    }
+    if let Some(base) = baseline_p99_ms {
+        if base > 0.0 && worst_p99_ms > 0.0 {
+            notes.push(format!(
+                "ingest pressure multiplies fast-queue wall p99 by {:.2}x at max users \
+                 (readers share the CPU gate and locks with the flushing fleet)",
+                worst_p99_ms / base
+            ));
+        }
+    }
+    Figure {
+        id: "interference".into(),
+        title: "Query/ingest interference: fast-queue p99 vs users under a loading fleet".into(),
+        x_label: "users".into(),
+        y_label: "fast-queue wall p99, ms".into(),
+        series,
+        notes,
+    }
+}
+
 // ---------------------------------------------------------------- Headline
 
 /// E0: the paper's headline — the same observation loaded by the untuned

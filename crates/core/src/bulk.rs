@@ -427,6 +427,21 @@ impl FlushWorker<'_> {
             match outcome.failed {
                 None => first = end,
                 Some((offset, err)) => {
+                    // Only *permanent* row errors (constraint and type
+                    // violations — proven bad data) are skippable. A
+                    // transient failure at a row — e.g. a write conflict
+                    // with a still-open transaction that may yet roll
+                    // back — must abort the flush and reach the retry
+                    // layer, exactly as on the singleton path: skipping
+                    // it would record the row as handled in the journal
+                    // while it may never exist anywhere.
+                    if !matches!(
+                        crate::resilience::classify(&err),
+                        crate::resilience::ErrorClass::Permanent
+                    ) {
+                        drop(report);
+                        return Err(err);
+                    }
                     let failed_idx = first + offset;
                     report.note_skipped(
                         self.cfg.max_skip_details,

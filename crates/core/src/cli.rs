@@ -120,6 +120,29 @@ pub enum Command {
         /// Dump the telemetry registry as JSONL here after the soak.
         metrics: Option<PathBuf>,
     },
+    /// Serve a CasJobs-style fast/slow query mix against a repository
+    /// while a loader fleet ingests a night, and report per-queue
+    /// latency percentiles.
+    Serve {
+        /// Master seed for the catalog, query mix, and ingest night.
+        seed: u64,
+        /// Concurrent query users.
+        users: usize,
+        /// Queries each user issues.
+        queries: usize,
+        /// Parallel loader nodes ingesting during the serve window
+        /// (0 = serve-only baseline).
+        ingest_nodes: usize,
+        /// Fast-queue deadline override, in milliseconds: queries whose
+        /// modeled cost overruns it demote to the slow queue.
+        fast_deadline_ms: Option<u64>,
+        /// Smaller catalog and query mix, for CI.
+        quick: bool,
+        /// Write the serve report as JSON here.
+        report: Option<PathBuf>,
+        /// Dump the telemetry registry as JSONL here after the run.
+        metrics: Option<PathBuf>,
+    },
     /// Print usage.
     Help,
 }
@@ -207,6 +230,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 metrics: get("metrics").map(PathBuf::from),
             })
         }
+        "serve" => {
+            let defaults = crate::serving::ServeLoadConfig::default();
+            Ok(Command::Serve {
+                seed: parse_num("seed", defaults.seed)?,
+                users: parse_num("users", defaults.users as u64)? as usize,
+                queries: parse_num("queries", defaults.queries_per_user as u64)? as usize,
+                ingest_nodes: parse_num("ingest-nodes", defaults.ingest_nodes as u64)? as usize,
+                fast_deadline_ms: get("fast-deadline")
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|e| format!("--fast-deadline: {e}"))
+                    })
+                    .transpose()?,
+                quick: flags.contains_key("quick"),
+                report: get("report").map(PathBuf::from),
+                metrics: get("metrics").map(PathBuf::from),
+            })
+        }
         "inspect" => {
             let file = positional
                 .first()
@@ -264,6 +305,20 @@ USAGE:
       schedule. Exits 1 on any lost or duplicated row. --metrics
       dumps the shared telemetry registry — whose counters the chaos
       report is a view over — as JSONL.
+
+  skyload serve [--seed N] [--users N] [--queries N] [--ingest-nodes N]
+                [--fast-deadline MS] [--quick] [--report out.json]
+                [--metrics out.jsonl]
+      Run a CasJobs-style serving mix — point lookups, cone searches
+      via the htmid index, and batch scans — from N concurrent users
+      while a loader fleet ingests a night into the same repository.
+      Fast queries run synchronously under a deadline; overruns demote
+      to the slow queue, whose jobs materialize results into per-user
+      MyDB scratch tables under row quotas. Prints per-queue
+      p50/p95/p99 latency. --ingest-nodes 0 is the serve-only
+      baseline; --fast-deadline sets the demotion deadline in
+      milliseconds; --metrics dumps the serve.* counters and latency
+      histograms as JSONL.
 
   skyload help
       This message.
@@ -401,6 +456,87 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 writeln!(out, "exactly-once: FAIL").map_err(|e| e.to_string())?;
                 Ok(1)
             }
+        }
+        Command::Serve {
+            seed,
+            users,
+            queries,
+            ingest_nodes,
+            fast_deadline_ms,
+            quick,
+            report,
+            metrics,
+        } => {
+            let mut cfg = crate::serving::ServeLoadConfig::default()
+                .with_seed(seed)
+                .with_users(users)
+                .with_queries_per_user(queries)
+                .with_ingest_nodes(ingest_nodes)
+                .with_quick(quick);
+            if let Some(ms) = fast_deadline_ms {
+                if ms == 0 {
+                    return Err("--fast-deadline must be at least 1 ms".into());
+                }
+                cfg = cfg.with_fast_deadline(std::time::Duration::from_millis(ms));
+            }
+            let outcome = crate::serving::run_serve_load(&cfg)?;
+            let r = &outcome.report;
+            writeln!(
+                out,
+                "serve: seed {} · {} users × {} queries · {} ingest node(s) · makespan {:.2?}",
+                r.seed, r.users, queries, r.ingest_nodes, r.makespan
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "fast queue: {} admitted · {} completed · {} demoted · {} rejected",
+                r.fast_admitted, r.fast_completed, r.fast_demoted, r.fast_rejected
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "slow queue: {} submitted · {} completed · {} failed · {} MyDB table(s), {} row(s)",
+                r.slow_submitted, r.slow_completed, r.slow_failed, r.mydb_tables, r.mydb_rows
+            )
+            .map_err(|e| e.to_string())?;
+            let q = |label: &str, s: &crate::serving::QueueStats| {
+                format!(
+                    "  {label:<14} n={:<5} p50={:>8} us  p95={:>8} us  p99={:>8} us  max={:>8} us",
+                    s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
+                )
+            };
+            writeln!(out, "{}", q("fast wall", &r.fast_wall)).map_err(|e| e.to_string())?;
+            writeln!(out, "{}", q("fast modeled", &r.fast_modeled)).map_err(|e| e.to_string())?;
+            writeln!(out, "{}", q("slow wall", &r.slow_wall)).map_err(|e| e.to_string())?;
+            writeln!(out, "{}", q("slow wait", &r.slow_wait)).map_err(|e| e.to_string())?;
+            if ingest_nodes > 0 {
+                writeln!(
+                    out,
+                    "ingest: {} row(s) loaded concurrently · complete: {}",
+                    r.ingest_rows, r.ingest_complete
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            write_telemetry_summary(out, outcome.server.obs())?;
+            if let Some(path) = metrics {
+                std::fs::write(&path, outcome.server.obs().to_jsonl())
+                    .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "metrics written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = report {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(r).expect("serve report serializes"),
+                )
+                .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "report written to {}", path.display()).map_err(|e| e.to_string())?;
+            }
+            if ingest_nodes > 0 && !r.ingest_complete {
+                writeln!(out, "ingest: INCOMPLETE").map_err(|e| e.to_string())?;
+                return Ok(1);
+            }
+            Ok(0)
         }
         Command::Inspect { file, top_spans } => {
             let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file:?}: {e}"))?;
@@ -908,6 +1044,75 @@ mod tests {
         assert!(report_path.exists());
         let json = std::fs::read_to_string(&report_path).unwrap();
         assert!(json.contains("\"faults_by_kind\""), "{json}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        match parse_args(&args(
+            "serve --seed 7 --users 3 --queries 10 --ingest-nodes 0 --fast-deadline 25 --quick",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                seed,
+                users,
+                queries,
+                ingest_nodes,
+                fast_deadline_ms,
+                quick,
+                ..
+            } => {
+                assert_eq!((seed, users, queries, ingest_nodes), (7, 3, 10, 0));
+                assert_eq!(fast_deadline_ms, Some(25));
+                assert!(quick);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("serve")).unwrap() {
+            Command::Serve {
+                quick,
+                fast_deadline_ms,
+                ingest_nodes,
+                ..
+            } => {
+                assert!(!quick);
+                assert_eq!(fast_deadline_ms, None);
+                assert!(ingest_nodes > 0, "default serve runs under ingest");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("serve --fast-deadline soon")).is_err());
+    }
+
+    #[test]
+    fn serve_command_runs_quick_mix() {
+        let dir = tmpdir("serve");
+        let report_path = dir.join("serve.json");
+        let metrics_path = dir.join("serve.jsonl");
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "serve --seed 2005 --users 2 --queries 8 --ingest-nodes 2 --quick \
+                 --report {} --metrics {}",
+                report_path.display(),
+                metrics_path.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("fast queue:"), "{text}");
+        assert!(text.contains("slow queue:"), "{text}");
+        assert!(text.contains("fast wall"), "{text}");
+        assert!(text.contains("ingest:"), "{text}");
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"fast_modeled\""), "{json}");
+        let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(jsonl.contains("serve.fast.admitted"), "{jsonl}");
+        assert!(jsonl.contains("serve.fast.latency_us"), "{jsonl}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -57,6 +57,7 @@ pub mod recovery;
 pub mod report;
 pub mod reprocess;
 pub mod resilience;
+pub mod serving;
 pub mod tune;
 pub mod twophase;
 
@@ -70,6 +71,8 @@ pub use parallel::{load_night, load_night_with_journal, NightError};
 pub use recovery::LoadJournal;
 pub use report::{FailedFile, FileReport, ModeledCost, NightReport, SkipKind, SkipRecord};
 pub use reprocess::{delete_observation, reprocess_observation, PurgeReport};
+pub use serving::{run_serve_load, QueueStats, ServeLoadConfig, ServeLoadOutcome, ServeLoadReport};
+
 pub use resilience::{
     classify, fault_label, Backoff, CircuitBreaker, DegradeTransition, Degrader, ErrorClass,
     RetryPolicy, MAX_DEGRADE_LEVEL,

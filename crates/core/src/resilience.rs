@@ -57,6 +57,12 @@ pub fn classify(e: &DbError) -> ErrorClass {
         | DbError::ServerBusy(_)
         | DbError::Timeout(_)
         | DbError::DiskFull(_)
+        // A write conflict means the key is held by another *still-open*
+        // transaction: once it resolves, a retry either succeeds (it
+        // rolled back) or surfaces a real duplicate (it committed).
+        // Treating it as permanent would skip — and thereby lose — rows
+        // whose conflicting copy never commits.
+        | DbError::WriteConflict(_)
         | DbError::Corruption(_) => ErrorClass::Transient,
         DbError::ServerDown(_) => ErrorClass::ServerLost,
         DbError::Batch { cause, .. } => classify(cause),
@@ -78,6 +84,7 @@ pub fn fault_label(e: &DbError) -> &'static str {
         DbError::Timeout(_) => "timeout",
         DbError::DiskFull(_) => "disk_full",
         DbError::Corruption(_) => "corruption",
+        DbError::WriteConflict(_) => "write_conflict",
         DbError::ServerDown(_) => "server_down",
         DbError::FencedOut(_) => "fenced_out",
         DbError::Batch { cause, .. } => fault_label(cause),
@@ -472,6 +479,7 @@ mod tests {
             (DbError::Timeout("slow".into()), Transient),
             (DbError::DiskFull("log".into()), Transient),
             (DbError::Corruption("cksum".into()), Transient),
+            (DbError::WriteConflict("staged by txn 7".into()), Transient),
             (DbError::ServerDown("crash".into()), ServerLost),
             (DbError::FencedOut("stale epoch".into()), Permanent),
             (DbError::NoTransaction, Permanent),

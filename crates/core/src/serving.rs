@@ -1,0 +1,469 @@
+//! The serve-under-ingest harness: a CasJobs-style query mix running
+//! against the repository **while the loader fleet flushes a night**.
+//!
+//! The paper's repository is not load-and-forget: §4.5.1 keeps the
+//! `htmid` index through the intensive load precisely because "the
+//! scientific research queries" keep running. This harness measures that
+//! coexistence: it stands up a repository with a preloaded base catalog,
+//! starts a [`skydb::serve::QueryService`], then drives N deterministic
+//! simulated users (cone searches, primary-key probes, batch scans)
+//! concurrently with a [`crate::parallel::load_night`] bulk ingest at a
+//! configurable pressure (loader-node count; 0 = serve-only baseline).
+//!
+//! Per-queue latency percentiles come out of the server's `skyobs`
+//! histograms (`serve.fast.latency_us` and friends), so the CLI's
+//! `--metrics` JSONL dump, the [`ServeLoadReport`] JSON, and the bench's
+//! interference figure are all views over the same registry.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use skycat::gen::{generate_file, generate_observation, GenConfig};
+use skydb::serve::{FastOutcome, Query, QueryService, ServeConfig, ServeError};
+use skydb::{DbConfig, Expr, Server, Value};
+use skysim::cluster::AssignmentPolicy;
+use skysim::rng::SplitMix64;
+use skysim::time::TimeScale;
+
+use crate::bulk::load_catalog_file;
+use crate::config::LoaderConfig;
+use crate::parallel::load_night;
+use crate::report::ser_duration;
+
+/// Observation id of the preloaded base catalog.
+const BASE_OBS_ID: i64 = 100;
+/// Observation id of the concurrently ingested night.
+const INGEST_OBS_ID: i64 = 101;
+
+/// Knobs for one serve-under-ingest run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeLoadConfig {
+    /// Master seed: drives the base catalog, the ingest night, and every
+    /// user's query stream.
+    pub seed: u64,
+    /// Simulated interactive users.
+    pub users: usize,
+    /// Fast-queue queries each user issues.
+    pub queries_per_user: usize,
+    /// Loader nodes ingesting concurrently (0 = serve-only baseline).
+    pub ingest_nodes: usize,
+    /// Catalog files in the concurrently ingested night.
+    pub ingest_files: usize,
+    /// Fast-queue modeled-latency deadline.
+    #[serde(with = "ser_duration")]
+    pub fast_deadline: Duration,
+    /// Smaller base catalog and night, for CI.
+    pub quick: bool,
+}
+
+impl Default for ServeLoadConfig {
+    fn default() -> Self {
+        ServeLoadConfig {
+            seed: 2005,
+            users: 4,
+            queries_per_user: 25,
+            ingest_nodes: 2,
+            ingest_files: 4,
+            fast_deadline: Duration::from_millis(40),
+            quick: false,
+        }
+    }
+}
+
+impl ServeLoadConfig {
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the simulated user count.
+    pub fn with_users(mut self, users: usize) -> Self {
+        self.users = users;
+        self
+    }
+
+    /// Builder-style: set the ingest pressure (loader nodes; 0 = none).
+    pub fn with_ingest_nodes(mut self, nodes: usize) -> Self {
+        self.ingest_nodes = nodes;
+        self
+    }
+
+    /// Builder-style: set queries per user.
+    pub fn with_queries_per_user(mut self, n: usize) -> Self {
+        self.queries_per_user = n;
+        self
+    }
+
+    /// Builder-style: quick mode for CI.
+    pub fn with_quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+
+    /// Builder-style: set the fast-queue modeled-latency deadline.
+    pub fn with_fast_deadline(mut self, d: Duration) -> Self {
+        self.fast_deadline = d;
+        self
+    }
+}
+
+/// Percentiles of one `serve.*` latency histogram, in microseconds.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct QueueStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Largest sample.
+    pub max_us: u64,
+}
+
+impl QueueStats {
+    fn from_histogram(h: &skyobs::HistogramHandle) -> QueueStats {
+        QueueStats {
+            count: h.count(),
+            p50_us: h.quantile(0.50),
+            p95_us: h.quantile(0.95),
+            p99_us: h.quantile(0.99),
+            max_us: h.max(),
+        }
+    }
+}
+
+/// Everything one serve-under-ingest run measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeLoadReport {
+    /// Seed the run derived from.
+    pub seed: u64,
+    /// Simulated users.
+    pub users: usize,
+    /// Loader nodes that ingested concurrently.
+    pub ingest_nodes: usize,
+    /// Fast queries admitted.
+    pub fast_admitted: u64,
+    /// Fast queries rejected at admission (per-user quota).
+    pub fast_rejected: u64,
+    /// Fast queries answered within the deadline.
+    pub fast_completed: u64,
+    /// Fast queries demoted to the slow queue.
+    pub fast_demoted: u64,
+    /// Slow jobs submitted (explicit + demotions).
+    pub slow_submitted: u64,
+    /// Slow jobs completed into MyDB tables.
+    pub slow_completed: u64,
+    /// Slow jobs failed.
+    pub slow_failed: u64,
+    /// MyDB scratch tables created.
+    pub mydb_tables: u64,
+    /// Rows materialized into MyDB tables.
+    pub mydb_rows: u64,
+    /// Wall-clock fast-queue latency percentiles.
+    pub fast_wall: QueueStats,
+    /// Modeled fast-queue latency percentiles (deterministic per seed).
+    pub fast_modeled: QueueStats,
+    /// Wall-clock slow-queue execution latency percentiles.
+    pub slow_wall: QueueStats,
+    /// Slow-queue queue-wait percentiles.
+    pub slow_wait: QueueStats,
+    /// Rows the concurrent ingest committed (0 when `ingest_nodes` = 0).
+    pub ingest_rows: u64,
+    /// Whether every ingest file committed cleanly.
+    pub ingest_complete: bool,
+    /// Wall-clock duration of the whole run.
+    #[serde(with = "ser_duration")]
+    pub makespan: Duration,
+}
+
+/// A finished run: the report plus the live server, so callers (the CLI's
+/// `--metrics`, tests) can snapshot or dump the same registry the report
+/// was computed from.
+pub struct ServeLoadOutcome {
+    /// The measurements.
+    pub report: ServeLoadReport,
+    /// The server the run executed against.
+    pub server: Arc<Server>,
+}
+
+/// Stand up a repository with a preloaded base catalog plus the `htmid`
+/// index, then run the user query mix concurrently with the bulk ingest.
+pub fn run_serve_load(cfg: &ServeLoadConfig) -> Result<ServeLoadOutcome, String> {
+    let start = Instant::now();
+    let server: Arc<Server> = Server::start(DbConfig::paper(TimeScale::ZERO));
+    skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_observation(server.engine(), 1, BASE_OBS_ID).map_err(|e| e.to_string())?;
+    skycat::seed_observation(server.engine(), 2, INGEST_OBS_ID).map_err(|e| e.to_string())?;
+    server
+        .engine()
+        .create_index("objects", "idx_objects_htmid", &["htmid"], false)
+        .map_err(|e| e.to_string())?;
+
+    // Base catalog the queries run against from t=0.
+    let (frames, objects) = if cfg.quick { (3, 40) } else { (6, 60) };
+    let base = generate_file(
+        &GenConfig::night(cfg.seed, BASE_OBS_ID)
+            .with_frames_per_ccd(frames)
+            .with_objects_per_frame(objects),
+        0,
+    );
+    let session = server.connect();
+    load_catalog_file(&session, &LoaderConfig::test(), &base).map_err(|e| e.to_string())?;
+    drop(session);
+
+    // Sample committed object ids for the primary-key probes.
+    let objects_tid = server
+        .engine()
+        .table_id("objects")
+        .map_err(|e| e.to_string())?;
+    let pk_ids: Vec<i64> = server
+        .engine()
+        .scan_where(objects_tid, None)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .filter_map(|row| row[0].as_i64())
+        .collect();
+    if pk_ids.is_empty() {
+        return Err("base catalog loaded no objects".into());
+    }
+    let base_rows = server.engine().row_count(objects_tid);
+
+    let serve_cfg = ServeConfig::default().with_fast_deadline(cfg.fast_deadline);
+    let service = QueryService::start(server.clone(), serve_cfg);
+
+    // Concurrent nightly ingest at the configured pressure.
+    let ingest_night = (cfg.ingest_nodes > 0).then(|| {
+        generate_observation(
+            &GenConfig::night(cfg.seed.wrapping_add(1), INGEST_OBS_ID)
+                .with_files(cfg.ingest_files.max(1))
+                .with_frames_per_ccd(frames)
+                .with_objects_per_frame(objects),
+        )
+    });
+
+    let mut ingest_rows = 0u64;
+    let mut ingest_complete = true;
+    std::thread::scope(|scope| -> Result<(), String> {
+        let ingest_handle = ingest_night.as_ref().map(|files| {
+            let server = &server;
+            let nodes = cfg.ingest_nodes;
+            scope.spawn(move || {
+                load_night(
+                    server,
+                    files,
+                    &LoaderConfig::test(),
+                    nodes,
+                    AssignmentPolicy::Dynamic,
+                )
+            })
+        });
+
+        let mut user_handles = Vec::new();
+        for user_idx in 0..cfg.users {
+            let service = &service;
+            let pk_ids = &pk_ids;
+            let seed = cfg.seed;
+            let queries = cfg.queries_per_user;
+            user_handles
+                .push(scope.spawn(move || run_user(service, user_idx, seed, queries, pk_ids)));
+        }
+        for h in user_handles {
+            h.join().map_err(|_| "user thread panicked".to_string())??;
+        }
+        // Let queued + demoted jobs finish before reading histograms.
+        service.drain();
+
+        if let Some(h) = ingest_handle {
+            let night = h
+                .join()
+                .map_err(|_| "ingest thread panicked".to_string())?
+                .map_err(|e| e.to_string())?;
+            ingest_rows = night.rows_loaded();
+            ingest_complete = night.is_complete();
+        }
+        Ok(())
+    })?;
+
+    let obs = server.obs();
+    let snap = obs.snapshot();
+    let report = ServeLoadReport {
+        seed: cfg.seed,
+        users: cfg.users,
+        ingest_nodes: cfg.ingest_nodes,
+        fast_admitted: snap.counter("serve.fast.admitted"),
+        fast_rejected: snap.counter("serve.fast.rejected"),
+        fast_completed: snap.counter("serve.fast.completed"),
+        fast_demoted: snap.counter("serve.fast.demoted"),
+        slow_submitted: snap.counter("serve.slow.submitted"),
+        slow_completed: snap.counter("serve.slow.completed"),
+        slow_failed: snap.counter("serve.slow.failed"),
+        mydb_tables: snap.counter("serve.mydb.tables"),
+        mydb_rows: snap.counter("serve.mydb.rows"),
+        fast_wall: QueueStats::from_histogram(&obs.histogram("serve.fast.latency_us")),
+        fast_modeled: QueueStats::from_histogram(&obs.histogram("serve.fast.modeled_us")),
+        slow_wall: QueueStats::from_histogram(&obs.histogram("serve.slow.latency_us")),
+        slow_wait: QueueStats::from_histogram(&obs.histogram("serve.slow.queue_wait_us")),
+        ingest_rows,
+        ingest_complete,
+        makespan: start.elapsed(),
+    };
+    debug_assert!(report.ingest_rows == 0 || server.engine().row_count(objects_tid) > base_rows);
+    drop(service);
+    Ok(ServeLoadOutcome { report, server })
+}
+
+/// One user's deterministic query stream. The mix mirrors CasJobs usage:
+/// mostly point probes and small cones on the fast queue, an occasional
+/// wide cone that overruns the deadline and demotes, plus explicit batch
+/// scans submitted straight to the slow queue.
+fn run_user(
+    service: &QueryService,
+    user_idx: usize,
+    seed: u64,
+    queries: usize,
+    pk_ids: &[i64],
+) -> Result<(), String> {
+    let user = format!("user{user_idx}");
+    let mut rng = SplitMix64::new(seed ^ (0x5EE0_0000 + user_idx as u64));
+    for q in 0..queries {
+        let roll = rng.next_f64();
+        let query = if q == 0 || roll < 0.10 {
+            // Explicit batch job: a filtered scan of the objects table,
+            // materialized into the user's MyDB.
+            let cutoff = pk_ids[rng.next_below(pk_ids.len() as u64) as usize];
+            let submitted = service.submit_slow(
+                &user,
+                Query::Scan {
+                    table: "objects".into(),
+                    filter: Some(Expr::cmp(0, skydb::CmpOp::Le, cutoff)),
+                },
+            );
+            match submitted {
+                // At their open-job cap the user simply waits out the
+                // queue — backpressure, not an error.
+                Ok(_) | Err(ServeError::QuotaExceeded(_)) => continue,
+                Err(e) => return Err(format!("{user}: submit: {e}")),
+            }
+        } else if roll < 0.55 {
+            Query::PkLookup {
+                table: "objects".into(),
+                key: vec![Value::Int(
+                    pk_ids[rng.next_below(pk_ids.len() as u64) as usize],
+                )],
+            }
+        } else if roll < 0.90 {
+            // Small cone inside the loaded stripe (generated near
+            // ra≈150, dec∈[-1.2, 1.2]).
+            Query::Cone {
+                ra_deg: rng.next_f64_range(149.9, 150.5),
+                dec_deg: rng.next_f64_range(-1.0, 1.0),
+                radius_arcmin: rng.next_f64_range(1.0, 6.0),
+            }
+        } else {
+            // Wide cone: enough ranges and candidates that its modeled
+            // cost overruns the fast deadline and it demotes.
+            Query::Cone {
+                ra_deg: rng.next_f64_range(149.9, 150.5),
+                dec_deg: rng.next_f64_range(-0.5, 0.5),
+                radius_arcmin: rng.next_f64_range(40.0, 80.0),
+            }
+        };
+        match service.fast_query(&user, query) {
+            Ok(FastOutcome::Done(_) | FastOutcome::Demoted(_)) => {}
+            // Quota pushback (e.g. a demotion refused because the user's
+            // slow queue is full) is part of normal CasJobs life.
+            Err(ServeError::QuotaExceeded(_)) => {}
+            Err(e) => return Err(format!("{user}: fast query: {e}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ServeLoadConfig {
+        ServeLoadConfig::default()
+            .with_quick(true)
+            .with_users(2)
+            .with_queries_per_user(12)
+            .with_ingest_nodes(2)
+    }
+
+    #[test]
+    fn serve_under_ingest_reports_all_queues() {
+        let out = run_serve_load(&quick_cfg()).unwrap();
+        let r = &out.report;
+        assert!(r.fast_admitted > 0, "{r:?}");
+        assert!(r.fast_completed > 0, "{r:?}");
+        assert!(r.slow_submitted > 0, "{r:?}");
+        assert_eq!(r.slow_completed + r.slow_failed, r.slow_submitted, "{r:?}");
+        assert!(r.slow_failed == 0, "{r:?}");
+        assert!(r.mydb_tables > 0 && r.mydb_rows > 0, "{r:?}");
+        assert!(r.ingest_rows > 0 && r.ingest_complete, "{r:?}");
+        assert_eq!(r.fast_wall.count, r.fast_admitted);
+        assert!(r.fast_wall.p99_us > 0, "wall p99 must be nonzero");
+        assert!(r.fast_modeled.p99_us >= r.fast_modeled.p50_us);
+        // Report and JSONL dump are views over one registry.
+        let jsonl = out.server.obs().to_jsonl();
+        assert!(
+            jsonl.contains("\"name\":\"serve.fast.latency_us\""),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("\"name\":\"serve.fast.admitted\""));
+    }
+
+    #[test]
+    fn tight_deadline_demotes_to_slow_queue() {
+        // At paper modeled costs every query carries at least one 2 ms
+        // round trip, so a 500 µs fast deadline demotes deterministically
+        // — and the demoted jobs must complete through the slow queue.
+        let out = run_serve_load(
+            &quick_cfg()
+                .with_ingest_nodes(0)
+                .with_fast_deadline(Duration::from_micros(500)),
+        )
+        .unwrap();
+        let r = &out.report;
+        assert!(r.fast_demoted > 0, "{r:?}");
+        assert_eq!(r.fast_completed, 0, "{r:?}");
+        assert_eq!(r.slow_submitted, r.slow_completed, "{r:?}");
+        assert!(r.slow_submitted > r.fast_demoted, "explicit + demoted jobs");
+    }
+
+    #[test]
+    fn serve_only_baseline_runs_without_ingest() {
+        let out = run_serve_load(&quick_cfg().with_ingest_nodes(0)).unwrap();
+        assert_eq!(out.report.ingest_rows, 0);
+        assert!(out.report.ingest_complete);
+        assert!(out.report.fast_admitted > 0);
+    }
+
+    #[test]
+    fn same_seed_same_modeled_percentiles() {
+        // Wall latency is machine noise; modeled latency is the
+        // deterministic part the CI latency gate relies on.
+        let cfg = quick_cfg().with_ingest_nodes(0);
+        let a = run_serve_load(&cfg).unwrap().report;
+        let b = run_serve_load(&cfg).unwrap().report;
+        assert_eq!(a.fast_modeled.p50_us, b.fast_modeled.p50_us);
+        assert_eq!(a.fast_modeled.p99_us, b.fast_modeled.p99_us);
+        assert_eq!(a.fast_admitted, b.fast_admitted);
+        assert_eq!(a.fast_demoted, b.fast_demoted);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let out = run_serve_load(&quick_cfg().with_ingest_nodes(0).with_users(1)).unwrap();
+        let json = serde_json::to_string_pretty(&out.report).unwrap();
+        assert!(json.contains("\"fast_modeled\""), "{json}");
+        assert!(json.contains("\"p99_us\""), "{json}");
+    }
+}

@@ -26,9 +26,12 @@ use crate::value::Key;
 /// [`RowId`]: crate::heap::RowId
 pub type Payload = u64;
 
-/// Error returned by [`BPlusTree::insert`] on a unique-key conflict.
+/// Error returned by [`BPlusTree::insert`] on a unique-key conflict,
+/// carrying the payload of the entry already holding the key. Callers use
+/// the incumbent to attribute the collision (committed row vs. a still-open
+/// transaction's staged row) without a second, racy tree probe.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DuplicateKey;
+pub struct DuplicateKey(pub Payload);
 
 /// Internal separator: entries are globally ordered by `(key, payload)` so
 /// duplicate keys (non-unique indexes) have a total order and never straddle
@@ -147,8 +150,10 @@ impl BPlusTree {
     /// NULL components bypass uniqueness (as in Oracle, NULLs are not
     /// indexed for uniqueness) but are still stored for completeness.
     pub fn insert(&mut self, key: Key, payload: Payload) -> Result<(), DuplicateKey> {
-        if self.unique && !key.has_null() && self.contains_key(&key) {
-            return Err(DuplicateKey);
+        if self.unique && !key.has_null() {
+            if let Some(incumbent) = self.get_first(&key) {
+                return Err(DuplicateKey(incumbent));
+            }
         }
         let entry = (key, payload);
         if let Some((sep, right)) = self.insert_rec(self.root, entry) {
@@ -524,7 +529,7 @@ mod tests {
     fn unique_rejects_duplicates() {
         let mut t = BPlusTree::new(true, 8);
         t.insert(ikey(1), 10).unwrap();
-        assert_eq!(t.insert(ikey(1), 20), Err(DuplicateKey));
+        assert_eq!(t.insert(ikey(1), 20), Err(DuplicateKey(10)));
         assert_eq!(t.len(), 1);
     }
 

@@ -43,6 +43,9 @@ pub struct DbConfig {
     pub per_call_cpu: Duration,
     /// CPU per row inserted (bind, validate, row format).
     pub per_row_cpu: Duration,
+    /// CPU per heap row examined by a query scan (the read-side analogue
+    /// of `per_row_cpu`; predicate evaluation + row decode).
+    pub scan_row_cpu: Duration,
     /// CPU per index entry maintained, per 8 bytes of key width.
     pub per_index_entry_cpu: Duration,
     /// CPU charged at commit (§4.5.2's "considerable amount of processing").
@@ -96,6 +99,7 @@ impl DbConfig {
             lock_wait_penalty: Duration::from_millis(14),
             per_call_cpu: Duration::from_micros(1200),
             per_row_cpu: Duration::from_micros(250),
+            scan_row_cpu: Duration::from_micros(2),
             per_index_entry_cpu: Duration::from_micros(28), // per 8 key bytes
             commit_cpu: Duration::from_millis(20),
             bind_buffer_bytes: 2900,
@@ -122,6 +126,7 @@ impl DbConfig {
             lock_wait_penalty: Duration::ZERO,
             per_call_cpu: Duration::ZERO,
             per_row_cpu: Duration::ZERO,
+            scan_row_cpu: Duration::ZERO,
             per_index_entry_cpu: Duration::ZERO,
             commit_cpu: Duration::ZERO,
             bind_buffer_bytes: usize::MAX,

@@ -25,7 +25,7 @@ use parking_lot::{Mutex, RwLock};
 use skysim::disk::{Access, DiskFarm, StorageRole};
 use skysim::time::TimeScale;
 
-use crate::btree::{order_for_key_width, BPlusTree};
+use crate::btree::{order_for_key_width, BPlusTree, Payload};
 use crate::cache::BufferPool;
 use crate::config::DbConfig;
 use crate::error::{ConstraintKind, DbError, DbResult};
@@ -73,6 +73,17 @@ impl BatchOutcome {
     pub fn is_complete(&self) -> bool {
         self.failed.is_none()
     }
+}
+
+/// Result of a read-committed query: the visible rows plus how many heap
+/// candidates the executor examined — the serving tier charges per-row
+/// scan CPU ([`DbConfig::scan_row_cpu`]) for exactly that count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Rows visible at read-committed isolation.
+    pub rows: Vec<Row>,
+    /// Heap rows examined to produce them (pre-filter candidate count).
+    pub examined: u64,
 }
 
 /// The database engine.
@@ -155,6 +166,13 @@ impl Engine {
 
     /// Create a table. Parent tables of its foreign keys must exist.
     pub fn create_table(&self, schema: TableSchema) -> DbResult<TableId> {
+        // Lock order must match the insert path, which holds the lock
+        // manager (insert slot) and then touches the catalog (FK targets)
+        // and table state: locks → catalog → tables. Acquiring them in
+        // the opposite order deadlocks a concurrent DDL — e.g. a serving
+        // tier materializing a MyDB result table — against a running
+        // batch insert.
+        let mut locks = self.locks.write();
         let mut catalog = self.catalog.write();
         let id = catalog.add_table(schema)?;
         let schema = Arc::new(catalog.table(id).clone());
@@ -184,9 +202,7 @@ impl Engine {
         });
         let mut tables = self.tables.write();
         tables.push(state);
-        self.locks
-            .write()
-            .ensure_tables(tables.len(), self.cfg.table_insert_slots);
+        locks.ensure_tables(tables.len(), self.cfg.table_insert_slots);
         Ok(id)
     }
 
@@ -369,7 +385,16 @@ impl Engine {
         if !self.txns.is_active(txn) {
             return Err(DbError::NoTransaction);
         }
-        let undo = self.txns.end(txn);
+        // Reverse from a *copy* of the undo log, keeping the log itself in
+        // place until the transaction ends: committed-read queries hide
+        // exactly the rows recorded in *active* transactions' undo logs,
+        // and the insert path attributes staged index entries to their
+        // owner through the same records. Draining the log first would
+        // open a window where a half-reversed row is neither hidden nor
+        // attributed — a concurrent same-key insert would misread the
+        // doomed entry as a committed duplicate and skip a row that is
+        // about to vanish.
+        let undo = self.txns.snapshot_undo(txn);
         for op in undo.into_iter().rev() {
             match op {
                 UndoOp::Insert { table, row_id } => {
@@ -382,6 +407,7 @@ impl Engine {
                 }
             }
         }
+        self.txns.end(txn);
         self.wal.append(
             &LogRecord::Rollback(txn),
             self.farm.device(StorageRole::Log),
@@ -578,6 +604,36 @@ impl Engine {
 
     // --------------------------------------------------------------- insert
 
+    /// Classify a key collision: if the entry already holding the key was
+    /// staged by *another still-active* transaction, whether it is a real
+    /// duplicate is unknowable until that transaction resolves — commit
+    /// makes it a duplicate, rollback makes the key free. Reporting it as
+    /// a constraint violation would let a bulk loader "skip the duplicate"
+    /// and lose the row forever if the owner then rolls back (the lease
+    /// takeover race: a new holder reloads lines whose rows a fenced
+    /// zombie has staged but will never commit). Instead return a
+    /// retryable [`DbError::WriteConflict`] — the analogue of a row-lock
+    /// wait in a disk RDBMS. Collisions with committed rows (or with the
+    /// inserting transaction itself) return `None` and keep their
+    /// constraint-violation semantics.
+    fn staged_collision(
+        &self,
+        table: TableId,
+        txn: TxnId,
+        incumbent: Payload,
+        key: &Key,
+    ) -> Option<DbError> {
+        let owner = self.txns.insert_owner(table, incumbent)?;
+        if owner == txn {
+            return None;
+        }
+        self.stats.write_conflicts.inc();
+        Some(DbError::WriteConflict(format!(
+            "key {key} is staged by in-flight transaction {}; retry once it resolves",
+            owner.0
+        )))
+    }
+
     /// Validate and insert one row under `txn`. On success returns the
     /// heap location; on failure nothing is left behind.
     pub fn insert_row(&self, txn: TxnId, table: TableId, row: &[Value]) -> DbResult<RowId> {
@@ -677,29 +733,48 @@ impl Engine {
 
         // 6. Primary key.
         let pk_key = Key::project(row, &schema.primary_key);
-        if ts.pk.write().insert(pk_key.clone(), payload).is_err() {
-            ts.heap.lock().delete(rid);
-            self.stats.pk_violations.inc();
-            self.stats.rows_rejected.inc();
-            return Err(DbError::constraint(
-                ConstraintKind::PrimaryKey,
-                format!("pk_{}", schema.name),
-                &schema.name,
-                format!("duplicate key {pk_key}"),
-            ));
+        {
+            let mut pk = ts.pk.write();
+            if let Err(dup) = pk.insert(pk_key.clone(), payload) {
+                // Classify the collision while still holding the tree
+                // lock: removing the incumbent (a rollback) needs this
+                // lock too, so the owner lookup is atomic with the
+                // collision itself.
+                let conflict = self.staged_collision(table, txn, dup.0, &pk_key);
+                drop(pk);
+                ts.heap.lock().delete(rid);
+                if let Some(e) = conflict {
+                    return Err(e);
+                }
+                self.stats.pk_violations.inc();
+                self.stats.rows_rejected.inc();
+                return Err(DbError::constraint(
+                    ConstraintKind::PrimaryKey,
+                    format!("pk_{}", schema.name),
+                    &schema.name,
+                    format!("duplicate key {pk_key}"),
+                ));
+            }
         }
         let mut entries = 1u64;
 
         // 7. Unique constraints.
         for (i, (u, udef)) in ts.uniques.iter().zip(schema.uniques.iter()).enumerate() {
             let ukey = Key::project(row, &udef.columns);
-            if u.write().insert(ukey.clone(), payload).is_err() {
+            let mut tree = u.write();
+            if let Err(dup) = tree.insert(ukey.clone(), payload) {
+                // Classified under the tree lock; see the primary key.
+                let conflict = self.staged_collision(table, txn, dup.0, &ukey);
+                drop(tree);
                 // Undo what we did.
                 for (v, vdef) in ts.uniques.iter().zip(schema.uniques.iter()).take(i) {
                     v.write().remove(&Key::project(row, &vdef.columns), payload);
                 }
                 ts.pk.write().remove(&pk_key, payload);
                 ts.heap.lock().delete(rid);
+                if let Some(e) = conflict {
+                    return Err(e);
+                }
                 self.stats.unique_violations.inc();
                 self.stats.rows_rejected.inc();
                 return Err(DbError::constraint(
@@ -709,6 +784,7 @@ impl Engine {
                     format!("duplicate key {ukey}"),
                 ));
             }
+            drop(tree);
             entries += 1;
         }
 
@@ -716,16 +792,18 @@ impl Engine {
         //    repository; unique secondaries reject like uniques).
         {
             let mut secs = ts.secondaries.write();
-            let mut failed: Option<(usize, String, Key)> = None;
+            let mut failed: Option<(usize, String, Key, Payload)> = None;
             for (i, s) in secs.iter_mut().enumerate() {
                 let skey = Key::project(row, &s.columns);
-                if s.tree.insert(skey.clone(), payload).is_err() {
-                    failed = Some((i, s.name.clone(), skey));
+                if let Err(dup) = s.tree.insert(skey.clone(), payload) {
+                    failed = Some((i, s.name.clone(), skey, dup.0));
                     break;
                 }
                 entries += 1;
             }
-            if let Some((upto, name, skey)) = failed {
+            if let Some((upto, name, skey, incumbent)) = failed {
+                // Classified under the secondaries lock; see the primary key.
+                let conflict = self.staged_collision(table, txn, incumbent, &skey);
                 for s in secs.iter_mut().take(upto) {
                     s.tree.remove(&Key::project(row, &s.columns), payload);
                 }
@@ -735,6 +813,9 @@ impl Engine {
                 }
                 ts.pk.write().remove(&pk_key, payload);
                 ts.heap.lock().delete(rid);
+                if let Some(e) = conflict {
+                    return Err(e);
+                }
                 self.stats.unique_violations.inc();
                 self.stats.rows_rejected.inc();
                 return Err(DbError::constraint(
@@ -932,6 +1013,124 @@ impl Engine {
             .ok_or_else(|| DbError::Protocol(format!("dangling row id {rid:?}")))?;
         let mut slice = bytes;
         decode_row(&mut slice)
+    }
+
+    /// As [`Engine::fetch_row`], but a dangling id — a row removed by a
+    /// concurrent rollback between the index read and the heap fetch — is
+    /// `None` rather than an error.
+    fn fetch_row_opt(&self, ts: &TableState, table: TableId, rid: RowId) -> DbResult<Option<Row>> {
+        self.cache
+            .note_read((table, rid.page()), self.farm.device(StorageRole::Data));
+        let heap = ts.heap.lock();
+        let Some(bytes) = heap.get(rid) else {
+            return Ok(None);
+        };
+        let mut slice = bytes;
+        decode_row(&mut slice).map(Some)
+    }
+
+    // ------------------------------------------------ read-committed query
+
+    /// Full scan at read-committed isolation: rows inserted by still-active
+    /// transactions (an in-flight loader flush, a future rollback) are
+    /// invisible. This is what the serving tier runs while the nightly bulk
+    /// load is in progress.
+    pub fn scan_where_committed(
+        &self,
+        table: TableId,
+        filter: Option<&Expr>,
+    ) -> DbResult<QueryOutcome> {
+        let hidden = self.txns.uncommitted_inserts(table);
+        let ts = self.state(table);
+        let heap = ts.heap.lock();
+        let data_dev = self.farm.device(StorageRole::Data);
+        let mut rows = Vec::new();
+        let mut examined = 0u64;
+        let mut last_page = u32::MAX;
+        for (rid, bytes) in heap.scan() {
+            if rid.page() != last_page {
+                last_page = rid.page();
+                self.stats.scan_pages.inc();
+                self.cache.note_read((table, rid.page()), data_dev);
+            }
+            examined += 1;
+            if hidden.contains(&rid.packed()) {
+                continue;
+            }
+            let mut slice = bytes;
+            let row = decode_row(&mut slice)?;
+            let keep = match filter {
+                Some(f) => f.eval_truth(&row)?.selects(),
+                None => true,
+            };
+            if keep {
+                rows.push(row);
+            }
+        }
+        Ok(QueryOutcome { rows, examined })
+    }
+
+    /// Point lookup by primary key at read-committed isolation.
+    pub fn pk_get_committed(&self, table: TableId, key: &Key) -> DbResult<Option<Row>> {
+        let ts = self.state(table);
+        let Some(payload) = ts.pk.read().get_first(key) else {
+            return Ok(None);
+        };
+        // Hidden set is taken *after* the index probe: an entry that
+        // committed in between is visible (read-committed allows it), and
+        // one that rolled back either shows up hidden or is already gone
+        // from the heap (`fetch_row_opt` tolerates the latter).
+        if self.txns.uncommitted_inserts(table).contains(&payload) {
+            return Ok(None);
+        }
+        self.fetch_row_opt(&ts, table, RowId::from_packed(payload))
+    }
+
+    /// Range scan over a secondary index at read-committed isolation,
+    /// returning visible rows in key order plus the candidate count
+    /// examined (the serving tier charges per-row scan CPU for it).
+    pub fn index_range_committed(
+        &self,
+        table: &str,
+        index_name: &str,
+        lo: &Key,
+        hi: &Key,
+    ) -> DbResult<QueryOutcome> {
+        let tid = self.table_id(table)?;
+        let ts = self.state(tid);
+        let secs = ts.secondaries.read();
+        let idx = secs
+            .iter()
+            .find(|s| s.name == index_name)
+            .ok_or_else(|| DbError::NoSuchIndex(index_name.into()))?;
+        let hits = idx.tree.range(lo, hi);
+        drop(secs);
+        let hidden = self.txns.uncommitted_inserts(tid);
+        let examined = hits.len() as u64;
+        let mut rows = Vec::with_capacity(hits.len());
+        for (_, p) in hits {
+            if hidden.contains(&p) {
+                continue;
+            }
+            if let Some(row) = self.fetch_row_opt(&ts, tid, RowId::from_packed(p))? {
+                rows.push(row);
+            }
+        }
+        Ok(QueryOutcome { rows, examined })
+    }
+
+    /// `true` if `table` refers to an existing table. Wire requests carry
+    /// raw table ids that must be validated before indexing engine state.
+    pub fn table_exists(&self, table: TableId) -> bool {
+        table.index() < self.tables.read().len()
+    }
+
+    /// The table's name, if the id is valid.
+    pub fn table_name(&self, table: TableId) -> Option<String> {
+        self.tables
+            .read()
+            .get(table.index())
+            .map(|ts| ts.schema.name.clone())
     }
 
     /// Live row count of a table.
@@ -1208,6 +1407,47 @@ mod tests {
         e.insert_row(t3, o, &object(1, 1, 12.0)).unwrap();
         e.commit(t3).unwrap();
         assert_eq!(e.row_count(o), 1);
+    }
+
+    #[test]
+    fn collision_with_staged_row_is_a_write_conflict_not_a_duplicate() {
+        // The lease-takeover race: txn A stages a key but has not
+        // resolved; txn B inserting the same key must get a *retryable*
+        // write conflict — calling it a duplicate would let a bulk loader
+        // skip the row, which is lost forever if A then rolls back.
+        let (e, f, _) = two_table_engine();
+        let a = e.begin();
+        e.insert_row(a, f, &frame(1)).unwrap();
+
+        let b = e.begin();
+        let err = e.insert_row(b, f, &frame(1)).unwrap_err();
+        assert!(
+            matches!(err, DbError::WriteConflict(_)),
+            "expected a write conflict against A's staged row, got {err}"
+        );
+        assert_eq!(e.stats().snapshot().write_conflicts, 1);
+        assert_eq!(e.stats().snapshot().pk_violations, 0);
+
+        // A rolls back: the key is free and B's retry succeeds.
+        e.rollback(a).unwrap();
+        e.insert_row(b, f, &frame(1)).unwrap();
+        e.commit(b).unwrap();
+        assert_eq!(e.row_count(f), 1);
+
+        // Against a *committed* incumbent the same insert is a proven
+        // duplicate — the skippable kind.
+        let c = e.begin();
+        let err = e.insert_row(c, f, &frame(1)).unwrap_err();
+        assert_eq!(err.constraint_kind(), Some(ConstraintKind::PrimaryKey));
+        e.rollback(c).unwrap();
+
+        // A transaction colliding with its *own* staged row is also a
+        // plain duplicate: nothing to wait for.
+        let d = e.begin();
+        e.insert_row(d, f, &frame(2)).unwrap();
+        let err = e.insert_row(d, f, &frame(2)).unwrap_err();
+        assert_eq!(err.constraint_kind(), Some(ConstraintKind::PrimaryKey));
+        e.rollback(d).unwrap();
     }
 
     #[test]

@@ -107,6 +107,14 @@ pub enum DbError {
         /// The underlying error for the failing row.
         cause: Box<DbError>,
     },
+    /// The key being inserted collides with a row staged by another
+    /// *still-active* transaction. Whether this is a true duplicate is
+    /// unknowable until that transaction resolves (commit → duplicate,
+    /// rollback → insertable), so it is reported as a retryable conflict
+    /// rather than a constraint violation — the analogue of a row-lock
+    /// wait timeout in a disk RDBMS. Skipping the row here would lose it
+    /// forever if the conflicting transaction rolls back.
+    WriteConflict(String),
     /// The call carried a fencing token whose epoch is older than the
     /// minimum the server has been told to accept: a newer lease holder has
     /// taken over the work, and this (zombie) session's writes must not
@@ -193,6 +201,7 @@ impl fmt::Display for DbError {
             DbError::Batch { offset, cause } => {
                 write!(f, "batch failed at row offset {offset}: {cause}")
             }
+            DbError::WriteConflict(m) => write!(f, "write conflict: {m}"),
             DbError::FencedOut(m) => write!(f, "fenced out: {m}"),
             DbError::NoTransaction => write!(f, "no active transaction"),
             DbError::SessionClosed => write!(f, "session is closed"),

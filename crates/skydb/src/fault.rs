@@ -110,6 +110,10 @@ pub enum CallClass {
     Commit,
     /// A rollback.
     Rollback,
+    /// A read query (scan / point lookup / index range). Queries see only
+    /// connection-level faults — reset, busy, latency — never the
+    /// write-path kinds.
+    Query,
 }
 
 /// Configuration of a fault plan: one seed plus per-kind rates/schedules.
@@ -366,7 +370,7 @@ impl FaultPlan {
                     );
                 }
             }
-            CallClass::Single | CallClass::Rollback => {}
+            CallClass::Single | CallClass::Rollback | CallClass::Query => {}
         }
         if (cfg.reset_every != 0 && n.is_multiple_of(cfg.reset_every))
             || Self::fires(cfg.seed, FaultKind::Reset, n, cfg.reset_rate)

@@ -58,6 +58,7 @@ pub mod expr;
 pub mod fault;
 pub mod heap;
 pub mod schema;
+pub mod serve;
 pub mod server;
 pub mod stats;
 pub mod txn;
@@ -75,7 +76,10 @@ pub mod prelude {
         CallClass, FaultDecision, FaultKind, FaultPlan, FaultPlanConfig, FAULT_KINDS,
     };
     pub use crate::schema::{Catalog, TableBuilder, TableId, TableSchema};
-    pub use crate::server::{BatchResult, PreparedInsert, Server, Session};
+    pub use crate::serve::{
+        FastOutcome, JobId, JobState, Query, QueryResult, QueryService, ServeConfig, ServeError,
+    };
+    pub use crate::server::{BatchResult, PreparedInsert, QueryReply, Server, Session};
     pub use crate::stats::StatsSnapshot;
     pub use crate::value::{DataType, Key, Row, Value};
     pub use crate::wal::TxnId;

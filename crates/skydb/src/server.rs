@@ -27,11 +27,12 @@ use skysim::cpu::CpuGate;
 use skysim::net::NetworkModel;
 
 use crate::config::DbConfig;
-use crate::engine::Engine;
+use crate::engine::{Engine, QueryOutcome};
 use crate::error::{DbError, DbResult};
+use crate::expr::Expr;
 use crate::fault::{CallClass, FaultDecision, FaultKind, FaultPlan, FAULT_KINDS};
 use crate::schema::TableId;
-use crate::value::Row;
+use crate::value::{Key, Row};
 use crate::wal::TxnId;
 use crate::wire::{decode_error_kind, encode_error_kind, Fence, Request, Response};
 
@@ -96,6 +97,20 @@ impl BatchResult {
     pub fn is_complete(&self) -> bool {
         self.failed.is_none()
     }
+}
+
+/// A query result on the client: the rows plus the end-to-end modeled
+/// latency (network round trip + server-side CPU service). The serving
+/// tier's deadline/demotion decisions run on the modeled figure, so they
+/// are deterministic at [`TimeScale::ZERO`].
+///
+/// [`TimeScale::ZERO`]: skysim::time::TimeScale::ZERO
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Result rows, visible at read-committed isolation.
+    pub rows: Vec<Row>,
+    /// End-to-end modeled latency of the call.
+    pub modeled: Duration,
 }
 
 impl Server {
@@ -426,11 +441,84 @@ impl Server {
                     },
                 }
             }
+            Request::Scan { table, filter } => {
+                let base = self.call_service(request_bytes.len());
+                let result = match self.table_checked(table) {
+                    Ok(_) => self.cpu.run(base, || {
+                        self.engine.scan_where_committed(table, filter.as_ref())
+                    }),
+                    Err(e) => Err(e),
+                };
+                self.query_response(base, result)
+            }
+            Request::PkGet { table, key } => {
+                let base = self.call_service(request_bytes.len());
+                let result = match self.table_checked(table) {
+                    Ok(_) => self.cpu.run(base, || {
+                        self.engine
+                            .pk_get_committed(table, &Key(key))
+                            .map(|row| QueryOutcome {
+                                rows: row.into_iter().collect(),
+                                examined: 1,
+                            })
+                    }),
+                    Err(e) => Err(e),
+                };
+                self.query_response(base, result)
+            }
+            Request::IndexRange {
+                table,
+                index,
+                lo,
+                hi,
+                ..
+            } => {
+                let base = self.call_service(request_bytes.len());
+                let result = match self.table_checked(table) {
+                    Ok(name) => self.cpu.run(base, || {
+                        self.engine
+                            .index_range_committed(&name, &index, &Key(lo), &Key(hi))
+                    }),
+                    Err(e) => Err(e),
+                };
+                self.query_response(base, result)
+            }
         };
 
         let mut buf = BytesMut::with_capacity(64);
         response.encode(&mut buf);
         Ok(buf.to_vec())
+    }
+
+    /// Validate a wire-supplied table id, returning the table's name.
+    fn table_checked(&self, table: TableId) -> DbResult<String> {
+        self.engine
+            .table_name(table)
+            .ok_or_else(|| DbError::NoSuchTable(format!("table id {}", table.0)))
+    }
+
+    /// Finish a query: charge the per-row scan CPU tail, then encode either
+    /// the rows (with the total modeled service) or the error.
+    fn query_response(&self, base: Duration, result: DbResult<QueryOutcome>) -> Response {
+        match result {
+            Ok(q) => {
+                let cfg = self.engine.config();
+                let scan = Duration::from_nanos(cfg.scan_row_cpu.as_nanos() as u64 * q.examined);
+                if scan > Duration::ZERO {
+                    self.cpu.run(scan, || ());
+                }
+                Response::Rows {
+                    rows: q.rows,
+                    modeled_us: (base + scan).as_micros() as u64,
+                }
+            }
+            Err(e) => Response::Err {
+                applied: 0,
+                offset: u32::MAX,
+                kind: encode_error_kind(&e),
+                message: e.to_string(),
+            },
+        }
     }
 
     /// Modeled per-call CPU (parse + dispatch + bind-array handling) paid
@@ -526,6 +614,11 @@ impl Session {
             Request::InsertSingle { .. } => CallClass::Single,
             Request::Commit { .. } => CallClass::Commit,
             Request::Rollback => CallClass::Rollback,
+            // Reads go through `call_read`; routing one here still treats
+            // it as a query for fault purposes.
+            Request::Scan { .. } | Request::PkGet { .. } | Request::IndexRange { .. } => {
+                CallClass::Query
+            }
         };
         // Client-side marshaling: real serialization work.
         let mut buf = BytesMut::with_capacity(256);
@@ -539,6 +632,66 @@ impl Session {
         Response::decode(&mut rd)
     }
 
+    /// Issue a read request. Reads never open (or touch) a transaction:
+    /// the server executes them at read-committed isolation against
+    /// whatever is committed at that instant, concurrently with any bulk
+    /// load. They are also unfenced — see [`Request::fence`].
+    fn call_read(&self, request: &Request) -> DbResult<QueryReply> {
+        if *self.closed.lock() {
+            return Err(DbError::SessionClosed);
+        }
+        let txn = self.current_txn().unwrap_or(TxnId(0));
+        let mut buf = BytesMut::with_capacity(256);
+        let req_len = request.encode(&mut buf);
+        let rt = self.server.net.round_trip(req_len + 16);
+        self.server
+            .fault_gate(CallClass::Query, txn, *self.call_timeout.lock())?;
+        let resp_bytes = self.server.dispatch(txn, &buf)?;
+        let mut rd = resp_bytes.as_slice();
+        match Response::decode(&mut rd)? {
+            Response::Rows { rows, modeled_us } => Ok(QueryReply {
+                rows,
+                modeled: rt + Duration::from_micros(modeled_us),
+            }),
+            Response::Err { kind, message, .. } => Err(decode_error_kind(kind, message)),
+            Response::Ok { .. } => Err(DbError::Protocol("unexpected ok for query".into())),
+        }
+    }
+
+    /// Read-committed scan of `table` with an optional server-side filter
+    /// (predicate pushdown: the expression travels the wire and is
+    /// evaluated inside the engine).
+    pub fn query_scan(&self, table: &str, filter: Option<Expr>) -> DbResult<QueryReply> {
+        let tid = self.server.engine.table_id(table)?;
+        self.call_read(&Request::Scan { table: tid, filter })
+    }
+
+    /// Read-committed point lookup by primary key. `key` carries the
+    /// primary-key values in key-column order; the reply holds zero or one
+    /// rows.
+    pub fn query_pk(&self, table: &str, key: Row) -> DbResult<QueryReply> {
+        let tid = self.server.engine.table_id(table)?;
+        self.call_read(&Request::PkGet { table: tid, key })
+    }
+
+    /// Read-committed inclusive range scan over a named secondary index —
+    /// the access path cone searches use for `htmid` covers.
+    pub fn query_index_range(
+        &self,
+        table: &str,
+        index: &str,
+        lo: Row,
+        hi: Row,
+    ) -> DbResult<QueryReply> {
+        let tid = self.server.engine.table_id(table)?;
+        self.call_read(&Request::IndexRange {
+            table: tid,
+            index: index.to_owned(),
+            lo,
+            hi,
+        })
+    }
+
     /// Execute a single-row insert (the non-bulk path).
     pub fn execute(&self, stmt: &PreparedInsert, row: Row) -> DbResult<()> {
         self.check_arity(stmt, &row)?;
@@ -549,6 +702,7 @@ impl Session {
         })? {
             Response::Ok { .. } => Ok(()),
             Response::Err { kind, message, .. } => Err(decode_error_kind(kind, message)),
+            Response::Rows { .. } => Err(DbError::Protocol("rows response to insert".into())),
         }
     }
 
@@ -583,6 +737,7 @@ impl Session {
                     failed: Some((offset as usize, e)),
                 })
             }
+            Response::Rows { .. } => Err(DbError::Protocol("rows response to batch".into())),
         }
     }
 
@@ -622,6 +777,7 @@ impl Session {
                 }
                 Err(e)
             }
+            Response::Rows { .. } => Err(DbError::Protocol("rows response to commit".into())),
         }
     }
 
@@ -636,6 +792,7 @@ impl Session {
         match resp {
             Response::Ok { .. } => Ok(()),
             Response::Err { kind, message, .. } => Err(decode_error_kind(kind, message)),
+            Response::Rows { .. } => Err(DbError::Protocol("rows response to rollback".into())),
         }
     }
 
@@ -968,6 +1125,129 @@ mod tests {
         // Floors are max-merged, never regressed.
         s.advance_fence(7, 1);
         assert_eq!(s.fence_floor(7), 2);
+    }
+
+    #[test]
+    fn queries_see_committed_rows_only() {
+        let s = server();
+        let writer = s.connect();
+        let stmt = writer.prepare_insert("frames").unwrap();
+        writer.execute(&stmt, frame(1)).unwrap();
+        writer.commit().unwrap();
+        writer.execute(&stmt, frame(2)).unwrap(); // left uncommitted
+
+        let reader = s.connect();
+        let reply = reader.query_scan("frames", None).unwrap();
+        assert_eq!(reply.rows.len(), 1, "uncommitted frame 2 must be hidden");
+        assert_eq!(reply.rows[0][0], Value::Int(1));
+
+        // Point lookups agree on both sides of the commit boundary.
+        let hit = reader.query_pk("frames", vec![Value::Int(1)]).unwrap();
+        assert_eq!(hit.rows.len(), 1);
+        let miss = reader.query_pk("frames", vec![Value::Int(2)]).unwrap();
+        assert!(miss.rows.is_empty(), "uncommitted pk entry must be hidden");
+
+        writer.commit().unwrap();
+        let reply = reader.query_scan("frames", None).unwrap();
+        assert_eq!(reply.rows.len(), 2, "both visible after commit");
+    }
+
+    #[test]
+    fn query_rollback_never_exposes_rows() {
+        let s = server();
+        let writer = s.connect();
+        let stmt = writer.prepare_insert("frames").unwrap();
+        writer.execute(&stmt, frame(7)).unwrap();
+        let reader = s.connect();
+        assert!(reader.query_scan("frames", None).unwrap().rows.is_empty());
+        writer.rollback().unwrap();
+        assert!(reader.query_scan("frames", None).unwrap().rows.is_empty());
+        assert!(reader
+            .query_pk("frames", vec![Value::Int(7)])
+            .unwrap()
+            .rows
+            .is_empty());
+    }
+
+    #[test]
+    fn scan_filter_pushdown_travels_the_wire() {
+        let s = server();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        for i in 0..10 {
+            sess.execute(&stmt, frame(i)).unwrap();
+        }
+        sess.commit().unwrap();
+        let reply = sess
+            .query_scan(
+                "frames",
+                Some(crate::expr::Expr::cmp(0, crate::expr::CmpOp::Ge, 7i64)),
+            )
+            .unwrap();
+        assert_eq!(reply.rows.len(), 3);
+    }
+
+    #[test]
+    fn query_latency_includes_modeled_service() {
+        let cfg = DbConfig {
+            per_call_cpu: Duration::from_micros(1200),
+            scan_row_cpu: Duration::from_micros(2),
+            net_rtt: Duration::from_millis(2),
+            ..DbConfig::test()
+        };
+        let s = Server::start(cfg);
+        let frames = TableBuilder::new("frames")
+            .col("frame_id", DataType::Int)
+            .col("exposure", DataType::Float)
+            .pk(&["frame_id"])
+            .build()
+            .unwrap();
+        s.engine().create_table(frames).unwrap();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("frames").unwrap();
+        for i in 0..100 {
+            sess.execute(&stmt, frame(i)).unwrap();
+        }
+        sess.commit().unwrap();
+        let reply = sess.query_scan("frames", None).unwrap();
+        assert_eq!(reply.rows.len(), 100);
+        // RTT (2 ms) + per-call (1.2 ms) + 100 rows × 2 µs = ≥ 3.4 ms.
+        assert!(
+            reply.modeled >= Duration::from_micros(3400),
+            "modeled {:?} too small",
+            reply.modeled
+        );
+        // A pk probe examines one row: strictly cheaper than the scan.
+        let probe = sess.query_pk("frames", vec![Value::Int(5)]).unwrap();
+        assert!(probe.modeled < reply.modeled);
+    }
+
+    #[test]
+    fn queries_never_open_a_transaction() {
+        let s = server();
+        let sess = s.connect();
+        sess.query_scan("frames", None).unwrap();
+        assert_eq!(sess.current_txn(), None);
+    }
+
+    #[test]
+    fn query_bad_index_is_an_error_not_a_panic() {
+        let s = server();
+        let sess = s.connect();
+        let err = sess
+            .query_index_range(
+                "frames",
+                "no_such_index",
+                vec![Value::Int(0)],
+                vec![Value::Int(1)],
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, DbError::Protocol(_) | DbError::NoSuchIndex(_)),
+            "got {err}"
+        );
+        let err = sess.query_scan("nope", None).unwrap_err();
+        assert!(matches!(err, DbError::NoSuchTable(_)));
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct EngineStats {
     pub rollbacks: CounterHandle,
     /// Primary-key violations.
     pub pk_violations: CounterHandle,
+    /// Key collisions with another transaction's still-uncommitted rows,
+    /// reported to the client as retryable write conflicts.
+    pub write_conflicts: CounterHandle,
     /// Foreign-key violations.
     pub fk_violations: CounterHandle,
     /// Unique-constraint violations.
@@ -62,6 +65,7 @@ impl EngineStats {
             commits: obs.counter("engine.commits"),
             rollbacks: obs.counter("engine.rollbacks"),
             pk_violations: obs.counter("engine.pk_violations"),
+            write_conflicts: obs.counter("engine.write_conflicts"),
             fk_violations: obs.counter("engine.fk_violations"),
             unique_violations: obs.counter("engine.unique_violations"),
             check_violations: obs.counter("engine.check_violations"),
@@ -102,6 +106,8 @@ pub struct StatsSnapshot {
     pub rollbacks: u64,
     /// Primary-key violations.
     pub pk_violations: u64,
+    /// Retryable write conflicts (collision with an uncommitted row).
+    pub write_conflicts: u64,
     /// Foreign-key violations.
     pub fk_violations: u64,
     /// Unique-constraint violations.
@@ -134,6 +140,7 @@ impl EngineStats {
             commits: self.commits.get(),
             rollbacks: self.rollbacks.get(),
             pk_violations: self.pk_violations.get(),
+            write_conflicts: self.write_conflicts.get(),
             fk_violations: self.fk_violations.get(),
             unique_violations: self.unique_violations.get(),
             check_violations: self.check_violations.get(),

@@ -105,6 +105,65 @@ impl TxnManager {
         }
     }
 
+    /// Drain `txn`'s undo log while leaving the transaction registered as
+    /// active. Rollback uses this so the rows being reversed stay invisible
+    /// to committed-read queries (whose hidden set is derived from *active*
+    /// transactions' undo logs) until they are physically removed; only
+    /// then does [`TxnManager::end`] release the slot.
+    pub fn take_undo(&self, txn: TxnId) -> Vec<UndoOp> {
+        let mut st = self.state.lock();
+        st.active
+            .get_mut(&txn)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// A copy of `txn`'s undo log, leaving the log itself in place.
+    /// Rollback reverses from this copy so that, for the whole physical
+    /// reversal, the rows stay both hidden from committed reads *and*
+    /// attributed to their owner by [`TxnManager::insert_owner`] — a
+    /// concurrent same-key insert must keep seeing a write conflict (not a
+    /// phantom duplicate) right up until the entries are gone.
+    pub fn snapshot_undo(&self, txn: TxnId) -> Vec<UndoOp> {
+        let st = self.state.lock();
+        st.active.get(&txn).cloned().unwrap_or_default()
+    }
+
+    /// Packed heap locations of rows inserted by still-active transactions
+    /// into `table` — the set a read-committed query must not observe.
+    pub fn uncommitted_inserts(&self, table: TableId) -> std::collections::HashSet<u64> {
+        let st = self.state.lock();
+        let mut hidden = std::collections::HashSet::new();
+        for undo in st.active.values() {
+            for op in undo {
+                if let UndoOp::Insert { table: t, row_id } = op {
+                    if *t == table {
+                        hidden.insert(row_id.packed());
+                    }
+                }
+            }
+        }
+        hidden
+    }
+
+    /// The still-active transaction that staged the row at `payload`
+    /// (packed heap location) into `table`, if any. This is how the insert
+    /// path tells a *provisional* key collision — the owner may yet roll
+    /// back — from a collision with committed data.
+    pub fn insert_owner(&self, table: TableId, payload: u64) -> Option<TxnId> {
+        let st = self.state.lock();
+        for (id, undo) in &st.active {
+            for op in undo {
+                if let UndoOp::Insert { table: t, row_id } = op {
+                    if *t == table && row_id.packed() == payload {
+                        return Some(*id);
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// End `txn` (commit or rollback), returning its undo log.
     pub fn end(&self, txn: TxnId) -> Vec<UndoOp> {
         let mut st = self.state.lock();
@@ -268,6 +327,57 @@ mod tests {
         tm.end(a);
         h.join().unwrap();
         assert_eq!(tm.limit_stalls(), 1);
+    }
+
+    #[test]
+    fn uncommitted_inserts_tracks_active_txns_only() {
+        let tm = TxnManager::new(4, &Registry::new());
+        let t1 = tm.begin();
+        let t2 = tm.begin();
+        tm.push_undo(
+            t1,
+            UndoOp::Insert {
+                table: TableId(0),
+                row_id: RowId::new(1, 2),
+            },
+        );
+        tm.push_undo(
+            t2,
+            UndoOp::Insert {
+                table: TableId(0),
+                row_id: RowId::new(3, 4),
+            },
+        );
+        tm.push_undo(
+            t2,
+            UndoOp::Insert {
+                table: TableId(1),
+                row_id: RowId::new(5, 6),
+            },
+        );
+        let hidden0 = tm.uncommitted_inserts(TableId(0));
+        assert_eq!(hidden0.len(), 2);
+        assert!(hidden0.contains(&RowId::new(1, 2).packed()));
+        assert_eq!(tm.uncommitted_inserts(TableId(1)).len(), 1);
+        tm.end(t1);
+        assert_eq!(tm.uncommitted_inserts(TableId(0)).len(), 1);
+    }
+
+    #[test]
+    fn take_undo_keeps_txn_active() {
+        let tm = TxnManager::new(4, &Registry::new());
+        let t = tm.begin();
+        tm.push_undo(
+            t,
+            UndoOp::Insert {
+                table: TableId(0),
+                row_id: RowId::new(0, 0),
+            },
+        );
+        let undo = tm.take_undo(t);
+        assert_eq!(undo.len(), 1);
+        assert!(tm.is_active(t), "take_undo must not release the slot");
+        assert!(tm.end(t).is_empty(), "undo already drained");
     }
 
     #[test]

@@ -9,8 +9,9 @@
 use bytes::{Buf, BufMut, BytesMut};
 
 use crate::error::{ConstraintKind, DbError, DbResult};
+use crate::expr::{ArithOp, CmpOp, Expr};
 use crate::schema::TableId;
-use crate::value::{decode_row, encode_row, Row};
+use crate::value::{decode_row, encode_row, Row, Value};
 
 /// A fencing token carried by mutating requests. `key` names a unit of
 /// fenced work (the fleet layer uses one key per catalog file) and `epoch`
@@ -54,6 +55,34 @@ pub enum Request {
     /// Roll back the session's transaction. Deliberately *not* fenced: a
     /// fenced-out zombie must still be able to discard its own stale work.
     Rollback,
+    /// Read-committed scan with optional predicate pushdown. Reads are
+    /// deliberately unfenced — a reader only ever sees committed data, so
+    /// lease epochs are irrelevant to it.
+    Scan {
+        /// Table to scan.
+        table: TableId,
+        /// Optional filter evaluated server-side (pushdown).
+        filter: Option<Expr>,
+    },
+    /// Read-committed point lookup via the primary-key B+-tree.
+    PkGet {
+        /// Table to probe.
+        table: TableId,
+        /// Primary-key values, in key-column order.
+        key: Row,
+    },
+    /// Read-committed range scan over a named secondary index
+    /// (inclusive bounds) — the access path cone searches use.
+    IndexRange {
+        /// Table owning the index.
+        table: TableId,
+        /// Index name as given to `create_index`.
+        index: String,
+        /// Low key bound (inclusive).
+        lo: Row,
+        /// High key bound (inclusive).
+        hi: Row,
+    },
 }
 
 /// A server response.
@@ -76,15 +105,33 @@ pub enum Response {
         /// Human-readable server message.
         message: String,
     },
+    /// Query success: the result rows plus the server-side modeled
+    /// service time in microseconds (per-call CPU + per-row scan CPU),
+    /// which the client adds to the network round trip for end-to-end
+    /// modeled latency.
+    Rows {
+        /// Result rows.
+        rows: Vec<Row>,
+        /// Modeled server-side service time, microseconds.
+        modeled_us: u64,
+    },
 }
 
 const OP_INSERT_SINGLE: u8 = 1;
 const OP_INSERT_BATCH: u8 = 2;
 const OP_COMMIT: u8 = 3;
 const OP_ROLLBACK: u8 = 4;
+const OP_SCAN: u8 = 5;
+const OP_PK_GET: u8 = 6;
+const OP_INDEX_RANGE: u8 = 7;
 
 const RESP_OK: u8 = 0;
 const RESP_ERR: u8 = 1;
+const RESP_ROWS: u8 = 2;
+
+/// Maximum expression-tree depth accepted by the decoder: a hostile or
+/// corrupt frame must not be able to recurse the server stack away.
+const EXPR_MAX_DEPTH: usize = 64;
 
 /// Map a [`DbError`] to a one-byte wire classification.
 pub fn encode_error_kind(e: &DbError) -> u8 {
@@ -101,6 +148,7 @@ pub fn encode_error_kind(e: &DbError) -> u8 {
             DbError::Corruption(_) => 9,
             DbError::ServerDown(_) => 10,
             DbError::FencedOut(_) => 11,
+            DbError::WriteConflict(_) => 12,
             _ => 0,
         },
     }
@@ -132,6 +180,7 @@ pub fn decode_error_kind(kind: u8, message: String) -> DbError {
         9 => DbError::Corruption(message),
         10 => DbError::ServerDown(message),
         11 => DbError::FencedOut(message),
+        12 => DbError::WriteConflict(message),
         _ => DbError::Protocol(message),
     }
 }
@@ -167,6 +216,214 @@ fn get_fence(buf: &mut impl Buf) -> DbResult<Option<Fence>> {
     }
 }
 
+/// Encode a length-prefixed UTF-8 string.
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Decode a string written by [`put_str`].
+fn get_str(buf: &mut impl Buf) -> DbResult<String> {
+    if buf.remaining() < 4 {
+        return Err(DbError::Protocol("truncated string header".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(DbError::Protocol("truncated string payload".into()));
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| DbError::Protocol("invalid utf8 in string".into()))
+}
+
+const EX_COLUMN: u8 = 1;
+const EX_LITERAL: u8 = 2;
+const EX_CMP: u8 = 3;
+const EX_ARITH: u8 = 4;
+const EX_AND: u8 = 5;
+const EX_OR: u8 = 6;
+const EX_NOT: u8 = 7;
+const EX_IS_NULL: u8 = 8;
+const EX_BETWEEN: u8 = 9;
+const EX_IN: u8 = 10;
+
+fn cmp_op_byte(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 1,
+        CmpOp::Ne => 2,
+        CmpOp::Lt => 3,
+        CmpOp::Le => 4,
+        CmpOp::Gt => 5,
+        CmpOp::Ge => 6,
+    }
+}
+
+fn cmp_op_from(b: u8) -> DbResult<CmpOp> {
+    Ok(match b {
+        1 => CmpOp::Eq,
+        2 => CmpOp::Ne,
+        3 => CmpOp::Lt,
+        4 => CmpOp::Le,
+        5 => CmpOp::Gt,
+        6 => CmpOp::Ge,
+        _ => return Err(DbError::Protocol(format!("bad cmp op {b}"))),
+    })
+}
+
+fn arith_op_byte(op: ArithOp) -> u8 {
+    match op {
+        ArithOp::Add => 1,
+        ArithOp::Sub => 2,
+        ArithOp::Mul => 3,
+        ArithOp::Div => 4,
+    }
+}
+
+fn arith_op_from(b: u8) -> DbResult<ArithOp> {
+    Ok(match b {
+        1 => ArithOp::Add,
+        2 => ArithOp::Sub,
+        3 => ArithOp::Mul,
+        4 => ArithOp::Div,
+        _ => return Err(DbError::Protocol(format!("bad arith op {b}"))),
+    })
+}
+
+/// Encode an expression tree (matches [`get_expr`]).
+fn put_expr(buf: &mut BytesMut, e: &Expr) {
+    match e {
+        Expr::Column(c) => {
+            buf.put_u8(EX_COLUMN);
+            buf.put_u32_le(*c as u32);
+        }
+        Expr::Literal(v) => {
+            buf.put_u8(EX_LITERAL);
+            v.encode(buf);
+        }
+        Expr::Cmp(op, a, b) => {
+            buf.put_u8(EX_CMP);
+            buf.put_u8(cmp_op_byte(*op));
+            put_expr(buf, a);
+            put_expr(buf, b);
+        }
+        Expr::Arith(op, a, b) => {
+            buf.put_u8(EX_ARITH);
+            buf.put_u8(arith_op_byte(*op));
+            put_expr(buf, a);
+            put_expr(buf, b);
+        }
+        Expr::And(a, b) => {
+            buf.put_u8(EX_AND);
+            put_expr(buf, a);
+            put_expr(buf, b);
+        }
+        Expr::Or(a, b) => {
+            buf.put_u8(EX_OR);
+            put_expr(buf, a);
+            put_expr(buf, b);
+        }
+        Expr::Not(a) => {
+            buf.put_u8(EX_NOT);
+            put_expr(buf, a);
+        }
+        Expr::IsNull(a) => {
+            buf.put_u8(EX_IS_NULL);
+            put_expr(buf, a);
+        }
+        Expr::Between(x, lo, hi) => {
+            buf.put_u8(EX_BETWEEN);
+            put_expr(buf, x);
+            put_expr(buf, lo);
+            put_expr(buf, hi);
+        }
+        Expr::In(x, vals) => {
+            buf.put_u8(EX_IN);
+            put_expr(buf, x);
+            buf.put_u32_le(vals.len() as u32);
+            for v in vals {
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+/// Decode an expression tree with a recursion-depth guard.
+fn get_expr(buf: &mut impl Buf, depth: usize) -> DbResult<Expr> {
+    if depth > EXPR_MAX_DEPTH {
+        return Err(DbError::Protocol(format!(
+            "expression deeper than {EXPR_MAX_DEPTH}"
+        )));
+    }
+    if buf.remaining() < 1 {
+        return Err(DbError::Protocol("truncated expression".into()));
+    }
+    match buf.get_u8() {
+        EX_COLUMN => {
+            if buf.remaining() < 4 {
+                return Err(DbError::Protocol("truncated column ref".into()));
+            }
+            Ok(Expr::Column(buf.get_u32_le() as usize))
+        }
+        EX_LITERAL => Ok(Expr::Literal(Value::decode(buf)?)),
+        EX_CMP => {
+            if buf.remaining() < 1 {
+                return Err(DbError::Protocol("truncated cmp op".into()));
+            }
+            let op = cmp_op_from(buf.get_u8())?;
+            let a = get_expr(buf, depth + 1)?;
+            let b = get_expr(buf, depth + 1)?;
+            Ok(Expr::Cmp(op, Box::new(a), Box::new(b)))
+        }
+        EX_ARITH => {
+            if buf.remaining() < 1 {
+                return Err(DbError::Protocol("truncated arith op".into()));
+            }
+            let op = arith_op_from(buf.get_u8())?;
+            let a = get_expr(buf, depth + 1)?;
+            let b = get_expr(buf, depth + 1)?;
+            Ok(Expr::Arith(op, Box::new(a), Box::new(b)))
+        }
+        EX_AND => {
+            let a = get_expr(buf, depth + 1)?;
+            let b = get_expr(buf, depth + 1)?;
+            Ok(Expr::And(Box::new(a), Box::new(b)))
+        }
+        EX_OR => {
+            let a = get_expr(buf, depth + 1)?;
+            let b = get_expr(buf, depth + 1)?;
+            Ok(Expr::Or(Box::new(a), Box::new(b)))
+        }
+        EX_NOT => Ok(Expr::Not(Box::new(get_expr(buf, depth + 1)?))),
+        EX_IS_NULL => Ok(Expr::IsNull(Box::new(get_expr(buf, depth + 1)?))),
+        EX_BETWEEN => {
+            let x = get_expr(buf, depth + 1)?;
+            let lo = get_expr(buf, depth + 1)?;
+            let hi = get_expr(buf, depth + 1)?;
+            Ok(Expr::Between(Box::new(x), Box::new(lo), Box::new(hi)))
+        }
+        EX_IN => {
+            let x = get_expr(buf, depth + 1)?;
+            if buf.remaining() < 4 {
+                return Err(DbError::Protocol("truncated IN list".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            // Each value is at least its 1-byte tag.
+            if n > buf.remaining() {
+                return Err(DbError::Protocol(format!(
+                    "IN list claims {n} values but only {} bytes remain",
+                    buf.remaining()
+                )));
+            }
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                vals.push(Value::decode(buf)?);
+            }
+            Ok(Expr::In(Box::new(x), vals))
+        }
+        t => Err(DbError::Protocol(format!("unknown expr tag {t}"))),
+    }
+}
+
 impl Request {
     /// Encode onto a buffer. Returns the encoded length.
     pub fn encode(&self, buf: &mut BytesMut) -> usize {
@@ -192,6 +449,34 @@ impl Request {
                 put_fence(buf, fence);
             }
             Request::Rollback => buf.put_u8(OP_ROLLBACK),
+            Request::Scan { table, filter } => {
+                buf.put_u8(OP_SCAN);
+                buf.put_u32_le(table.0);
+                match filter {
+                    Some(e) => {
+                        buf.put_u8(1);
+                        put_expr(buf, e);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            Request::PkGet { table, key } => {
+                buf.put_u8(OP_PK_GET);
+                buf.put_u32_le(table.0);
+                encode_row(key, buf);
+            }
+            Request::IndexRange {
+                table,
+                index,
+                lo,
+                hi,
+            } => {
+                buf.put_u8(OP_INDEX_RANGE);
+                buf.put_u32_le(table.0);
+                put_str(buf, index);
+                encode_row(lo, buf);
+                encode_row(hi, buf);
+            }
         }
         buf.len() - start
     }
@@ -238,17 +523,55 @@ impl Request {
                 Ok(Request::Commit { fence })
             }
             OP_ROLLBACK => Ok(Request::Rollback),
+            OP_SCAN => {
+                if buf.remaining() < 5 {
+                    return Err(DbError::Protocol("truncated scan header".into()));
+                }
+                let table = TableId(buf.get_u32_le());
+                let filter = match buf.get_u8() {
+                    0 => None,
+                    1 => Some(get_expr(buf, 0)?),
+                    b => return Err(DbError::Protocol(format!("bad filter marker {b}"))),
+                };
+                Ok(Request::Scan { table, filter })
+            }
+            OP_PK_GET => {
+                if buf.remaining() < 4 {
+                    return Err(DbError::Protocol("truncated pk-get header".into()));
+                }
+                let table = TableId(buf.get_u32_le());
+                let key = decode_row(buf)?;
+                Ok(Request::PkGet { table, key })
+            }
+            OP_INDEX_RANGE => {
+                if buf.remaining() < 4 {
+                    return Err(DbError::Protocol("truncated index-range header".into()));
+                }
+                let table = TableId(buf.get_u32_le());
+                let index = get_str(buf)?;
+                let lo = decode_row(buf)?;
+                let hi = decode_row(buf)?;
+                Ok(Request::IndexRange {
+                    table,
+                    index,
+                    lo,
+                    hi,
+                })
+            }
             op => Err(DbError::Protocol(format!("unknown opcode {op}"))),
         }
     }
 
-    /// The request's fencing token, if any.
+    /// The request's fencing token, if any. Queries are unfenced reads.
     pub fn fence(&self) -> Option<Fence> {
         match self {
             Request::InsertSingle { fence, .. }
             | Request::InsertBatch { fence, .. }
             | Request::Commit { fence } => *fence,
-            Request::Rollback => None,
+            Request::Rollback
+            | Request::Scan { .. }
+            | Request::PkGet { .. }
+            | Request::IndexRange { .. } => None,
         }
     }
 }
@@ -274,6 +597,14 @@ impl Response {
                 buf.put_u8(*kind);
                 buf.put_u32_le(message.len() as u32);
                 buf.put_slice(message.as_bytes());
+            }
+            Response::Rows { rows, modeled_us } => {
+                buf.put_u8(RESP_ROWS);
+                buf.put_u64_le(*modeled_us);
+                buf.put_u32_le(rows.len() as u32);
+                for r in rows {
+                    encode_row(r, buf);
+                }
             }
         }
         buf.len() - start
@@ -314,6 +645,26 @@ impl Response {
                     kind,
                     message,
                 })
+            }
+            RESP_ROWS => {
+                if buf.remaining() < 12 {
+                    return Err(DbError::Protocol("truncated rows header".into()));
+                }
+                let modeled_us = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                // Each row needs at least its 2-byte column count; reject
+                // inflated counts before allocating.
+                if n > buf.remaining() / 2 {
+                    return Err(DbError::Protocol(format!(
+                        "response claims {n} rows but only {} bytes remain",
+                        buf.remaining()
+                    )));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(decode_row(buf)?);
+                }
+                Ok(Response::Rows { rows, modeled_us })
             }
             t => Err(DbError::Protocol(format!("unknown response tag {t}"))),
         }
@@ -369,6 +720,88 @@ mod tests {
             assert_eq!(Request::decode(&mut rd).unwrap(), r);
             assert_eq!(rd.remaining(), 0);
         }
+    }
+
+    #[test]
+    fn query_requests_roundtrip() {
+        let filter = Expr::cmp(2, CmpOp::Ge, 1.5f64)
+            .and(Expr::between(3, -1.0f64, 1.0f64))
+            .or(Expr::In(
+                Box::new(Expr::Column(0)),
+                vec![Value::Int(1), Value::Int(2), Value::Null],
+            ));
+        let reqs = vec![
+            Request::Scan {
+                table: TableId(4),
+                filter: None,
+            },
+            Request::Scan {
+                table: TableId(4),
+                filter: Some(filter),
+            },
+            Request::Scan {
+                table: TableId(0),
+                filter: Some(Expr::IsNull(Box::new(Expr::Not(Box::new(Expr::Arith(
+                    ArithOp::Div,
+                    Box::new(Expr::Column(1)),
+                    Box::new(Expr::Literal(Value::Float(2.0))),
+                )))))),
+            },
+            Request::PkGet {
+                table: TableId(9),
+                key: vec![Value::Int(77)],
+            },
+            Request::IndexRange {
+                table: TableId(2),
+                index: "idx_objects_htmid".into(),
+                lo: vec![Value::Int(100)],
+                hi: vec![Value::Int(200)],
+            },
+        ];
+        for r in reqs {
+            let mut buf = BytesMut::new();
+            let n = r.encode(&mut buf);
+            assert_eq!(n, buf.len());
+            let mut rd = buf.freeze();
+            assert_eq!(Request::decode(&mut rd).unwrap(), r);
+            assert_eq!(rd.remaining(), 0);
+            assert_eq!(r.fence(), None, "queries are unfenced");
+        }
+    }
+
+    #[test]
+    fn pathologically_deep_expr_rejected() {
+        let mut e = Expr::Column(0);
+        for _ in 0..200 {
+            e = Expr::Not(Box::new(e));
+        }
+        let mut buf = BytesMut::new();
+        Request::Scan {
+            table: TableId(0),
+            filter: Some(e),
+        }
+        .encode(&mut buf);
+        let mut rd = buf.freeze();
+        assert!(Request::decode(&mut rd).is_err(), "depth guard must fire");
+    }
+
+    #[test]
+    fn rows_response_roundtrips_and_rejects_inflated_count() {
+        let resp = Response::Rows {
+            rows: (0..3).map(row).collect(),
+            modeled_us: 12_345,
+        };
+        let mut buf = BytesMut::new();
+        resp.encode(&mut buf);
+        let mut rd = buf.freeze();
+        assert_eq!(Response::decode(&mut rd).unwrap(), resp);
+
+        let mut evil = BytesMut::new();
+        evil.put_u8(2); // RESP_ROWS
+        evil.put_u64_le(0);
+        evil.put_u32_le(u32::MAX);
+        let mut rd = evil.freeze();
+        assert!(Response::decode(&mut rd).is_err());
     }
 
     #[test]

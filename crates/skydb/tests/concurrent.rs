@@ -152,7 +152,11 @@ fn concurrent_duplicate_inserts_admit_exactly_one() {
     assert_eq!(e.row_count(parents), 500);
     let snap = e.stats().snapshot();
     assert_eq!(snap.rows_inserted, 500);
-    assert_eq!(snap.pk_violations, 6 * 500 - 500);
+    // A losing insert sees a PK violation when the winning copy had
+    // already committed, or a retryable write conflict while the winner
+    // was still in flight; between them every loser is accounted for.
+    assert_eq!(snap.pk_violations + snap.write_conflicts, 6 * 500 - 500);
+    assert!(snap.pk_violations > 0 || snap.write_conflicts > 0);
 }
 
 #[test]

@@ -101,28 +101,78 @@ fn arc_distance(p: Vec3, a: Vec3, b: Vec3) -> f64 {
 /// returned ranges (the cover may include extra area near the boundary,
 /// never less — candidates from the ranges are re-filtered by distance).
 pub fn cone_cover(cone: &Cone, depth: u8) -> Vec<(HtmId, HtmId)> {
+    cone_cover_at(cone, depth, depth)
+}
+
+/// Like [`cone_cover`], but with the subdivision limit (`cover_depth`) and
+/// the depth the returned id ranges are expressed at (`id_depth`)
+/// decoupled.
+///
+/// A serving tier pays one index range scan per returned range, so it
+/// wants *few* ranges — but the stored `htmid` column is at the catalog
+/// depth, so ranges must be expressed *there*. Covering at a shallow
+/// `cover_depth` and widening each trixel to its `id_depth` range keeps
+/// the range count proportional to the cone's perimeter at the coarse
+/// depth (tens, not tens of thousands) while the ranges still select the
+/// deep ids exactly. The cover stays a superset: callers re-filter
+/// candidates by true angular distance.
+///
+/// # Panics
+/// Panics if `id_depth < cover_depth`.
+pub fn cone_cover_at(cone: &Cone, cover_depth: u8, id_depth: u8) -> Vec<(HtmId, HtmId)> {
+    assert!(
+        id_depth >= cover_depth,
+        "id depth {id_depth} must be at least cover depth {cover_depth}"
+    );
     let mut ranges: Vec<(HtmId, HtmId)> = Vec::new();
     for root in Trixel::roots() {
-        cover_rec(cone, &root, depth, &mut ranges);
+        cover_rec(cone, &root, cover_depth, id_depth, &mut ranges);
     }
     ranges.sort_unstable();
     merge_ranges(ranges)
 }
 
-fn cover_rec(cone: &Cone, t: &Trixel, depth: u8, out: &mut Vec<(HtmId, HtmId)>) {
+fn cover_rec(
+    cone: &Cone,
+    t: &Trixel,
+    cover_depth: u8,
+    id_depth: u8,
+    out: &mut Vec<(HtmId, HtmId)>,
+) {
     match cone.classify(t) {
         Overlap::None => {}
-        Overlap::Full => out.push(id_range_at_depth(t.id, depth)),
+        Overlap::Full => out.push(id_range_at_depth(t.id, id_depth)),
         Overlap::Partial => {
-            if t.depth() >= depth {
-                out.push(id_range_at_depth(t.id, depth));
+            if t.depth() >= cover_depth {
+                out.push(id_range_at_depth(t.id, id_depth));
             } else {
                 for child in t.children() {
-                    cover_rec(cone, &child, depth, out);
+                    cover_rec(cone, &child, cover_depth, id_depth, out);
                 }
             }
         }
     }
+}
+
+/// A cone cover as inclusive **signed** key ranges, ready to hand to a
+/// database range scan over an integer `htmid` index (`Value::Int` keys).
+/// This is the cover→range-scan plumbing the serving tier uses: each
+/// `(lo, hi)` pair becomes one `index_range(htmid BETWEEN lo AND hi)`
+/// call, and candidates are re-filtered by true angular distance because
+/// the cover is a superset near the cone boundary.
+pub fn cone_key_ranges(cone: &Cone, depth: u8) -> Vec<(i64, i64)> {
+    cone_key_ranges_at(cone, depth, depth)
+}
+
+/// [`cone_key_ranges`] with the cover depth and id depth decoupled (see
+/// [`cone_cover_at`]): cover shallow, express ranges at the stored
+/// catalog depth. This is what keeps a cone search to a handful of range
+/// scans instead of tens of thousands.
+pub fn cone_key_ranges_at(cone: &Cone, cover_depth: u8, id_depth: u8) -> Vec<(i64, i64)> {
+    cone_cover_at(cone, cover_depth, id_depth)
+        .into_iter()
+        .map(|(lo, hi)| (lo as i64, hi as i64))
+        .collect()
 }
 
 /// Merge adjacent/overlapping sorted ranges.
@@ -206,6 +256,50 @@ mod tests {
             area > total / 3,
             "hemisphere cover {area}/{total} implausibly small"
         );
+    }
+
+    #[test]
+    fn key_ranges_match_cover_and_stay_positive() {
+        let cone = Cone::from_radec_arcmin(150.0, 22.0, 30.0);
+        let ranges = cone_cover(&cone, 20);
+        let keys = cone_key_ranges(&cone, 20);
+        assert_eq!(ranges.len(), keys.len());
+        for ((lo, hi), (klo, khi)) in ranges.iter().zip(keys.iter()) {
+            assert_eq!(*klo, *lo as i64);
+            assert_eq!(*khi, *hi as i64);
+            assert!(*klo >= 0, "depth-20 ids fit in i64 without wrapping");
+            assert!(klo <= khi);
+        }
+    }
+
+    #[test]
+    fn coarse_cover_is_superset_of_deep_cover_with_far_fewer_ranges() {
+        let cone = Cone::from_radec_arcmin(150.2, 0.0, 10.0);
+        let deep = cone_cover(&cone, 20);
+        let coarse = cone_cover_at(&cone, 8, 20);
+        assert!(
+            coarse.len() * 20 < deep.len(),
+            "coarse cover {} ranges vs deep {} — not coarse enough",
+            coarse.len(),
+            deep.len()
+        );
+        // Every deep range must fall inside some coarse range (superset).
+        for &(lo, hi) in &deep {
+            assert!(
+                coarse.iter().any(|&(clo, chi)| clo <= lo && hi <= chi),
+                "deep range ({lo}, {hi}) escapes the coarse cover"
+            );
+        }
+        // And points inside the cone are still covered.
+        let id = htmid(150.2, 0.0, 20);
+        assert!(coarse.iter().any(|&(lo, hi)| (lo..=hi).contains(&id)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover depth")]
+    fn id_depth_below_cover_depth_panics() {
+        let cone = Cone::from_radec_arcmin(0.0, 0.0, 1.0);
+        let _ = cone_cover_at(&cone, 12, 8);
     }
 
     #[test]

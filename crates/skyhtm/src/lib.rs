@@ -28,6 +28,6 @@ pub mod mesh;
 pub mod vector;
 
 pub use coords::{equatorial_to_galactic, galactic_to_equatorial, separation_deg};
-pub use cover::{cone_cover, Cone};
+pub use cover::{cone_cover, cone_cover_at, cone_key_ranges, cone_key_ranges_at, Cone};
 pub use mesh::{htmid, neighbors, trixel_of, HtmId, Trixel, CATALOG_DEPTH, MAX_DEPTH};
 pub use vector::Vec3;
