@@ -2,8 +2,8 @@
 //!
 //! Experiments: `fig4 fig5 fig6 fig7 fig8 fig9 ablate-errors ablate-assign
 //! ablate-commit ablate-presort ablate-cache ablate-devices
-//! ablate-two-phase ablate-pipeline headline`, or `all` (default), or
-//! `quick` (reduced scale smoke run).
+//! ablate-two-phase ablate-pipeline interference freshness headline`, or
+//! `all` (default), or `quick` (reduced scale smoke run).
 //!
 //! Results print as text tables and are also written as JSON under
 //! `repro-results/`.
@@ -50,7 +50,7 @@ impl Plan {
     }
 }
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "fig4",
     "fig5",
     "fig6",
@@ -66,6 +66,7 @@ const ALL: [&str; 16] = [
     "ablate-two-phase",
     "ablate-pipeline",
     "interference",
+    "freshness",
     "headline",
 ];
 
@@ -91,6 +92,16 @@ fn run_one(name: &str, plan: &Plan) -> Option<Figure> {
                 figures::interference(2005, &[1, 2, 4], &[0, 2], true)
             } else {
                 figures::interference(2005, &[1, 2, 4, 8], &[0, 2, 4], false)
+            }
+        }
+        // Gap sweep brackets the ~0.5 s modeled per-batch service time:
+        // below it lag compounds batch over batch, above it freshness sits
+        // on the service floor.
+        "freshness" => {
+            if plan.quick {
+                figures::freshness(scale, 2005, &[250, 1000], 30.0)
+            } else {
+                figures::freshness(scale, 2005, &[100, 250, 500, 1000, 2000], 100.0)
             }
         }
         "headline" => figures::headline(plan.wall_scale(), plan.headline_mb),

@@ -104,9 +104,12 @@ impl<'a> Loader<'a> {
             .iter()
             .map(|s| (*s).to_owned())
             .collect();
+        // Prepared statements may target shadow tables (campaign loads set
+        // `table_suffix`); everything else — parse, array-set bookkeeping,
+        // reports — keeps the logical table names.
         let stmts = tables
             .iter()
-            .map(|t| session.prepare_insert(t))
+            .map(|t| session.prepare_insert(&format!("{t}{}", cfg.table_suffix)))
             .collect::<DbResult<Vec<_>>>()?;
         let scale = session.server().engine().scale();
         let mem = MemoryModel::new(

@@ -317,6 +317,428 @@ pub fn run_chaos_with_obs(
     })
 }
 
+// ---------------------------------------------------------------------
+// Campaign chaos: live ingest, then a shadow-swap campaign under fire
+// with concurrent serve traffic.
+// ---------------------------------------------------------------------
+
+/// Knobs for one campaign chaos soak: a live micro-batch night ingests
+/// season 1 under connection weather and arrival bursts, then a
+/// reprocessing campaign loads season 2 into shadow tables (loader kills
+/// included), crashes its coordinator at the swap point, and is resumed —
+/// all while [`skydb::serve::QueryService`] readers hammer the live
+/// `objects` table and assert they only ever see one season.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignChaosConfig {
+    /// Master seed: arrival schedule, nights and fault plan.
+    pub seed: u64,
+    /// Files in season 1 (season 2 gets one more, so the two seasons have
+    /// distinguishable row counts).
+    pub files: usize,
+    /// Parallel loader nodes.
+    pub nodes: usize,
+    /// Quick mode for CI.
+    pub quick: bool,
+    /// Kill the loader holding the Nth lease grant (1-based) mid-file.
+    pub loader_kill_at: Option<u64>,
+    /// Crash the campaign coordinator at the swap point.
+    pub swap_crash: bool,
+    /// Treat the swap crash as a full server crash: recover the engine
+    /// from the durable log (base + shadow schemas, creation order)
+    /// before resuming. `false` models a coordinator-only crash with the
+    /// server surviving.
+    pub restart_server: bool,
+    /// Concurrent serve-tier reader threads.
+    pub readers: usize,
+    /// Lease TTL for the fleets.
+    #[serde(with = "ser_duration")]
+    pub lease_ttl: Duration,
+}
+
+impl Default for CampaignChaosConfig {
+    fn default() -> Self {
+        CampaignChaosConfig {
+            seed: 2005,
+            files: 3,
+            nodes: 2,
+            quick: false,
+            loader_kill_at: Some(2),
+            swap_crash: true,
+            restart_server: false,
+            readers: 3,
+            lease_ttl: Duration::from_millis(250),
+        }
+    }
+}
+
+impl CampaignChaosConfig {
+    fn season_files(&self) -> (Vec<CatalogFile>, Vec<CatalogFile>) {
+        let n1 = if self.quick {
+            self.files.min(3)
+        } else {
+            self.files
+        }
+        .max(1);
+        // One extra file in season 2: strictly more rows per table, so a
+        // scan's row count identifies its season.
+        let v1 = generate_observation(&GenConfig::night(self.seed, 100).with_files(n1));
+        let v2 = generate_observation(
+            &GenConfig::night(self.seed ^ 0x5EA5_0002, 100).with_files(n1 + 1),
+        );
+        (v1, v2)
+    }
+
+    /// Fault plan: connection weather + arrival bursts for the live
+    /// night, a loader kill for the fleets, and (first campaign attempt
+    /// only) the swap crash.
+    fn fault_plan(&self, with_swap_crash: bool) -> FaultPlanConfig {
+        let mut plan = FaultPlanConfig::new(self.seed)
+            .with_resets(0.004)
+            .with_latency(0.01, Duration::from_millis(10))
+            .with_arrival_bursts(0.25);
+        if let Some(n) = self.loader_kill_at {
+            plan = plan.with_loader_kill_at(n);
+        }
+        if with_swap_crash && self.swap_crash {
+            plan = plan.with_swap_crash_at(1);
+        }
+        plan
+    }
+
+    fn loader(&self) -> LoaderConfig {
+        LoaderConfig::test()
+            .with_array_size(300)
+            .with_commit_policy(CommitPolicy::PerFlush)
+            .with_retry(
+                RetryPolicy::default()
+                    .with_seed(self.seed)
+                    .with_call_timeout(Duration::from_millis(10)),
+            )
+            .with_fleet(
+                crate::fleet::FleetPolicy::default()
+                    .with_lease_ttl(self.lease_ttl)
+                    .with_heartbeat_interval((self.lease_ttl / 4).max(Duration::from_millis(1))),
+            )
+    }
+}
+
+/// What a campaign chaos soak observed.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignChaosReport {
+    /// The configuration the soak ran with.
+    pub config: CampaignChaosConfig,
+    /// The live night that ingested season 1 (freshness percentiles live
+    /// here, mirroring the `live.freshness_us` histogram).
+    pub live: crate::live::LiveReport,
+    /// Campaign resumes after coordinator crashes.
+    pub campaign_resumes: u64,
+    /// Full server crash/recover cycles.
+    pub server_restarts: usize,
+    /// Injected swap crashes (`server.faults.swap_crash`).
+    pub swap_crashes: u64,
+    /// Injected arrival bursts.
+    pub arrival_bursts: u64,
+    /// Loaders killed mid-file.
+    pub loader_kills: u64,
+    /// Expired leases reclaimed.
+    pub lease_reclaims: u64,
+    /// Stale-epoch operations fenced out.
+    pub fencing_rejections: u64,
+    /// Faults injected per kind across the soak.
+    pub faults_by_kind: BTreeMap<String, u64>,
+    /// Serve-tier scans completed by the reader threads.
+    pub reads_total: u64,
+    /// Scans that saw season 1.
+    pub reads_old_season: u64,
+    /// Scans that saw season 2.
+    pub reads_new_season: u64,
+    /// Scans that saw neither season's exact row count (must be 0).
+    pub mixed_season_reads: u64,
+    /// Rows season 2 should hold, per the generator's ground truth.
+    pub expected_rows: u64,
+    /// Rows the live tables hold after the campaign.
+    pub actual_rows: u64,
+    /// Rows expected but missing (must be 0).
+    pub lost_rows: u64,
+    /// Rows present more than once (must be 0).
+    pub duplicated_rows: u64,
+    /// Rows left in the demoted shadow tables (must be 0 after cleanup).
+    pub shadow_residual_rows: u64,
+    /// Per-phase, per-table mismatches (empty on success).
+    pub mismatches: Vec<String>,
+    /// Whether the campaign's swap completed.
+    pub swapped: bool,
+    /// Demoted rows purged by the campaign.
+    pub purged_rows: u64,
+}
+
+impl CampaignChaosReport {
+    /// Did every season-2 row land exactly once, with season 1 fully
+    /// retired?
+    pub fn exactly_once(&self) -> bool {
+        self.lost_rows == 0
+            && self.duplicated_rows == 0
+            && self.shadow_residual_rows == 0
+            && self.mismatches.is_empty()
+    }
+
+    /// Did every concurrent read see exactly one season?
+    pub fn swap_atomic(&self) -> bool {
+        self.mixed_season_reads == 0 && self.reads_total > 0
+    }
+}
+
+/// Compare the live catalog tables against a season's ground truth,
+/// appending `phase`-tagged mismatches.
+fn verify_season(
+    engine: &Engine,
+    expected: &BTreeMap<&'static str, u64>,
+    phase: &str,
+    mismatches: &mut Vec<String>,
+) -> Result<(u64, u64, u64), String> {
+    let (mut actual, mut lost, mut duplicated) = (0u64, 0u64, 0u64);
+    for (table, expect) in expected {
+        let tid = engine.table_id(table).map_err(|e| e.to_string())?;
+        let got = engine.row_count(tid);
+        actual += got;
+        if got < *expect {
+            lost += expect - got;
+            mismatches.push(format!(
+                "{phase}: {table} expected {expect}, got {got} (lost)"
+            ));
+        } else if got > *expect {
+            duplicated += got - expect;
+            mismatches.push(format!(
+                "{phase}: {table} expected {expect}, got {got} (duplicated)"
+            ));
+        }
+    }
+    Ok((actual, lost, duplicated))
+}
+
+/// Run one campaign chaos soak: live-ingest season 1, then re-derive it
+/// as season 2 through a shadow-swap campaign under loader kills and a
+/// coordinator crash at the swap point, with serve-tier readers verifying
+/// swap atomicity throughout.
+pub fn run_campaign_chaos(cfg: &CampaignChaosConfig) -> Result<CampaignChaosReport, String> {
+    run_campaign_chaos_with_obs(cfg, &Arc::new(skyobs::Registry::new()))
+}
+
+/// [`run_campaign_chaos`] against a caller-owned telemetry registry, so
+/// the `live.freshness_us` histogram and campaign counters survive for a
+/// `--metrics` dump.
+pub fn run_campaign_chaos_with_obs(
+    cfg: &CampaignChaosConfig,
+    obs: &Arc<skyobs::Registry>,
+) -> Result<CampaignChaosReport, String> {
+    use skydb::serve::{FastOutcome, Query, QueryService, ServeConfig};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::RwLock;
+
+    let (v1, v2) = cfg.season_files();
+    let expected1 = aggregate_expected(&v1);
+    let expected2 = aggregate_expected(&v2);
+    let n1_objects = expected1.loadable["objects"];
+    let n2_objects = expected2.loadable["objects"];
+    assert_ne!(n1_objects, n2_objects, "seasons must be distinguishable");
+
+    let obs = obs.clone();
+    let baseline = obs.snapshot();
+    // Paper hardware at zero time-scale: modeled costs are accounted (the
+    // freshness clock needs them) without real sleeping.
+    let db_cfg = || skydb::DbConfig::paper(skysim::TimeScale::ZERO);
+    let server = Server::start_with_obs(db_cfg(), obs.clone());
+    skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_observation(server.engine(), 1, 100).map_err(|e| e.to_string())?;
+    server.set_fault_plan(Some(FaultPlan::new(cfg.fault_plan(true))));
+
+    let mut mismatches = Vec::new();
+
+    // ---- Phase 1: live micro-batch night ingests season 1 -----------
+    let live_journal = LoadJournal::new();
+    let live_cfg = crate::live::LiveConfig {
+        seed: cfg.seed,
+        nodes: cfg.nodes,
+        mean_interarrival: Duration::from_millis(5),
+        burst_run: 2,
+        burst_factor: 8.0,
+        slo_budget: Duration::from_secs(600),
+        loader: cfg.loader(),
+    };
+    let live = crate::live::run_live(&server, &v1, &live_cfg, Some(&live_journal))
+        .map_err(|e| e.to_string())?;
+    verify_season(
+        server.engine(),
+        &expected1.loadable,
+        "after live night",
+        &mut mismatches,
+    )?;
+
+    // ---- Phase 2: serve-tier readers come online --------------------
+    // Huge fast deadline: no demotions, so no MyDB result tables are
+    // created mid-campaign (keeps WAL-replay table ids aligned for the
+    // restart-server mode).
+    let serve_cfg = ServeConfig::default().with_fast_deadline(Duration::from_secs(3600));
+    let svc_slot = Arc::new(RwLock::new(Arc::new(QueryService::start(
+        server.clone(),
+        serve_cfg.clone(),
+    ))));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads_old = Arc::new(AtomicU64::new(0));
+    let reads_new = Arc::new(AtomicU64::new(0));
+    let reads_mixed = Arc::new(AtomicU64::new(0));
+    let reader_handles: Vec<_> = (0..cfg.readers.max(1))
+        .map(|r| {
+            let slot = svc_slot.clone();
+            let stop = stop.clone();
+            let (old, new, mixed) = (reads_old.clone(), reads_new.clone(), reads_mixed.clone());
+            std::thread::spawn(move || {
+                let user = format!("reader{r}");
+                while !stop.load(Ordering::Relaxed) {
+                    let svc = slot.read().unwrap().clone();
+                    match svc.fast_query(
+                        &user,
+                        Query::Scan {
+                            table: "objects".into(),
+                            filter: None,
+                        },
+                    ) {
+                        Ok(FastOutcome::Done(res)) => {
+                            let n = res.rows.len() as u64;
+                            if n == n1_objects {
+                                old.fetch_add(1, Ordering::Relaxed);
+                            } else if n == n2_objects {
+                                new.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                mixed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        // Demotions can't happen (huge deadline); queue
+                        // rejections are not season evidence either way.
+                        Ok(FastOutcome::Demoted(_)) | Err(_) => {}
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // ---- Phase 3: the campaign, crash and all -----------------------
+    let workdir = std::env::temp_dir().join(format!(
+        "skyloader-campaign-chaos-{}-{}",
+        cfg.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&workdir);
+    std::fs::create_dir_all(&workdir).map_err(|e| e.to_string())?;
+    let manifest_path = workdir.join("campaign.manifest");
+    let campaign_journal = LoadJournal::new();
+    let campaign_cfg = crate::campaign::CampaignConfig {
+        campaign_id: cfg.seed,
+        nodes: cfg.nodes,
+        build_htm_index: false,
+        loader: cfg.loader(),
+    };
+
+    let mut server = server;
+    let mut server_restarts = 0usize;
+    let first = crate::campaign::run_campaign(
+        &server,
+        &v2,
+        &campaign_cfg,
+        &manifest_path,
+        Some(&campaign_journal),
+    );
+    let final_report = match first {
+        Ok(r) => r,
+        Err(skydb::error::DbError::ServerDown(_)) if cfg.swap_crash => {
+            // The coordinator died at the swap point. Either the server
+            // died with it (recover from the durable log: base + shadow
+            // schemas, creation order) or it kept serving.
+            if cfg.restart_server {
+                server_restarts += 1;
+                let log = server.engine().durable_log();
+                let mut schemas = skycat::build_schemas();
+                schemas.extend(crate::campaign::shadow_schemas(&format!(
+                    "__c{}",
+                    campaign_cfg.campaign_id
+                )));
+                let engine = Engine::recover_from_log(db_cfg(), schemas, &log)
+                    .map_err(|e| format!("recovery failed: {e}"))?;
+                server = Server::with_engine_and_obs(engine, obs.clone());
+                // Readers re-target the recovered server.
+                *svc_slot.write().unwrap() =
+                    Arc::new(QueryService::start(server.clone(), serve_cfg.clone()));
+            }
+            // Either way the resumed coordinator runs without the crash.
+            server.set_fault_plan(Some(FaultPlan::new(cfg.fault_plan(false))));
+            crate::campaign::resume_campaign(
+                &server,
+                &v2,
+                &campaign_cfg,
+                &manifest_path,
+                Some(&campaign_journal),
+            )
+            .map_err(|e| format!("campaign resume failed: {e}"))?
+        }
+        Err(e) => return Err(format!("campaign failed: {e}")),
+    };
+
+    // Let the readers observe the promoted season before stopping.
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+    for h in reader_handles {
+        h.join().map_err(|_| "reader panicked".to_string())?;
+    }
+
+    // ---- Verdict ----------------------------------------------------
+    server.set_fault_plan(None);
+    let (actual, lost, duplicated) = verify_season(
+        server.engine(),
+        &expected2.loadable,
+        "after campaign",
+        &mut mismatches,
+    )?;
+    let mut shadow_residual = 0u64;
+    for table in skycat::CATALOG_TABLES {
+        let shadow = format!("{table}__c{}", campaign_cfg.campaign_id);
+        let tid = server
+            .engine()
+            .table_id(&shadow)
+            .map_err(|e| e.to_string())?;
+        shadow_residual += server.engine().row_count(tid);
+    }
+    let delta = server.obs_snapshot().since(&baseline);
+    let _ = std::fs::remove_dir_all(&workdir);
+
+    Ok(CampaignChaosReport {
+        config: cfg.clone(),
+        live,
+        campaign_resumes: delta.counter("campaign.resumes"),
+        server_restarts,
+        swap_crashes: delta.counter("server.faults.swap_crash"),
+        arrival_bursts: delta.counter("server.faults.arrival_burst"),
+        loader_kills: delta.counter("loader_kills"),
+        lease_reclaims: delta.counter("fleet.reclaims"),
+        fencing_rejections: delta.counter("fleet.fence_rejections"),
+        faults_by_kind: delta.with_prefix("server.faults."),
+        reads_total: reads_old.load(std::sync::atomic::Ordering::Relaxed)
+            + reads_new.load(std::sync::atomic::Ordering::Relaxed)
+            + reads_mixed.load(std::sync::atomic::Ordering::Relaxed),
+        reads_old_season: reads_old.load(std::sync::atomic::Ordering::Relaxed),
+        reads_new_season: reads_new.load(std::sync::atomic::Ordering::Relaxed),
+        mixed_season_reads: reads_mixed.load(std::sync::atomic::Ordering::Relaxed),
+        expected_rows: expected2.total_loadable(),
+        actual_rows: actual,
+        lost_rows: lost,
+        duplicated_rows: duplicated,
+        shadow_residual_rows: shadow_residual,
+        mismatches,
+        swapped: final_report.swapped,
+        purged_rows: final_report.purged_rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,5 +824,69 @@ mod tests {
         assert_eq!(a.generations, b.generations);
         assert_eq!(a.restarts, b.restarts);
         assert!(a.exactly_once() && b.exactly_once());
+    }
+
+    #[test]
+    fn campaign_chaos_survives_coordinator_crash_at_swap() {
+        let cfg = CampaignChaosConfig {
+            seed: 41,
+            quick: true,
+            ..CampaignChaosConfig::default()
+        };
+        let report = run_campaign_chaos(&cfg).unwrap();
+        assert!(
+            report.exactly_once(),
+            "lost={} dup={} shadow_residual={} mismatches={:?}",
+            report.lost_rows,
+            report.duplicated_rows,
+            report.shadow_residual_rows,
+            report.mismatches
+        );
+        assert!(
+            report.swap_atomic(),
+            "mixed={} total={}",
+            report.mixed_season_reads,
+            report.reads_total
+        );
+        assert!(report.swapped, "the campaign never swapped");
+        assert_eq!(report.swap_crashes, 1, "the swap crash never fired");
+        assert_eq!(report.campaign_resumes, 1, "the coordinator never resumed");
+        assert!(report.loader_kills >= 1, "the loader kill never fired");
+        assert!(
+            report.live.freshness.count > 0 && report.live.freshness.max_us > 0,
+            "live freshness histogram was never populated: {:?}",
+            report.live.freshness
+        );
+        assert!(
+            report.live.slo_met(),
+            "freshness SLO blown in a quiet night"
+        );
+        assert!(report.purged_rows > 0, "season 1 was never purged");
+    }
+
+    #[test]
+    fn campaign_chaos_survives_full_server_crash_at_swap() {
+        let cfg = CampaignChaosConfig {
+            seed: 43,
+            quick: true,
+            restart_server: true,
+            ..CampaignChaosConfig::default()
+        };
+        let report = run_campaign_chaos(&cfg).unwrap();
+        assert!(
+            report.exactly_once(),
+            "lost={} dup={} shadow_residual={} mismatches={:?}",
+            report.lost_rows,
+            report.duplicated_rows,
+            report.shadow_residual_rows,
+            report.mismatches
+        );
+        assert!(report.swap_atomic(), "mixed={}", report.mixed_season_reads);
+        assert_eq!(report.server_restarts, 1);
+        assert!(report.swapped);
+        // The recovered engine replays the WAL by table id, so the swap
+        // (a name-level rebind) is gone after recovery: the resumed
+        // coordinator must redo it, not skip it.
+        assert_eq!(report.campaign_resumes, 1);
     }
 }

@@ -120,6 +120,54 @@ pub enum Command {
         /// Dump the telemetry registry as JSONL here after the soak.
         metrics: Option<PathBuf>,
     },
+    /// Ingest a synthetic night as continuous micro-batches on a modeled
+    /// arrival schedule and report per-batch freshness (arrival →
+    /// committed-visible) against an SLO budget.
+    Live {
+        /// Master seed for the night and the arrival schedule.
+        seed: u64,
+        /// Catalog files (micro-batches) in the night.
+        files: usize,
+        /// Parallel loader nodes per micro-batch.
+        nodes: usize,
+        /// Mean inter-arrival gap between micro-batches, in milliseconds.
+        mean_interarrival_ms: u64,
+        /// Freshness SLO budget per batch, in milliseconds.
+        slo_budget_ms: u64,
+        /// Smaller night, for CI.
+        quick: bool,
+        /// Write the live-night report as JSON here.
+        report: Option<PathBuf>,
+        /// Dump the telemetry registry as JSONL here after the night.
+        metrics: Option<PathBuf>,
+    },
+    /// Run a reprocessing campaign under chaos: live-ingest season 1,
+    /// rebuild it as season 2 in shadow tables, crash the coordinator at
+    /// the swap point, resume, and verify swap atomicity under
+    /// concurrent serve-tier readers.
+    Campaign {
+        /// Master seed for both seasons and the fault plan.
+        seed: u64,
+        /// Catalog files in season 1 (season 2 gets one more).
+        files: usize,
+        /// Parallel loader nodes.
+        nodes: usize,
+        /// Smaller seasons, for CI.
+        quick: bool,
+        /// Kill the loader holding the Nth lease grant (1-based).
+        loader_kill_at: Option<u64>,
+        /// Skip the injected coordinator crash at the swap point.
+        no_swap_crash: bool,
+        /// Treat the swap crash as a full server crash (recover the
+        /// engine from the durable log before resuming).
+        restart_server: bool,
+        /// Concurrent serve-tier reader threads.
+        readers: usize,
+        /// Write the campaign-chaos report as JSON here.
+        report: Option<PathBuf>,
+        /// Dump the telemetry registry as JSONL here after the run.
+        metrics: Option<PathBuf>,
+    },
     /// Serve a CasJobs-style fast/slow query mix against a repository
     /// while a loader fleet ingests a night, and report per-queue
     /// latency percentiles.
@@ -158,7 +206,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "verify" | "audit" | "quick" => {
+                "verify" | "audit" | "quick" | "no-swap-crash" | "restart-server" => {
                     flags.insert(name.to_owned(), "true".into());
                 }
                 _ => {
@@ -226,6 +274,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 lease_ttl_ms: get("lease-ttl")
                     .map(|v| v.parse::<u64>().map_err(|e| format!("--lease-ttl: {e}")))
                     .transpose()?,
+                report: get("report").map(PathBuf::from),
+                metrics: get("metrics").map(PathBuf::from),
+            })
+        }
+        "live" => Ok(Command::Live {
+            seed: parse_num("seed", 2005)?,
+            files: parse_num("files", 12)? as usize,
+            nodes: parse_num("nodes", 3)? as usize,
+            mean_interarrival_ms: parse_num("mean-interarrival", 50)?,
+            slo_budget_ms: {
+                let ms = parse_num("slo-budget", 5000)?;
+                if ms == 0 {
+                    return Err("--slo-budget must be at least 1 ms".into());
+                }
+                ms
+            },
+            quick: flags.contains_key("quick"),
+            report: get("report").map(PathBuf::from),
+            metrics: get("metrics").map(PathBuf::from),
+        }),
+        "campaign" => {
+            let defaults = crate::chaos::CampaignChaosConfig::default();
+            Ok(Command::Campaign {
+                seed: parse_num("seed", defaults.seed)?,
+                files: parse_num("files", defaults.files as u64)? as usize,
+                nodes: parse_num("nodes", defaults.nodes as u64)? as usize,
+                quick: flags.contains_key("quick"),
+                loader_kill_at: match get("loader-kill") {
+                    Some(v) => Some(
+                        v.parse::<u64>()
+                            .map_err(|e| format!("--loader-kill: {e}"))?,
+                    ),
+                    None => defaults.loader_kill_at,
+                },
+                no_swap_crash: flags.contains_key("no-swap-crash"),
+                restart_server: flags.contains_key("restart-server"),
+                readers: parse_num("readers", defaults.readers as u64)? as usize,
                 report: get("report").map(PathBuf::from),
                 metrics: get("metrics").map(PathBuf::from),
             })
@@ -305,6 +390,33 @@ USAGE:
       schedule. Exits 1 on any lost or duplicated row. --metrics
       dumps the shared telemetry registry — whose counters the chaos
       report is a view over — as JSONL.
+
+  skyload live [--seed N] [--files N] [--nodes N] [--mean-interarrival MS]
+               [--slo-budget MS] [--quick] [--report out.json]
+               [--metrics out.jsonl]
+      Ingest a synthetic night as continuous micro-batches: files
+      arrive on a seeded Poisson schedule (mean gap
+      --mean-interarrival) and each is loaded as one fenced,
+      journaled micro-batch. The freshness clock measures arrival →
+      committed-visible per batch into the live.freshness_us
+      histogram; batches whose lag overruns --slo-budget count as SLO
+      violations. Prints freshness p50/p95/p99/max and the violation
+      count; exits 1 if any row was lost or a batch failed.
+
+  skyload campaign [--seed N] [--files N] [--nodes N] [--quick]
+                   [--loader-kill N] [--no-swap-crash] [--restart-server]
+                   [--readers N] [--report out.json] [--metrics out.jsonl]
+      Chaos-prove a season-scale reprocessing campaign end to end:
+      live-ingest season 1 under arrival bursts and connection
+      weather, rebuild it as season 2 in shadow tables (killing the
+      loader holding the Nth lease grant), crash the campaign
+      coordinator at the atomic shadow→live swap point, resume from
+      the persisted manifest, and purge the demoted season — all
+      while --readers serve-tier scan threads verify that every read
+      sees exactly one season. --restart-server escalates the swap
+      crash to a full server crash recovered from the durable log;
+      --no-swap-crash runs the happy path. Exits 1 on any lost,
+      duplicated or torn read.
 
   skyload serve [--seed N] [--users N] [--queries N] [--ingest-nodes N]
                 [--fast-deadline MS] [--quick] [--report out.json]
@@ -454,6 +566,202 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 Ok(0)
             } else {
                 writeln!(out, "exactly-once: FAIL").map_err(|e| e.to_string())?;
+                Ok(1)
+            }
+        }
+        Command::Live {
+            seed,
+            files,
+            nodes,
+            mean_interarrival_ms,
+            slo_budget_ms,
+            quick,
+            report,
+            metrics,
+        } => {
+            let n_files = if quick { files.min(4) } else { files }.max(1);
+            let night_files =
+                generate_observation(&GenConfig::night(seed, 100).with_files(n_files));
+            let expected = skycat::gen::aggregate_expected(&night_files);
+            let obs = Arc::new(skyobs::Registry::new());
+            let server: Arc<Server> =
+                Server::start_with_obs(DbConfig::paper(TimeScale::ZERO), obs.clone());
+            skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
+            skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
+            skycat::seed_observation(server.engine(), 1, 100).map_err(|e| e.to_string())?;
+            let journal = LoadJournal::new();
+            let mut live_cfg = crate::live::LiveConfig::test(seed);
+            live_cfg.nodes = nodes;
+            live_cfg.mean_interarrival = std::time::Duration::from_millis(mean_interarrival_ms);
+            live_cfg.slo_budget = std::time::Duration::from_millis(slo_budget_ms);
+            let r = crate::live::run_live(&server, &night_files, &live_cfg, Some(&journal))
+                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "live: seed {} · {} micro-batch(es) on {} node(s) · {} rows loaded ({} skipped) · night span {} us",
+                r.seed, r.batches, nodes, r.rows_loaded, r.rows_skipped, r.night_span_us
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "freshness: n={:<5} p50={:>8} us  p95={:>8} us  p99={:>8} us  max={:>8} us",
+                r.freshness.count,
+                r.freshness.p50_us,
+                r.freshness.p95_us,
+                r.freshness.p99_us,
+                r.freshness.max_us
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "slo: budget {} us · {} violation(s) · {} arrival burst(s) · {} retries",
+                r.slo_budget_us, r.slo_violations, r.arrival_bursts, r.retries
+            )
+            .map_err(|e| e.to_string())?;
+            let mut mismatches = 0;
+            for (table, expect) in &expected.loadable {
+                let tid = server.engine().table_id(table).map_err(|e| e.to_string())?;
+                let got = server.engine().row_count(tid);
+                if got != *expect {
+                    writeln!(out, "MISMATCH {table}: expected {expect}, got {got}")
+                        .map_err(|e| e.to_string())?;
+                    mismatches += 1;
+                }
+            }
+            write_telemetry_summary(out, &obs)?;
+            if let Some(path) = metrics {
+                std::fs::write(&path, obs.to_jsonl())
+                    .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "metrics written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = report {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&r).expect("live report serializes"),
+                )
+                .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "report written to {}", path.display()).map_err(|e| e.to_string())?;
+            }
+            if r.failed_files > 0 {
+                writeln!(out, "  {} micro-batch(es) failed to load", r.failed_files)
+                    .map_err(|e| e.to_string())?;
+            }
+            if mismatches > 0 || r.failed_files > 0 {
+                writeln!(out, "live ingest: FAIL").map_err(|e| e.to_string())?;
+                return Ok(1);
+            }
+            writeln!(
+                out,
+                "live ingest: PASS · freshness SLO {}",
+                if r.slo_met() { "MET" } else { "VIOLATED" }
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(0)
+        }
+        Command::Campaign {
+            seed,
+            files,
+            nodes,
+            quick,
+            loader_kill_at,
+            no_swap_crash,
+            restart_server,
+            readers,
+            report,
+            metrics,
+        } => {
+            let cfg = crate::chaos::CampaignChaosConfig {
+                seed,
+                files,
+                nodes,
+                quick,
+                loader_kill_at,
+                swap_crash: !no_swap_crash,
+                restart_server,
+                readers,
+                ..crate::chaos::CampaignChaosConfig::default()
+            };
+            let obs = Arc::new(skyobs::Registry::new());
+            let r = crate::chaos::run_campaign_chaos_with_obs(&cfg, &obs)?;
+            writeln!(
+                out,
+                "campaign chaos: seed {} · {} resume(s) · {} server restart(s) · swapped: {}",
+                seed, r.campaign_resumes, r.server_restarts, r.swapped
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "live night: {} batch(es) · freshness p50={} us p95={} us p99={} us max={} us · {} SLO violation(s)",
+                r.live.batches,
+                r.live.freshness.p50_us,
+                r.live.freshness.p95_us,
+                r.live.freshness.p99_us,
+                r.live.freshness.max_us,
+                r.live.slo_violations
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(out, "faults injected:").map_err(|e| e.to_string())?;
+            for (kind, n) in &r.faults_by_kind {
+                writeln!(out, "  {kind:<16} {n:>6}").map_err(|e| e.to_string())?;
+            }
+            writeln!(
+                out,
+                "fleet: {} loader kill(s) · {} lease reclaim(s) · {} fenced operation(s)",
+                r.loader_kills, r.lease_reclaims, r.fencing_rejections
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "readers: {} scan(s) · {} old-season · {} new-season · {} torn",
+                r.reads_total, r.reads_old_season, r.reads_new_season, r.mixed_season_reads
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "rows: {} expected, {} present, {} lost, {} duplicated · {} shadow residual · {} purged",
+                r.expected_rows,
+                r.actual_rows,
+                r.lost_rows,
+                r.duplicated_rows,
+                r.shadow_residual_rows,
+                r.purged_rows
+            )
+            .map_err(|e| e.to_string())?;
+            for m in &r.mismatches {
+                writeln!(out, "  MISMATCH {m}").map_err(|e| e.to_string())?;
+            }
+            write_telemetry_summary(out, &obs)?;
+            if let Some(path) = metrics {
+                std::fs::write(&path, obs.to_jsonl())
+                    .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "metrics written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = report {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&r).expect("campaign report serializes"),
+                )
+                .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "report written to {}", path.display()).map_err(|e| e.to_string())?;
+            }
+            if r.swapped && r.exactly_once() && r.swap_atomic() {
+                writeln!(out, "exactly-once: PASS · season-atomicity: PASS")
+                    .map_err(|e| e.to_string())?;
+                Ok(0)
+            } else {
+                writeln!(
+                    out,
+                    "exactly-once: {} · season-atomicity: {}",
+                    if r.exactly_once() && r.swapped {
+                        "PASS"
+                    } else {
+                        "FAIL"
+                    },
+                    if r.swap_atomic() { "PASS" } else { "FAIL" }
+                )
+                .map_err(|e| e.to_string())?;
                 Ok(1)
             }
         }
@@ -1044,6 +1352,114 @@ mod tests {
         assert!(report_path.exists());
         let json = std::fs::read_to_string(&report_path).unwrap();
         assert!(json.contains("\"faults_by_kind\""), "{json}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_live_and_campaign_flags() {
+        match parse_args(&args(
+            "live --seed 4 --files 6 --nodes 2 --mean-interarrival 20 --slo-budget 900 --quick",
+        ))
+        .unwrap()
+        {
+            Command::Live {
+                seed,
+                files,
+                nodes,
+                mean_interarrival_ms,
+                slo_budget_ms,
+                quick,
+                ..
+            } => {
+                assert_eq!((seed, files, nodes), (4, 6, 2));
+                assert_eq!((mean_interarrival_ms, slo_budget_ms), (20, 900));
+                assert!(quick);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("live --slo-budget 0")).is_err());
+        match parse_args(&args("campaign --seed 8 --restart-server --readers 5")).unwrap() {
+            Command::Campaign {
+                seed,
+                no_swap_crash,
+                restart_server,
+                readers,
+                loader_kill_at,
+                ..
+            } => {
+                assert_eq!(seed, 8);
+                assert!(!no_swap_crash, "swap crash is on by default");
+                assert!(restart_server);
+                assert_eq!(readers, 5);
+                assert!(loader_kill_at.is_some(), "default kills a loader");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("campaign --no-swap-crash")).unwrap() {
+            Command::Campaign { no_swap_crash, .. } => assert!(no_swap_crash),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn live_command_reports_freshness_and_passes() {
+        let dir = tmpdir("live");
+        let report_path = dir.join("live.json");
+        let metrics_path = dir.join("live.jsonl");
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "live --seed 17 --files 3 --nodes 2 --quick --report {} --metrics {}",
+                report_path.display(),
+                metrics_path.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("freshness: n="), "{text}");
+        assert!(text.contains("live ingest: PASS"), "{text}");
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"freshness\""), "{json}");
+        assert!(json.contains("\"slo_violations\""), "{json}");
+        let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(jsonl.contains("live.freshness_us"), "{jsonl}");
+        assert!(jsonl.contains("live.batches"), "{jsonl}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn campaign_command_survives_quick_chaos() {
+        let dir = tmpdir("campaign");
+        let report_path = dir.join("campaign.json");
+        let metrics_path = dir.join("campaign.jsonl");
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "campaign --seed 23 --quick --report {} --metrics {}",
+                report_path.display(),
+                metrics_path.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.contains("exactly-once: PASS · season-atomicity: PASS"),
+            "{text}"
+        );
+        assert!(text.contains("swapped: true"), "{text}");
+        assert!(text.contains("swap_crash"), "{text}");
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"mixed_season_reads\": 0"), "{json}");
+        assert!(json.contains("\"campaign_resumes\": 1"), "{json}");
+        let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(jsonl.contains("live.freshness_us"), "{jsonl}");
+        assert!(jsonl.contains("campaign.swaps"), "{jsonl}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -113,6 +113,14 @@ pub struct LoaderConfig {
     /// fleet layer existed valid.
     #[serde(default)]
     pub fleet: FleetPolicy,
+    /// Suffix appended to every catalog table name when preparing inserts:
+    /// a reprocessing campaign sets e.g. `"__shadow1"` to route the whole
+    /// fenced load pipeline into its shadow tables while parsing,
+    /// array-set bookkeeping, and reports keep the logical (live) names.
+    /// Empty (the default, and what pre-campaign configuration files
+    /// deserialize to) loads the live tables.
+    #[serde(default)]
+    pub table_suffix: String,
 }
 
 mod duration_micros {
@@ -155,6 +163,7 @@ impl LoaderConfig {
             max_skip_details: 1000,
             retry: RetryPolicy::default(),
             fleet: FleetPolicy::default(),
+            table_suffix: String::new(),
         }
     }
 
@@ -220,6 +229,13 @@ impl LoaderConfig {
     /// Builder-style: set the fleet-supervision (lease/fencing) policy.
     pub fn with_fleet(mut self, fleet: FleetPolicy) -> Self {
         self.fleet = fleet;
+        self
+    }
+
+    /// Builder-style: route prepared inserts to `<table><suffix>` (shadow
+    /// tables of a reprocessing campaign).
+    pub fn with_table_suffix(mut self, suffix: &str) -> Self {
+        self.table_suffix = suffix.to_owned();
         self
     }
 

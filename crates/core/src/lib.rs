@@ -48,10 +48,12 @@
 pub mod arrayset;
 pub mod audit;
 pub mod bulk;
+pub mod campaign;
 pub mod chaos;
 pub mod cli;
 pub mod config;
 pub mod fleet;
+pub mod live;
 pub mod parallel;
 pub mod recovery;
 pub mod report;
@@ -64,13 +66,24 @@ pub mod twophase;
 pub use arrayset::{ArraySet, SealedArraySet};
 pub use audit::{audit_repository, AuditReport};
 pub use bulk::{load_catalog_file, load_catalog_text, load_catalog_text_with_journal};
-pub use chaos::{run_chaos, run_chaos_with_obs, ChaosConfig, ChaosReport};
+pub use campaign::{
+    resume_campaign, roll_back_campaign, run_campaign, CampaignConfig, CampaignManifest,
+    CampaignPhase, CampaignReport,
+};
+pub use chaos::{
+    run_campaign_chaos, run_campaign_chaos_with_obs, run_chaos, run_chaos_with_obs,
+    CampaignChaosConfig, CampaignChaosReport, ChaosConfig, ChaosReport,
+};
 pub use config::{CommitPolicy, ExecMode, LoaderConfig, PipelineMode};
 pub use fleet::{Assignment, FleetPolicy, FleetSupervisor, Lease};
+pub use live::{run_live, LiveConfig, LiveReport};
 pub use parallel::{load_night, load_night_with_journal, NightError};
 pub use recovery::LoadJournal;
 pub use report::{FailedFile, FileReport, ModeledCost, NightReport, SkipKind, SkipRecord};
-pub use reprocess::{delete_observation, reprocess_observation, PurgeReport};
+pub use reprocess::{
+    acquire_reprocess_fence, delete_observation, delete_observation_fenced, reprocess_observation,
+    PurgeReport,
+};
 pub use serving::{run_serve_load, QueueStats, ServeLoadConfig, ServeLoadOutcome, ServeLoadReport};
 
 pub use resilience::{

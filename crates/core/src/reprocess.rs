@@ -11,7 +11,11 @@
 //! observation's `ccd_columns`, collecting the exact key set at each level,
 //! then deletes in **child-before-parent** order so every RESTRICT check
 //! passes. [`reprocess_observation`] composes that with a normal bulk load
-//! of the replacement files.
+//! of the replacement files — **fenced**: the purge transaction commits
+//! only while the caller still holds the reprocess fence for the
+//! observation, so a zombie reprocessor whose lease was taken over cannot
+//! purge rows the new holder has just reloaded (the same epoch-fencing
+//! discipline the loader fleet applies per file).
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -20,13 +24,15 @@ use serde::Serialize;
 
 use skycat::CatalogFile;
 use skydb::engine::Engine;
-use skydb::error::DbResult;
+use skydb::error::{DbError, DbResult};
 use skydb::expr::{CmpOp, Expr};
 use skydb::server::Server;
 use skydb::value::Key;
+use skydb::wire::Fence;
 use skydb::TableId;
 
 use crate::config::LoaderConfig;
+use crate::fleet::fence_key;
 use crate::report::NightReport;
 
 /// Rows deleted per table by a reprocessing pass.
@@ -110,9 +116,54 @@ fn collect_observation_keys(
     Ok(keys)
 }
 
+/// Record a completed purge in the engine's observability registry so
+/// campaign/reprocess progress shows up in `--metrics` JSONL and
+/// `skyload inspect` (`reprocess.purges`, `reprocess.deleted_rows`).
+fn note_purge(engine: &Engine, report: &PurgeReport) {
+    let obs = engine.obs();
+    obs.counter("reprocess.purges").inc();
+    obs.counter("reprocess.deleted_rows").add(report.total());
+}
+
 /// Delete every derived row of `obs_id` (ccd_columns downward), in
 /// child-before-parent order, in one transaction.
+///
+/// **Unfenced** maintenance entry point: safe only while no competing
+/// reprocessor can hold a lease on the same observation. Coordinated
+/// reprocessing goes through [`reprocess_observation`] /
+/// [`delete_observation_fenced`], which refuse to commit after a lease
+/// takeover.
 pub fn delete_observation(engine: &Engine, obs_id: i64) -> DbResult<PurgeReport> {
+    let report = purge_observation_txn(engine, obs_id, None)?;
+    note_purge(engine, &report);
+    Ok(report)
+}
+
+/// Fenced variant of [`delete_observation`]: the purge transaction commits
+/// only if `fence` is still current (its epoch is at least the server's
+/// fence floor for its key) **at commit time**. A zombie reprocessor —
+/// one whose lease was reclaimed and handed to a new holder at a higher
+/// epoch — reaches the floor check after staging its deletes, rolls back,
+/// and returns [`DbError::FencedOut`]; no row it staged is ever visible.
+pub fn delete_observation_fenced(
+    server: &Arc<Server>,
+    obs_id: i64,
+    fence: &Fence,
+) -> DbResult<PurgeReport> {
+    let report = purge_observation_txn(server.engine(), obs_id, Some((server, fence)))?;
+    note_purge(server.engine(), &report);
+    Ok(report)
+}
+
+/// Shared purge transaction: collect the observation's key chain, delete
+/// child-before-parent, and commit — with an optional fence floor check
+/// immediately before the commit (deletes become visible only at commit,
+/// so a stale holder rolls back having published nothing).
+fn purge_observation_txn(
+    engine: &Engine,
+    obs_id: i64,
+    fenced: Option<(&Arc<Server>, &Fence)>,
+) -> DbResult<PurgeReport> {
     let keys = collect_observation_keys(engine, obs_id)?;
     let txn = engine.begin();
     let mut report = PurgeReport::default();
@@ -134,12 +185,45 @@ pub fn delete_observation(engine: &Engine, obs_id: i64) -> DbResult<PurgeReport>
         };
         report.deleted_by_table.push(((*name).to_owned(), n));
     }
+    if let Some((server, fence)) = fenced {
+        let floor = server.fence_floor(fence.key);
+        if fence.epoch < floor {
+            engine.rollback(txn)?;
+            server.obs().counter("fleet.fence_rejections").inc();
+            return Err(DbError::FencedOut(format!(
+                "reprocess purge of obs {obs_id} holds epoch {} below floor {floor}; \
+                 lease was taken over",
+                fence.epoch
+            )));
+        }
+    }
     engine.commit(txn)?;
     Ok(report)
 }
 
+/// The fence key guarding reprocessing of one observation.
+pub fn reprocess_fence_key(obs_id: i64) -> u64 {
+    fence_key(&format!("reprocess:{obs_id}"))
+}
+
+/// Acquire the next reprocess epoch for `obs_id`: bumps the server's fence
+/// floor past every previous holder and returns the fence this holder must
+/// present. Any earlier holder that wakes up later is fenced out.
+pub fn acquire_reprocess_fence(server: &Server, obs_id: i64) -> Fence {
+    let key = reprocess_fence_key(obs_id);
+    let epoch = server.fence_floor(key) + 1;
+    server.advance_fence(key, epoch);
+    Fence { key, epoch }
+}
+
 /// Full reprocessing: purge `obs_id`'s derived rows, then load the
 /// re-extracted files with `nodes` parallel loaders.
+///
+/// Acquires the observation's reprocess fence first, so this call fences
+/// out any earlier reprocessor of the same observation, and its own purge
+/// would be rejected should a later takeover happen before the purge
+/// commits. The reload runs under the loader fleet's per-file leases,
+/// which carry their own fencing.
 pub fn reprocess_observation(
     server: &Arc<Server>,
     obs_id: i64,
@@ -147,7 +231,8 @@ pub fn reprocess_observation(
     cfg: &LoaderConfig,
     nodes: usize,
 ) -> DbResult<(PurgeReport, NightReport)> {
-    let purge = delete_observation(server.engine(), obs_id)?;
+    let fence = acquire_reprocess_fence(server, obs_id);
+    let purge = delete_observation_fenced(server, obs_id, &fence)?;
     // Per-file failures stay inspectable in the report's failed_files;
     // only an orchestration failure (a loader worker dying) becomes Err.
     let night = crate::parallel::load_night_with_journal(
@@ -236,6 +321,41 @@ mod tests {
             let tid = server.engine().table_id(table).unwrap();
             assert_eq!(server.engine().row_count(tid), *expect, "{table}");
         }
+    }
+
+    #[test]
+    fn zombie_reprocessor_cannot_purge_after_takeover() {
+        let (server, file) = loaded_server(709, 0.0);
+        // A reprocessor acquires the fence, then stalls (zombie).
+        let zombie = acquire_reprocess_fence(&server, 100);
+        // Its lease is taken over: the new holder bumps the epoch.
+        let fresh = acquire_reprocess_fence(&server, 100);
+        assert!(fresh.epoch > zombie.epoch);
+        // The zombie wakes up and tries to purge: rejected at commit, and
+        // nothing it staged is visible.
+        let err = delete_observation_fenced(&server, 100, &zombie).unwrap_err();
+        assert!(matches!(err, DbError::FencedOut(_)), "got {err}");
+        let objects = server.engine().table_id("objects").unwrap();
+        assert_eq!(
+            server.engine().row_count(objects),
+            file.expected.loadable["objects"],
+            "zombie purge must leave rows intact"
+        );
+        // The current holder's purge goes through.
+        let report = delete_observation_fenced(&server, 100, &fresh).unwrap();
+        assert_eq!(report.total(), file.expected.total_loadable());
+    }
+
+    #[test]
+    fn purge_metrics_wired_into_registry() {
+        let (server, file) = loaded_server(711, 0.0);
+        delete_observation(server.engine(), 100).unwrap();
+        let snap = server.engine().obs().snapshot();
+        assert_eq!(snap.counter("reprocess.purges"), 1);
+        assert_eq!(
+            snap.counter("reprocess.deleted_rows"),
+            file.expected.total_loadable()
+        );
     }
 
     #[test]

@@ -126,7 +126,9 @@ pub struct QueueStats {
 }
 
 impl QueueStats {
-    fn from_histogram(h: &skyobs::HistogramHandle) -> QueueStats {
+    /// Summarize any latency histogram (shared with the live-ingest
+    /// freshness clock, which reports `live.freshness_us` this way).
+    pub fn from_histogram(h: &skyobs::HistogramHandle) -> QueueStats {
         QueueStats {
             count: h.count(),
             p50_us: h.quantile(0.50),

@@ -49,7 +49,11 @@ struct SecondaryIndex {
 /// Runtime state of one table.
 #[derive(Debug)]
 struct TableState {
-    schema: Arc<TableSchema>,
+    /// The table's schema snapshot. Behind a lock because a shadow→live
+    /// swap ([`Engine::swap_tables`]) rebinds names and rewrites FK parent
+    /// references in place; readers clone the `Arc` once per operation so
+    /// each insert/delete sees one consistent schema.
+    schema: RwLock<Arc<TableSchema>>,
     heap: Mutex<TableHeap>,
     /// Unique index enforcing the primary key.
     pk: RwLock<BPlusTree>,
@@ -57,6 +61,13 @@ struct TableState {
     uniques: Vec<RwLock<BPlusTree>>,
     /// Attribute indexes, created/dropped dynamically (§4.5.1).
     secondaries: RwLock<Vec<SecondaryIndex>>,
+}
+
+impl TableState {
+    /// The current schema snapshot (one cheap `Arc` clone).
+    fn schema(&self) -> Arc<TableSchema> {
+        self.schema.read().clone()
+    }
 }
 
 /// Result of applying a batch of rows.
@@ -198,7 +209,7 @@ impl Engine {
             pk: RwLock::new(BPlusTree::with_key_width(true, pk_width)),
             uniques,
             secondaries: RwLock::new(Vec::new()),
-            schema,
+            schema: RwLock::new(schema),
         });
         let mut tables = self.tables.write();
         tables.push(state);
@@ -216,7 +227,7 @@ impl Engine {
 
     /// The schema of `table`.
     pub fn schema(&self, table: TableId) -> Arc<TableSchema> {
-        self.tables.read()[table.index()].schema.clone()
+        self.tables.read()[table.index()].schema()
     }
 
     /// All table ids in parent-before-child order.
@@ -245,15 +256,14 @@ impl Engine {
     ) -> DbResult<()> {
         let tid = self.table_id(table)?;
         let ts = self.state(tid);
+        let schema = ts.schema();
         let cols: Vec<usize> = columns
             .iter()
             .map(|c| {
-                ts.schema
-                    .column_index(c)
-                    .ok_or_else(|| DbError::NoSuchColumn {
-                        table: table.into(),
-                        column: (*c).into(),
-                    })
+                schema.column_index(c).ok_or_else(|| DbError::NoSuchColumn {
+                    table: table.into(),
+                    column: (*c).into(),
+                })
             })
             .collect::<DbResult<_>>()?;
         {
@@ -287,7 +297,7 @@ impl Engine {
         }
         let width: usize = cols
             .iter()
-            .map(|&c| ts.schema.columns[c].dtype.width_hint() + 1)
+            .map(|&c| schema.columns[c].dtype.width_hint() + 1)
             .sum();
         let mut tree = BPlusTree::bulk_build(unique, order_for_key_width(width), entries);
         // Building writes every node once, sequentially.
@@ -317,6 +327,38 @@ impl Engine {
             .ok_or_else(|| DbError::NoSuchIndex(index_name.into()))?;
         secs.remove(pos);
         Ok(())
+    }
+
+    /// Atomically swap table **name bindings** pairwise — the shadow→live
+    /// promotion of a reprocessing campaign. For each `(live, shadow)` pair
+    /// the physical table currently answering to `live` is demoted to the
+    /// `shadow` name and vice versa; every FK reference crossing the pair
+    /// set is rewritten so the FK graph over physical table ids never
+    /// changes (see [`Catalog::swap_names`]).
+    ///
+    /// Holds the lock manager and catalog write locks in the same order as
+    /// `create_table` (locks → catalog → tables), so the rebind is atomic
+    /// against concurrent inserts and queries: any reader resolving a name
+    /// sees the full old binding or the full new binding, never a mix.
+    /// Physical state (heaps, B+-trees, the WAL, which replays by table id)
+    /// is untouched, which is what makes the swap O(pairs) and crash-safe:
+    /// a recovered engine replays rows into the same ids and the campaign
+    /// manifest decides whether to re-apply the rebind.
+    ///
+    /// Returns the `(live_id, shadow_id)` pairs as bound before the swap.
+    pub fn swap_tables(&self, pairs: &[(String, String)]) -> DbResult<Vec<(TableId, TableId)>> {
+        let _locks = self.locks.write();
+        let mut catalog = self.catalog.write();
+        let ids = catalog.swap_names(pairs)?;
+        // Refresh every cached schema snapshot: the swapped tables changed
+        // name, and any table whose FK parents were swapped had its
+        // parent_table strings rewritten.
+        let tables = self.tables.read();
+        for (id, schema) in catalog.iter() {
+            *tables[id.index()].schema.write() = Arc::new(schema.clone());
+        }
+        self.stats.table_swaps.inc();
+        Ok(ids)
     }
 
     /// Names of the secondary indexes on `table`.
@@ -427,10 +469,11 @@ impl Engine {
             decode_row(&mut slice).ok()?
         };
         let payload = row_id.packed();
+        let schema = ts.schema();
         ts.pk
             .write()
-            .remove(&Key::project(&row, &ts.schema.primary_key), payload);
-        for (u, udef) in ts.uniques.iter().zip(ts.schema.uniques.iter()) {
+            .remove(&Key::project(&row, &schema.primary_key), payload);
+        for (u, udef) in ts.uniques.iter().zip(schema.uniques.iter()) {
             u.write()
                 .remove(&Key::project(&row, &udef.columns), payload);
         }
@@ -454,11 +497,12 @@ impl Engine {
         self.cache
             .note_write((table, rid.page()), self.farm.device(StorageRole::Data));
         let payload = rid.packed();
+        let schema = ts.schema();
         ts.pk
             .write()
-            .insert(Key::project(row, &ts.schema.primary_key), payload)
+            .insert(Key::project(row, &schema.primary_key), payload)
             .expect("reinserted PK was unique before the delete");
-        for (u, udef) in ts.uniques.iter().zip(ts.schema.uniques.iter()) {
+        for (u, udef) in ts.uniques.iter().zip(schema.uniques.iter()) {
             u.write()
                 .insert(Key::project(row, &udef.columns), payload)
                 .expect("reinserted unique key was unique before the delete");
@@ -534,11 +578,12 @@ impl Engine {
             return Ok(0);
         }
         // 2. RESTRICT: no child row may reference a victim.
+        let schema = ts.schema();
         let victim_keys: std::collections::BTreeSet<Key> = victims
             .iter()
-            .map(|(_, row)| Key::project(row, &ts.schema.primary_key))
+            .map(|(_, row)| Key::project(row, &schema.primary_key))
             .collect();
-        let table_name = ts.schema.name.clone();
+        let table_name = schema.name.clone();
         let catalog = self.catalog.read();
         let children: Vec<(TableId, String, Vec<usize>)> = catalog
             .iter()
@@ -563,7 +608,7 @@ impl Engine {
                     return Err(DbError::constraint(
                         ConstraintKind::ForeignKey,
                         fk_name,
-                        &child_ts.schema.name,
+                        &child_ts.schema().name,
                         format!("child row references {table_name} key {key} being deleted"),
                     ));
                 }
@@ -575,7 +620,7 @@ impl Engine {
         for (rid, row) in victims {
             let removed = self.remove_row_physical(table, rid);
             debug_assert!(removed.is_some(), "victim vanished mid-delete");
-            let pk_values = Key::project(&row, &ts.schema.primary_key).0;
+            let pk_values = Key::project(&row, &schema.primary_key).0;
             let mut pk_bytes = bytes::BytesMut::with_capacity(32);
             encode_row(&pk_values, &mut pk_bytes);
             self.wal.append(
@@ -638,7 +683,7 @@ impl Engine {
     /// heap location; on failure nothing is left behind.
     pub fn insert_row(&self, txn: TxnId, table: TableId, row: &[Value]) -> DbResult<RowId> {
         let ts = self.state(table);
-        let schema = &ts.schema;
+        let schema = ts.schema();
 
         // 1. Arity.
         if row.len() != schema.columns.len() {
@@ -1070,6 +1115,31 @@ impl Engine {
         Ok(QueryOutcome { rows, examined })
     }
 
+    /// Read-committed scan addressed by table *name*, with the name
+    /// resolution and the scan inside one catalog read-guard.
+    ///
+    /// This is the **season pin** behind [`Engine::swap_tables`]'
+    /// atomicity promise to readers: `swap_tables` rebinds names under
+    /// `catalog.write()`, so holding `catalog.read()` across resolve +
+    /// scan means every named scan executes entirely against one
+    /// binding generation — it can never resolve the pre-swap season and
+    /// read the post-swap (or mid-purge) heap. A two-step client
+    /// (`table_id` then [`Engine::scan_where_committed`]) cannot make
+    /// that promise.
+    pub fn scan_named_committed(
+        &self,
+        table: &str,
+        filter: Option<&Expr>,
+    ) -> DbResult<QueryOutcome> {
+        let catalog = self.catalog.read();
+        let tid = catalog
+            .table_id(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        // Scan while the guard is live (heap/tables locks order fine:
+        // everything orders after `catalog`, same as `create_table`).
+        self.scan_where_committed(tid, filter)
+    }
+
     /// Point lookup by primary key at read-committed isolation.
     pub fn pk_get_committed(&self, table: TableId, key: &Key) -> DbResult<Option<Row>> {
         let ts = self.state(table);
@@ -1130,7 +1200,7 @@ impl Engine {
         self.tables
             .read()
             .get(table.index())
-            .map(|ts| ts.schema.name.clone())
+            .map(|ts| ts.schema().name.clone())
     }
 
     /// Live row count of a table.
@@ -1155,16 +1225,17 @@ impl Engine {
     /// costs more than the 1-int index (Fig. 8).
     pub fn maintenance_cost(&self, table: TableId) -> Duration {
         let ts = self.state(table);
+        let schema = ts.schema();
         let per8_nanos = self.cfg.per_index_entry_cpu.as_nanos() as u64;
         let key_width = |cols: &[usize]| -> u64 {
             cols.iter()
-                .map(|&c| ts.schema.columns[c].dtype.width_hint() as u64 + 1)
+                .map(|&c| schema.columns[c].dtype.width_hint() as u64 + 1)
                 .sum()
         };
         // Cost scales continuously with key width (per 8 bytes), so a
         // 3-float composite key really costs ~3x a single-int key.
-        let mut width_bytes = key_width(&ts.schema.primary_key);
-        for u in &ts.schema.uniques {
+        let mut width_bytes = key_width(&schema.primary_key);
+        for u in &schema.uniques {
             width_bytes += key_width(&u.columns);
         }
         for s in ts.secondaries.read().iter() {
@@ -1297,6 +1368,28 @@ mod tests {
 
     fn frame(id: i64) -> Row {
         vec![Value::Int(id), Value::Float(30.0)]
+    }
+
+    /// Clone `frames`/`objects` as a shadow pair (FKs pointing within the
+    /// shadow set), as a reprocessing campaign does.
+    fn add_shadow_pair(e: &Engine) -> (TableId, TableId) {
+        let frames = TableBuilder::new("frames__s1")
+            .col("frame_id", DataType::Int)
+            .col("exposure", DataType::Float)
+            .pk(&["frame_id"])
+            .build()
+            .unwrap();
+        let objects = TableBuilder::new("objects__s1")
+            .col("object_id", DataType::Int)
+            .col("frame_id", DataType::Int)
+            .col_null("mag", DataType::Float)
+            .pk(&["object_id"])
+            .fk("fk_objects_frame", &["frame_id"], "frames__s1")
+            .build()
+            .unwrap();
+        let f = e.create_table(frames).unwrap();
+        let o = e.create_table(objects).unwrap();
+        (f, o)
     }
 
     fn object(id: i64, frame: i64, mag: f64) -> Row {
@@ -1795,5 +1888,118 @@ mod tests {
             .unwrap();
         assert_eq!(n, 0);
         e.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn swap_tables_rebinds_names_and_refreshes_fk_resolution() {
+        let (e, f, o) = two_table_engine();
+        let txn = e.begin();
+        e.insert_row(txn, f, &frame(1)).unwrap();
+        e.insert_row(txn, o, &object(10, 1, 18.5)).unwrap();
+        e.commit(txn).unwrap();
+
+        // Load the shadow season: different frame ids, two objects.
+        let (sf, so) = add_shadow_pair(&e);
+        let txn = e.begin();
+        e.insert_row(txn, sf, &frame(2)).unwrap();
+        e.insert_row(txn, so, &object(20, 2, 19.0)).unwrap();
+        e.insert_row(txn, so, &object(21, 2, 20.0)).unwrap();
+        e.commit(txn).unwrap();
+
+        let ids = e
+            .swap_tables(&[
+                ("frames".into(), "frames__s1".into()),
+                ("objects".into(), "objects__s1".into()),
+            ])
+            .unwrap();
+        assert_eq!(ids, vec![(f, sf), (o, so)]);
+        // The live names now resolve to the shadow physical tables.
+        assert_eq!(e.table_id("frames").unwrap(), sf);
+        assert_eq!(e.table_id("objects").unwrap(), so);
+        assert_eq!(e.row_count(e.table_id("objects").unwrap()), 2);
+        assert_eq!(e.row_count(e.table_id("objects__s1").unwrap()), 1);
+        assert_eq!(e.table_name(sf).as_deref(), Some("frames"));
+        assert_eq!(e.stats().snapshot().table_swaps, 1);
+
+        // FK resolution after the swap: inserting into the promoted
+        // objects table must check the promoted frames table (id sf), and
+        // a row referencing the *demoted* season's frame id 1 must fail.
+        let txn = e.begin();
+        e.insert_row(txn, so, &object(22, 2, 21.0)).unwrap();
+        let err = e.insert_row(txn, so, &object(23, 1, 21.0)).unwrap_err();
+        assert_eq!(err.constraint_kind(), Some(ConstraintKind::ForeignKey));
+        e.commit(txn).unwrap();
+
+        // Topological order stays parent-before-child for both seasons.
+        let order = e.tables_topological();
+        let pos = |id: TableId| order.iter().position(|x| *x == id).unwrap();
+        assert!(pos(f) < pos(o));
+        assert!(pos(sf) < pos(so));
+    }
+
+    #[test]
+    fn wal_replay_by_id_is_swap_oblivious() {
+        // Rows written before AND after a swap replay into the same
+        // physical ids: a recovered engine (always fresh-unswapped) holds
+        // each season's rows under its original creation-time id, and the
+        // campaign manifest decides whether to re-apply the rebind.
+        let (e, f, o) = two_table_engine();
+        let (sf, so) = add_shadow_pair(&e);
+        let txn = e.begin();
+        e.insert_row(txn, f, &frame(1)).unwrap();
+        e.insert_row(txn, sf, &frame(2)).unwrap();
+        e.insert_row(txn, so, &object(20, 2, 19.0)).unwrap();
+        e.commit(txn).unwrap();
+        e.swap_tables(&[
+            ("frames".into(), "frames__s1".into()),
+            ("objects".into(), "objects__s1".into()),
+        ])
+        .unwrap();
+        // Post-swap insert through the *live* name lands in the promoted
+        // physical table.
+        let txn = e.begin();
+        let live_objects = e.table_id("objects").unwrap();
+        e.insert_row(txn, live_objects, &object(21, 2, 20.0))
+            .unwrap();
+        e.commit(txn).unwrap();
+
+        let schemas: Vec<TableSchema> = e
+            .tables_topological()
+            .iter()
+            .map(|&id| {
+                // Recreate creation-order schemas with creation-time names:
+                // ids 0..4 were created as frames, objects, frames__s1,
+                // objects__s1 regardless of the current binding.
+                (*e.schema(id)).clone()
+            })
+            .collect();
+        // tables_topological is definition-order here (0,1,2,3) but names
+        // were swapped; swap them back for the DDL script the recovery
+        // runs (the campaign manifest records exactly this).
+        let mut schemas = schemas;
+        for s in &mut schemas {
+            let n = match s.name.as_str() {
+                "frames" => "frames__s1",
+                "frames__s1" => "frames",
+                "objects" => "objects__s1",
+                "objects__s1" => "objects",
+                other => other,
+            };
+            s.name = n.to_string();
+            for fk in &mut s.foreign_keys {
+                fk.parent_table = match fk.parent_table.as_str() {
+                    "frames" => "frames__s1".into(),
+                    "frames__s1" => "frames".into(),
+                    other => other.into(),
+                };
+            }
+        }
+        let r = Engine::recover_from_log(DbConfig::test(), schemas, &e.durable_log()).unwrap();
+        // Recovered engine is unswapped: id `so` (shadow objects) holds
+        // both shadow-season rows, including the one inserted post-swap.
+        assert_eq!(r.row_count(so), 2);
+        assert_eq!(r.row_count(o), 0);
+        assert_eq!(r.row_count(sf), 1);
+        assert_eq!(r.row_count(f), 1);
     }
 }

@@ -52,10 +52,21 @@ pub enum FaultKind {
     /// tries to flush stale work — which fencing must reject. Decided per
     /// file grant, injected by the fleet layer.
     LoaderStall,
+    /// The campaign coordinator crashes at the shadow→live swap point,
+    /// after the shadow season is fully loaded but around the atomic
+    /// rename. Recovery must either complete the swap or roll it back from
+    /// the persisted campaign manifest — never serve a torn catalog.
+    /// Decided per swap attempt, injected by the campaign layer.
+    SwapCrash,
+    /// A burst in the live-mode arrival process: the next few inter-arrival
+    /// gaps collapse, piling micro-batches onto the ingest path and
+    /// stressing the freshness SLO. Decided per file arrival, injected by
+    /// the live-ingest layer.
+    ArrivalBurst,
 }
 
 /// Every fault kind, for report iteration.
-pub const FAULT_KINDS: [FaultKind; 8] = [
+pub const FAULT_KINDS: [FaultKind; 10] = [
     FaultKind::CrashOnFlush,
     FaultKind::DiskFull,
     FaultKind::Corruption,
@@ -64,6 +75,8 @@ pub const FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::Latency,
     FaultKind::LoaderKill,
     FaultKind::LoaderStall,
+    FaultKind::SwapCrash,
+    FaultKind::ArrivalBurst,
 ];
 
 impl FaultKind {
@@ -78,6 +91,8 @@ impl FaultKind {
             FaultKind::Latency => "latency",
             FaultKind::LoaderKill => "loader_kill",
             FaultKind::LoaderStall => "loader_stall",
+            FaultKind::SwapCrash => "swap_crash",
+            FaultKind::ArrivalBurst => "arrival_burst",
         }
     }
 
@@ -92,6 +107,8 @@ impl FaultKind {
             FaultKind::Latency => 5,
             FaultKind::LoaderKill => 6,
             FaultKind::LoaderStall => 7,
+            FaultKind::SwapCrash => 8,
+            FaultKind::ArrivalBurst => 9,
         }
     }
 }
@@ -147,6 +164,13 @@ pub struct FaultPlanConfig {
     pub loader_kill_at: Option<u64>,
     /// Stall the loader holding the `n`-th file grant, 1-based.
     pub loader_stall_at: Option<u64>,
+    /// Crash the campaign coordinator at the `n`-th shadow→live swap
+    /// attempt, 1-based (campaign-level fault).
+    pub swap_crash_at: Option<u64>,
+    /// Arrival-burst probability per file arrival (live-ingest fault).
+    pub arrival_burst_rate: f64,
+    /// Burst on the `n`-th file arrival, 1-based.
+    pub arrival_burst_at: Option<u64>,
 }
 
 impl Default for FaultPlanConfig {
@@ -166,6 +190,9 @@ impl Default for FaultPlanConfig {
             loader_stall_rate: 0.0,
             loader_kill_at: None,
             loader_stall_at: None,
+            swap_crash_at: None,
+            arrival_burst_rate: 0.0,
+            arrival_burst_at: None,
         }
     }
 }
@@ -240,6 +267,24 @@ impl FaultPlanConfig {
         self
     }
 
+    /// Builder-style: crash the coordinator at the `n`-th swap (1-based).
+    pub fn with_swap_crash_at(mut self, nth_swap: u64) -> Self {
+        self.swap_crash_at = Some(nth_swap);
+        self
+    }
+
+    /// Builder-style: arrival-burst rate (per file arrival).
+    pub fn with_arrival_bursts(mut self, rate: f64) -> Self {
+        self.arrival_burst_rate = rate;
+        self
+    }
+
+    /// Builder-style: burst on the `n`-th file arrival (1-based).
+    pub fn with_arrival_burst_at(mut self, nth_arrival: u64) -> Self {
+        self.arrival_burst_at = Some(nth_arrival);
+        self
+    }
+
     /// Validate rates.
     pub fn validate(&self) -> Result<(), String> {
         for (name, r) in [
@@ -250,6 +295,7 @@ impl FaultPlanConfig {
             ("corruption_rate", self.corruption_rate),
             ("loader_kill_rate", self.loader_kill_rate),
             ("loader_stall_rate", self.loader_stall_rate),
+            ("arrival_burst_rate", self.arrival_burst_rate),
         ] {
             if !(0.0..=1.0).contains(&r) {
                 return Err(format!("{name} must be in [0, 1], got {r}"));
@@ -260,6 +306,9 @@ impl FaultPlanConfig {
         }
         if self.loader_kill_at == Some(0) || self.loader_stall_at == Some(0) {
             return Err("loader_kill_at/loader_stall_at are 1-based; 0 never fires".into());
+        }
+        if self.swap_crash_at == Some(0) || self.arrival_burst_at == Some(0) {
+            return Err("swap_crash_at/arrival_burst_at are 1-based; 0 never fires".into());
         }
         Ok(())
     }
@@ -287,6 +336,8 @@ pub struct FaultPlan {
     batch_calls: AtomicU64,
     commit_calls: AtomicU64,
     grants: AtomicU64,
+    swaps: AtomicU64,
+    arrivals: AtomicU64,
 }
 
 impl FaultPlan {
@@ -302,6 +353,8 @@ impl FaultPlan {
             batch_calls: AtomicU64::new(0),
             commit_calls: AtomicU64::new(0),
             grants: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            arrivals: AtomicU64::new(0),
         }
     }
 
@@ -410,6 +463,33 @@ impl FaultPlan {
             || Self::fires(cfg.seed, FaultKind::LoaderStall, g, cfg.loader_stall_rate)
         {
             return Some(FaultKind::LoaderStall);
+        }
+        None
+    }
+
+    /// Adjudicate one shadow→live swap attempt for the campaign layer:
+    /// should the coordinator crash at the swap point? Swap ordinals are
+    /// 1-based and per-plan, so a `swap_crash_at: Some(1)` plan crashes the
+    /// first attempt and lets the recovery retry through.
+    pub fn decide_swap_fault(&self) -> Option<FaultKind> {
+        let s = self.swaps.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.cfg.swap_crash_at == Some(s) {
+            return Some(FaultKind::SwapCrash);
+        }
+        None
+    }
+
+    /// Adjudicate one file arrival for the live-ingest layer: should the
+    /// arrival process burst here? Arrival ordinals are 1-based and pure
+    /// functions of (seed, ordinal), so a seed reproduces the same burst
+    /// pattern on every run.
+    pub fn decide_arrival_fault(&self) -> Option<FaultKind> {
+        let a = self.arrivals.fetch_add(1, Ordering::Relaxed) + 1;
+        let cfg = &self.cfg;
+        if cfg.arrival_burst_at == Some(a)
+            || Self::fires(cfg.seed, FaultKind::ArrivalBurst, a, cfg.arrival_burst_rate)
+        {
+            return Some(FaultKind::ArrivalBurst);
         }
         None
     }
@@ -575,6 +655,39 @@ mod tests {
         assert_eq!(plan.decide_loader_fault(), Some(FaultKind::LoaderKill));
         assert_eq!(plan.decide_loader_fault(), Some(FaultKind::LoaderStall));
         assert_eq!(plan.decide_loader_fault(), None);
+    }
+
+    #[test]
+    fn swap_crash_fires_on_exact_swap_ordinal() {
+        let plan = FaultPlan::new(FaultPlanConfig::new(5).with_swap_crash_at(2));
+        assert_eq!(plan.decide_swap_fault(), None);
+        assert_eq!(plan.decide_swap_fault(), Some(FaultKind::SwapCrash));
+        assert_eq!(plan.decide_swap_fault(), None, "crash fires exactly once");
+    }
+
+    #[test]
+    fn arrival_burst_schedule_is_seed_deterministic() {
+        let cfg = FaultPlanConfig::new(88).with_arrival_bursts(0.3);
+        let draw = |cfg: FaultPlanConfig| {
+            let plan = FaultPlan::new(cfg);
+            (0..200)
+                .map(|_| plan.decide_arrival_fault())
+                .collect::<Vec<_>>()
+        };
+        let a = draw(cfg.clone());
+        let b = draw(cfg);
+        assert_eq!(a, b, "identical seed must reproduce the burst schedule");
+        assert!(a.contains(&Some(FaultKind::ArrivalBurst)));
+        assert!(a.contains(&None));
+    }
+
+    #[test]
+    fn arrival_burst_exact_ordinal_fires() {
+        let plan = FaultPlan::new(FaultPlanConfig::new(1).with_arrival_burst_at(3));
+        assert_eq!(plan.decide_arrival_fault(), None);
+        assert_eq!(plan.decide_arrival_fault(), None);
+        assert_eq!(plan.decide_arrival_fault(), Some(FaultKind::ArrivalBurst));
+        assert_eq!(plan.decide_arrival_fault(), None);
     }
 
     #[test]

@@ -323,34 +323,63 @@ impl Catalog {
     /// The **parent-before-child** topological order of all tables.
     ///
     /// This is the loading order of paper Fig. 2: "Loading must be in the
-    /// order: Parent, Child, Grandchild." Because `add_table` requires
-    /// parents to be defined first, definition order is already topological;
-    /// this method additionally verifies it (defense against future schema
-    /// manipulation) and returns the ids.
+    /// order: Parent, Child, Grandchild." `add_table` requires parents to be
+    /// defined first, so definition order starts out topological — but a
+    /// shadow→live [`Catalog::swap_names`] can rebind names such that a
+    /// later-defined table becomes the parent of an earlier one. A real Kahn
+    /// sort (lowest-id-first among ready tables, so the order is
+    /// deterministic and equals definition order whenever that order is
+    /// already valid) keeps the invariant instead of merely asserting it.
+    ///
+    /// # Panics
+    /// Panics if the FK graph has a cycle (impossible via `add_table` +
+    /// `swap_names`, both of which preserve acyclicity).
     pub fn topological_order(&self) -> Vec<TableId> {
-        let mut seen = vec![false; self.tables.len()];
+        let n = self.tables.len();
+        // In-degree counts ignore self-references (rare, e.g. hierarchies).
+        let mut indegree = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, t) in self.tables.iter().enumerate() {
             for fk in &t.foreign_keys {
                 let p = self.by_name[&fk.parent_table];
-                // Self-references (rare, e.g. hierarchies) are exempt.
-                assert!(
-                    p == i || seen[p],
-                    "catalog not in topological order: {} before its parent {}",
-                    t.name,
-                    fk.parent_table
-                );
+                if p != i {
+                    indegree[i] += 1;
+                    children[p].push(i);
+                }
             }
-            seen[i] = true;
         }
-        (0..self.tables.len() as u32).map(TableId).collect()
+        let mut order = Vec::with_capacity(n);
+        // Min-id-first ready set: deterministic, and identical to definition
+        // order when definition order is already topological.
+        let mut ready: std::collections::BTreeSet<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        while let Some(&i) = ready.iter().next() {
+            ready.remove(&i);
+            order.push(TableId(i as u32));
+            for &c in &children[i] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    ready.insert(c);
+                }
+            }
+        }
+        assert!(
+            order.len() == n,
+            "catalog FK graph has a cycle: only {} of {n} tables sorted",
+            order.len()
+        );
+        order
     }
 
     /// Depth of each table in the FK DAG (parents = 0, children = 1 + max
-    /// parent depth). Used by tests and reports.
+    /// parent depth). Used by tests and reports. Computed over the
+    /// topological order so it stays correct after a name swap reorders the
+    /// parent/child relation relative to definition order.
     pub fn fk_depths(&self) -> Vec<usize> {
         let mut depth = vec![0usize; self.tables.len()];
-        for (i, t) in self.tables.iter().enumerate() {
-            for fk in &t.foreign_keys {
+        for id in self.topological_order() {
+            let i = id.index();
+            for fk in &self.tables[i].foreign_keys {
                 let p = self.by_name[&fk.parent_table];
                 if p != i {
                     depth[i] = depth[i].max(depth[p] + 1);
@@ -358,6 +387,79 @@ impl Catalog {
             }
         }
         depth
+    }
+
+    /// Atomically rebind table names pairwise: for each `(live, shadow)`
+    /// pair, the table currently named `live` becomes `shadow` and vice
+    /// versa, and every foreign key in the catalog that referenced a swapped
+    /// name is rewritten through the pair map so the FK *graph over table
+    /// ids* is unchanged. This is the catalog half of a reprocessing
+    /// campaign's shadow→live swap: physical table ids (and thus heaps,
+    /// indexes, and the WAL) never move; only the name binding does.
+    ///
+    /// Validates before mutating: both names of every pair must exist, be
+    /// distinct, and appear in at most one pair. Returns the `(id_of_live,
+    /// id_of_shadow)` pairs as bound *before* the swap.
+    ///
+    /// Note this rewrites FK `parent_table` strings on *all* tables (swapped
+    /// or not), so callers caching a `TableSchema` snapshot of any table
+    /// whose parents were swapped must refresh it.
+    pub fn swap_names(&mut self, pairs: &[(String, String)]) -> DbResult<Vec<(TableId, TableId)>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut ids = Vec::with_capacity(pairs.len());
+        for (a, b) in pairs {
+            if a == b {
+                return Err(DbError::InvalidSchema(format!(
+                    "swap_names: cannot swap {a} with itself"
+                )));
+            }
+            let ia = self
+                .table_id(a)
+                .ok_or_else(|| DbError::InvalidSchema(format!("swap_names: no such table {a}")))?;
+            let ib = self
+                .table_id(b)
+                .ok_or_else(|| DbError::InvalidSchema(format!("swap_names: no such table {b}")))?;
+            if !seen.insert(a.clone()) || !seen.insert(b.clone()) {
+                return Err(DbError::InvalidSchema(format!(
+                    "swap_names: table named in more than one pair ({a}, {b})"
+                )));
+            }
+            ids.push((ia, ib));
+        }
+        // Build the bidirectional rename map, then apply: rebind by_name,
+        // rename the schemas in place, and rewrite every FK parent ref.
+        let mut rename: HashMap<&str, &str> = HashMap::new();
+        for (a, b) in pairs {
+            rename.insert(a.as_str(), b.as_str());
+            rename.insert(b.as_str(), a.as_str());
+        }
+        let mut renamed: Vec<(usize, String)> = Vec::new();
+        let mut fk_rewrites: Vec<(usize, usize, String)> = Vec::new();
+        for (i, t) in self.tables.iter().enumerate() {
+            if let Some(n) = rename.get(t.name.as_str()) {
+                renamed.push((i, n.to_string()));
+            }
+            for (k, fk) in t.foreign_keys.iter().enumerate() {
+                if let Some(n) = rename.get(fk.parent_table.as_str()) {
+                    fk_rewrites.push((i, k, n.to_string()));
+                }
+            }
+        }
+        // Remove every old binding first, then insert the new ones: a
+        // remove-after-insert interleaving would delete a binding another
+        // pair member just created under the same name.
+        for (i, _) in &renamed {
+            let old = self.tables[*i].name.clone();
+            self.by_name.remove(&old);
+        }
+        for (i, new_name) in renamed {
+            self.tables[i].name = new_name.clone();
+            self.by_name.insert(new_name, i);
+        }
+        for (i, k, parent) in fk_rewrites {
+            self.tables[i].foreign_keys[k].parent_table = parent;
+        }
+        Ok(ids)
     }
 }
 
@@ -475,6 +577,81 @@ mod tests {
         let order = cat.topological_order();
         assert_eq!(order.len(), 3);
         assert_eq!(cat.fk_depths(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn swap_names_rebinds_and_rewrites_fks() {
+        let mut cat = Catalog::new();
+        cat.add_table(frames()).unwrap();
+        cat.add_table(objects()).unwrap();
+        // Shadow pair, defined after the live tables (as a campaign would).
+        let shadow_frames = TableBuilder::new("frames__shadow")
+            .col("frame_id", DataType::Int)
+            .col("exposure", DataType::Float)
+            .pk(&["frame_id"])
+            .build()
+            .unwrap();
+        let shadow_objects = TableBuilder::new("objects__shadow")
+            .col("object_id", DataType::Int)
+            .col("frame_id", DataType::Int)
+            .col_null("mag", DataType::Float)
+            .pk(&["object_id"])
+            .fk("fk_objects_frame", &["frame_id"], "frames__shadow")
+            .build()
+            .unwrap();
+        let sf = cat.add_table(shadow_frames).unwrap();
+        let so = cat.add_table(shadow_objects).unwrap();
+
+        let ids = cat
+            .swap_names(&[
+                ("frames".into(), "frames__shadow".into()),
+                ("objects".into(), "objects__shadow".into()),
+            ])
+            .unwrap();
+        assert_eq!(ids, vec![(TableId(0), sf), (TableId(1), so)]);
+        // The shadow physical tables now answer to the live names...
+        assert_eq!(cat.table_id("frames"), Some(sf));
+        assert_eq!(cat.table_id("objects"), Some(so));
+        // ...and the demoted live tables to the shadow names.
+        assert_eq!(cat.table_id("frames__shadow"), Some(TableId(0)));
+        assert_eq!(cat.table_id("objects__shadow"), Some(TableId(1)));
+        // Every FK still points at the same physical parent id.
+        for (id, t) in cat.iter() {
+            for fk in &t.foreign_keys {
+                let p = cat.table_id(&fk.parent_table).unwrap();
+                assert_ne!(p, id);
+                // objects (either incarnation) must reference its own
+                // frames incarnation: ids 1->0 and 3->2.
+                assert_eq!(p.index() + 1, id.index(), "fk graph over ids moved");
+            }
+        }
+        // Topological order remains valid even though the promoted parent
+        // (id 2) was defined after the demoted child (id 1).
+        let order = cat.topological_order();
+        let pos = |id: TableId| order.iter().position(|x| *x == id).unwrap();
+        assert!(pos(TableId(0)) < pos(TableId(1)));
+        assert!(pos(sf) < pos(so));
+        assert_eq!(cat.fk_depths(), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn swap_names_validates_before_mutating() {
+        let mut cat = Catalog::new();
+        cat.add_table(frames()).unwrap();
+        cat.add_table(objects()).unwrap();
+        assert!(cat
+            .swap_names(&[("frames".into(), "frames".into())])
+            .is_err());
+        assert!(cat.swap_names(&[("frames".into(), "nope".into())]).is_err());
+        assert!(cat
+            .swap_names(&[
+                ("frames".into(), "objects".into()),
+                ("objects".into(), "frames".into()),
+            ])
+            .is_err());
+        // Nothing mutated by the failed attempts.
+        assert_eq!(cat.table_id("frames"), Some(TableId(0)));
+        assert_eq!(cat.table_id("objects"), Some(TableId(1)));
     }
 
     #[test]

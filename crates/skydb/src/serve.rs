@@ -557,7 +557,10 @@ fn run_query(
 ) -> DbResult<(Vec<Row>, Duration)> {
     match query {
         Query::Scan { table, filter } => {
-            let QueryReply { rows, modeled } = session.query_scan(table, filter.clone())?;
+            // Season-atomic: resolve-and-scan in one catalog critical
+            // section, so a concurrent campaign swap can't slip between
+            // the name lookup and the heap read.
+            let QueryReply { rows, modeled } = session.query_scan_named(table, filter.clone())?;
             Ok((rows, modeled))
         }
         Query::PkLookup { table, key } => {
@@ -1076,5 +1079,108 @@ mod tests {
             snap.counter("serve.slow.completed") + snap.counter("serve.slow.failed"),
             6
         );
+    }
+
+    #[test]
+    fn scans_never_see_a_torn_season_across_swap() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+        // Live season: 5 stars. Shadow season loaded behind it: 9 stars.
+        // Counts differ, so every scan result identifies its season.
+        let s = star_server(&stars_near(150.0, 10.0, 5));
+        let shadow = TableBuilder::new("objects__c1")
+            .col("object_id", DataType::Int)
+            .col("ra", DataType::Float)
+            .col("dec", DataType::Float)
+            .col("htmid", DataType::Int)
+            .pk(&["object_id"])
+            .build()
+            .unwrap();
+        s.engine().create_table(shadow).unwrap();
+        let sess = s.connect();
+        let stmt = sess.prepare_insert("objects__c1").unwrap();
+        for (id, ra, dec) in stars_near(150.0, 10.0, 9) {
+            sess.execute(
+                &stmt,
+                vec![
+                    Value::Int(id),
+                    Value::Float(ra),
+                    Value::Float(dec),
+                    Value::Int(htmid(ra, dec, CATALOG_DEPTH) as i64),
+                ],
+            )
+            .unwrap();
+        }
+        sess.commit().unwrap();
+
+        let svc = Arc::new(QueryService::start(s.clone(), cfg()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let torn = Arc::new(AtomicU64::new(0));
+        let reads = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..3)
+            .map(|r| {
+                let (svc, stop, torn, reads) =
+                    (svc.clone(), stop.clone(), torn.clone(), reads.clone());
+                std::thread::spawn(move || {
+                    let user = format!("reader{r}");
+                    while !stop.load(Ordering::Relaxed) {
+                        match svc.fast_query(
+                            &user,
+                            Query::Scan {
+                                table: "objects".into(),
+                                filter: None,
+                            },
+                        ) {
+                            Ok(FastOutcome::Done(res)) => {
+                                reads.fetch_add(1, Ordering::Relaxed);
+                                let n = res.rows.len();
+                                if n != 5 && n != 9 {
+                                    torn.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Ok(FastOutcome::Demoted(_)) => {}
+                            // Transient admission rejections are fine;
+                            // only season tearing fails the test.
+                            Err(_) => {}
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Promote the shadow mid-traffic, then purge the demoted season
+        // — the moment a torn read could happen if the swap were not
+        // atomic to named scans.
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        s.engine()
+            .swap_tables(&[("objects".into(), "objects__c1".into())])
+            .unwrap();
+        let engine = s.engine();
+        let txn = engine.begin();
+        let demoted = engine.table_id("objects__c1").unwrap();
+        engine.delete_where(txn, demoted, None).unwrap();
+        engine.commit(txn).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(15));
+
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert_eq!(torn.load(Ordering::Relaxed), 0, "a scan saw a torn season");
+        assert!(reads.load(Ordering::Relaxed) > 0, "no reads completed");
+        // Post-swap, the live name serves the new season.
+        match svc
+            .fast_query(
+                "final",
+                Query::Scan {
+                    table: "objects".into(),
+                    filter: None,
+                },
+            )
+            .unwrap()
+        {
+            FastOutcome::Done(res) => assert_eq!(res.rows.len(), 9),
+            FastOutcome::Demoted(_) => panic!("zero-cost scan demoted"),
+        }
     }
 }

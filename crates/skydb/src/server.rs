@@ -451,6 +451,13 @@ impl Server {
                 };
                 self.query_response(base, result)
             }
+            Request::ScanNamed { table, filter } => {
+                let base = self.call_service(request_bytes.len());
+                let result = self.cpu.run(base, || {
+                    self.engine.scan_named_committed(&table, filter.as_ref())
+                });
+                self.query_response(base, result)
+            }
             Request::PkGet { table, key } => {
                 let base = self.call_service(request_bytes.len());
                 let result = match self.table_checked(table) {
@@ -616,9 +623,10 @@ impl Session {
             Request::Rollback => CallClass::Rollback,
             // Reads go through `call_read`; routing one here still treats
             // it as a query for fault purposes.
-            Request::Scan { .. } | Request::PkGet { .. } | Request::IndexRange { .. } => {
-                CallClass::Query
-            }
+            Request::Scan { .. }
+            | Request::ScanNamed { .. }
+            | Request::PkGet { .. }
+            | Request::IndexRange { .. } => CallClass::Query,
         };
         // Client-side marshaling: real serialization work.
         let mut buf = BytesMut::with_capacity(256);
@@ -664,6 +672,21 @@ impl Session {
     pub fn query_scan(&self, table: &str, filter: Option<Expr>) -> DbResult<QueryReply> {
         let tid = self.server.engine.table_id(table)?;
         self.call_read(&Request::Scan { table: tid, filter })
+    }
+
+    /// Season-atomic read-committed scan: the table name travels the wire
+    /// and the server resolves it *inside* the same catalog read-guard
+    /// the scan runs under, so a concurrent [`Engine::swap_tables`] can
+    /// never slip between resolution and execution. Use this (as the
+    /// serve tier does) when shadow-swap campaigns may promote tables
+    /// mid-query.
+    ///
+    /// [`Engine::swap_tables`]: crate::engine::Engine::swap_tables
+    pub fn query_scan_named(&self, table: &str, filter: Option<Expr>) -> DbResult<QueryReply> {
+        self.call_read(&Request::ScanNamed {
+            table: table.into(),
+            filter,
+        })
     }
 
     /// Read-committed point lookup by primary key. `key` carries the

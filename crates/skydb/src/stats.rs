@@ -51,6 +51,8 @@ pub struct EngineStats {
     pub bind_spill_bytes: CounterHandle,
     /// Full-table-scan page visits (query path).
     pub scan_pages: CounterHandle,
+    /// Shadow→live table name swaps (campaign promotions).
+    pub table_swaps: CounterHandle,
 }
 
 impl EngineStats {
@@ -75,6 +77,7 @@ impl EngineStats {
             bind_spills: obs.counter("engine.bind_spills"),
             bind_spill_bytes: obs.counter("engine.bind_spill_bytes"),
             scan_pages: obs.counter("engine.scan_pages"),
+            table_swaps: obs.counter("engine.table_swaps"),
         }
     }
 }
@@ -126,6 +129,8 @@ pub struct StatsSnapshot {
     pub bind_spill_bytes: u64,
     /// Full-table-scan page visits.
     pub scan_pages: u64,
+    /// Shadow→live table name swaps.
+    pub table_swaps: u64,
 }
 
 impl EngineStats {
@@ -150,6 +155,7 @@ impl EngineStats {
             bind_spills: self.bind_spills.get(),
             bind_spill_bytes: self.bind_spill_bytes.get(),
             scan_pages: self.scan_pages.get(),
+            table_swaps: self.table_swaps.get(),
         }
     }
 }

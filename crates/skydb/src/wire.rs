@@ -64,6 +64,20 @@ pub enum Request {
         /// Optional filter evaluated server-side (pushdown).
         filter: Option<Expr>,
     },
+    /// Read-committed scan addressed by table *name*, resolved on the
+    /// server under the catalog read-guard that [`swap_tables`] excludes.
+    /// This is the season-atomic read path: name resolution and the scan
+    /// are one critical section, so a query can never resolve one season's
+    /// binding and read another's rows — [`Request::Scan`] resolves the id
+    /// client-side and cannot make that promise across a swap.
+    ///
+    /// [`swap_tables`]: crate::engine::Engine::swap_tables
+    ScanNamed {
+        /// Table name to resolve-and-scan atomically.
+        table: String,
+        /// Optional filter evaluated server-side (pushdown).
+        filter: Option<Expr>,
+    },
     /// Read-committed point lookup via the primary-key B+-tree.
     PkGet {
         /// Table to probe.
@@ -124,6 +138,7 @@ const OP_ROLLBACK: u8 = 4;
 const OP_SCAN: u8 = 5;
 const OP_PK_GET: u8 = 6;
 const OP_INDEX_RANGE: u8 = 7;
+const OP_SCAN_NAMED: u8 = 8;
 
 const RESP_OK: u8 = 0;
 const RESP_ERR: u8 = 1;
@@ -460,6 +475,17 @@ impl Request {
                     None => buf.put_u8(0),
                 }
             }
+            Request::ScanNamed { table, filter } => {
+                buf.put_u8(OP_SCAN_NAMED);
+                put_str(buf, table);
+                match filter {
+                    Some(e) => {
+                        buf.put_u8(1);
+                        put_expr(buf, e);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
             Request::PkGet { table, key } => {
                 buf.put_u8(OP_PK_GET);
                 buf.put_u32_le(table.0);
@@ -543,6 +569,18 @@ impl Request {
                 let key = decode_row(buf)?;
                 Ok(Request::PkGet { table, key })
             }
+            OP_SCAN_NAMED => {
+                let table = get_str(buf)?;
+                if buf.remaining() < 1 {
+                    return Err(DbError::Protocol("truncated named-scan filter".into()));
+                }
+                let filter = match buf.get_u8() {
+                    0 => None,
+                    1 => Some(get_expr(buf, 0)?),
+                    b => return Err(DbError::Protocol(format!("bad filter marker {b}"))),
+                };
+                Ok(Request::ScanNamed { table, filter })
+            }
             OP_INDEX_RANGE => {
                 if buf.remaining() < 4 {
                     return Err(DbError::Protocol("truncated index-range header".into()));
@@ -570,6 +608,7 @@ impl Request {
             | Request::Commit { fence } => *fence,
             Request::Rollback
             | Request::Scan { .. }
+            | Request::ScanNamed { .. }
             | Request::PkGet { .. }
             | Request::IndexRange { .. } => None,
         }
@@ -746,6 +785,14 @@ mod tests {
                     Box::new(Expr::Column(1)),
                     Box::new(Expr::Literal(Value::Float(2.0))),
                 )))))),
+            },
+            Request::ScanNamed {
+                table: "objects".into(),
+                filter: None,
+            },
+            Request::ScanNamed {
+                table: "objects__c7".into(),
+                filter: Some(Expr::cmp(0, CmpOp::Eq, 3i64)),
             },
             Request::PkGet {
                 table: TableId(9),

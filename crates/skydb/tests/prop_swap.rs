@@ -1,0 +1,121 @@
+//! Property tests for the season-atomicity contract behind reprocessing
+//! campaigns: a named scan pinned by [`Engine::scan_named_committed`]
+//! must see **exactly one season** — the full row set bound to the name
+//! at resolve time — no matter how scans and shadow swaps interleave.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use skydb::engine::Engine;
+use skydb::schema::TableBuilder;
+use skydb::value::{DataType, Value};
+
+/// Two seasons of `objects` with distinguishable row counts: the live
+/// name starts bound to season A (`rows_a`), the shadow to season B.
+fn two_season_engine(rows_a: u64, rows_b: u64) -> Engine {
+    let e = Engine::for_tests();
+    for (name, rows) in [("objects", rows_a), ("objects__shadow", rows_b)] {
+        let schema = TableBuilder::new(name)
+            .col("object_id", DataType::Int)
+            .pk(&["object_id"])
+            .build()
+            .unwrap();
+        let tid = e.create_table(schema).unwrap();
+        let txn = e.begin();
+        for id in 0..rows {
+            e.insert_row(txn, tid, &[Value::Int(id as i64)]).unwrap();
+        }
+        e.commit(txn).unwrap();
+    }
+    e
+}
+
+const SWAP: [(&str, &str); 1] = [("objects", "objects__shadow")];
+
+fn swap_pairs() -> Vec<(String, String)> {
+    SWAP.iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any serial interleaving of named scans and swaps: each scan sees
+    /// exactly the season currently bound to the name — never a blend,
+    /// never an empty in-between.
+    #[test]
+    fn serial_interleavings_see_exactly_one_season(
+        rows_a in 1u64..12,
+        extra_b in 1u64..12,
+        ops in prop::collection::vec(any::<bool>(), 1..24),
+    ) {
+        let rows_b = rows_a + extra_b;
+        let e = two_season_engine(rows_a, rows_b);
+        let mut swapped = false;
+        for &is_swap in &ops {
+            if is_swap {
+                e.swap_tables(&swap_pairs()).unwrap();
+                swapped = !swapped;
+            } else {
+                let season = if swapped { rows_b } else { rows_a };
+                let live = e.scan_named_committed("objects", None).unwrap();
+                prop_assert_eq!(live.rows.len() as u64, season);
+                let shadow = e.scan_named_committed("objects__shadow", None).unwrap();
+                prop_assert_eq!(shadow.rows.len() as u64, rows_a + rows_b - season);
+            }
+        }
+    }
+
+    /// Concurrent readers racing an arbitrary number of swaps: every
+    /// pinned scan observes one full season (`rows_a` or `rows_b`
+    /// exactly), and the final binding matches the swap parity.
+    #[test]
+    fn concurrent_scans_never_straddle_a_swap(
+        rows_a in 1u64..10,
+        extra_b in 1u64..10,
+        swaps in 1usize..8,
+    ) {
+        let rows_b = rows_a + extra_b;
+        let e = Arc::new(two_season_engine(rows_a, rows_b));
+        let stop = Arc::new(AtomicBool::new(false));
+        let torn = Arc::new(AtomicU64::new(0));
+        let reads = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let (e, stop, torn, reads) =
+                    (e.clone(), stop.clone(), torn.clone(), reads.clone());
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let n = e.scan_named_committed("objects", None).unwrap().rows.len() as u64;
+                        if n != rows_a && n != rows_b {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        // Let the readers spin up before the first swap, and give them a
+        // scheduling window between swaps, so scans genuinely race the
+        // rebinds instead of all landing after them.
+        while reads.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        for _ in 0..swaps {
+            e.swap_tables(&swap_pairs()).unwrap();
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        prop_assert_eq!(torn.load(Ordering::Relaxed), 0);
+        prop_assert!(reads.load(Ordering::Relaxed) > 0);
+        let expect = if swaps % 2 == 1 { rows_b } else { rows_a };
+        let n = e.scan_named_committed("objects", None).unwrap().rows.len() as u64;
+        prop_assert_eq!(n, expect);
+    }
+}

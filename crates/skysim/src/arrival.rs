@@ -1,0 +1,187 @@
+//! Deterministic file-arrival process for live micro-batch ingest.
+//!
+//! The paper's nightly load assumes the whole night's files are present
+//! before loading starts; the live-ingest mode instead models files
+//! trickling in over the night as the telescope observes and the extraction
+//! pipeline emits them. An [`ArrivalSchedule`] is a reproducible sequence of
+//! arrival offsets from the start of the night: inter-arrival gaps are drawn
+//! from an exponential distribution (a Poisson arrival process, the standard
+//! model for independent event streams) using [`SplitMix64`], so one seed
+//! reproduces the identical night.
+//!
+//! Bursts — several files landing nearly at once, e.g. a pipeline node
+//! flushing its backlog — are injected by *compressing* a run of gaps by a
+//! configurable factor. The fault layer decides per-arrival whether a burst
+//! starts ([`skydb` `FaultKind::ArrivalBurst`]); this module only provides
+//! the deterministic schedule arithmetic.
+
+use std::time::Duration;
+
+use crate::rng::SplitMix64;
+
+/// A reproducible arrival schedule: offsets of each file's arrival from the
+/// start of the night, non-decreasing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    offsets: Vec<Duration>,
+}
+
+impl ArrivalSchedule {
+    /// Draw `n` arrivals with exponential inter-arrival gaps of the given
+    /// mean. The first arrival is one gap after the night starts.
+    ///
+    /// # Panics
+    /// Panics if `mean` is zero (use [`ArrivalSchedule::immediate`] for a
+    /// zero-delay schedule).
+    pub fn poisson(seed: u64, n: usize, mean: Duration) -> Self {
+        assert!(!mean.is_zero(), "mean inter-arrival must be nonzero");
+        let mut rng = SplitMix64::new(seed ^ 0x4152_5249_5641_4C21); // "ARRIVAL!"
+        let mut at = Duration::ZERO;
+        let mut offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Inverse-CDF exponential draw; clamp the uniform away from 0
+            // so ln() stays finite.
+            let u = rng.next_f64().max(1e-12);
+            let gap = mean.as_secs_f64() * -u.ln();
+            at += Duration::from_secs_f64(gap);
+            offsets.push(at);
+        }
+        ArrivalSchedule { offsets }
+    }
+
+    /// All `n` files present at the start of the night (the paper's bulk
+    /// scenario, as a degenerate schedule).
+    pub fn immediate(n: usize) -> Self {
+        ArrivalSchedule {
+            offsets: vec![Duration::ZERO; n],
+        }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `true` if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Arrival offset of file `i`.
+    pub fn offset(&self, i: usize) -> Duration {
+        self.offsets[i]
+    }
+
+    /// Iterate over the arrival offsets.
+    pub fn iter(&self) -> impl Iterator<Item = Duration> + '_ {
+        self.offsets.iter().copied()
+    }
+
+    /// Offset of the last arrival (the modeled night length up to the final
+    /// file), or zero for an empty schedule.
+    pub fn span(&self) -> Duration {
+        self.offsets.last().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Inject a burst starting at arrival `start`: the gaps *entering* each
+    /// of the next `run` arrivals (i.e. between arrivals `start-1..start`
+    /// through `start+run-1`) are divided by `factor`, and every later
+    /// arrival shifts earlier by the time saved. Offsets stay
+    /// non-decreasing; `factor <= 1` or an out-of-range `start` is a no-op.
+    pub fn compress_burst(&mut self, start: usize, run: usize, factor: f64) {
+        if factor <= 1.0 || start >= self.offsets.len() {
+            return;
+        }
+        let n = self.offsets.len();
+        let mut gaps: Vec<Duration> = (0..n)
+            .map(|i| {
+                let prev = if i == 0 {
+                    Duration::ZERO
+                } else {
+                    self.offsets[i - 1]
+                };
+                self.offsets[i] - prev
+            })
+            .collect();
+        for g in gaps.iter_mut().skip(start).take(run) {
+            *g = Duration::from_secs_f64(g.as_secs_f64() / factor);
+        }
+        let mut at = Duration::ZERO;
+        for (i, g) in gaps.iter().enumerate() {
+            at += *g;
+            self.offsets[i] = at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ArrivalSchedule::poisson(7, 50, Duration::from_millis(100));
+        let b = ArrivalSchedule::poisson(7, 50, Duration::from_millis(100));
+        assert_eq!(a, b);
+        let c = ArrivalSchedule::poisson(8, 50, Duration::from_millis(100));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn offsets_are_nondecreasing_and_mean_roughly_honoured() {
+        let mean = Duration::from_millis(200);
+        let s = ArrivalSchedule::poisson(42, 2000, mean);
+        let mut prev = Duration::ZERO;
+        for off in s.iter() {
+            assert!(off >= prev);
+            prev = off;
+        }
+        let avg_gap = s.span().as_secs_f64() / 2000.0;
+        assert!(
+            (avg_gap - mean.as_secs_f64()).abs() < 0.2 * mean.as_secs_f64(),
+            "avg gap {avg_gap}s far from mean {}s",
+            mean.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn burst_compresses_gaps_and_shifts_tail() {
+        let mut s = ArrivalSchedule::poisson(3, 20, Duration::from_millis(100));
+        let before = s.clone();
+        s.compress_burst(5, 4, 10.0);
+        // Arrivals before the burst are untouched.
+        for i in 0..5 {
+            assert_eq!(s.offset(i), before.offset(i));
+        }
+        // Burst arrivals land earlier; the tail shifts by the saved time.
+        for i in 5..20 {
+            assert!(s.offset(i) < before.offset(i), "arrival {i} did not move");
+        }
+        // Still non-decreasing.
+        for i in 1..20 {
+            assert!(s.offset(i) >= s.offset(i - 1));
+        }
+        let saved_at_burst_end = before.offset(8) - s.offset(8);
+        let tail_shift = before.offset(19) - s.offset(19);
+        assert_eq!(saved_at_burst_end, tail_shift);
+    }
+
+    #[test]
+    fn burst_with_unit_factor_or_oob_start_is_noop() {
+        let mut s = ArrivalSchedule::poisson(3, 10, Duration::from_millis(50));
+        let before = s.clone();
+        s.compress_burst(4, 3, 1.0);
+        assert_eq!(s, before);
+        s.compress_burst(10, 3, 5.0);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn immediate_schedule_is_all_zero() {
+        let s = ArrivalSchedule::immediate(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.span(), Duration::ZERO);
+        assert!(!s.is_empty());
+        assert!(ArrivalSchedule::immediate(0).is_empty());
+    }
+}

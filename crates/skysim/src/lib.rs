@@ -34,9 +34,12 @@
 //!   assignment versus static partitioning across worker nodes.
 //! * [`rng`] — small deterministic PRNG (SplitMix64) for reproducible
 //!   workloads without external dependencies.
+//! * [`arrival`] — deterministic Poisson file-arrival schedules (with burst
+//!   compression) for the live micro-batch ingest mode.
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod cluster;
 pub mod cpu;
 pub mod disk;
@@ -46,6 +49,7 @@ pub mod net;
 pub mod rng;
 pub mod time;
 
+pub use arrival::ArrivalSchedule;
 pub use cluster::{run_dynamic, run_static, AssignmentPolicy, NodeSpec};
 pub use cpu::{CpuGate, Semaphore};
 pub use disk::{DiskDevice, DiskFarm, DiskModel};
