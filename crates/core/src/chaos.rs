@@ -739,6 +739,470 @@ pub fn run_campaign_chaos_with_obs(
     })
 }
 
+// ---------------------------------------------------------------------
+// Scrub chaos: bit rot under live ingest + serving, background scrubber,
+// journal-driven self-repair.
+// ---------------------------------------------------------------------
+
+/// Knobs for one scrub chaos soak: a live night ingests under connection
+/// weather while seeded bit rot flips bits in committed heap rows, a
+/// background scrubber walks the tables concurrently with serving, and a
+/// journal-driven repair re-derives every quarantined row from its source
+/// file. With [`ScrubChaosConfig::wal_rot`] the soak also rots the durable
+/// log and restarts the server, proving recovery stops replay at the first
+/// bad record and the repair widens to the whole night.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScrubChaosConfig {
+    /// Master seed: night, fault plan, and rot schedule.
+    pub seed: u64,
+    /// Catalog files in the night.
+    pub files: usize,
+    /// Parallel loader nodes.
+    pub nodes: usize,
+    /// Quick mode for CI.
+    pub quick: bool,
+    /// Concurrent serve-tier reader threads.
+    pub readers: usize,
+    /// Per-opportunity probability that the rot driver flips a bit
+    /// (opportunities are polled on a timer while the night loads, each
+    /// decided by the seeded [`skydb::fault::FaultKind::BitRot`] schedule).
+    pub rot_rate: f64,
+    /// Also flip one bit in the durable WAL after the night, then restart
+    /// the server from the (now-damaged) log.
+    pub wal_rot: bool,
+    /// Real-time interval between background scrub passes.
+    #[serde(with = "ser_duration")]
+    pub scrub_interval: Duration,
+    /// Lease TTL for the fleet.
+    #[serde(with = "ser_duration")]
+    pub lease_ttl: Duration,
+}
+
+impl Default for ScrubChaosConfig {
+    fn default() -> Self {
+        ScrubChaosConfig {
+            seed: 2005,
+            files: 3,
+            nodes: 2,
+            quick: false,
+            readers: 2,
+            rot_rate: 0.35,
+            wal_rot: false,
+            scrub_interval: Duration::from_millis(10),
+            lease_ttl: Duration::from_millis(250),
+        }
+    }
+}
+
+impl ScrubChaosConfig {
+    fn night(&self) -> Vec<CatalogFile> {
+        let files = if self.quick {
+            self.files.min(2)
+        } else {
+            self.files
+        }
+        .max(1);
+        generate_observation(&GenConfig::night(self.seed, 100).with_files(files))
+    }
+
+    /// Server-side plan: mild connection weather so ingest retries stay
+    /// exercised. Bit rot is *not* injected per call — the rot driver owns
+    /// it, deciding each opportunity against its own seeded schedule.
+    fn fault_plan(&self) -> FaultPlanConfig {
+        FaultPlanConfig::new(self.seed)
+            .with_resets(0.004)
+            .with_latency(0.01, Duration::from_millis(10))
+    }
+
+    fn loader(&self) -> LoaderConfig {
+        LoaderConfig::test()
+            .with_array_size(300)
+            .with_commit_policy(CommitPolicy::PerFlush)
+            .with_retry(
+                RetryPolicy::default()
+                    .with_seed(self.seed)
+                    .with_call_timeout(Duration::from_millis(10)),
+            )
+            .with_fleet(
+                crate::fleet::FleetPolicy::default()
+                    .with_lease_ttl(self.lease_ttl)
+                    .with_heartbeat_interval((self.lease_ttl / 4).max(Duration::from_millis(1))),
+            )
+    }
+}
+
+/// What a scrub chaos soak observed, and the heal verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScrubChaosReport {
+    /// The configuration the soak ran with.
+    pub config: ScrubChaosConfig,
+    /// Heap-row bits actually flipped (≥ 1: the soak forces one flip even
+    /// if the timed schedule never fired).
+    pub heap_rot_injected: u64,
+    /// Whether a WAL bit was flipped.
+    pub wal_rot_injected: bool,
+    /// Whether the server was restarted from its durable log.
+    pub recovered_from_log: bool,
+    /// Whether log replay itself flagged a CRC failure (it may instead
+    /// surface as a torn-tail truncation, depending on which byte rotted).
+    pub log_replay_flagged_corruption: bool,
+    /// Whether recovery was impossible (replay constraint failure) and the
+    /// repository was rebuilt from schema + source files instead.
+    pub rebuilt_from_source: bool,
+    /// Background + final scrub passes completed.
+    pub scrub_passes: u64,
+    /// Heap pages walked across all passes.
+    pub scrub_pages: u64,
+    /// Rows that failed their CRC across all passes.
+    pub bad_records: u64,
+    /// Index trees that failed validation (must be 0).
+    pub bad_nodes: u64,
+    /// Rows quarantined across all passes.
+    pub quarantined_rows: u64,
+    /// Serve-tier reads completed successfully.
+    pub reads_total: u64,
+    /// Reads refused with an at-rest corruption error (the rot was *seen*
+    /// but never *served*).
+    pub blocked_reads: u64,
+    /// Rows returned to readers that are not part of the night's id space
+    /// (must be 0: rot is either blocked or quarantined, never served).
+    pub corrupt_rows_served: u64,
+    /// The repair pass's own report (merged across attempts).
+    pub repair: crate::repair::RepairReport,
+    /// Repair passes run until every target file retired (a reload can
+    /// fail under the soak's connection weather and is simply re-run).
+    pub repair_attempts: u64,
+    /// Rows that still failed a CRC in the verification scrub *after*
+    /// repair (must be 0).
+    pub post_repair_bad_records: u64,
+    /// Faults injected per kind across the soak.
+    pub faults_by_kind: BTreeMap<String, u64>,
+    /// Rows the repository should hold.
+    pub expected_rows: u64,
+    /// Rows it holds after scrub + repair.
+    pub actual_rows: u64,
+    /// Rows expected but missing (must be 0).
+    pub lost_rows: u64,
+    /// Rows present more than once (must be 0).
+    pub duplicated_rows: u64,
+    /// Per-table mismatches (empty on success).
+    pub mismatches: Vec<String>,
+}
+
+impl ScrubChaosReport {
+    /// Did the catalog heal to the generator's ground truth, with no rot
+    /// ever served and nothing lost or duplicated?
+    pub fn healed(&self) -> bool {
+        self.lost_rows == 0
+            && self.duplicated_rows == 0
+            && self.corrupt_rows_served == 0
+            && self.post_repair_bad_records == 0
+            && self.mismatches.is_empty()
+            && self.repair.complete()
+    }
+}
+
+/// Run one scrub chaos soak: live ingest + serving under seeded bit rot,
+/// concurrent scrubbing, optional WAL rot + restart, then journal-driven
+/// repair and a row-exact verdict against the generator's ground truth.
+pub fn run_scrub_chaos(cfg: &ScrubChaosConfig) -> Result<ScrubChaosReport, String> {
+    run_scrub_chaos_with_obs(cfg, &Arc::new(skyobs::Registry::new()))
+}
+
+/// [`run_scrub_chaos`] against a caller-owned telemetry registry, so the
+/// `scrub.*` and `repair.*` counters survive for a `--metrics` dump.
+pub fn run_scrub_chaos_with_obs(
+    cfg: &ScrubChaosConfig,
+    obs: &Arc<skyobs::Registry>,
+) -> Result<ScrubChaosReport, String> {
+    use skydb::fault::FaultKind;
+    use skydb::scrub::{run_scrub, QuarantinedRow, ScrubConfig};
+    use skydb::serve::{FastOutcome, Query, QueryService, ServeConfig};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::RwLock;
+
+    let night = cfg.night();
+    let expected = aggregate_expected(&night);
+    let loader = cfg.loader();
+    loader.validate()?;
+    let obs = obs.clone();
+    let baseline = obs.snapshot();
+
+    let db_cfg = || DbConfig::paper(skysim::TimeScale::ZERO);
+    let server = Server::start_with_obs(db_cfg(), obs.clone());
+    skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_observation(server.engine(), 1, 100).map_err(|e| e.to_string())?;
+    server.set_fault_plan(Some(FaultPlan::new(cfg.fault_plan())));
+
+    // Object ids this night can legitimately serve: any id inside one of
+    // the night's file spans. A served row outside them is rot that leaked.
+    let valid_spans: BTreeSet<i64> = (0..night.len() as i64)
+        .map(|i| 100 * 1000 + i + 1)
+        .collect();
+
+    // ---- serve-tier readers ------------------------------------------
+    let serve_cfg = ServeConfig::default().with_fast_deadline(Duration::from_secs(3600));
+    let svc_slot = Arc::new(RwLock::new(Arc::new(QueryService::start(
+        server.clone(),
+        serve_cfg.clone(),
+    ))));
+    let stop_readers = Arc::new(AtomicBool::new(false));
+    let reads_ok = Arc::new(AtomicU64::new(0));
+    let reads_blocked = Arc::new(AtomicU64::new(0));
+    let corrupt_served = Arc::new(AtomicU64::new(0));
+    let reader_handles: Vec<_> = (0..cfg.readers.max(1))
+        .map(|r| {
+            let slot = svc_slot.clone();
+            let stop = stop_readers.clone();
+            let (ok, blocked, leaked) = (
+                reads_ok.clone(),
+                reads_blocked.clone(),
+                corrupt_served.clone(),
+            );
+            let spans = valid_spans.clone();
+            std::thread::spawn(move || {
+                let user = format!("reader{r}");
+                while !stop.load(Ordering::Relaxed) {
+                    let svc = slot.read().unwrap().clone();
+                    match svc.fast_query(
+                        &user,
+                        Query::Scan {
+                            table: "objects".into(),
+                            filter: None,
+                        },
+                    ) {
+                        Ok(FastOutcome::Done(res)) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            for row in &res.rows {
+                                let served_valid = matches!(
+                                    row.first(),
+                                    Some(skydb::Value::Int(id))
+                                        if spans.contains(&(id / 10_000_000)));
+                                if !served_valid {
+                                    leaked.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(skydb::serve::ServeError::Db(
+                            skydb::error::DbError::DataCorruption(_),
+                        )) => {
+                            // The engine refused to serve a rotted row:
+                            // exactly the contract. Never row data.
+                            blocked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(FastOutcome::Demoted(_)) | Err(_) => {}
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // ---- background scrubber + rot driver ----------------------------
+    let stop_background = Arc::new(AtomicBool::new(false));
+    let quarantined_acc: Arc<parking_lot::Mutex<Vec<QuarantinedRow>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let scrub_passes = Arc::new(AtomicU64::new(0));
+    let scrub_errors: Arc<parking_lot::Mutex<Vec<String>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let scrubber = {
+        let server = server.clone();
+        let obs = obs.clone();
+        let stop = stop_background.clone();
+        let acc = quarantined_acc.clone();
+        let passes = scrub_passes.clone();
+        let errors = scrub_errors.clone();
+        let interval = cfg.scrub_interval;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                match run_scrub(server.engine(), &ScrubConfig::default(), &obs) {
+                    Ok(report) => {
+                        passes.fetch_add(1, Ordering::Relaxed);
+                        acc.lock().extend(report.quarantined);
+                    }
+                    Err(e) => errors.lock().push(format!("background scrub: {e}")),
+                }
+            }
+        })
+    };
+    // The rot driver: each tick is one opportunity, decided by the seeded
+    // BitRot schedule, so one seed reproduces the same fire-ordinal
+    // sequence. Flips alternate between the two biggest child tables.
+    let rot_injected = Arc::new(AtomicU64::new(0));
+    let rot_driver = {
+        let server = server.clone();
+        let stop = stop_background.clone();
+        let injected = rot_injected.clone();
+        let plan = FaultPlan::new(FaultPlanConfig::new(cfg.seed).with_bit_rot(cfg.rot_rate));
+        let seed = cfg.seed;
+        std::thread::spawn(move || {
+            let tables = ["objects", "fingers"];
+            let mut tick = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(2));
+                tick += 1;
+                if plan.decide_bit_rot_fault().is_some() {
+                    let table = tables[(tick % tables.len() as u64) as usize];
+                    if server
+                        .engine()
+                        .rot_heap_row(table, seed ^ tick.wrapping_mul(0x9E37))
+                        .is_some()
+                    {
+                        injected.fetch_add(1, Ordering::Relaxed);
+                        server.note_injected_fault(FaultKind::BitRot);
+                    }
+                }
+            }
+        })
+    };
+
+    // ---- the live night ----------------------------------------------
+    let journal = LoadJournal::new();
+    let live_cfg = crate::live::LiveConfig {
+        seed: cfg.seed,
+        nodes: cfg.nodes,
+        mean_interarrival: Duration::from_millis(5),
+        burst_run: 2,
+        burst_factor: 8.0,
+        slo_budget: Duration::from_secs(600),
+        loader: cfg.loader(),
+    };
+    let live_result = crate::live::run_live(&server, &night, &live_cfg, Some(&journal));
+    stop_background.store(true, Ordering::Relaxed);
+    rot_driver.join().map_err(|_| "rot driver panicked")?;
+    scrubber.join().map_err(|_| "scrubber panicked")?;
+    live_result.map_err(|e| format!("live night failed: {e}"))?;
+
+    // One guaranteed flip after the night, so the detect→quarantine→repair
+    // path is exercised even if every timed opportunity declined.
+    if server
+        .engine()
+        .rot_heap_row("objects", cfg.seed ^ 0xF0F0)
+        .is_some()
+    {
+        rot_injected.fetch_add(1, Ordering::Relaxed);
+        server.note_injected_fault(FaultKind::BitRot);
+    }
+
+    // ---- optional WAL rot + restart ----------------------------------
+    let mut server = server;
+    let mut recovered_from_log = false;
+    let mut log_flagged = false;
+    let mut rebuilt_from_source = false;
+    if cfg.wal_rot {
+        server.engine().checkpoint();
+        if server.engine().rot_wal_bit(cfg.seed ^ 0x0A1).is_some() {
+            server.note_injected_fault(FaultKind::BitRot);
+        }
+        let log = server.engine().durable_log();
+        match Engine::recover_from_log_checked(db_cfg(), skycat::build_schemas(), &log) {
+            Ok((engine, corrupt)) => {
+                recovered_from_log = true;
+                log_flagged = corrupt;
+                server = Server::with_engine_and_obs(engine, obs.clone());
+            }
+            Err(_) => {
+                // The lost middle of the log took FK parents with it:
+                // replay cannot satisfy constraints. Disaster path — an
+                // empty repository re-derived wholly from source files.
+                rebuilt_from_source = true;
+                let fresh = Server::start_with_obs(db_cfg(), obs.clone());
+                skycat::create_all(fresh.engine()).map_err(|e| e.to_string())?;
+                skycat::seed_static(fresh.engine()).map_err(|e| e.to_string())?;
+                skycat::seed_observation(fresh.engine(), 1, 100).map_err(|e| e.to_string())?;
+                server = fresh;
+            }
+        }
+        *svc_slot.write().unwrap() =
+            Arc::new(QueryService::start(server.clone(), serve_cfg.clone()));
+    }
+
+    // ---- final scrub pass, then repair -------------------------------
+    let final_scrub = run_scrub(server.engine(), &ScrubConfig::default(), &obs)
+        .map_err(|e| format!("final scrub: {e}"))?;
+    scrub_passes.fetch_add(1, Ordering::Relaxed);
+    let mut quarantined = std::mem::take(&mut *quarantined_acc.lock());
+    quarantined.extend(final_scrub.quarantined);
+
+    // Repair runs under the same connection weather as the night: a file
+    // whose reload exhausts its retry budget stays in `failed_files`, and
+    // the harness re-runs the pass (idempotent — restored rows dedup as PK
+    // skips) like the chaos soak re-runs a failed generation.
+    let mut repair = crate::repair::run_repair(
+        &server,
+        &night,
+        &quarantined,
+        cfg.wal_rot,
+        &loader,
+        cfg.nodes,
+        &journal,
+    )?;
+    let mut repair_attempts = 1u64;
+    while !repair.complete() && repair_attempts < 4 {
+        repair_attempts += 1;
+        let again = crate::repair::run_repair(
+            &server,
+            &night,
+            &quarantined,
+            cfg.wal_rot,
+            &loader,
+            cfg.nodes,
+            &journal,
+        )?;
+        repair.rows_restored += again.rows_restored;
+        repair.rows_skipped += again.rows_skipped;
+        repair.failed_files = again.failed_files;
+    }
+
+    // Verification scrub: after repair, nothing may fail a CRC.
+    let verify_scrub = run_scrub(server.engine(), &ScrubConfig::default(), &obs)
+        .map_err(|e| format!("verification scrub: {e}"))?;
+    scrub_passes.fetch_add(1, Ordering::Relaxed);
+
+    stop_readers.store(true, Ordering::Relaxed);
+    for h in reader_handles {
+        h.join().map_err(|_| "reader panicked".to_string())?;
+    }
+
+    // ---- verdict ------------------------------------------------------
+    server.set_fault_plan(None);
+    let mut mismatches = std::mem::take(&mut *scrub_errors.lock());
+    let (actual, lost, duplicated) = verify_season(
+        server.engine(),
+        &expected.loadable,
+        "after repair",
+        &mut mismatches,
+    )?;
+    let delta = server.obs_snapshot().since(&baseline);
+
+    Ok(ScrubChaosReport {
+        config: cfg.clone(),
+        heap_rot_injected: rot_injected.load(Ordering::Relaxed),
+        wal_rot_injected: cfg.wal_rot,
+        recovered_from_log,
+        log_replay_flagged_corruption: log_flagged,
+        rebuilt_from_source,
+        scrub_passes: scrub_passes.load(Ordering::Relaxed),
+        scrub_pages: delta.counter("scrub.pages"),
+        bad_records: delta.counter("scrub.bad_records"),
+        bad_nodes: delta.counter("scrub.bad_nodes"),
+        quarantined_rows: delta.counter("scrub.quarantined"),
+        reads_total: reads_ok.load(Ordering::Relaxed),
+        blocked_reads: reads_blocked.load(Ordering::Relaxed),
+        corrupt_rows_served: corrupt_served.load(Ordering::Relaxed),
+        repair,
+        repair_attempts,
+        post_repair_bad_records: verify_scrub.bad_records(),
+        faults_by_kind: delta.with_prefix("server.faults."),
+        expected_rows: expected.total_loadable(),
+        actual_rows: actual,
+        lost_rows: lost,
+        duplicated_rows: duplicated,
+        mismatches,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -888,5 +1352,67 @@ mod tests {
         // (a name-level rebind) is gone after recovery: the resumed
         // coordinator must redo it, not skip it.
         assert_eq!(report.campaign_resumes, 1);
+    }
+
+    #[test]
+    fn scrub_chaos_heals_bit_rot_under_live_serving() {
+        let cfg = ScrubChaosConfig {
+            seed: 71,
+            quick: true,
+            ..ScrubChaosConfig::default()
+        };
+        let report = run_scrub_chaos(&cfg).unwrap();
+        assert!(
+            report.healed(),
+            "lost={} dup={} served_corrupt={} post_repair_bad={} mismatches={:?}",
+            report.lost_rows,
+            report.duplicated_rows,
+            report.corrupt_rows_served,
+            report.post_repair_bad_records,
+            report.mismatches
+        );
+        assert!(report.heap_rot_injected >= 1, "no rot was ever injected");
+        assert!(
+            report.bad_records >= 1 && report.quarantined_rows >= 1,
+            "the scrubber never caught the rot: {report:?}"
+        );
+        assert!(
+            !report.repair.files_reloaded.is_empty(),
+            "repair reloaded nothing"
+        );
+        assert!(report.scrub_passes >= 2);
+        assert!(report.reads_total > 0, "readers never ran");
+        assert_eq!(report.bad_nodes, 0);
+    }
+
+    #[test]
+    fn scrub_chaos_survives_wal_rot_and_restart() {
+        let cfg = ScrubChaosConfig {
+            seed: 72,
+            quick: true,
+            wal_rot: true,
+            ..ScrubChaosConfig::default()
+        };
+        let report = run_scrub_chaos(&cfg).unwrap();
+        assert!(
+            report.healed(),
+            "lost={} dup={} served_corrupt={} rebuilt={} mismatches={:?}",
+            report.lost_rows,
+            report.duplicated_rows,
+            report.corrupt_rows_served,
+            report.rebuilt_from_source,
+            report.mismatches
+        );
+        assert!(report.wal_rot_injected);
+        assert!(
+            report.recovered_from_log || report.rebuilt_from_source,
+            "a WAL-rot soak must restart from the log or rebuild from source"
+        );
+        assert!(report.repair.widened_for_wal_rot);
+        assert_eq!(
+            report.repair.files_reloaded.len(),
+            cfg.files.min(2),
+            "widened repair must reload the whole night"
+        );
     }
 }

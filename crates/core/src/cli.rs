@@ -168,6 +168,32 @@ pub enum Command {
         /// Dump the telemetry registry as JSONL here after the run.
         metrics: Option<PathBuf>,
     },
+    /// Soak a night under seeded bit rot with a concurrent background
+    /// scrubber and serve-tier readers, then self-repair from source
+    /// files and verify the catalog healed row-for-row.
+    Scrub {
+        /// Master seed for the night, the fault plan, and the rot
+        /// schedule.
+        seed: u64,
+        /// Catalog files in the synthetic night.
+        files: usize,
+        /// Parallel loader nodes.
+        nodes: usize,
+        /// Per-opportunity bit-rot probability.
+        bit_rot: f64,
+        /// Interval between background scrub passes, in milliseconds.
+        scrub_interval_ms: u64,
+        /// Also rot the durable WAL and restart the server from it.
+        wal_rot: bool,
+        /// Concurrent serve-tier reader threads.
+        readers: usize,
+        /// Smaller night, for CI.
+        quick: bool,
+        /// Write the scrub-chaos report as JSON here.
+        report: Option<PathBuf>,
+        /// Dump the telemetry registry as JSONL here after the run.
+        metrics: Option<PathBuf>,
+    },
     /// Serve a CasJobs-style fast/slow query mix against a repository
     /// while a loader fleet ingests a night, and report per-queue
     /// latency percentiles.
@@ -206,7 +232,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "verify" | "audit" | "quick" | "no-swap-crash" | "restart-server" => {
+                "verify" | "audit" | "quick" | "no-swap-crash" | "restart-server" | "wal-rot" => {
                     flags.insert(name.to_owned(), "true".into());
                 }
                 _ => {
@@ -315,6 +341,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 metrics: get("metrics").map(PathBuf::from),
             })
         }
+        "scrub" => {
+            let defaults = crate::chaos::ScrubChaosConfig::default();
+            Ok(Command::Scrub {
+                seed: parse_num("seed", defaults.seed)?,
+                files: parse_num("files", defaults.files as u64)? as usize,
+                nodes: parse_num("nodes", defaults.nodes as u64)? as usize,
+                bit_rot: get("bit-rot")
+                    .map(|v| v.parse::<f64>().map_err(|e| format!("--bit-rot: {e}")))
+                    .unwrap_or(Ok(defaults.rot_rate))?,
+                scrub_interval_ms: {
+                    let ms =
+                        parse_num("scrub-interval", defaults.scrub_interval.as_millis() as u64)?;
+                    if ms == 0 {
+                        return Err("--scrub-interval must be at least 1 ms".into());
+                    }
+                    ms
+                },
+                wal_rot: flags.contains_key("wal-rot"),
+                readers: parse_num("readers", defaults.readers as u64)? as usize,
+                quick: flags.contains_key("quick"),
+                report: get("report").map(PathBuf::from),
+                metrics: get("metrics").map(PathBuf::from),
+            })
+        }
         "serve" => {
             let defaults = crate::serving::ServeLoadConfig::default();
             Ok(Command::Serve {
@@ -417,6 +467,25 @@ USAGE:
       crash to a full server crash recovered from the durable log;
       --no-swap-crash runs the happy path. Exits 1 on any lost,
       duplicated or torn read.
+
+  skyload scrub [--seed N] [--files N] [--nodes N] [--bit-rot F]
+                [--scrub-interval MS] [--wal-rot] [--readers N] [--quick]
+                [--report out.json] [--metrics out.jsonl]
+      Prove the at-rest integrity loop end to end: live-ingest a
+      night while a seeded schedule flips bits in committed heap rows
+      (probability --bit-rot per opportunity), a background scrubber
+      CRC-walks every table each --scrub-interval ms and quarantines
+      what it catches, and --readers serve-tier scan threads verify
+      no rotted row is ever served (a caught read errors, it never
+      returns data). Afterwards a journal-driven repair maps each
+      quarantined row back to its source catalog file by id span and
+      re-loads exactly those files, deduplicating survivors.
+      --wal-rot additionally flips a bit in the durable log and
+      restarts the server from it: replay must stop at the first bad
+      record, and the repair widens to the whole night. Exits 1
+      unless the catalog heals to the generator's ground truth with
+      zero lost, duplicated, or served-corrupt rows. --metrics dumps
+      the scrub.* and repair.* counters as JSONL.
 
   skyload serve [--seed N] [--users N] [--queries N] [--ingest-nodes N]
                 [--fast-deadline MS] [--quick] [--report out.json]
@@ -762,6 +831,107 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                     if r.swap_atomic() { "PASS" } else { "FAIL" }
                 )
                 .map_err(|e| e.to_string())?;
+                Ok(1)
+            }
+        }
+        Command::Scrub {
+            seed,
+            files,
+            nodes,
+            bit_rot,
+            scrub_interval_ms,
+            wal_rot,
+            readers,
+            quick,
+            report,
+            metrics,
+        } => {
+            let cfg = crate::chaos::ScrubChaosConfig {
+                seed,
+                files,
+                nodes,
+                rot_rate: bit_rot,
+                scrub_interval: std::time::Duration::from_millis(scrub_interval_ms),
+                wal_rot,
+                readers,
+                quick,
+                ..crate::chaos::ScrubChaosConfig::default()
+            };
+            let obs = Arc::new(skyobs::Registry::new());
+            let r = crate::chaos::run_scrub_chaos_with_obs(&cfg, &obs)?;
+            writeln!(
+                out,
+                "scrub chaos: seed {} · {} heap bit(s) rotted · wal rot: {} · {} scrub pass(es)",
+                seed, r.heap_rot_injected, r.wal_rot_injected, r.scrub_passes
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "scrubber: {} page(s) walked · {} bad record(s) · {} bad node(s) · {} quarantined",
+                r.scrub_pages, r.bad_records, r.bad_nodes, r.quarantined_rows
+            )
+            .map_err(|e| e.to_string())?;
+            if r.wal_rot_injected {
+                writeln!(
+                    out,
+                    "restart: recovered from log: {} · replay flagged corruption: {} · rebuilt from source: {}",
+                    r.recovered_from_log, r.log_replay_flagged_corruption, r.rebuilt_from_source
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            writeln!(
+                out,
+                "readers: {} scan(s) · {} blocked by CRC · {} corrupt row(s) served",
+                r.reads_total, r.blocked_reads, r.corrupt_rows_served
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "repair: {} file(s) reloaded ({}) · {} row(s) restored · {} survivor(s) deduped · {} unmapped",
+                r.repair.files_reloaded.len(),
+                if r.repair.widened_for_wal_rot {
+                    "widened to full night"
+                } else {
+                    "mapped by id span"
+                },
+                r.repair.rows_restored,
+                r.repair.rows_skipped,
+                r.repair.unmapped_rows
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "rows: {} expected, {} present, {} lost, {} duplicated · {} bad after repair",
+                r.expected_rows,
+                r.actual_rows,
+                r.lost_rows,
+                r.duplicated_rows,
+                r.post_repair_bad_records
+            )
+            .map_err(|e| e.to_string())?;
+            for m in &r.mismatches {
+                writeln!(out, "  MISMATCH {m}").map_err(|e| e.to_string())?;
+            }
+            write_telemetry_summary(out, &obs)?;
+            if let Some(path) = metrics {
+                std::fs::write(&path, obs.to_jsonl())
+                    .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "metrics written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = report {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&r).expect("scrub report serializes"),
+                )
+                .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "report written to {}", path.display()).map_err(|e| e.to_string())?;
+            }
+            if r.healed() {
+                writeln!(out, "integrity: HEALED").map_err(|e| e.to_string())?;
+                Ok(0)
+            } else {
+                writeln!(out, "integrity: FAIL").map_err(|e| e.to_string())?;
                 Ok(1)
             }
         }
@@ -1352,6 +1522,77 @@ mod tests {
         assert!(report_path.exists());
         let json = std::fs::read_to_string(&report_path).unwrap();
         assert!(json.contains("\"faults_by_kind\""), "{json}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_scrub_flags() {
+        match parse_args(&args(
+            "scrub --seed 9 --files 2 --nodes 2 --bit-rot 0.5 --scrub-interval 20 --wal-rot --readers 3 --quick",
+        ))
+        .unwrap()
+        {
+            Command::Scrub {
+                seed,
+                files,
+                nodes,
+                bit_rot,
+                scrub_interval_ms,
+                wal_rot,
+                readers,
+                quick,
+                ..
+            } => {
+                assert_eq!((seed, files, nodes, readers), (9, 2, 2, 3));
+                assert_eq!(bit_rot, 0.5);
+                assert_eq!(scrub_interval_ms, 20);
+                assert!(wal_rot && quick);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("scrub")).unwrap() {
+            Command::Scrub { wal_rot, quick, .. } => assert!(!wal_rot && !quick),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("scrub --scrub-interval 0")).is_err());
+    }
+
+    #[test]
+    fn scrub_command_heals_and_dumps_metrics() {
+        let dir = tmpdir("scrub");
+        let report_path = dir.join("scrub.json");
+        let metrics_path = dir.join("metrics.jsonl");
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "scrub --seed 71 --quick --report {} --metrics {}",
+                report_path.display(),
+                metrics_path.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("integrity: HEALED"), "{text}");
+        assert!(text.contains("corrupt row(s) served"), "{text}");
+
+        // The JSON report and the JSONL metrics dump agree: the scrub.*
+        // and repair.* counters the report is a view over are present.
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"bad_records\""), "{json}");
+        assert!(json.contains("\"files_reloaded\""), "{json}");
+        let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+        for counter in [
+            "scrub.pages",
+            "scrub.bad_records",
+            "scrub.quarantined",
+            "repair.files_reloaded",
+            "repair.rows_restored",
+        ] {
+            assert!(jsonl.contains(counter), "missing {counter} in {jsonl}");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

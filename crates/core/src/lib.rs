@@ -56,6 +56,7 @@ pub mod fleet;
 pub mod live;
 pub mod parallel;
 pub mod recovery;
+pub mod repair;
 pub mod report;
 pub mod reprocess;
 pub mod resilience;
@@ -72,13 +73,15 @@ pub use campaign::{
 };
 pub use chaos::{
     run_campaign_chaos, run_campaign_chaos_with_obs, run_chaos, run_chaos_with_obs,
-    CampaignChaosConfig, CampaignChaosReport, ChaosConfig, ChaosReport,
+    run_scrub_chaos, run_scrub_chaos_with_obs, CampaignChaosConfig, CampaignChaosReport,
+    ChaosConfig, ChaosReport, ScrubChaosConfig, ScrubChaosReport,
 };
 pub use config::{CommitPolicy, ExecMode, LoaderConfig, PipelineMode};
 pub use fleet::{Assignment, FleetPolicy, FleetSupervisor, Lease};
 pub use live::{run_live, LiveConfig, LiveReport};
 pub use parallel::{load_night, load_night_with_journal, NightError};
 pub use recovery::LoadJournal;
+pub use repair::{run_repair, source_file_for, RepairReport};
 pub use report::{FailedFile, FileReport, ModeledCost, NightReport, SkipKind, SkipRecord};
 pub use reprocess::{
     acquire_reprocess_fence, delete_observation, delete_observation_fenced, reprocess_observation,

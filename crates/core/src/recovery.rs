@@ -55,6 +55,17 @@ impl LoadJournal {
         self.inner.lock().get(file).copied().unwrap_or(0)
     }
 
+    /// Drop `file`'s committed-lines watermark so a repair pass can re-load
+    /// it from line 0. This is the **only** non-monotonic journal operation,
+    /// reserved for self-repair after the scrubber quarantined rows that the
+    /// watermark claims are committed: the claim is now false, and keeping
+    /// it would make the repair loader skip exactly the rows it must
+    /// restore. Lease epochs are *not* reset — fencing history must survive
+    /// repair, or a zombie from before the rot could write again.
+    pub fn reset_file(&self, file: &str) {
+        self.inner.lock().remove(file);
+    }
+
     /// Record that a lease for `file` was issued at `epoch`. Monotonic
     /// (max-merge), like the committed-lines watermark.
     pub fn record_epoch(&self, file: &str, epoch: u64) {
@@ -186,6 +197,20 @@ mod tests {
         let old = LoadJournal::from_json(legacy).unwrap();
         assert_eq!(old.committed_lines("b.cat"), 9);
         assert_eq!(old.epoch_for("b.cat"), 0);
+    }
+
+    #[test]
+    fn reset_file_drops_watermark_but_keeps_epochs() {
+        let j = LoadJournal::new();
+        j.record("n1.cat", 100);
+        j.record_epoch("n1.cat", 4);
+        j.reset_file("n1.cat");
+        assert_eq!(j.committed_lines("n1.cat"), 0, "repair reloads from 0");
+        assert_eq!(j.epoch_for("n1.cat"), 4, "fencing history survives");
+        // After the reset, progress is monotonic again from scratch.
+        j.record("n1.cat", 30);
+        j.record("n1.cat", 10);
+        assert_eq!(j.committed_lines("n1.cat"), 30);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Journal-driven self-repair: turn the scrubber's quarantine list back
+//! into catalog rows.
+//!
+//! The scrubber ([`skydb::scrub`]) removes rotted rows from the heap and
+//! every index, leaving behind each row's **identity** (its primary key,
+//! recovered from the PK index). This module closes the loop:
+//!
+//! 1. Map each quarantined row to the catalog file that produced it. The
+//!    generator reserves a disjoint id span per file
+//!    (`[(obs_id·1000 + file_idx + 1)·10⁷, +10⁷)`), so the PK alone names
+//!    the source file — the same arithmetic a real survey performs with its
+//!    per-file id-allocation manifest.
+//! 2. Reset those files' committed-lines watermarks in the
+//!    [`LoadJournal`] ([`LoadJournal::reset_file`]) — the watermark's
+//!    "these lines are committed" claim is exactly what the rot falsified.
+//!    Lease-epoch history is kept, so fencing still excludes pre-rot
+//!    zombies.
+//! 3. Re-load exactly those files through the normal fleet path
+//!    ([`crate::parallel::load_night_with_journal`]). Survivor rows dedup
+//!    as PK-violation skips; only the quarantined rows (and any rows a
+//!    corrupt WAL lost) actually insert. Exactly-once falls out of the
+//!    loader's existing machinery rather than a parallel repair path.
+//!
+//! When the caller knows the WAL itself was rotted (recovery stopped at a
+//! bad record), the repair widens to **every** file of the night: the log's
+//! lost tail could touch any of them, and re-loading a clean file is a
+//! harmless all-skips pass.
+//!
+//! Telemetry: `repair.files_reloaded`, `repair.rows_restored`,
+//! `repair.rows_skipped`, `repair.unmapped_rows`.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use skycat::gen::CatalogFile;
+use skydb::scrub::QuarantinedRow;
+use skydb::value::Value;
+use skydb::Server;
+use skysim::cluster::AssignmentPolicy;
+
+use crate::config::LoaderConfig;
+use crate::recovery::LoadJournal;
+
+/// Mirror of `skycat::gen`'s per-file id-space reservation.
+const FILE_SPAN: i64 = 10_000_000;
+
+/// The catalog file whose id span contains this quarantined row's primary
+/// key, or `None` when the row cannot be mapped: a composite/non-integer
+/// key, a seeded static row (ids below the first file span), or a row whose
+/// PK the scrubber could not recover from the index.
+pub fn source_file_for(row: &QuarantinedRow) -> Option<String> {
+    let id = match row.pk.first()? {
+        Value::Int(i) => *i,
+        _ => return None,
+    };
+    if id < FILE_SPAN {
+        return None;
+    }
+    let span = id / FILE_SPAN - 1;
+    let obs_id = span / 1000;
+    let file_idx = span % 1000;
+    Some(format!("obs{obs_id:06}_f{file_idx:02}.cat"))
+}
+
+/// Committed rows across every table of the catalog.
+fn total_rows(server: &Arc<Server>) -> u64 {
+    let engine = server.engine();
+    engine
+        .table_names()
+        .iter()
+        .filter_map(|name| engine.table_id(name).ok())
+        .map(|tid| engine.row_count(tid))
+        .sum()
+}
+
+/// What one repair pass did.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RepairReport {
+    /// Quarantined rows handed to the repairer.
+    pub quarantined_rows: u64,
+    /// Rows mapped to a source file (and therefore repairable).
+    pub mapped_rows: u64,
+    /// Rows with no recoverable source (counted, never silently dropped).
+    pub unmapped_rows: u64,
+    /// Whether the repair widened to the full night because the WAL itself
+    /// was found rotted.
+    pub widened_for_wal_rot: bool,
+    /// Files re-loaded, in name order.
+    pub files_reloaded: Vec<String>,
+    /// Rows actually re-inserted (the restored rows).
+    pub rows_restored: u64,
+    /// Survivor rows deduplicated as PK-violation skips.
+    pub rows_skipped: u64,
+    /// Files the reload could not retire (empty on success).
+    pub failed_files: Vec<String>,
+}
+
+impl RepairReport {
+    /// Did the repair retire every file it set out to reload?
+    pub fn complete(&self) -> bool {
+        self.failed_files.is_empty()
+    }
+}
+
+/// Run one repair pass over `server`.
+///
+/// `night` is the full set of source files (the survey keeps its raw
+/// catalog files precisely so they can be re-derived); `quarantined` is the
+/// scrubber's output; `wal_rot` widens the reload to the whole night.
+/// Progress watermarks of the chosen files are reset in `journal` before
+/// the reload, so the loader walks them from line 0.
+pub fn run_repair(
+    server: &Arc<Server>,
+    night: &[CatalogFile],
+    quarantined: &[QuarantinedRow],
+    wal_rot: bool,
+    cfg: &LoaderConfig,
+    nodes: usize,
+    journal: &LoadJournal,
+) -> Result<RepairReport, String> {
+    let obs = server.obs().clone();
+    let files_ctr = obs.counter("repair.files_reloaded");
+    let restored_ctr = obs.counter("repair.rows_restored");
+    let skipped_ctr = obs.counter("repair.rows_skipped");
+    let unmapped_ctr = obs.counter("repair.unmapped_rows");
+
+    let mut report = RepairReport {
+        quarantined_rows: quarantined.len() as u64,
+        widened_for_wal_rot: wal_rot,
+        ..RepairReport::default()
+    };
+
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    for q in quarantined {
+        match source_file_for(q) {
+            Some(name) => {
+                report.mapped_rows += 1;
+                targets.insert(name);
+            }
+            None => report.unmapped_rows += 1,
+        }
+    }
+    unmapped_ctr.add(report.unmapped_rows);
+    if wal_rot {
+        // The log's lost tail could touch any file; reload them all.
+        targets.extend(night.iter().map(|f| f.name.clone()));
+    }
+
+    let reload: Vec<CatalogFile> = night
+        .iter()
+        .filter(|f| targets.contains(&f.name))
+        .cloned()
+        .collect();
+    if reload.len() < targets.len() {
+        let known: BTreeSet<&str> = night.iter().map(|f| f.name.as_str()).collect();
+        let missing: Vec<&String> = targets
+            .iter()
+            .filter(|t| !known.contains(t.as_str()))
+            .collect();
+        return Err(format!(
+            "quarantined rows map to files not in the provided night: {missing:?}"
+        ));
+    }
+    if reload.is_empty() {
+        return Ok(report);
+    }
+
+    for f in &reload {
+        journal.reset_file(&f.name);
+    }
+    // `rows_restored` is a before/after row-count delta rather than the
+    // reload's own `rows_loaded()`: under an active fault plan the reload
+    // retries per file, and each per-file report reflects only the final
+    // attempt's resume window — the delta counts every row that actually
+    // came back, regardless of which attempt inserted it. (It assumes no
+    // concurrent ingest during the repair pass, which holds for the scrub
+    // workflow: repair runs after the night settles.)
+    let rows_before = total_rows(server);
+    let outcome = crate::parallel::load_night_with_journal(
+        server,
+        &reload,
+        cfg,
+        nodes.max(1),
+        AssignmentPolicy::Dynamic,
+        Some(journal),
+    )
+    .map_err(|e| format!("repair reload failed: {e}"))?;
+
+    report.files_reloaded = reload.iter().map(|f| f.name.clone()).collect();
+    report.rows_restored = total_rows(server).saturating_sub(rows_before);
+    report.rows_skipped = outcome.rows_skipped();
+    report.failed_files = outcome
+        .failed_files
+        .iter()
+        .map(|f| f.file.clone())
+        .collect();
+    files_ctr.add(report.files_reloaded.len() as u64);
+    restored_ctr.add(report.rows_restored);
+    skipped_ctr.add(report.rows_skipped);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CommitPolicy, LoaderConfig};
+    use skycat::gen::{aggregate_expected, generate_observation, GenConfig};
+    use skydb::scrub::{run_scrub, ScrubConfig};
+    use skydb::DbConfig;
+
+    fn loaded_server(seed: u64, files: usize) -> (Arc<Server>, Vec<CatalogFile>, LoadJournal) {
+        let server = Server::start(DbConfig::test());
+        skycat::create_all(server.engine()).unwrap();
+        skycat::seed_static(server.engine()).unwrap();
+        skycat::seed_observation(server.engine(), 1, 100).unwrap();
+        let night = generate_observation(&GenConfig::night(seed, 100).with_files(files));
+        let journal = LoadJournal::new();
+        let cfg = LoaderConfig::test()
+            .with_array_size(300)
+            .with_commit_policy(CommitPolicy::PerFlush);
+        crate::parallel::load_night_with_journal(
+            &server,
+            &night,
+            &cfg,
+            2,
+            AssignmentPolicy::Dynamic,
+            Some(&journal),
+        )
+        .unwrap();
+        (server, night, journal)
+    }
+
+    #[test]
+    fn span_arithmetic_maps_ids_back_to_their_file() {
+        let night = generate_observation(&GenConfig::night(3, 100).with_files(3));
+        for (idx, f) in night.iter().enumerate() {
+            // Every OBJ id in the file maps back to exactly this file.
+            for line in f.text.lines().filter(|l| l.starts_with("OBJ|")) {
+                let id: i64 = line.split('|').nth(1).unwrap().parse().unwrap();
+                let q = QuarantinedRow {
+                    table: "objects".into(),
+                    row_id: 0,
+                    pk: vec![Value::Int(id)],
+                };
+                assert_eq!(
+                    source_file_for(&q).as_deref(),
+                    Some(f.name.as_str()),
+                    "file {idx}"
+                );
+            }
+        }
+        // Seeded/static ids and empty PKs do not map.
+        let seeded = QuarantinedRow {
+            table: "observations".into(),
+            row_id: 0,
+            pk: vec![Value::Int(100)],
+        };
+        assert_eq!(source_file_for(&seeded), None);
+        let empty = QuarantinedRow {
+            table: "objects".into(),
+            row_id: 0,
+            pk: vec![],
+        };
+        assert_eq!(source_file_for(&empty), None);
+    }
+
+    #[test]
+    fn quarantine_then_repair_restores_exact_counts() {
+        let (server, night, journal) = loaded_server(51, 2);
+        let expected = aggregate_expected(&night);
+
+        // Rot three committed object rows, then scrub them out.
+        for salt in [1u64, 2, 3] {
+            server.engine().rot_heap_row("objects", salt).unwrap();
+        }
+        let report = run_scrub(server.engine(), &ScrubConfig::default(), server.obs()).unwrap();
+        assert!(report.bad_records() >= 1, "rot was injected");
+        let objects_tid = server.engine().table_id("objects").unwrap();
+        assert!(server.engine().row_count(objects_tid) < expected.loadable["objects"]);
+
+        let cfg = LoaderConfig::test()
+            .with_array_size(300)
+            .with_commit_policy(CommitPolicy::PerFlush);
+        let repair = run_repair(
+            &server,
+            &night,
+            &report.quarantined,
+            false,
+            &cfg,
+            2,
+            &journal,
+        )
+        .unwrap();
+        assert!(repair.complete(), "failed: {:?}", repair.failed_files);
+        assert_eq!(repair.unmapped_rows, 0);
+        assert_eq!(repair.rows_restored, report.bad_records());
+        assert!(repair.rows_skipped > 0, "survivors dedup as skips");
+
+        // The catalog is back to the generator's ground truth, row for row.
+        for (table, expect) in &expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(server.engine().row_count(tid), *expect, "{table}");
+        }
+    }
+
+    #[test]
+    fn wal_rot_widens_to_every_file() {
+        let (server, night, journal) = loaded_server(53, 2);
+        let cfg = LoaderConfig::test()
+            .with_array_size(300)
+            .with_commit_policy(CommitPolicy::PerFlush);
+        let repair = run_repair(&server, &night, &[], true, &cfg, 2, &journal).unwrap();
+        assert!(repair.widened_for_wal_rot);
+        assert_eq!(repair.files_reloaded.len(), night.len());
+        assert_eq!(repair.rows_restored, 0, "nothing was actually lost");
+        let expected = aggregate_expected(&night);
+        for (table, expect) in &expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(server.engine().row_count(tid), *expect, "{table}");
+        }
+    }
+
+    #[test]
+    fn empty_quarantine_is_a_noop() {
+        let (server, night, journal) = loaded_server(55, 1);
+        let cfg = LoaderConfig::test();
+        let repair = run_repair(&server, &night, &[], false, &cfg, 1, &journal).unwrap();
+        assert!(repair.files_reloaded.is_empty());
+        assert_eq!(repair.rows_restored, 0);
+    }
+}

@@ -70,6 +70,10 @@ pub fn classify(e: &DbError) -> ErrorClass {
         // file reassigned: retrying under the stale epoch is futile, and the
         // fleet layer handles the rollback. Deliberately not Transient.
         DbError::FencedOut(_) => ErrorClass::Permanent,
+        // At-rest rot (a stored CRC failure) never heals on retry: the row
+        // must be quarantined by the scrubber and re-derived from its
+        // source file by the repair pass, not hammered by the loader.
+        DbError::DataCorruption(_) => ErrorClass::Permanent,
         _ => ErrorClass::Permanent,
     }
 }
@@ -84,6 +88,7 @@ pub fn fault_label(e: &DbError) -> &'static str {
         DbError::Timeout(_) => "timeout",
         DbError::DiskFull(_) => "disk_full",
         DbError::Corruption(_) => "corruption",
+        DbError::DataCorruption(_) => "data_corruption",
         DbError::WriteConflict(_) => "write_conflict",
         DbError::ServerDown(_) => "server_down",
         DbError::FencedOut(_) => "fenced_out",

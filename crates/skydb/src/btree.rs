@@ -352,6 +352,60 @@ impl BPlusTree {
         }
     }
 
+    /// The key of the first entry whose payload is `payload`, found by a
+    /// full leaf-chain walk.
+    ///
+    /// This is the quarantine path: when a heap row's stored bytes have
+    /// rotted, the row can no longer be decoded to compute its index keys —
+    /// but the index entry that *points at* the row was written before the
+    /// rot and is still trustworthy. O(n); acceptable because it runs only
+    /// for rows the scrubber has already condemned.
+    pub fn key_for_row(&self, payload: Payload) -> Option<Key> {
+        let mut n = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[n as usize] {
+            n = children[0];
+        }
+        let mut leaf = Some(n);
+        while let Some(l) = leaf {
+            let Node::Leaf { entries, next } = &self.nodes[l as usize] else {
+                unreachable!()
+            };
+            if let Some((k, _)) = entries.iter().find(|(_, p)| *p == payload) {
+                return Some(k.clone());
+            }
+            leaf = *next;
+        }
+        None
+    }
+
+    /// Remove the first entry whose payload is `payload`, returning its key.
+    /// The companion of [`BPlusTree::key_for_row`] for de-indexing a row
+    /// whose heap bytes can no longer be decoded. O(n), lazy (no
+    /// rebalancing), quarantine-only.
+    pub fn remove_payload(&mut self, payload: Payload) -> Option<Key> {
+        let mut n = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[n as usize] {
+            n = children[0];
+        }
+        let mut leaf = Some(n);
+        while let Some(l) = leaf {
+            let Node::Leaf { entries, next } = &self.nodes[l as usize] else {
+                unreachable!()
+            };
+            if let Some(pos) = entries.iter().position(|(_, p)| *p == payload) {
+                let Node::Leaf { entries, .. } = &mut self.nodes[l as usize] else {
+                    unreachable!()
+                };
+                let (k, _) = entries.remove(pos);
+                self.len -= 1;
+                self.mark_dirty(l);
+                return Some(k);
+            }
+            leaf = *next;
+        }
+        None
+    }
+
     /// Build a tree from entries **sorted by (key, payload)**, packing
     /// leaves to ~90% fill. Used for delayed index rebuild (§4.5.1).
     ///
@@ -595,6 +649,21 @@ mod tests {
         assert!(!t.remove(&ikey(999), 0));
         assert_eq!(t.len(), 49);
         assert_eq!(t.get_first(&ikey(25)), None);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn key_for_row_and_remove_payload_walk_the_chain() {
+        let mut t = BPlusTree::new(true, 4);
+        for i in 0..200 {
+            t.insert(ikey(i), 1000 + i as u64).unwrap();
+        }
+        assert_eq!(t.key_for_row(1123), Some(ikey(123)));
+        assert_eq!(t.key_for_row(99), None);
+        assert_eq!(t.remove_payload(1123), Some(ikey(123)));
+        assert_eq!(t.len(), 199);
+        assert_eq!(t.get_first(&ikey(123)), None);
+        assert_eq!(t.remove_payload(1123), None, "already removed");
         t.validate().unwrap();
     }
 

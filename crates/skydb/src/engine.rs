@@ -35,7 +35,8 @@ use crate::schema::{Catalog, TableId, TableSchema};
 use crate::stats::EngineStats;
 use crate::txn::{LockManager, TxnManager, UndoOp};
 use crate::value::{decode_row, encode_row, Key, Row, Value};
-use crate::wal::{recover, LogRecord, TxnId, Wal};
+use crate::wal::{recover_checked, LogRecord, TxnId, Wal};
+use skysim::rng::SplitMix64;
 
 /// A named secondary index on a table.
 #[derive(Debug)]
@@ -997,12 +998,13 @@ impl Engine {
         let data_dev = self.farm.device(StorageRole::Data);
         let mut out = Vec::new();
         let mut last_page = u32::MAX;
-        for (rid, bytes) in heap.scan() {
+        for (rid, bytes) in heap.scan_checked() {
             if rid.page() != last_page {
                 last_page = rid.page();
                 self.stats.scan_pages.inc();
                 self.cache.note_read((table, rid.page()), data_dev);
             }
+            let bytes = bytes.map_err(|()| self.rotted(&ts, rid))?;
             let mut slice = bytes;
             let row = decode_row(&mut slice)?;
             let keep = match filter {
@@ -1049,26 +1051,43 @@ impl Engine {
             .collect()
     }
 
+    /// The at-rest error for a row whose stored CRC failed. Reads *never*
+    /// decode rotted bytes into a served row: better a loud
+    /// [`DbError::DataCorruption`] than plausible-looking garbage.
+    fn rotted(&self, ts: &TableState, rid: RowId) -> DbError {
+        self.stats.rot_detected.inc();
+        DbError::DataCorruption(format!(
+            "stored row {rid:?} of table {} failed its CRC; scrub and repair required",
+            ts.schema().name
+        ))
+    }
+
     fn fetch_row(&self, ts: &TableState, table: TableId, rid: RowId) -> DbResult<Row> {
         self.cache
             .note_read((table, rid.page()), self.farm.device(StorageRole::Data));
         let heap = ts.heap.lock();
-        let bytes = heap
-            .get(rid)
-            .ok_or_else(|| DbError::Protocol(format!("dangling row id {rid:?}")))?;
+        let bytes = match heap.get_checked(rid) {
+            None => return Err(DbError::Protocol(format!("dangling row id {rid:?}"))),
+            Some(Err(())) => return Err(self.rotted(ts, rid)),
+            Some(Ok(b)) => b,
+        };
         let mut slice = bytes;
         decode_row(&mut slice)
     }
 
     /// As [`Engine::fetch_row`], but a dangling id — a row removed by a
     /// concurrent rollback between the index read and the heap fetch — is
-    /// `None` rather than an error.
+    /// `None` rather than an error. (A quarantined row is also simply gone:
+    /// the scrubber de-indexes before the index probe, or the probe's stale
+    /// payload dangles here — either way the reader never sees rot.)
     fn fetch_row_opt(&self, ts: &TableState, table: TableId, rid: RowId) -> DbResult<Option<Row>> {
         self.cache
             .note_read((table, rid.page()), self.farm.device(StorageRole::Data));
         let heap = ts.heap.lock();
-        let Some(bytes) = heap.get(rid) else {
-            return Ok(None);
+        let bytes = match heap.get_checked(rid) {
+            None => return Ok(None),
+            Some(Err(())) => return Err(self.rotted(ts, rid)),
+            Some(Ok(b)) => b,
         };
         let mut slice = bytes;
         decode_row(&mut slice).map(Some)
@@ -1092,7 +1111,7 @@ impl Engine {
         let mut rows = Vec::new();
         let mut examined = 0u64;
         let mut last_page = u32::MAX;
-        for (rid, bytes) in heap.scan() {
+        for (rid, bytes) in heap.scan_checked() {
             if rid.page() != last_page {
                 last_page = rid.page();
                 self.stats.scan_pages.inc();
@@ -1102,6 +1121,7 @@ impl Engine {
             if hidden.contains(&rid.packed()) {
                 continue;
             }
+            let bytes = bytes.map_err(|()| self.rotted(&ts, rid))?;
             let mut slice = bytes;
             let row = decode_row(&mut slice)?;
             let keep = match filter {
@@ -1203,6 +1223,15 @@ impl Engine {
             .map(|ts| ts.schema().name.clone())
     }
 
+    /// Every table name currently bound in the catalog, in name order
+    /// (the scrubber's default walk order).
+    pub fn table_names(&self) -> Vec<String> {
+        let catalog = self.catalog.read();
+        let mut names: Vec<String> = catalog.iter().map(|(_, s)| s.name.clone()).collect();
+        names.sort();
+        names
+    }
+
     /// Live row count of a table.
     pub fn row_count(&self, table: TableId) -> u64 {
         self.state(table).heap.lock().row_count()
@@ -1216,6 +1245,127 @@ impl Engine {
     /// Height of the table's primary-key B+-tree (Fig. 9's log factor).
     pub fn pk_height(&self, table: TableId) -> usize {
         self.state(table).pk.read().height()
+    }
+
+    // ----------------------------------------------------------- integrity
+
+    /// One scrub pass over a single table (the worker behind
+    /// [`crate::scrub::run_scrub`]).
+    ///
+    /// Holds the table's heap mutex across verify **and** quarantine, so a
+    /// racing committed scan — which takes the same mutex for its whole
+    /// pass — observes each rotted row either as a loud
+    /// [`DbError::DataCorruption`] (before this pass) or not at all (after
+    /// quarantine). Never as data. Rows staged by still-open transactions
+    /// are skipped: their fate belongs to their transaction.
+    pub fn scrub_table(
+        &self,
+        table: &str,
+    ) -> DbResult<(crate::scrub::TableScrub, Vec<crate::scrub::QuarantinedRow>)> {
+        let tid = self.table_id(table)?;
+        let ts = self.state(tid);
+        let hidden = self.txns.uncommitted_inserts(tid);
+        let mut quarantined = Vec::new();
+        let mut rows = 0u64;
+        let pages;
+        {
+            let mut heap = ts.heap.lock();
+            pages = heap.page_count() as u64;
+            let mut bad = Vec::new();
+            for (rid, check) in heap.scan_checked() {
+                if hidden.contains(&rid.packed()) {
+                    continue;
+                }
+                rows += 1;
+                if check.is_err() {
+                    bad.push(rid);
+                }
+            }
+            for rid in bad {
+                let payload = rid.packed();
+                heap.delete(rid);
+                // The heap bytes are rotted, so the row's identity comes
+                // from the PK index: its entry mapping key → this payload is
+                // the only trustworthy record of which key the row carried.
+                let pk_key = ts.pk.write().remove_payload(payload);
+                for u in &ts.uniques {
+                    u.write().remove_payload(payload);
+                }
+                for s in ts.secondaries.write().iter_mut() {
+                    s.tree.remove_payload(payload);
+                }
+                self.stats.rows_quarantined.inc();
+                quarantined.push(crate::scrub::QuarantinedRow {
+                    table: table.to_string(),
+                    row_id: payload,
+                    pk: pk_key.map(|k| k.0).unwrap_or_default(),
+                });
+            }
+        }
+        let mut bad_nodes = 0u64;
+        if ts.pk.read().validate().is_err() {
+            bad_nodes += 1;
+        }
+        for u in &ts.uniques {
+            if u.read().validate().is_err() {
+                bad_nodes += 1;
+            }
+        }
+        for s in ts.secondaries.read().iter() {
+            if s.tree.validate().is_err() {
+                bad_nodes += 1;
+            }
+        }
+        Ok((
+            crate::scrub::TableScrub {
+                table: table.to_string(),
+                pages,
+                rows,
+                bad_records: quarantined.len() as u64,
+                bad_nodes,
+            },
+            quarantined,
+        ))
+    }
+
+    /// Chaos hook: flip one seed-deterministic bit in one committed row of
+    /// `table`. Returns the damaged row id, or `None` when the table has no
+    /// committed rows. The flip lands in the stored payload, never the CRC
+    /// prefix — either damage is detected identically, but payload damage is
+    /// the interesting repro (the checksum is *right* and the data wrong).
+    pub fn rot_heap_row(&self, table: &str, salt: u64) -> Option<RowId> {
+        let tid = self.table_id(table).ok()?;
+        let ts = self.state(tid);
+        let hidden = self.txns.uncommitted_inserts(tid);
+        let mut heap = ts.heap.lock();
+        let live: Vec<RowId> = heap
+            .scan()
+            .map(|(rid, _)| rid)
+            .filter(|rid| !hidden.contains(&rid.packed()))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let mut rng = SplitMix64::new(salt);
+        let rid = live[(rng.next_u64() % live.len() as u64) as usize];
+        let byte = rng.next_u64() as usize;
+        let bit = (rng.next_u64() & 7) as u8;
+        heap.corrupt_row(rid, byte, bit).then_some(rid)
+    }
+
+    /// Chaos hook: flip one seed-deterministic bit somewhere in the durable
+    /// WAL image. Recovery replay must then stop at the first record whose
+    /// CRC fails instead of trusting length framing into garbage. Returns
+    /// the damaged byte offset, or `None` when no bytes are durable yet.
+    pub fn rot_wal_bit(&self, salt: u64) -> Option<usize> {
+        let len = self.wal.durable_len();
+        if len == 0 {
+            return None;
+        }
+        let mut rng = SplitMix64::new(salt);
+        let byte = (rng.next_u64() % len as u64) as usize;
+        let bit = (rng.next_u64() & 7) as u8;
+        self.wal.rot_durable_bit(byte, bit).then_some(byte)
     }
 
     // ----------------------------------------------------- cost model hooks
@@ -1255,12 +1405,26 @@ impl Engine {
         schemas: Vec<TableSchema>,
         log: &[u8],
     ) -> DbResult<Engine> {
+        Self::recover_from_log_checked(cfg, schemas, log).map(|(engine, _)| engine)
+    }
+
+    /// As [`Engine::recover_from_log`], but also reports whether replay
+    /// stopped early because a log record failed its CRC. The tail past the
+    /// first bad record is discarded exactly like a torn write — the
+    /// difference is the caller *knows*, and can widen its repair scope to
+    /// everything the log might have held.
+    pub fn recover_from_log_checked(
+        cfg: DbConfig,
+        schemas: Vec<TableSchema>,
+        log: &[u8],
+    ) -> DbResult<(Engine, bool)> {
         let engine = Engine::new(cfg);
         for s in schemas {
             engine.create_table(s)?;
         }
+        let (ops, corrupt) = recover_checked(log);
         let txn = engine.begin();
-        for op in recover(log) {
+        for op in ops {
             match op {
                 crate::wal::RecoveredOp::Insert { table, row, .. } => {
                     let mut slice = &row[..];
@@ -1277,7 +1441,7 @@ impl Engine {
             }
         }
         engine.commit(txn)?;
-        Ok(engine)
+        Ok((engine, corrupt))
     }
 
     /// The durable log bytes (what a crash preserves).

@@ -98,8 +98,14 @@ pub enum DbError {
     /// until the repository is recovered into a fresh server.
     ServerDown(String),
     /// The server detected a corrupted request payload (checksum mismatch)
-    /// and rejected the whole call before applying anything.
+    /// and rejected the whole call before applying anything. Nothing was
+    /// stored: the client may simply resend the batch.
     Corruption(String),
+    /// The server detected corruption **at rest**: a stored heap row or WAL
+    /// record failed its CRC. Unlike [`DbError::Corruption`], the damage is
+    /// in durable state — resending the request cannot help; the row must be
+    /// quarantined by the scrubber and re-derived from its source file.
+    DataCorruption(String),
     /// A batch failed at `offset`; rows before the offset were applied.
     Batch {
         /// Zero-based index of the failing row within the batch.
@@ -198,6 +204,7 @@ impl fmt::Display for DbError {
             DbError::DiskFull(m) => write!(f, "disk full: {m}"),
             DbError::ServerDown(m) => write!(f, "server down: {m}"),
             DbError::Corruption(m) => write!(f, "corrupt payload: {m}"),
+            DbError::DataCorruption(m) => write!(f, "at-rest corruption: {m}"),
             DbError::Batch { offset, cause } => {
                 write!(f, "batch failed at row offset {offset}: {cause}")
             }

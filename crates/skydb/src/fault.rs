@@ -63,10 +63,18 @@ pub enum FaultKind {
     /// stressing the freshness SLO. Decided per file arrival, injected by
     /// the live-ingest layer.
     ArrivalBurst,
+    /// Silent media rot: a bit flips in *stored* state — a heap page or a
+    /// durable WAL record — long after the write barrier completed. Unlike
+    /// [`FaultKind::Corruption`] (a bad request payload, rejected before
+    /// apply), the damage lands in committed data and is only caught by the
+    /// at-rest CRCs: the scrubber quarantines rotted heap rows, and WAL
+    /// replay stops at the first bad record. Decided per rot opportunity,
+    /// injected by the chaos harness.
+    BitRot,
 }
 
 /// Every fault kind, for report iteration.
-pub const FAULT_KINDS: [FaultKind; 10] = [
+pub const FAULT_KINDS: [FaultKind; 11] = [
     FaultKind::CrashOnFlush,
     FaultKind::DiskFull,
     FaultKind::Corruption,
@@ -77,6 +85,7 @@ pub const FAULT_KINDS: [FaultKind; 10] = [
     FaultKind::LoaderStall,
     FaultKind::SwapCrash,
     FaultKind::ArrivalBurst,
+    FaultKind::BitRot,
 ];
 
 impl FaultKind {
@@ -93,6 +102,7 @@ impl FaultKind {
             FaultKind::LoaderStall => "loader_stall",
             FaultKind::SwapCrash => "swap_crash",
             FaultKind::ArrivalBurst => "arrival_burst",
+            FaultKind::BitRot => "bit_rot",
         }
     }
 
@@ -109,6 +119,7 @@ impl FaultKind {
             FaultKind::LoaderStall => 7,
             FaultKind::SwapCrash => 8,
             FaultKind::ArrivalBurst => 9,
+            FaultKind::BitRot => 10,
         }
     }
 }
@@ -171,6 +182,11 @@ pub struct FaultPlanConfig {
     pub arrival_burst_rate: f64,
     /// Burst on the `n`-th file arrival, 1-based.
     pub arrival_burst_at: Option<u64>,
+    /// Bit-rot probability per rot opportunity (the chaos harness polls the
+    /// plan between micro-batches; each poll is one opportunity).
+    pub bit_rot_rate: f64,
+    /// Rot on the `n`-th opportunity, 1-based.
+    pub bit_rot_at: Option<u64>,
 }
 
 impl Default for FaultPlanConfig {
@@ -193,6 +209,8 @@ impl Default for FaultPlanConfig {
             swap_crash_at: None,
             arrival_burst_rate: 0.0,
             arrival_burst_at: None,
+            bit_rot_rate: 0.0,
+            bit_rot_at: None,
         }
     }
 }
@@ -285,6 +303,18 @@ impl FaultPlanConfig {
         self
     }
 
+    /// Builder-style: bit-rot rate (per rot opportunity).
+    pub fn with_bit_rot(mut self, rate: f64) -> Self {
+        self.bit_rot_rate = rate;
+        self
+    }
+
+    /// Builder-style: rot on the `n`-th opportunity (1-based).
+    pub fn with_bit_rot_at(mut self, nth_opportunity: u64) -> Self {
+        self.bit_rot_at = Some(nth_opportunity);
+        self
+    }
+
     /// Validate rates.
     pub fn validate(&self) -> Result<(), String> {
         for (name, r) in [
@@ -296,6 +326,7 @@ impl FaultPlanConfig {
             ("loader_kill_rate", self.loader_kill_rate),
             ("loader_stall_rate", self.loader_stall_rate),
             ("arrival_burst_rate", self.arrival_burst_rate),
+            ("bit_rot_rate", self.bit_rot_rate),
         ] {
             if !(0.0..=1.0).contains(&r) {
                 return Err(format!("{name} must be in [0, 1], got {r}"));
@@ -309,6 +340,9 @@ impl FaultPlanConfig {
         }
         if self.swap_crash_at == Some(0) || self.arrival_burst_at == Some(0) {
             return Err("swap_crash_at/arrival_burst_at are 1-based; 0 never fires".into());
+        }
+        if self.bit_rot_at == Some(0) {
+            return Err("bit_rot_at is 1-based; 0 never fires".into());
         }
         Ok(())
     }
@@ -338,6 +372,7 @@ pub struct FaultPlan {
     grants: AtomicU64,
     swaps: AtomicU64,
     arrivals: AtomicU64,
+    rot_events: AtomicU64,
 }
 
 impl FaultPlan {
@@ -355,6 +390,7 @@ impl FaultPlan {
             grants: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             arrivals: AtomicU64::new(0),
+            rot_events: AtomicU64::new(0),
         }
     }
 
@@ -490,6 +526,23 @@ impl FaultPlan {
             || Self::fires(cfg.seed, FaultKind::ArrivalBurst, a, cfg.arrival_burst_rate)
         {
             return Some(FaultKind::ArrivalBurst);
+        }
+        None
+    }
+
+    /// Adjudicate one bit-rot opportunity for the chaos harness: should a
+    /// stored bit flip here? Opportunity ordinals are 1-based and — like
+    /// every other schedule — the decision is a pure function of
+    /// (seed, ordinal), so a seed reproduces the same rot pattern on every
+    /// run. The *site* of the rot (which table/row/byte, or which WAL
+    /// offset) is derived by the harness from the same ordinal.
+    pub fn decide_bit_rot_fault(&self) -> Option<FaultKind> {
+        let r = self.rot_events.fetch_add(1, Ordering::Relaxed) + 1;
+        let cfg = &self.cfg;
+        if cfg.bit_rot_at == Some(r)
+            || Self::fires(cfg.seed, FaultKind::BitRot, r, cfg.bit_rot_rate)
+        {
+            return Some(FaultKind::BitRot);
         }
         None
     }
@@ -688,6 +741,33 @@ mod tests {
         assert_eq!(plan.decide_arrival_fault(), None);
         assert_eq!(plan.decide_arrival_fault(), Some(FaultKind::ArrivalBurst));
         assert_eq!(plan.decide_arrival_fault(), None);
+    }
+
+    #[test]
+    fn bit_rot_schedule_is_seed_deterministic_and_exact() {
+        let cfg = FaultPlanConfig::new(31).with_bit_rot(0.3);
+        let draw = |cfg: FaultPlanConfig| {
+            let plan = FaultPlan::new(cfg);
+            (0..200)
+                .map(|_| plan.decide_bit_rot_fault())
+                .collect::<Vec<_>>()
+        };
+        let a = draw(cfg.clone());
+        let b = draw(cfg);
+        assert_eq!(a, b, "identical seed must reproduce the rot schedule");
+        assert!(a.contains(&Some(FaultKind::BitRot)));
+        assert!(a.contains(&None));
+
+        let plan = FaultPlan::new(FaultPlanConfig::new(1).with_bit_rot_at(2));
+        assert_eq!(plan.decide_bit_rot_fault(), None);
+        assert_eq!(plan.decide_bit_rot_fault(), Some(FaultKind::BitRot));
+        assert_eq!(plan.decide_bit_rot_fault(), None);
+        assert!(FaultPlanConfig {
+            bit_rot_at: Some(0),
+            ..FaultPlanConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

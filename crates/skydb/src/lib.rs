@@ -52,12 +52,14 @@
 pub mod btree;
 pub mod cache;
 pub mod config;
+pub mod crc;
 pub mod engine;
 pub mod error;
 pub mod expr;
 pub mod fault;
 pub mod heap;
 pub mod schema;
+pub mod scrub;
 pub mod serve;
 pub mod server;
 pub mod stats;
@@ -76,6 +78,7 @@ pub mod prelude {
         CallClass, FaultDecision, FaultKind, FaultPlan, FaultPlanConfig, FAULT_KINDS,
     };
     pub use crate::schema::{Catalog, TableBuilder, TableId, TableSchema};
+    pub use crate::scrub::{run_scrub, QuarantinedRow, ScrubConfig, ScrubReport, TableScrub};
     pub use crate::serve::{
         FastOutcome, JobId, JobState, Query, QueryResult, QueryService, ServeConfig, ServeError,
     };

@@ -53,6 +53,12 @@ pub struct EngineStats {
     pub scan_pages: CounterHandle,
     /// Shadow→live table name swaps (campaign promotions).
     pub table_swaps: CounterHandle,
+    /// Stored rows whose CRC failed on a read path (each one surfaced as a
+    /// `DataCorruption` error, never as row data).
+    pub rot_detected: CounterHandle,
+    /// Rows quarantined by the scrubber (de-indexed and removed from the
+    /// heap so they can be re-derived from source).
+    pub rows_quarantined: CounterHandle,
 }
 
 impl EngineStats {
@@ -78,6 +84,8 @@ impl EngineStats {
             bind_spill_bytes: obs.counter("engine.bind_spill_bytes"),
             scan_pages: obs.counter("engine.scan_pages"),
             table_swaps: obs.counter("engine.table_swaps"),
+            rot_detected: obs.counter("engine.rot_detected"),
+            rows_quarantined: obs.counter("engine.rows_quarantined"),
         }
     }
 }
@@ -131,6 +139,10 @@ pub struct StatsSnapshot {
     pub scan_pages: u64,
     /// Shadow→live table name swaps.
     pub table_swaps: u64,
+    /// Stored rows whose CRC failed on a read path.
+    pub rot_detected: u64,
+    /// Rows quarantined by the scrubber.
+    pub rows_quarantined: u64,
 }
 
 impl EngineStats {
@@ -156,6 +168,8 @@ impl EngineStats {
             bind_spill_bytes: self.bind_spill_bytes.get(),
             scan_pages: self.scan_pages.get(),
             table_swaps: self.table_swaps.get(),
+            rot_detected: self.rot_detected.get(),
+            rows_quarantined: self.rows_quarantined.get(),
         }
     }
 }

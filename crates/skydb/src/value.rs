@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
 
 use crate::error::{DbError, DbResult};
 
@@ -51,7 +52,7 @@ impl fmt::Display for DataType {
 }
 
 /// A single SQL value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Value {
     /// SQL NULL.
     Null,

@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 use skyobs::{CounterHandle, Registry};
 use skysim::disk::{Access, DiskDevice};
 
+use crate::crc::crc32;
 use crate::error::{DbError, DbResult};
 use crate::heap::PAGE_BYTES;
 use crate::schema::TableId;
@@ -56,7 +57,18 @@ pub enum LogRecord {
 }
 
 impl LogRecord {
+    /// Encode the record followed by a 4-byte CRC-32 trailer over its bytes.
+    /// The trailer means a redo scan never has to trust the length framing:
+    /// a flipped bit anywhere in the record (including the length field)
+    /// fails the CRC and replay stops at the last intact prefix.
     fn encode(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        self.encode_body(buf);
+        let crc = crc32(&buf[start..]);
+        buf.put_u32_le(crc);
+    }
+
+    fn encode_body(&self, buf: &mut BytesMut) {
         match self {
             LogRecord::Begin(t) => {
                 buf.put_u8(1);
@@ -87,7 +99,27 @@ impl LogRecord {
         }
     }
 
-    fn decode(buf: &mut impl Buf) -> DbResult<LogRecord> {
+    /// Decode one record and verify its CRC trailer. Truncation (not enough
+    /// bytes left) is a [`DbError::Protocol`] — the normal torn-tail case; a
+    /// present-but-wrong CRC is [`DbError::DataCorruption`] — rot.
+    fn decode(buf: &mut &[u8]) -> DbResult<LogRecord> {
+        let start: &[u8] = buf;
+        let rec = Self::decode_body(buf)?;
+        let consumed = start.len() - buf.len();
+        if buf.remaining() < 4 {
+            return Err(DbError::Protocol("truncated log record crc".into()));
+        }
+        let stored = buf.get_u32_le();
+        let computed = crc32(&start[..consumed]);
+        if stored != computed {
+            return Err(DbError::DataCorruption(format!(
+                "wal record crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
+        Ok(rec)
+    }
+
+    fn decode_body(buf: &mut impl Buf) -> DbResult<LogRecord> {
         if buf.remaining() < 9 {
             return Err(DbError::Protocol("truncated log record".into()));
         }
@@ -227,6 +259,26 @@ impl Wal {
         self.buffers.lock().durable.clone()
     }
 
+    /// Chaos hook: flip one bit of the *durable* log in place — the modeled
+    /// equivalent of media rot on the log device after the write barrier
+    /// completed. Returns `false` (no-op) when `byte` is out of range.
+    /// [`decode_log`] will stop at the damaged record on the next recovery.
+    pub fn rot_durable_bit(&self, byte: usize, bit: u8) -> bool {
+        let mut bufs = self.buffers.lock();
+        match bufs.durable.get_mut(byte) {
+            Some(b) => {
+                *b ^= 1 << (bit & 7);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bytes currently durable (for seeding a rot offset).
+    pub fn durable_len(&self) -> usize {
+        self.buffers.lock().durable.len()
+    }
+
     /// Log flushes performed.
     pub fn flushes(&self) -> u64 {
         self.flushes.get()
@@ -250,21 +302,30 @@ impl Wal {
 
 /// Decode a durable log into records, stopping cleanly at any truncated tail
 /// (a crash mid-flush leaves a partial record; it is discarded, as in real
-/// recovery).
-pub fn decode_log(mut log: &[u8]) -> Vec<LogRecord> {
+/// recovery) or at the first record whose CRC trailer fails (bit-rot: the
+/// intact prefix is all that can be trusted).
+pub fn decode_log(log: &[u8]) -> Vec<LogRecord> {
+    decode_log_checked(log).0
+}
+
+/// Like [`decode_log`], but also reports whether the scan stopped because a
+/// record's CRC failed (as opposed to reaching the end or a torn tail).
+/// `true` means the durable log has *rotted* — the replayed prefix is
+/// trustworthy but committed work after the bad record is lost and must be
+/// re-derived from source files.
+pub fn decode_log_checked(mut log: &[u8]) -> (Vec<LogRecord>, bool) {
     let mut out = Vec::new();
+    let mut corrupt = false;
     while !log.is_empty() {
-        let before = log;
         match LogRecord::decode(&mut log) {
             Ok(rec) => out.push(rec),
-            Err(_) => {
-                // Truncated tail: stop. `before` is unused further.
-                let _ = before;
+            Err(e) => {
+                corrupt = matches!(e, DbError::DataCorruption(_));
                 break;
             }
         }
     }
-    out
+    (out, corrupt)
 }
 
 /// One committed operation recovered from the log, in log order.
@@ -292,7 +353,15 @@ pub enum RecoveredOp {
 
 /// Redo scan: the committed operations of a durable log, in log order.
 pub fn recover(log: &[u8]) -> Vec<RecoveredOp> {
-    let records = decode_log(log);
+    recover_checked(log).0
+}
+
+/// Redo scan that also reports whether the log was cut short by a CRC
+/// failure (see [`decode_log_checked`]). Repair uses the flag to widen the
+/// re-load set to every journalled file: with a rotted log, any file's tail
+/// rows may be missing from the replayed state.
+pub fn recover_checked(log: &[u8]) -> (Vec<RecoveredOp>, bool) {
+    let (records, corrupt) = decode_log_checked(log);
     let committed: std::collections::HashSet<TxnId> = records
         .iter()
         .filter_map(|r| match r {
@@ -300,7 +369,7 @@ pub fn recover(log: &[u8]) -> Vec<RecoveredOp> {
             _ => None,
         })
         .collect();
-    records
+    let ops = records
         .into_iter()
         .filter_map(|r| match r {
             LogRecord::Insert { txn, table, row } if committed.contains(&txn) => {
@@ -311,7 +380,8 @@ pub fn recover(log: &[u8]) -> Vec<RecoveredOp> {
             }
             _ => None,
         })
-        .collect()
+        .collect();
+    (ops, corrupt)
 }
 
 #[cfg(test)]
@@ -423,7 +493,8 @@ mod tests {
         wal.append(&LogRecord::Commit(TxnId(1)), &d);
         wal.append(&insert(2, 0, b"second"), &d);
         wal.append(&LogRecord::Commit(TxnId(2)), &d);
-        // Tear 4 bytes off the second commit record (9 bytes encoded).
+        // Tear 4 bytes off the second commit record (13 bytes encoded:
+        // 9-byte body + 4-byte CRC trailer).
         wal.flush_torn(&d, 4);
         let recs = decode_log(&wal.durable_log());
         assert_eq!(recs.len(), 3, "torn commit record must be discarded");
@@ -443,6 +514,64 @@ mod tests {
         wal.flush_torn(&d, 5);
         assert!(wal.durable_log().is_empty());
         assert_eq!(d.writes(), 0);
+    }
+
+    #[test]
+    fn crc_failure_stops_replay_at_last_intact_prefix() {
+        let mut buf = BytesMut::new();
+        LogRecord::Begin(TxnId(1)).encode(&mut buf);
+        insert(1, 0, b"good").encode(&mut buf);
+        let damage_from = buf.len();
+        insert(1, 0, b"rotten").encode(&mut buf);
+        LogRecord::Commit(TxnId(1)).encode(&mut buf);
+        let mut log = buf.to_vec();
+        // Flip one bit inside the second insert's payload (record layout:
+        // tag 1 + txn 8 + table 4 + len 4 = 17 bytes of header).
+        log[damage_from + 18] ^= 0x04;
+        let (recs, corrupt) = decode_log_checked(&log);
+        assert!(corrupt, "bit flip must be classified as corruption");
+        assert_eq!(
+            recs,
+            vec![LogRecord::Begin(TxnId(1)), insert(1, 0, b"good")],
+            "replay must stop at the first bad record, not skip it"
+        );
+        // The commit after the bad record is unreachable, so nothing is
+        // recovered: better to lose the tail than apply rotten bytes.
+        assert!(recover(&log).is_empty());
+    }
+
+    #[test]
+    fn flipped_length_field_fails_crc_not_framing() {
+        let mut buf = BytesMut::new();
+        insert(1, 0, b"abcdefgh").encode(&mut buf);
+        LogRecord::Commit(TxnId(1)).encode(&mut buf);
+        let mut log = buf.to_vec();
+        // Byte 13 is the low byte of the insert's length field; shrink it so
+        // length framing alone would "successfully" mis-parse the log.
+        log[13] ^= 0x04;
+        let (recs, corrupt) = decode_log_checked(&log);
+        assert!(recs.is_empty(), "mis-framed record must not decode");
+        assert!(corrupt || recs.is_empty());
+    }
+
+    #[test]
+    fn rot_durable_bit_hits_only_durable_bytes() {
+        let wal = Wal::new(1 << 20, &Registry::new());
+        let d = dev();
+        wal.append(&insert(1, 0, b"row"), &d);
+        wal.append(&LogRecord::Commit(TxnId(1)), &d);
+        wal.flush_sync(&d);
+        let len = wal.durable_len();
+        assert!(len > 0);
+        assert!(!wal.rot_durable_bit(len, 0), "out of range is a no-op");
+        assert!(wal.rot_durable_bit(5, 3));
+        let (_, corrupt) = decode_log_checked(&wal.durable_log());
+        assert!(corrupt);
+        // Flip the same bit back: the log is whole again.
+        assert!(wal.rot_durable_bit(5, 3));
+        let (recs, corrupt) = decode_log_checked(&wal.durable_log());
+        assert!(!corrupt);
+        assert_eq!(recs.len(), 2);
     }
 
     #[test]

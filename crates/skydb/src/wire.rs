@@ -164,6 +164,10 @@ pub fn encode_error_kind(e: &DbError) -> u8 {
             DbError::ServerDown(_) => 10,
             DbError::FencedOut(_) => 11,
             DbError::WriteConflict(_) => 12,
+            // At-rest rot is a distinct kind from request-payload corruption
+            // (9): resending cannot fix stored damage. Kind 9 keeps its
+            // meaning for wire backcompat.
+            DbError::DataCorruption(_) => 13,
             _ => 0,
         },
     }
@@ -196,6 +200,7 @@ pub fn decode_error_kind(kind: u8, message: String) -> DbError {
         10 => DbError::ServerDown(message),
         11 => DbError::FencedOut(message),
         12 => DbError::WriteConflict(message),
+        13 => DbError::DataCorruption(message),
         _ => DbError::Protocol(message),
     }
 }
@@ -896,6 +901,23 @@ mod tests {
         assert!(matches!(
             decode_error_kind(11, "x".into()),
             DbError::FencedOut(_)
+        ));
+        // Request-payload corruption (9) and at-rest rot (13) stay distinct.
+        assert_eq!(
+            encode_error_kind(&DbError::Corruption("bad batch".into())),
+            9
+        );
+        assert_eq!(
+            encode_error_kind(&DbError::DataCorruption("rotted row".into())),
+            13
+        );
+        assert!(matches!(
+            decode_error_kind(9, "x".into()),
+            DbError::Corruption(_)
+        ));
+        assert!(matches!(
+            decode_error_kind(13, "x".into()),
+            DbError::DataCorruption(_)
         ));
         assert!(matches!(
             decode_error_kind(0, "x".into()),

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use skydb::heap::{RowId, TableHeap};
+use skydb::heap::{RowId, TableHeap, ROW_CRC_BYTES};
 use skydb::schema::TableId;
 
 #[derive(Debug, Clone)]
@@ -52,8 +52,8 @@ proptest! {
         expected.sort_by_key(|(r, _)| *r);
         let scanned: Vec<(RowId, &[u8])> = heap.scan().collect();
         prop_assert_eq!(scanned, expected);
-        // Bytes accounting matches.
-        let total: usize = model.iter().map(|(_, b)| b.len()).sum();
+        // Bytes accounting matches (each stored row carries its CRC frame).
+        let total: usize = model.iter().map(|(_, b)| b.len() + ROW_CRC_BYTES).sum();
         prop_assert_eq!(heap.bytes_used(), total);
     }
 

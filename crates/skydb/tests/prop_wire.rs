@@ -186,7 +186,7 @@ proptest! {
     fn error_kind_bytes_are_stable(kind in 0u8..16, message in "[ -~]{0,32}") {
         let decoded = decode_error_kind(kind, message);
         let back = encode_error_kind(&decoded);
-        if kind <= 12 {
+        if kind <= 13 {
             prop_assert_eq!(back, kind);
         } else {
             prop_assert_eq!(back, 0, "reserved kinds fall back to protocol");

@@ -145,3 +145,141 @@ fn fast_queries_never_observe_a_partial_flush_while_a_loader_dies() {
         );
     }
 }
+
+#[test]
+fn quarantine_races_committed_reads_without_serving_rot() {
+    // Bit rot lands in committed rows *while* serve-tier scans run and a
+    // scrubber quarantines the damage out from under them. A racing read
+    // must land on one of exactly three outcomes — clean rows it knows
+    // (pre-rot), a DataCorruption refusal (post-rot, pre-quarantine), or
+    // clean survivors (post-quarantine) — and never a fabricated row.
+    // Afterwards, journal-driven repair must restore the exact catalog.
+    use skydb::error::DbError;
+    use skydb::scrub::{run_scrub, QuarantinedRow, ScrubConfig};
+    use skydb::serve::ServeError;
+    use std::sync::atomic::AtomicU64;
+
+    for seed in [17u64, 29, 43] {
+        let cfg = GenConfig::night(seed, OBS_ID)
+            .with_files(2)
+            .with_frames_per_ccd(3)
+            .with_objects_per_frame(40);
+        let files = generate_observation(&cfg);
+        let mut expected = ExpectedCounts::default();
+        for f in &files {
+            expected.merge(&f.expected);
+        }
+
+        let server = Server::start(DbConfig::test());
+        skycat::create_all(server.engine()).unwrap();
+        skycat::seed_static(server.engine()).unwrap();
+        skycat::seed_observation(server.engine(), 1, OBS_ID).unwrap();
+        let journal = LoadJournal::new();
+        let loader = LoaderConfig::test();
+        load_night_with_journal(
+            &server,
+            &files,
+            &loader,
+            2,
+            AssignmentPolicy::Dynamic,
+            Some(&journal),
+        )
+        .unwrap();
+
+        // Ground truth: every object id the night legitimately loaded.
+        let objects = server.engine().table_id("objects").unwrap();
+        let valid_ids: BTreeSet<i64> = server
+            .engine()
+            .scan_where(objects, None)
+            .unwrap()
+            .iter()
+            .filter_map(|r| r.first()?.as_i64())
+            .collect();
+
+        let service = QueryService::start(server.clone(), ServeConfig::default());
+        let done = AtomicBool::new(false);
+        let ok_reads = AtomicU64::new(0);
+        let blocked_reads = AtomicU64::new(0);
+        let mut quarantined: Vec<QuarantinedRow> = Vec::new();
+
+        std::thread::scope(|scope| {
+            for r in 0..2 {
+                let (service, done) = (&service, &done);
+                let (ok_reads, blocked_reads, valid_ids) = (&ok_reads, &blocked_reads, &valid_ids);
+                scope.spawn(move || {
+                    let user = format!("racer{r}");
+                    while !done.load(Ordering::Acquire) {
+                        match service.fast_query(
+                            &user,
+                            Query::Scan {
+                                table: "objects".into(),
+                                filter: None,
+                            },
+                        ) {
+                            Ok(FastOutcome::Done(result)) => {
+                                ok_reads.fetch_add(1, Ordering::Relaxed);
+                                for id in object_ids(&result.rows) {
+                                    assert!(
+                                        valid_ids.contains(&id),
+                                        "seed {seed}: served rotted id {id}"
+                                    );
+                                }
+                            }
+                            Err(ServeError::Db(DbError::DataCorruption(_))) => {
+                                blocked_reads.fetch_add(1, Ordering::Relaxed);
+                            }
+                            other => panic!("seed {seed}: unexpected outcome {other:?}"),
+                        }
+                    }
+                });
+            }
+
+            // The rot/scrub loop races the readers: damage a committed
+            // row, give the scanners a beat to trip over it, scrub it out.
+            for round in 0..8u64 {
+                if server
+                    .engine()
+                    .rot_heap_row("objects", seed.wrapping_mul(1000) + round)
+                    .is_some()
+                {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    let report =
+                        run_scrub(server.engine(), &ScrubConfig::default(), server.obs()).unwrap();
+                    quarantined.extend(report.quarantined);
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        assert!(!quarantined.is_empty(), "seed {seed}: nothing quarantined");
+        assert!(
+            ok_reads.load(Ordering::Relaxed) > 0,
+            "seed {seed}: readers never completed a scan"
+        );
+        let got = server.engine().row_count(objects);
+        assert_eq!(
+            got + quarantined.len() as u64,
+            expected.loadable["objects"],
+            "seed {seed}: quarantine lost track of rows"
+        );
+
+        // Close the loop: repair restores the exact catalog, row for row.
+        let repair =
+            skyloader::run_repair(&server, &files, &quarantined, false, &loader, 2, &journal)
+                .unwrap();
+        assert!(repair.complete(), "seed {seed}: {:?}", repair.failed_files);
+        assert_eq!(
+            repair.rows_restored,
+            quarantined.len() as u64,
+            "seed {seed}"
+        );
+        for (table, expect) in &expected.loadable {
+            let tid = server.engine().table_id(table).unwrap();
+            assert_eq!(
+                server.engine().row_count(tid),
+                *expect,
+                "seed {seed}: {table} after repair"
+            );
+        }
+    }
+}
