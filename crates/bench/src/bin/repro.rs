@@ -2,7 +2,8 @@
 //!
 //! Experiments: `fig4 fig5 fig6 fig7 fig8 fig9 ablate-errors ablate-assign
 //! ablate-commit ablate-presort ablate-cache ablate-devices
-//! ablate-two-phase ablate-pipeline interference freshness headline`, or
+//! ablate-two-phase ablate-pipeline interference freshness scaleout
+//! headline`, or
 //! `all` (default), or `quick` (reduced scale smoke run).
 //!
 //! Results print as text tables and are also written as JSON under
@@ -50,7 +51,7 @@ impl Plan {
     }
 }
 
-const ALL: [&str; 17] = [
+const ALL: [&str; 18] = [
     "fig4",
     "fig5",
     "fig6",
@@ -67,6 +68,7 @@ const ALL: [&str; 17] = [
     "ablate-pipeline",
     "interference",
     "freshness",
+    "scaleout",
     "headline",
 ];
 
@@ -102,6 +104,13 @@ fn run_one(name: &str, plan: &Plan) -> Option<Figure> {
                 figures::freshness(scale, 2005, &[250, 1000], 30.0)
             } else {
                 figures::freshness(scale, 2005, &[100, 250, 500, 1000, 2000], 100.0)
+            }
+        }
+        "scaleout" => {
+            if plan.quick {
+                figures::scaleout(2005, &[1, 2, 3], 3)
+            } else {
+                figures::scaleout(2005, &[1, 2, 4, 8], 8)
             }
         }
         "headline" => figures::headline(plan.wall_scale(), plan.headline_mb),

@@ -488,6 +488,31 @@ impl CampaignChaosReport {
     }
 }
 
+/// The database configuration every soak harness runs its servers on:
+/// paper hardware at zero time-scale, so modeled costs are accounted (the
+/// freshness clock needs them) without real sleeping.
+pub(crate) fn soak_db_config() -> DbConfig {
+    DbConfig::paper(skysim::TimeScale::ZERO)
+}
+
+/// Stand up one seeded catalog server for a soak: [`soak_db_config`]
+/// hardware, the full catalog schema, the static + observation seeds, and
+/// the soak's fault plan armed. The campaign, scrub, and shard soaks all
+/// start their servers here instead of repeating the wiring.
+pub(crate) fn soak_catalog_server(
+    obs: &Arc<skyobs::Registry>,
+    plan: Option<FaultPlanConfig>,
+) -> Result<Arc<Server>, String> {
+    let server = Server::start_with_obs(soak_db_config(), obs.clone());
+    skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
+    skycat::seed_observation(server.engine(), 1, 100).map_err(|e| e.to_string())?;
+    if let Some(p) = plan {
+        server.set_fault_plan(Some(FaultPlan::new(p)));
+    }
+    Ok(server)
+}
+
 /// Compare the live catalog tables against a season's ground truth,
 /// appending `phase`-tagged mismatches.
 fn verify_season(
@@ -544,14 +569,8 @@ pub fn run_campaign_chaos_with_obs(
 
     let obs = obs.clone();
     let baseline = obs.snapshot();
-    // Paper hardware at zero time-scale: modeled costs are accounted (the
-    // freshness clock needs them) without real sleeping.
-    let db_cfg = || skydb::DbConfig::paper(skysim::TimeScale::ZERO);
-    let server = Server::start_with_obs(db_cfg(), obs.clone());
-    skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
-    skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
-    skycat::seed_observation(server.engine(), 1, 100).map_err(|e| e.to_string())?;
-    server.set_fault_plan(Some(FaultPlan::new(cfg.fault_plan(true))));
+    let db_cfg = soak_db_config;
+    let server = soak_catalog_server(&obs, Some(cfg.fault_plan(true)))?;
 
     let mut mismatches = Vec::new();
 
@@ -928,12 +947,8 @@ pub fn run_scrub_chaos_with_obs(
     let obs = obs.clone();
     let baseline = obs.snapshot();
 
-    let db_cfg = || DbConfig::paper(skysim::TimeScale::ZERO);
-    let server = Server::start_with_obs(db_cfg(), obs.clone());
-    skycat::create_all(server.engine()).map_err(|e| e.to_string())?;
-    skycat::seed_static(server.engine()).map_err(|e| e.to_string())?;
-    skycat::seed_observation(server.engine(), 1, 100).map_err(|e| e.to_string())?;
-    server.set_fault_plan(Some(FaultPlan::new(cfg.fault_plan())));
+    let db_cfg = soak_db_config;
+    let server = soak_catalog_server(&obs, Some(cfg.fault_plan()))?;
 
     // Object ids this night can legitimately serve: any id inside one of
     // the night's file spans. A served row outside them is rot that leaked.
@@ -1203,6 +1218,486 @@ pub fn run_scrub_chaos_with_obs(
     })
 }
 
+/// Knobs for one shard chaos soak: live micro-batch ingest into a
+/// declination-sharded group while a seeded driver kills and stalls
+/// shards, the supervisor rebuilds them behind fencing epochs, and the
+/// coordinator itself restarts mid-night.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardChaosConfig {
+    /// Master seed: drives the night, the weather, and the shard faults.
+    pub seed: u64,
+    /// Catalog files in the night.
+    pub files: usize,
+    /// Declination zones (= shards).
+    pub shards: u32,
+    /// Serve-tier reader threads.
+    pub readers: usize,
+    /// Quick mode: a smaller night, for CI.
+    pub quick: bool,
+    /// Kill the shard picked at the Nth shard-fault opportunity (1-based).
+    pub shard_kill_at: Option<u64>,
+    /// Freeze a shard's heartbeat past its lease TTL at the Nth
+    /// opportunity instead — the stall the supervisor must detect by
+    /// lease expiry, whose zombie flushes the fence must reject.
+    pub shard_stall_at: Option<u64>,
+    /// Per-tick kill probability on top of the pins.
+    pub shard_kill_rate: f64,
+    /// Per-tick stall probability on top of the pins.
+    pub shard_stall_rate: f64,
+    /// Shard lease TTL: a heartbeat older than this declares the shard
+    /// dead.
+    #[serde(with = "ser_duration")]
+    pub lease_ttl: Duration,
+    /// Restart the coordinator mid-night: a fresh [`skydb::shard::ShardGroup`]
+    /// re-adopts the live servers with journal-restored epochs one
+    /// generation higher, fencing any writer still holding a pre-restart
+    /// token.
+    pub restart_coordinator: bool,
+}
+
+impl Default for ShardChaosConfig {
+    fn default() -> Self {
+        ShardChaosConfig {
+            seed: 2005,
+            files: 6,
+            shards: 3,
+            readers: 2,
+            quick: false,
+            shard_kill_at: Some(1),
+            shard_stall_at: Some(2),
+            shard_kill_rate: 0.0,
+            shard_stall_rate: 0.0,
+            lease_ttl: Duration::from_millis(60),
+            restart_coordinator: true,
+        }
+    }
+}
+
+impl ShardChaosConfig {
+    fn night(&self) -> Vec<CatalogFile> {
+        let files = if self.quick {
+            self.files.min(4)
+        } else {
+            self.files
+        };
+        let gen = GenConfig::night(self.seed, 100)
+            .with_files(files)
+            .with_error_rate(0.05);
+        generate_observation(&gen)
+    }
+
+    /// Connection weather each shard server runs under, salted so shards
+    /// draw different schedules from one soak seed. Deliberately milder
+    /// than the single-engine soak: the *shard* faults are the story
+    /// here, the weather just keeps the retry paths warm.
+    fn weather(&self, salt: u64) -> FaultPlanConfig {
+        FaultPlanConfig::new(self.seed ^ salt.wrapping_mul(0x9E37_79B9))
+            .with_resets(0.003)
+            .with_busy(0.003)
+            .with_latency(0.008, Duration::from_millis(5))
+    }
+
+    /// The seeded kill/stall schedule the shard-fault driver polls.
+    fn shard_faults(&self) -> FaultPlanConfig {
+        let mut plan = FaultPlanConfig::new(self.seed)
+            .with_shard_crashes(self.shard_kill_rate)
+            .with_shard_stalls(self.shard_stall_rate);
+        if let Some(n) = self.shard_kill_at {
+            plan = plan.with_shard_crash_at(n);
+        }
+        if let Some(n) = self.shard_stall_at {
+            plan = plan.with_shard_stall_at(n);
+        }
+        plan
+    }
+}
+
+/// What one shard chaos soak observed and proved.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardChaosReport {
+    /// The configuration that produced this report.
+    pub config: ShardChaosConfig,
+    /// Shards killed mid-ingest by the driver.
+    pub shard_kills: u64,
+    /// Shard heartbeats frozen past their TTL by the driver.
+    pub shard_stalls: u64,
+    /// Shard generations fenced and taken by the supervisor
+    /// (`shard.reclaims`).
+    pub reclaims: u64,
+    /// Replacement shard servers installed (`shard.rebuilds`).
+    pub rebuilds: u64,
+    /// Loader flushes rejected by a fencing epoch and requeued.
+    pub fenced_flushes: u64,
+    /// Whole-file requeues for any retryable cause.
+    pub requeues: u64,
+    /// Coordinator restarts performed mid-night.
+    pub coordinator_restarts: u64,
+    /// Serve-tier reads that completed.
+    pub reads_total: u64,
+    /// Reads answered degraded — explicitly flagged partial with the
+    /// missing zones listed, never silently truncated.
+    pub partial_reads: u64,
+    /// Served rows whose object id lies outside the night's file spans
+    /// (must be 0 — nothing corrupt is ever served).
+    pub corrupt_rows_served: u64,
+    /// Final `objects` row count per zone.
+    pub per_zone_rows: Vec<u64>,
+    /// Rows the repository should hold (generator ground truth).
+    pub expected_rows: u64,
+    /// Rows it holds across shards (replicated tables counted once).
+    pub actual_rows: u64,
+    /// Rows expected but missing (must be 0).
+    pub lost_rows: u64,
+    /// Rows present more than once (must be 0).
+    pub duplicated_rows: u64,
+    /// Per-zone, per-table mismatches (empty on success).
+    pub mismatches: Vec<String>,
+    /// Injected-fault counters by kind.
+    pub faults_by_kind: BTreeMap<String, u64>,
+}
+
+impl ShardChaosReport {
+    /// Did every loadable row land exactly once in exactly the right
+    /// zone, with nothing corrupt ever served?
+    pub fn exactly_once(&self) -> bool {
+        self.lost_rows == 0
+            && self.duplicated_rows == 0
+            && self.corrupt_rows_served == 0
+            && self.mismatches.is_empty()
+    }
+}
+
+/// Run one shard chaos soak: live micro-batch ingest into a sharded
+/// group + serve-tier readers + a seeded shard-kill/stall driver + a
+/// coordinator restart, then a row-exact per-zone verdict against an
+/// independent single-engine reference load.
+pub fn run_shard_chaos(cfg: &ShardChaosConfig) -> Result<ShardChaosReport, String> {
+    run_shard_chaos_with_obs(cfg, &Arc::new(skyobs::Registry::new()))
+}
+
+/// [`run_shard_chaos`] against a caller-owned telemetry registry, so the
+/// `shard.*` counters survive for a `--metrics` dump.
+pub fn run_shard_chaos_with_obs(
+    cfg: &ShardChaosConfig,
+    obs: &Arc<skyobs::Registry>,
+) -> Result<ShardChaosReport, String> {
+    use crate::shardload::{
+        shard_epoch_journal_key, ShardLoadConfig, ShardLoader, ShardRouter, ShardSupervisor,
+        ShardSupervisorConfig, ZONED_TABLES,
+    };
+    use skydb::fault::FaultKind;
+    use skydb::serve::{FastOutcome, Query, QueryService, ServeConfig};
+    use skydb::shard::{GatherPolicy, ShardGroup, ZoneMap};
+    use skysim::rng::SplitMix64;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::RwLock;
+    use std::time::Instant;
+
+    let night = cfg.night();
+    let expected = aggregate_expected(&night);
+    // The generator's four ccds emit decs over [-1.2, 1.2): shard exactly
+    // that band so every zone actually receives rows.
+    let map = ZoneMap::band(cfg.shards.max(1), -1.2, 1.2);
+    let reference = crate::shardload::clean_reference(&map, &night)?;
+    let obs = obs.clone();
+    let baseline = obs.snapshot();
+
+    // One seeded catalog server per zone, each under its own weather.
+    let servers = (0..map.zones())
+        .map(|z| soak_catalog_server(&obs, Some(cfg.weather(z as u64))))
+        .collect::<Result<Vec<_>, String>>()?;
+    let policy = GatherPolicy::default()
+        .with_attempts(8)
+        .with_per_shard_timeout(Duration::from_millis(100))
+        .with_seed(cfg.seed)
+        .with_allow_partial(true);
+    let group_slot = Arc::new(RwLock::new(Arc::new(ShardGroup::new(
+        map,
+        servers,
+        &ZONED_TABLES,
+        policy.clone(),
+        &obs,
+    ))));
+    let journal = Arc::new(LoadJournal::new());
+    let sup_cfg = ShardSupervisorConfig::soak(soak_db_config(), cfg.lease_ttl)
+        .with_fault_plan(cfg.weather(0x5A));
+    let sup_slot = Arc::new(RwLock::new(ShardSupervisor::start(
+        group_slot.read().unwrap().clone(),
+        &obs,
+        sup_cfg.clone(),
+        night.clone(),
+        journal.clone(),
+    )));
+
+    // Object ids this night can legitimately serve (same integrity check
+    // as the scrub soak): anything outside the night's file spans that a
+    // reader sees is corruption leaking through the serve tier.
+    let valid_spans: BTreeSet<i64> = (0..night.len() as i64)
+        .map(|i| 100 * 1000 + i + 1)
+        .collect();
+
+    // ---- serve-tier readers over a swappable service slot ------------
+    let serve_cfg = ServeConfig::default().with_fast_deadline(Duration::from_secs(3600));
+    let svc_slot = Arc::new(RwLock::new(Arc::new(QueryService::start_sharded(
+        group_slot.read().unwrap().clone(),
+        serve_cfg.clone(),
+        &obs,
+    ))));
+    let stop_readers = Arc::new(AtomicBool::new(false));
+    let reads_ok = Arc::new(AtomicU64::new(0));
+    let partial_reads = Arc::new(AtomicU64::new(0));
+    let corrupt_served = Arc::new(AtomicU64::new(0));
+    let reader_handles: Vec<_> = (0..cfg.readers.max(1))
+        .map(|r| {
+            let slot = svc_slot.clone();
+            let stop = stop_readers.clone();
+            let (ok, partial, leaked) = (
+                reads_ok.clone(),
+                partial_reads.clone(),
+                corrupt_served.clone(),
+            );
+            let spans = valid_spans.clone();
+            std::thread::spawn(move || {
+                let user = format!("reader{r}");
+                while !stop.load(Ordering::Relaxed) {
+                    let svc = slot.read().unwrap().clone();
+                    match svc.fast_query(
+                        &user,
+                        Query::Scan {
+                            table: "objects".into(),
+                            filter: None,
+                        },
+                    ) {
+                        Ok(FastOutcome::Done(res)) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if res.partial {
+                                // Degraded answer: explicitly flagged,
+                                // missing zones listed — the contract.
+                                partial.fetch_add(1, Ordering::Relaxed);
+                            }
+                            for row in &res.rows {
+                                let valid = matches!(
+                                    row.first(),
+                                    Some(skydb::Value::Int(id))
+                                        if spans.contains(&(id / 10_000_000)));
+                                if !valid {
+                                    leaked.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Ok(FastOutcome::Demoted(_)) | Err(_) => {}
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // ---- the shard-kill/stall driver ---------------------------------
+    let stop_driver = Arc::new(AtomicBool::new(false));
+    let kills = Arc::new(AtomicU64::new(0));
+    let stalls = Arc::new(AtomicU64::new(0));
+    let driver = {
+        let group_slot = group_slot.clone();
+        let sup_slot = sup_slot.clone();
+        let stop = stop_driver.clone();
+        let (kills, stalls) = (kills.clone(), stalls.clone());
+        let plan = FaultPlan::new(cfg.shard_faults());
+        let shards = map.zones() as u64;
+        std::thread::spawn(move || {
+            let mut events = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(2));
+                if let Some(kind) = plan.decide_shard_fault() {
+                    events += 1;
+                    let victim = (events % shards) as u32;
+                    let group = group_slot.read().unwrap().clone();
+                    match kind {
+                        FaultKind::ShardCrash => {
+                            let server = group.server(victim);
+                            server.note_injected_fault(FaultKind::ShardCrash);
+                            server.crash();
+                            kills.fetch_add(1, Ordering::Relaxed);
+                        }
+                        FaultKind::ShardStall => {
+                            group
+                                .server(victim)
+                                .note_injected_fault(FaultKind::ShardStall);
+                            sup_slot.read().unwrap().stall(victim, true);
+                            stalls.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        })
+    };
+
+    // ---- live micro-batch ingest, coordinator restart mid-night ------
+    let load_cfg = ShardLoadConfig::default();
+    let mut router = ShardRouter::new(map);
+    let mut pacing = SplitMix64::new(cfg.seed ^ 0x16E57);
+    let restart_after = if cfg.restart_coordinator {
+        night.len() / 2
+    } else {
+        usize::MAX
+    };
+    let mut coordinator_restarts = 0u64;
+    let mut requeues = 0u64;
+    let mut fenced_flushes = 0u64;
+    for (i, file) in night.iter().enumerate() {
+        if i == restart_after {
+            // Coordinator restart: the old group and its supervisor are
+            // gone. A fresh coordinator re-adopts the live servers, folds
+            // the journal's persisted epochs back in one generation
+            // higher — fencing any writer still holding a pre-restart
+            // token — and the serve tier re-targets.
+            let old_sup = sup_slot.read().unwrap().clone();
+            old_sup.shutdown();
+            let old_group = group_slot.read().unwrap().clone();
+            let servers: Vec<Arc<Server>> = (0..old_group.zones())
+                .map(|z| old_group.server(z))
+                .collect();
+            let new_group = Arc::new(ShardGroup::new(
+                map,
+                servers,
+                &ZONED_TABLES,
+                policy.clone(),
+                &obs,
+            ));
+            for z in 0..new_group.zones() {
+                new_group.restore_epoch(z, journal.epoch_for(&shard_epoch_journal_key(z)) + 1);
+            }
+            *group_slot.write().unwrap() = new_group.clone();
+            *sup_slot.write().unwrap() = ShardSupervisor::start(
+                new_group.clone(),
+                &obs,
+                sup_cfg.clone(),
+                night.clone(),
+                journal.clone(),
+            );
+            *svc_slot.write().unwrap() = Arc::new(QueryService::start_sharded(
+                new_group,
+                serve_cfg.clone(),
+                &obs,
+            ));
+            coordinator_restarts += 1;
+        }
+        let group = group_slot.read().unwrap().clone();
+        let loader = ShardLoader::new(group, load_cfg.clone(), &obs);
+        let r = loader.load_files(&mut router, std::slice::from_ref(file), Some(&journal))?;
+        requeues += r.requeues;
+        fenced_flushes += r.fenced_flushes;
+        // Poisson-ish inter-batch gaps so the drivers interleave with
+        // flushes rather than only landing between files.
+        std::thread::sleep(Duration::from_micros((pacing.next_f64() * 3000.0) as u64));
+    }
+
+    // ---- drain: stop injecting, let the supervisor heal everything ----
+    stop_driver.store(true, Ordering::Relaxed);
+    driver.join().map_err(|_| "shard-fault driver panicked")?;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let group = group_slot.read().unwrap().clone();
+        let sup = sup_slot.read().unwrap().clone();
+        let healthy = (0..group.zones()).all(|z| !group.server(z).is_crashed())
+            && sup.stalled_zones().is_empty();
+        if healthy || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // One TTL of settle so a reclaim racing the drain check completes.
+    std::thread::sleep(cfg.lease_ttl);
+    sup_slot.read().unwrap().clone().shutdown();
+    stop_readers.store(true, Ordering::Relaxed);
+    for h in reader_handles {
+        h.join().map_err(|_| "reader panicked".to_string())?;
+    }
+
+    let group = group_slot.read().unwrap().clone();
+    for z in 0..group.zones() {
+        group.server(z).set_fault_plan(None);
+    }
+
+    // ---- verdict ------------------------------------------------------
+    let mut mismatches = Vec::new();
+    for (table, expect) in &expected.loadable {
+        if reference.totals[table] != *expect {
+            mismatches.push(format!(
+                "reference load diverged from generator truth for {table}: {} vs {expect}",
+                reference.totals[table]
+            ));
+        }
+    }
+    let final_scan = group
+        .scan("objects", None)
+        .map_err(|e| format!("final scan: {e}"))?;
+    if final_scan.partial {
+        mismatches.push(format!(
+            "final scan degraded: zones {:?} missing",
+            final_scan.missing_zones
+        ));
+    }
+    if final_scan.rows.len() as u64 != reference.totals["objects"] {
+        mismatches.push(format!(
+            "final scatter-gather scan: expected {} objects, got {}",
+            reference.totals["objects"],
+            final_scan.rows.len()
+        ));
+    }
+    let (mut actual, mut lost, mut duplicated) = (0u64, 0u64, 0u64);
+    let mut per_zone_rows = Vec::new();
+    for zone in 0..group.zones() {
+        let server = group.server(zone);
+        let engine = server.engine();
+        for (table, expect) in &reference.per_zone[zone as usize] {
+            let table: &'static str = table;
+            let tid = engine.table_id(table).map_err(|e| e.to_string())?;
+            let got = engine.row_count(tid);
+            // Replicated tables hold a full copy per shard; count zone
+            // 0's copy toward the whole-repository total.
+            if ZONED_TABLES.contains(&table) || zone == 0 {
+                actual += got;
+            }
+            if got < *expect {
+                lost += expect - got;
+                mismatches.push(format!(
+                    "zone {zone}: {table} expected {expect}, got {got} (lost)"
+                ));
+            } else if got > *expect {
+                duplicated += got - expect;
+                mismatches.push(format!(
+                    "zone {zone}: {table} expected {expect}, got {got} (duplicated)"
+                ));
+            }
+        }
+        let tid = engine.table_id("objects").map_err(|e| e.to_string())?;
+        per_zone_rows.push(engine.row_count(tid));
+    }
+    let delta = obs.snapshot().since(&baseline);
+
+    Ok(ShardChaosReport {
+        config: cfg.clone(),
+        shard_kills: kills.load(Ordering::Relaxed),
+        shard_stalls: stalls.load(Ordering::Relaxed),
+        reclaims: delta.counter("shard.reclaims"),
+        rebuilds: delta.counter("shard.rebuilds"),
+        fenced_flushes,
+        requeues,
+        coordinator_restarts,
+        reads_total: reads_ok.load(Ordering::Relaxed),
+        partial_reads: partial_reads.load(Ordering::Relaxed),
+        corrupt_rows_served: corrupt_served.load(Ordering::Relaxed),
+        per_zone_rows,
+        expected_rows: expected.total_loadable(),
+        actual_rows: actual,
+        lost_rows: lost,
+        duplicated_rows: duplicated,
+        mismatches,
+        faults_by_kind: delta.with_prefix("server.faults."),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1413,6 +1908,40 @@ mod tests {
             report.repair.files_reloaded.len(),
             cfg.files.min(2),
             "widened repair must reload the whole night"
+        );
+    }
+
+    #[test]
+    fn shard_chaos_survives_kill_stall_and_coordinator_restart() {
+        let cfg = ShardChaosConfig {
+            seed: 2005,
+            quick: true,
+            ..ShardChaosConfig::default()
+        };
+        let report = run_shard_chaos(&cfg).unwrap();
+        assert!(
+            report.exactly_once(),
+            "lost={} dup={} corrupt_served={} mismatches={:?}",
+            report.lost_rows,
+            report.duplicated_rows,
+            report.corrupt_rows_served,
+            report.mismatches
+        );
+        assert!(report.shard_kills >= 1, "the shard kill never fired");
+        assert!(report.shard_stalls >= 1, "the shard stall never fired");
+        assert!(
+            report.reclaims >= 2,
+            "expected both faulted shards reclaimed, got {}",
+            report.reclaims
+        );
+        assert!(report.rebuilds >= 2, "got {} rebuilds", report.rebuilds);
+        assert_eq!(report.coordinator_restarts, 1);
+        assert!(report.reads_total > 0, "readers never ran");
+        assert_eq!(report.actual_rows, report.expected_rows);
+        assert!(
+            report.per_zone_rows.iter().all(|&n| n > 0),
+            "every zone should own rows: {:?}",
+            report.per_zone_rows
         );
     }
 }

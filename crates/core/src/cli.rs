@@ -95,6 +95,9 @@ pub enum Command {
         file: PathBuf,
         /// Print the N slowest spans from a `--metrics` JSONL dump.
         top_spans: Option<usize>,
+        /// Also show how the rows would route across N declination
+        /// zones (per-shard row counts).
+        shards: Option<u32>,
     },
     /// Chaos-soak a synthetic night under a seeded fault plan and verify
     /// exactly-once delivery.
@@ -217,6 +220,37 @@ pub enum Command {
         /// Dump the telemetry registry as JSONL here after the run.
         metrics: Option<PathBuf>,
     },
+    /// Soak a declination-zone sharded repository: live-ingest a night
+    /// while a seeded driver kills and stalls shard engines, the
+    /// supervisor fences and rebuilds them, a coordinator restart
+    /// re-adopts the fleet mid-night, and scatter-gather readers verify
+    /// reads are shard-complete or explicitly flagged partial — then a
+    /// per-zone row-exact verdict.
+    ShardChaos {
+        /// Master seed for the night, the weather, and the shard faults.
+        seed: u64,
+        /// Catalog files in the night.
+        files: usize,
+        /// Declination zones (= shards).
+        shards: u32,
+        /// Concurrent serve-tier reader threads.
+        readers: usize,
+        /// Smaller night, for CI.
+        quick: bool,
+        /// Kill the shard picked at the Nth shard-fault opportunity.
+        shard_kill_at: Option<u64>,
+        /// Freeze a shard's heartbeat past its lease at the Nth
+        /// opportunity instead.
+        shard_stall_at: Option<u64>,
+        /// Shard lease TTL override, in milliseconds.
+        lease_ttl_ms: Option<u64>,
+        /// Skip the mid-night coordinator restart.
+        no_restart_coordinator: bool,
+        /// Write the shard-chaos report as JSON here.
+        report: Option<PathBuf>,
+        /// Dump the telemetry registry as JSONL here after the run.
+        metrics: Option<PathBuf>,
+    },
     /// Print usage.
     Help,
 }
@@ -232,7 +266,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "verify" | "audit" | "quick" | "no-swap-crash" | "restart-server" | "wal-rot" => {
+                "verify"
+                | "audit"
+                | "quick"
+                | "no-swap-crash"
+                | "restart-server"
+                | "wal-rot"
+                | "no-restart-coordinator" => {
                     flags.insert(name.to_owned(), "true".into());
                 }
                 _ => {
@@ -383,6 +423,39 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 metrics: get("metrics").map(PathBuf::from),
             })
         }
+        "shard-chaos" => {
+            let defaults = crate::chaos::ShardChaosConfig::default();
+            Ok(Command::ShardChaos {
+                seed: parse_num("seed", defaults.seed)?,
+                files: parse_num("files", defaults.files as u64)? as usize,
+                shards: {
+                    let n = parse_num("shards", u64::from(defaults.shards))?;
+                    if n == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                    n as u32
+                },
+                readers: parse_num("readers", defaults.readers as u64)? as usize,
+                quick: flags.contains_key("quick"),
+                shard_kill_at: match get("shard-kill") {
+                    Some(v) => Some(v.parse::<u64>().map_err(|e| format!("--shard-kill: {e}"))?),
+                    None => defaults.shard_kill_at,
+                },
+                shard_stall_at: match get("shard-stall") {
+                    Some(v) => Some(
+                        v.parse::<u64>()
+                            .map_err(|e| format!("--shard-stall: {e}"))?,
+                    ),
+                    None => defaults.shard_stall_at,
+                },
+                lease_ttl_ms: get("lease-ttl")
+                    .map(|v| v.parse::<u64>().map_err(|e| format!("--lease-ttl: {e}")))
+                    .transpose()?,
+                no_restart_coordinator: flags.contains_key("no-restart-coordinator"),
+                report: get("report").map(PathBuf::from),
+                metrics: get("metrics").map(PathBuf::from),
+            })
+        }
         "inspect" => {
             let file = positional
                 .first()
@@ -393,6 +466,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 file: PathBuf::from(file),
                 top_spans: get("top-spans")
                     .map(|v| v.parse::<usize>().map_err(|e| format!("--top-spans: {e}")))
+                    .transpose()?,
+                shards: get("shards")
+                    .map(|v| -> Result<u32, String> {
+                        let n = v.parse::<u32>().map_err(|e| format!("--shards: {e}"))?;
+                        if n == 0 {
+                            return Err("--shards must be at least 1".into());
+                        }
+                        Ok(n)
+                    })
                     .transpose()?,
             })
         }
@@ -421,10 +503,13 @@ USAGE:
       --metrics dumps the telemetry registry (counters, gauges,
       histograms, spans) as JSONL.
 
-  skyload inspect FILE [--top-spans N]
+  skyload inspect FILE [--top-spans N] [--shards N]
       Parse a catalog file and summarize rows per table and bad lines.
-      With --top-spans N, FILE is a --metrics JSONL dump instead: print
-      the N slowest recorded spans (parse / flush / commit timeline).
+      With --shards N, also show how the rows would route across N
+      declination zones (per-shard row counts; the band spans the decs
+      present in the file). With --top-spans N, FILE is a --metrics
+      JSONL dump instead: print the N slowest recorded spans (parse /
+      flush / commit timeline).
 
   skyload chaos [--seed N] [--files N] [--nodes N] [--error-rate F]
                 [--quick] [--loader-kill N] [--loader-stall N]
@@ -486,6 +571,26 @@ USAGE:
       unless the catalog heals to the generator's ground truth with
       zero lost, duplicated, or served-corrupt rows. --metrics dumps
       the scrub.* and repair.* counters as JSONL.
+
+  skyload shard-chaos [--seed N] [--files N] [--shards N] [--readers N]
+                      [--quick] [--shard-kill N] [--shard-stall N]
+                      [--lease-ttl MS] [--no-restart-coordinator]
+                      [--report out.json] [--metrics out.jsonl]
+      Soak a declination-zone sharded repository: the night live-ingests
+      into N zone shards (each its own engine behind one coordinator)
+      while a seeded driver kills shard engines mid-flush
+      (--shard-kill pins the Nth opportunity) and freezes heartbeats
+      past the lease TTL (--shard-stall) so zombie flushes must be
+      fenced; the supervisor detects lease expiry, fences the dead
+      generation, and rebuilds the shard from its durable log — or from
+      source files when the log is damaged — while in-flight batches
+      requeue. Mid-night the coordinator itself restarts and re-adopts
+      the live shards with journal-restored epochs. Scatter-gather
+      readers run throughout: every read is shard-complete or carries
+      an explicit partial flag naming the missing zones — never
+      silently truncated. Exits 1 unless every loadable row landed
+      exactly once in exactly the right zone with nothing corrupt
+      served.
 
   skyload serve [--seed N] [--users N] [--queries N] [--ingest-nodes N]
                 [--fast-deadline MS] [--quick] [--report out.json]
@@ -935,6 +1040,95 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 Ok(1)
             }
         }
+        Command::ShardChaos {
+            seed,
+            files,
+            shards,
+            readers,
+            quick,
+            shard_kill_at,
+            shard_stall_at,
+            lease_ttl_ms,
+            no_restart_coordinator,
+            report,
+            metrics,
+        } => {
+            let mut cfg = crate::chaos::ShardChaosConfig {
+                seed,
+                files,
+                shards,
+                readers,
+                quick,
+                shard_kill_at,
+                shard_stall_at,
+                restart_coordinator: !no_restart_coordinator,
+                ..crate::chaos::ShardChaosConfig::default()
+            };
+            if let Some(ms) = lease_ttl_ms {
+                if ms == 0 {
+                    return Err("--lease-ttl must be at least 1 ms".into());
+                }
+                cfg.lease_ttl = std::time::Duration::from_millis(ms);
+            }
+            let obs = Arc::new(skyobs::Registry::new());
+            let r = crate::chaos::run_shard_chaos_with_obs(&cfg, &obs)?;
+            writeln!(
+                out,
+                "shard chaos: seed {} · {} zone(s) · {} shard kill(s) · {} stall(s) · {} coordinator restart(s)",
+                seed, shards, r.shard_kills, r.shard_stalls, r.coordinator_restarts
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "supervisor: {} reclaim(s) · {} rebuild(s) · {} fenced flush(es) · {} requeue(s)",
+                r.reclaims, r.rebuilds, r.fenced_flushes, r.requeues
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "readers: {} scan(s) · {} flagged partial (never silent) · {} corrupt row(s) served",
+                r.reads_total, r.partial_reads, r.corrupt_rows_served
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(out, "faults injected:").map_err(|e| e.to_string())?;
+            for (kind, n) in &r.faults_by_kind {
+                writeln!(out, "  {kind:<16} {n:>6}").map_err(|e| e.to_string())?;
+            }
+            for (z, n) in r.per_zone_rows.iter().enumerate() {
+                writeln!(out, "  zone {z}: {n} objects row(s)").map_err(|e| e.to_string())?;
+            }
+            writeln!(
+                out,
+                "rows: {} expected, {} present, {} lost, {} duplicated",
+                r.expected_rows, r.actual_rows, r.lost_rows, r.duplicated_rows
+            )
+            .map_err(|e| e.to_string())?;
+            for m in &r.mismatches {
+                writeln!(out, "  MISMATCH {m}").map_err(|e| e.to_string())?;
+            }
+            write_telemetry_summary(out, &obs)?;
+            if let Some(path) = metrics {
+                std::fs::write(&path, obs.to_jsonl())
+                    .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "metrics written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = report {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&r).expect("shard chaos report serializes"),
+                )
+                .map_err(|e| format!("write {path:?}: {e}"))?;
+                writeln!(out, "report written to {}", path.display()).map_err(|e| e.to_string())?;
+            }
+            if r.exactly_once() {
+                writeln!(out, "exactly-once: PASS").map_err(|e| e.to_string())?;
+                Ok(0)
+            } else {
+                writeln!(out, "exactly-once: FAIL").map_err(|e| e.to_string())?;
+                Ok(1)
+            }
+        }
         Command::Serve {
             seed,
             users,
@@ -1016,7 +1210,11 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
             }
             Ok(0)
         }
-        Command::Inspect { file, top_spans } => {
+        Command::Inspect {
+            file,
+            top_spans,
+            shards,
+        } => {
             let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file:?}: {e}"))?;
             if let Some(n) = top_spans {
                 return inspect_top_spans(out, &file, &text, n);
@@ -1034,6 +1232,9 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String
                 writeln!(out, "  {t:<24} {n:>7}").map_err(|e| e.to_string())?;
             }
             writeln!(out, "  unparseable lines: {bad}").map_err(|e| e.to_string())?;
+            if let Some(zones) = shards {
+                inspect_shards(out, &file, &text, zones)?;
+            }
             Ok(0)
         }
         Command::Load {
@@ -1238,6 +1439,84 @@ fn write_telemetry_summary(
     .map_err(|e| e.to_string())
 }
 
+/// Print how a catalog file's rows would route across `zones`
+/// declination zones. The band spans the declinations actually present
+/// in the file so the breakdown is meaningful for any instrument
+/// footprint; replicated tables (which broadcast to every shard) are
+/// reported once, not per zone.
+fn inspect_shards(
+    out: &mut dyn std::io::Write,
+    file: &Path,
+    text: &str,
+    zones: u32,
+) -> Result<(), String> {
+    use skydb::shard::ZoneMap;
+    use skydb::Value;
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for line in text.lines() {
+        let Ok(rec) = skycat::parse_line(line) else {
+            continue;
+        };
+        let Ok((table, row)) = skycat::transform(&rec) else {
+            continue;
+        };
+        if table == "objects" {
+            if let Some(Value::Float(dec)) = row.get(3) {
+                lo = lo.min(*dec);
+                hi = hi.max(*dec);
+            }
+        }
+    }
+    let map = if lo.is_finite() && hi > lo {
+        // Nudge the upper edge so the maximum dec itself stays in band.
+        ZoneMap::band(zones, lo, hi + (hi - lo) * 1e-9)
+    } else {
+        ZoneMap::full_sky(zones)
+    };
+    let mut router = crate::shardload::ShardRouter::new(map);
+    let routed = router.route(
+        &CatalogFile {
+            name: file.display().to_string(),
+            text: text.to_owned(),
+            expected: ExpectedCounts::default(),
+        },
+        None,
+    );
+    writeln!(out, "  routed across {zones} declination zone(s):").map_err(|e| e.to_string())?;
+    for z in 0..zones {
+        let (zlo, zhi) = map.bounds(z);
+        let per_table = routed.zone_rows(z);
+        let zoned: u64 = skycat::CATALOG_TABLES
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| crate::shardload::ZONED_TABLES.contains(t))
+            .map(|(i, _)| per_table[i].len() as u64)
+            .sum();
+        let objects = skycat::CATALOG_TABLES
+            .iter()
+            .position(|t| *t == "objects")
+            .map_or(0, |i| per_table[i].len() as u64);
+        writeln!(
+            out,
+            "    zone {z} [{zlo:+9.4}, {zhi:+9.4}):  {objects:>7} objects  {zoned:>7} zoned row(s)"
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    let replicated: u64 = skycat::CATALOG_TABLES
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !crate::shardload::ZONED_TABLES.contains(t))
+        .map(|(i, _)| routed.zone_rows(0)[i].len() as u64)
+        .sum();
+    writeln!(
+        out,
+        "    + {replicated} replicated row(s) broadcast to every zone"
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 /// Print the N slowest spans recorded in a `--metrics` JSONL dump.
 fn inspect_top_spans(
     out: &mut dyn std::io::Write,
@@ -1344,6 +1623,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
+
+    /// The chaos soaks are wall-clock sensitive (lease TTLs, scrub
+    /// intervals, reader threads); running several at once on a loaded
+    /// machine starves their timers. Each soak-running test holds this
+    /// lock so they execute one at a time.
+    static SOAK_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
 
     #[test]
     fn parse_commands() {
@@ -1503,6 +1788,7 @@ mod tests {
 
     #[test]
     fn chaos_command_runs_quick_soak() {
+        let _soak = SOAK_LOCK.lock();
         let dir = tmpdir("chaos");
         let report_path = dir.join("chaos.json");
         let mut buf = Vec::new();
@@ -1522,6 +1808,120 @@ mod tests {
         assert!(report_path.exists());
         let json = std::fs::read_to_string(&report_path).unwrap();
         assert!(json.contains("\"faults_by_kind\""), "{json}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_shard_chaos_flags() {
+        match parse_args(&args(
+            "shard-chaos --seed 5 --files 4 --shards 2 --readers 3 --quick \
+             --shard-kill 2 --shard-stall 3 --lease-ttl 80 --no-restart-coordinator",
+        ))
+        .unwrap()
+        {
+            Command::ShardChaos {
+                seed,
+                files,
+                shards,
+                readers,
+                quick,
+                shard_kill_at,
+                shard_stall_at,
+                lease_ttl_ms,
+                no_restart_coordinator,
+                ..
+            } => {
+                assert_eq!((seed, files, shards, readers), (5, 4, 2, 3));
+                assert!(quick && no_restart_coordinator);
+                assert_eq!(shard_kill_at, Some(2));
+                assert_eq!(shard_stall_at, Some(3));
+                assert_eq!(lease_ttl_ms, Some(80));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("shard-chaos")).unwrap() {
+            Command::ShardChaos {
+                shards,
+                shard_kill_at,
+                shard_stall_at,
+                no_restart_coordinator,
+                ..
+            } => {
+                assert_eq!(shards, 3);
+                assert!(shard_kill_at.is_some(), "default kills a shard");
+                assert!(shard_stall_at.is_some(), "default stalls a shard");
+                assert!(!no_restart_coordinator, "restart is on by default");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("shard-chaos --shards 0")).is_err());
+    }
+
+    #[test]
+    fn shard_chaos_command_runs_quick_soak() {
+        let _soak = SOAK_LOCK.lock();
+        let dir = tmpdir("shard-chaos");
+        let report_path = dir.join("shard.json");
+        let metrics_path = dir.join("shard.jsonl");
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!(
+                "shard-chaos --seed 2005 --files 3 --shards 3 --quick --report {} --metrics {}",
+                report_path.display(),
+                metrics_path.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("exactly-once: PASS"), "{text}");
+        assert!(text.contains("shard chaos: seed 2005"), "{text}");
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"per_zone_rows\""), "{json}");
+        let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+        for counter in ["shard.reclaims", "shard.rebuilds", "shard.gather.queries"] {
+            assert!(jsonl.contains(counter), "missing {counter} in {jsonl}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inspect_shards_prints_per_zone_counts() {
+        let dir = tmpdir("inspect-shards");
+        execute(
+            parse_args(&args(&format!(
+                "generate --out {} --seed 3 --files 1",
+                dir.display()
+            )))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let cat = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "cat"))
+            .unwrap();
+        let mut buf = Vec::new();
+        let code = execute(
+            parse_args(&args(&format!("inspect {} --shards 3", cat.display()))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("routed across 3 declination zone(s):"),
+            "{text}"
+        );
+        assert!(text.contains("zone 0 ["), "{text}");
+        assert!(text.contains("zone 2 ["), "{text}");
+        assert!(
+            text.contains("replicated row(s) broadcast to every zone"),
+            "{text}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1559,6 +1959,7 @@ mod tests {
 
     #[test]
     fn scrub_command_heals_and_dumps_metrics() {
+        let _soak = SOAK_LOCK.lock();
         let dir = tmpdir("scrub");
         let report_path = dir.join("scrub.json");
         let metrics_path = dir.join("metrics.jsonl");
@@ -1644,6 +2045,7 @@ mod tests {
 
     #[test]
     fn live_command_reports_freshness_and_passes() {
+        let _soak = SOAK_LOCK.lock();
         let dir = tmpdir("live");
         let report_path = dir.join("live.json");
         let metrics_path = dir.join("live.jsonl");
@@ -1673,6 +2075,7 @@ mod tests {
 
     #[test]
     fn campaign_command_survives_quick_chaos() {
+        let _soak = SOAK_LOCK.lock();
         let dir = tmpdir("campaign");
         let report_path = dir.join("campaign.json");
         let metrics_path = dir.join("campaign.jsonl");
@@ -1744,6 +2147,7 @@ mod tests {
 
     #[test]
     fn serve_command_runs_quick_mix() {
+        let _soak = SOAK_LOCK.lock();
         let dir = tmpdir("serve");
         let report_path = dir.join("serve.json");
         let metrics_path = dir.join("serve.jsonl");
@@ -1784,9 +2188,14 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match parse_args(&args("inspect m.jsonl --top-spans 5")).unwrap() {
-            Command::Inspect { file, top_spans } => {
+            Command::Inspect {
+                file,
+                top_spans,
+                shards,
+            } => {
                 assert_eq!(file, PathBuf::from("m.jsonl"));
                 assert_eq!(top_spans, Some(5));
+                assert_eq!(shards, None);
             }
             other => panic!("{other:?}"),
         }
@@ -1795,6 +2204,7 @@ mod tests {
 
     #[test]
     fn chaos_metrics_counters_match_report_totals() {
+        let _soak = SOAK_LOCK.lock();
         // The acceptance check in miniature: the JSONL dump and the chaos
         // report are two views over one registry, so the headline counters
         // must agree exactly, line for line.
@@ -1836,6 +2246,7 @@ mod tests {
 
     #[test]
     fn chaos_metrics_dump_feeds_top_spans() {
+        let _soak = SOAK_LOCK.lock();
         let dir = tmpdir("chaos-metrics");
         let metrics_path = dir.join("metrics.jsonl");
         let mut buf = Vec::new();

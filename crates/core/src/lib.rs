@@ -61,6 +61,7 @@ pub mod report;
 pub mod reprocess;
 pub mod resilience;
 pub mod serving;
+pub mod shardload;
 pub mod tune;
 pub mod twophase;
 
@@ -73,8 +74,9 @@ pub use campaign::{
 };
 pub use chaos::{
     run_campaign_chaos, run_campaign_chaos_with_obs, run_chaos, run_chaos_with_obs,
-    run_scrub_chaos, run_scrub_chaos_with_obs, CampaignChaosConfig, CampaignChaosReport,
-    ChaosConfig, ChaosReport, ScrubChaosConfig, ScrubChaosReport,
+    run_scrub_chaos, run_scrub_chaos_with_obs, run_shard_chaos, run_shard_chaos_with_obs,
+    CampaignChaosConfig, CampaignChaosReport, ChaosConfig, ChaosReport, ScrubChaosConfig,
+    ScrubChaosReport, ShardChaosConfig, ShardChaosReport,
 };
 pub use config::{CommitPolicy, ExecMode, LoaderConfig, PipelineMode};
 pub use fleet::{Assignment, FleetPolicy, FleetSupervisor, Lease};
@@ -88,6 +90,11 @@ pub use reprocess::{
     PurgeReport,
 };
 pub use serving::{run_serve_load, QueueStats, ServeLoadConfig, ServeLoadOutcome, ServeLoadReport};
+pub use shardload::{
+    clean_reference, fresh_catalog_server, shard_epoch_journal_key, RoutedFile, ShardLoadConfig,
+    ShardLoadReport, ShardLoader, ShardReference, ShardRouter, ShardSupervisor,
+    ShardSupervisorConfig, ZONED_TABLES,
+};
 
 pub use resilience::{
     classify, fault_label, Backoff, CircuitBreaker, DegradeTransition, Degrader, ErrorClass,

@@ -27,7 +27,6 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use skycat::CatalogFile;
-use skydb::error::DbError;
 use skydb::fault::FaultKind;
 use skydb::server::{Server, Session};
 use skydb::wire::Fence;
@@ -276,18 +275,19 @@ pub fn load_night_with_journal(
             };
             attempts += 1;
             retries.inc();
-            if matches!(err, DbError::FencedOut(_)) {
-                // Our lease was reclaimed while a call was in flight: the
-                // database rejected the stale flush before anything
-                // applied. The file belongs to its new holder — roll back
-                // the leftover transaction and abandon silently.
-                fencing_rejections.inc();
-                let s = sessions[node_idx].lock();
-                let _ = s.rollback();
-                s.set_fence(None);
-                return FileOutcome::TakenAway;
-            }
             match classify(&err) {
+                ErrorClass::Fenced => {
+                    // Our lease was reclaimed while a call was in flight:
+                    // the database rejected the stale flush before
+                    // anything applied. The file belongs to its new
+                    // holder — roll back the leftover transaction and
+                    // abandon silently.
+                    fencing_rejections.inc();
+                    let s = sessions[node_idx].lock();
+                    let _ = s.rollback();
+                    s.set_fence(None);
+                    return FileOutcome::TakenAway;
+                }
                 ErrorClass::Permanent => {
                     let _ = sessions[node_idx].lock().rollback();
                     give_up(file, err.to_string());
@@ -450,7 +450,7 @@ pub fn load_night_with_journal(
                         None => crate::bulk::load_catalog_text(&s, cfg, &file.name, &file.text),
                     };
                     match res {
-                        Err(DbError::FencedOut(_)) => {
+                        Err(e) if classify(&e) == ErrorClass::Fenced => {
                             fencing_rejections.inc();
                             break;
                         }

@@ -45,6 +45,14 @@ pub enum ErrorClass {
     ServerLost,
     /// Retrying cannot help (schema/config errors, closed sessions…).
     Permanent,
+    /// The caller's fencing epoch is stale: its lease (file grant or
+    /// shard generation) was reclaimed and a successor may already own
+    /// the work. Retrying under the stale epoch is futile; retrying
+    /// under a *fresh* epoch is the owner's decision — the loader fleet
+    /// treats the file as taken away, the shard router requeues the
+    /// flush against the zone's new generation. One class, one meaning,
+    /// at every call site.
+    Fenced,
 }
 
 /// Classify a database error for retry purposes. Row-level errors
@@ -66,10 +74,12 @@ pub fn classify(e: &DbError) -> ErrorClass {
         | DbError::Corruption(_) => ErrorClass::Transient,
         DbError::ServerDown(_) => ErrorClass::ServerLost,
         DbError::Batch { cause, .. } => classify(cause),
-        // A fenced-out call means this loader's lease was reclaimed and the
-        // file reassigned: retrying under the stale epoch is futile, and the
-        // fleet layer handles the rollback. Deliberately not Transient.
-        DbError::FencedOut(_) => ErrorClass::Permanent,
+        // A fenced-out call means the caller's lease was reclaimed — file
+        // grant or shard generation — and the work may already have a new
+        // owner. Deliberately not Transient (the stale epoch can never
+        // succeed) and not Permanent (the *work* is fine; only this
+        // incarnation's claim on it is dead).
+        DbError::FencedOut(_) => ErrorClass::Fenced,
         // At-rest rot (a stored CRC failure) never heals on retry: the row
         // must be quarantined by the scrubber and re-derived from its
         // source file by the repair pass, not hammered by the loader.
@@ -486,7 +496,7 @@ mod tests {
             (DbError::Corruption("cksum".into()), Transient),
             (DbError::WriteConflict("staged by txn 7".into()), Transient),
             (DbError::ServerDown("crash".into()), ServerLost),
-            (DbError::FencedOut("stale epoch".into()), Permanent),
+            (DbError::FencedOut("stale epoch".into()), Fenced),
             (DbError::NoTransaction, Permanent),
             (DbError::SessionClosed, Permanent),
             (DbError::InvalidSchema("x".into()), Permanent),

@@ -71,10 +71,22 @@ pub enum FaultKind {
     /// replay stops at the first bad record. Decided per rot opportunity,
     /// injected by the chaos harness.
     BitRot,
+    /// A whole shard engine dies mid-ingest: its server stops answering
+    /// ([`crate::error::DbError::ServerDown`]) until the shard supervisor
+    /// fences the zone's epoch and rebuilds a replacement from the durable
+    /// log. Decided per shard-fault opportunity, injected by the
+    /// shard-chaos driver.
+    ShardCrash,
+    /// A shard's heartbeat stops but the engine stays up — the
+    /// split-brain shape. The supervisor must fence the zone before
+    /// re-granting it, so flushes from the stalled generation are
+    /// rejected rather than double-applied. Decided per shard-fault
+    /// opportunity, injected by the shard-chaos driver.
+    ShardStall,
 }
 
 /// Every fault kind, for report iteration.
-pub const FAULT_KINDS: [FaultKind; 11] = [
+pub const FAULT_KINDS: [FaultKind; 13] = [
     FaultKind::CrashOnFlush,
     FaultKind::DiskFull,
     FaultKind::Corruption,
@@ -86,6 +98,8 @@ pub const FAULT_KINDS: [FaultKind; 11] = [
     FaultKind::SwapCrash,
     FaultKind::ArrivalBurst,
     FaultKind::BitRot,
+    FaultKind::ShardCrash,
+    FaultKind::ShardStall,
 ];
 
 impl FaultKind {
@@ -103,6 +117,8 @@ impl FaultKind {
             FaultKind::SwapCrash => "swap_crash",
             FaultKind::ArrivalBurst => "arrival_burst",
             FaultKind::BitRot => "bit_rot",
+            FaultKind::ShardCrash => "shard_crash",
+            FaultKind::ShardStall => "shard_stall",
         }
     }
 
@@ -120,6 +136,8 @@ impl FaultKind {
             FaultKind::SwapCrash => 8,
             FaultKind::ArrivalBurst => 9,
             FaultKind::BitRot => 10,
+            FaultKind::ShardCrash => 11,
+            FaultKind::ShardStall => 12,
         }
     }
 }
@@ -187,6 +205,16 @@ pub struct FaultPlanConfig {
     pub bit_rot_rate: f64,
     /// Rot on the `n`-th opportunity, 1-based.
     pub bit_rot_at: Option<u64>,
+    /// Shard-crash probability per shard-fault opportunity (the shard
+    /// chaos driver polls the plan on a timer; each poll is one
+    /// opportunity).
+    pub shard_crash_rate: f64,
+    /// Crash a shard on the `n`-th opportunity, 1-based.
+    pub shard_crash_at: Option<u64>,
+    /// Shard-stall (heartbeat freeze) probability per opportunity.
+    pub shard_stall_rate: f64,
+    /// Stall a shard on the `n`-th opportunity, 1-based.
+    pub shard_stall_at: Option<u64>,
 }
 
 impl Default for FaultPlanConfig {
@@ -211,6 +239,10 @@ impl Default for FaultPlanConfig {
             arrival_burst_at: None,
             bit_rot_rate: 0.0,
             bit_rot_at: None,
+            shard_crash_rate: 0.0,
+            shard_crash_at: None,
+            shard_stall_rate: 0.0,
+            shard_stall_at: None,
         }
     }
 }
@@ -315,6 +347,30 @@ impl FaultPlanConfig {
         self
     }
 
+    /// Builder-style: shard-crash rate (per shard-fault opportunity).
+    pub fn with_shard_crashes(mut self, rate: f64) -> Self {
+        self.shard_crash_rate = rate;
+        self
+    }
+
+    /// Builder-style: crash a shard on the `n`-th opportunity (1-based).
+    pub fn with_shard_crash_at(mut self, nth_opportunity: u64) -> Self {
+        self.shard_crash_at = Some(nth_opportunity);
+        self
+    }
+
+    /// Builder-style: shard-stall rate (per shard-fault opportunity).
+    pub fn with_shard_stalls(mut self, rate: f64) -> Self {
+        self.shard_stall_rate = rate;
+        self
+    }
+
+    /// Builder-style: stall a shard on the `n`-th opportunity (1-based).
+    pub fn with_shard_stall_at(mut self, nth_opportunity: u64) -> Self {
+        self.shard_stall_at = Some(nth_opportunity);
+        self
+    }
+
     /// Validate rates.
     pub fn validate(&self) -> Result<(), String> {
         for (name, r) in [
@@ -327,6 +383,8 @@ impl FaultPlanConfig {
             ("loader_stall_rate", self.loader_stall_rate),
             ("arrival_burst_rate", self.arrival_burst_rate),
             ("bit_rot_rate", self.bit_rot_rate),
+            ("shard_crash_rate", self.shard_crash_rate),
+            ("shard_stall_rate", self.shard_stall_rate),
         ] {
             if !(0.0..=1.0).contains(&r) {
                 return Err(format!("{name} must be in [0, 1], got {r}"));
@@ -343,6 +401,9 @@ impl FaultPlanConfig {
         }
         if self.bit_rot_at == Some(0) {
             return Err("bit_rot_at is 1-based; 0 never fires".into());
+        }
+        if self.shard_crash_at == Some(0) || self.shard_stall_at == Some(0) {
+            return Err("shard_crash_at/shard_stall_at are 1-based; 0 never fires".into());
         }
         Ok(())
     }
@@ -373,6 +434,7 @@ pub struct FaultPlan {
     swaps: AtomicU64,
     arrivals: AtomicU64,
     rot_events: AtomicU64,
+    shard_events: AtomicU64,
 }
 
 impl FaultPlan {
@@ -391,6 +453,7 @@ impl FaultPlan {
             swaps: AtomicU64::new(0),
             arrivals: AtomicU64::new(0),
             rot_events: AtomicU64::new(0),
+            shard_events: AtomicU64::new(0),
         }
     }
 
@@ -543,6 +606,29 @@ impl FaultPlan {
             || Self::fires(cfg.seed, FaultKind::BitRot, r, cfg.bit_rot_rate)
         {
             return Some(FaultKind::BitRot);
+        }
+        None
+    }
+
+    /// Adjudicate one shard-fault opportunity for the shard-chaos driver:
+    /// should a whole shard engine crash ([`FaultKind::ShardCrash`]) or
+    /// its heartbeat freeze ([`FaultKind::ShardStall`])? Opportunity
+    /// ordinals are 1-based and pure functions of (seed, ordinal), so a
+    /// seed reproduces the same kill schedule on every run; the *victim
+    /// zone* is derived by the driver from the same ordinal. Crash takes
+    /// priority over stall, mirroring the loader-fault precedence.
+    pub fn decide_shard_fault(&self) -> Option<FaultKind> {
+        let s = self.shard_events.fetch_add(1, Ordering::Relaxed) + 1;
+        let cfg = &self.cfg;
+        if cfg.shard_crash_at == Some(s)
+            || Self::fires(cfg.seed, FaultKind::ShardCrash, s, cfg.shard_crash_rate)
+        {
+            return Some(FaultKind::ShardCrash);
+        }
+        if cfg.shard_stall_at == Some(s)
+            || Self::fires(cfg.seed, FaultKind::ShardStall, s, cfg.shard_stall_rate)
+        {
+            return Some(FaultKind::ShardStall);
         }
         None
     }
@@ -764,6 +850,41 @@ mod tests {
         assert_eq!(plan.decide_bit_rot_fault(), None);
         assert!(FaultPlanConfig {
             bit_rot_at: Some(0),
+            ..FaultPlanConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn shard_fault_schedule_is_seed_deterministic_and_exact() {
+        let cfg = FaultPlanConfig::new(92)
+            .with_shard_crashes(0.2)
+            .with_shard_stalls(0.2);
+        let draw = |cfg: FaultPlanConfig| {
+            let plan = FaultPlan::new(cfg);
+            (0..200)
+                .map(|_| plan.decide_shard_fault())
+                .collect::<Vec<_>>()
+        };
+        let a = draw(cfg.clone());
+        let b = draw(cfg);
+        assert_eq!(a, b, "identical seed must reproduce the kill schedule");
+        assert!(a.contains(&Some(FaultKind::ShardCrash)));
+        assert!(a.contains(&Some(FaultKind::ShardStall)));
+        assert!(a.contains(&None));
+
+        // Exact ordinals fire exactly once, crash beating stall on a tie.
+        let plan = FaultPlan::new(
+            FaultPlanConfig::new(1)
+                .with_shard_crash_at(2)
+                .with_shard_stall_at(2),
+        );
+        assert_eq!(plan.decide_shard_fault(), None);
+        assert_eq!(plan.decide_shard_fault(), Some(FaultKind::ShardCrash));
+        assert_eq!(plan.decide_shard_fault(), None);
+        assert!(FaultPlanConfig {
+            shard_stall_at: Some(0),
             ..FaultPlanConfig::default()
         }
         .validate()

@@ -62,6 +62,7 @@ pub mod schema;
 pub mod scrub;
 pub mod serve;
 pub mod server;
+pub mod shard;
 pub mod stats;
 pub mod txn;
 pub mod value;
@@ -83,6 +84,7 @@ pub mod prelude {
         FastOutcome, JobId, JobState, Query, QueryResult, QueryService, ServeConfig, ServeError,
     };
     pub use crate::server::{BatchResult, PreparedInsert, QueryReply, Server, Session};
+    pub use crate::shard::{shard_fence_key, GatherPolicy, GatherResult, ShardGroup, ZoneMap};
     pub use crate::stats::StatsSnapshot;
     pub use crate::value::{DataType, Key, Row, Value};
     pub use crate::wal::TxnId;

@@ -44,6 +44,7 @@ use crate::error::{DbError, DbResult};
 use crate::expr::Expr;
 use crate::schema::TableSchema;
 use crate::server::{QueryReply, Server, Session};
+use crate::shard::{GatherResult, ShardGroup};
 use crate::value::{Row, Value};
 
 /// Serving-tier configuration: queue shapes, deadlines, and quotas.
@@ -178,6 +179,14 @@ pub struct QueryResult {
     pub modeled: Duration,
     /// Wall-clock execution time observed by the serving tier.
     pub wall: Duration,
+    /// `true` when the answer is *degraded*: one or more covering shards
+    /// never answered and the group's gather policy opted into partial
+    /// reads. A single-server backend always reports `false`. The
+    /// contract: an answer is either shard-complete or explicitly
+    /// partial — never silently truncated.
+    pub partial: bool,
+    /// The zones missing from a partial answer (empty when complete).
+    pub missing_zones: Vec<u32>,
 }
 
 /// Outcome of a fast-queue query.
@@ -268,8 +277,31 @@ struct ServeState {
     users: HashMap<String, UserUsage>,
 }
 
+/// What the serving tier executes queries against: one engine, or a
+/// declination-sharded group routed through scatter-gather.
+enum Backend {
+    /// A single server owns every table.
+    Single(Arc<Server>),
+    /// A [`ShardGroup`]: zoned tables fan out, replicated tables pick a
+    /// live zone, cones fan to covering zones only. MyDB scratch tables
+    /// are materialized on the *home* shard (zone 0's current server).
+    Sharded(Arc<ShardGroup>),
+}
+
+impl Backend {
+    /// The server MyDB scratch tables (and catalog introspection for
+    /// result schemas) live on. Resolved per call, so a failed-over home
+    /// shard picks up its rebuilt replacement.
+    fn home(&self) -> Arc<Server> {
+        match self {
+            Backend::Single(s) => s.clone(),
+            Backend::Sharded(g) => g.server(0),
+        }
+    }
+}
+
 struct ServeInner {
-    server: Arc<Server>,
+    backend: Backend,
     cfg: ServeConfig,
     fast_slots: Semaphore,
     state: Mutex<ServeState>,
@@ -309,6 +341,23 @@ impl QueryService {
     /// the server's observability registry under `serve.*`.
     pub fn start(server: Arc<Server>, cfg: ServeConfig) -> QueryService {
         let obs = server.obs().clone();
+        Self::start_backend(Backend::Single(server), cfg, &obs)
+    }
+
+    /// Start the serving tier over a declination-sharded group. Zoned
+    /// scans and cones scatter-gather across covering shards under the
+    /// group's [`crate::shard::GatherPolicy`]; point lookups route by id;
+    /// MyDB scratch tables land on the home shard (zone 0). Metrics
+    /// register in `obs` under `serve.*`.
+    pub fn start_sharded(
+        group: Arc<ShardGroup>,
+        cfg: ServeConfig,
+        obs: &skyobs::Registry,
+    ) -> QueryService {
+        Self::start_backend(Backend::Sharded(group), cfg, obs)
+    }
+
+    fn start_backend(backend: Backend, cfg: ServeConfig, obs: &skyobs::Registry) -> QueryService {
         assert!(cfg.fast_slots > 0, "fast queue needs at least one slot");
         let inner = Arc::new(ServeInner {
             fast_slots: Semaphore::new(cfg.fast_slots),
@@ -330,7 +379,7 @@ impl QueryService {
             h_fast_modeled: obs.histogram("serve.fast.modeled_us"),
             h_slow_latency: obs.histogram("serve.slow.latency_us"),
             h_slow_queue_wait: obs.histogram("serve.slow.queue_wait_us"),
-            server,
+            backend,
             cfg,
         });
         let workers = (0..inner.cfg.slow_workers.max(1))
@@ -381,13 +430,14 @@ impl QueryService {
             // Short synchronous queue: block for a slot, run, release.
             let _slot = inner.fast_slots.acquire_guard();
             let wall_start = Instant::now();
-            let session = inner.server.connect();
-            let r = run_query(&session, &inner.cfg, &query);
+            let r = run_backend(&inner.backend, &inner.cfg, &query);
             let wall = wall_start.elapsed();
-            r.map(|(rows, modeled)| QueryResult {
-                rows,
-                modeled,
+            r.map(|g| QueryResult {
+                rows: g.rows,
+                modeled: g.modeled,
                 wall,
+                partial: g.partial,
+                missing_zones: g.missing_zones,
             })
         };
 
@@ -616,6 +666,45 @@ fn run_query(
     }
 }
 
+/// Execute one query against the backend. A single server runs it on one
+/// session; a shard group routes it — zoned scans fan to every zone,
+/// point lookups route by id, cones fan to the zones whose declination
+/// band intersects the cone — and applies the group's gather policy
+/// (per-shard budgets, retries, and the explicit partial-result flag).
+fn run_backend(backend: &Backend, cfg: &ServeConfig, query: &Query) -> DbResult<GatherResult> {
+    match backend {
+        Backend::Single(server) => {
+            let session = server.connect();
+            let (rows, modeled) = run_query(&session, cfg, query)?;
+            Ok(GatherResult {
+                rows,
+                modeled,
+                partial: false,
+                missing_zones: Vec::new(),
+            })
+        }
+        Backend::Sharded(group) => match query {
+            Query::Scan { table, filter } => group.scan(table, filter.clone()),
+            Query::PkLookup { table, key } => group.pk_lookup(table, key.clone()),
+            Query::Cone {
+                dec_deg,
+                radius_arcmin,
+                ..
+            } => {
+                // Only the zones whose declination band intersects the
+                // cone are asked — the zone map is the pruning index.
+                let r_deg = radius_arcmin / 60.0;
+                let zones = if group.is_zoned(&cfg.cone_table) {
+                    group.map().covering_zones(dec_deg - r_deg, dec_deg + r_deg)
+                } else {
+                    vec![0]
+                };
+                group.gather(&zones, |session, _| run_query(session, cfg, query))
+            }
+        },
+    }
+}
+
 /// The source table a query's result schema derives from.
 fn source_table<'a>(cfg: &'a ServeConfig, query: &'a Query) -> &'a str {
     match query {
@@ -693,8 +782,17 @@ fn execute_slow_job(
     user: &str,
     query: &Query,
 ) -> Result<(String, u64), ServeError> {
-    let session = inner.server.connect();
-    let (rows, _modeled) = run_query(&session, &inner.cfg, query).map_err(ServeError::Db)?;
+    let result = run_backend(&inner.backend, &inner.cfg, query).map_err(ServeError::Db)?;
+    if result.partial {
+        // A batch job materializes results the user queries later, long
+        // after the degraded window is forgotten — so a partial answer
+        // fails loudly instead of being silently enshrined in MyDB.
+        return Err(ServeError::Db(DbError::ServerDown(format!(
+            "partial result: zones {:?} unavailable during execution",
+            result.missing_zones
+        ))));
+    }
+    let rows = result.rows;
 
     let n = rows.len() as u64;
     {
@@ -711,7 +809,8 @@ fn execute_slow_job(
 
     // Scratch table: same columns and primary key as the source, no FKs,
     // checks, or uniques — MyDB holds result sets, not curated catalog.
-    let engine = inner.server.engine();
+    let home = inner.backend.home();
+    let engine = home.engine();
     let src_id = engine
         .table_id(source_table(&inner.cfg, query))
         .map_err(ServeError::Db)?;
@@ -729,7 +828,7 @@ fn execute_slow_job(
     inner.m_mydb_tables.inc();
 
     if !rows.is_empty() {
-        let writer = inner.server.connect();
+        let writer = home.connect();
         let stmt = writer.prepare_insert(&table_name).map_err(ServeError::Db)?;
         let out = writer.execute_batch(&stmt, &rows).map_err(ServeError::Db)?;
         if let Some((offset, e)) = out.failed {
@@ -1079,6 +1178,128 @@ mod tests {
             snap.counter("serve.slow.completed") + snap.counter("serve.slow.failed"),
             6
         );
+    }
+
+    #[test]
+    fn sharded_backend_serves_scans_cones_and_degraded_reads() {
+        use crate::shard::{GatherPolicy, ShardGroup, ZoneMap};
+
+        // Stars straddle dec 10 ± 0.15; shard the band at dec = 10.
+        let stars = stars_near(150.0, 10.0, 40);
+        let map = ZoneMap::band(2, 9.0, 11.0);
+        let by_zone: Vec<Vec<(i64, f64, f64)>> = (0..2)
+            .map(|z| {
+                stars
+                    .iter()
+                    .copied()
+                    .filter(|(_, _, dec)| map.zone_for_dec(*dec) == z)
+                    .collect()
+            })
+            .collect();
+        assert!(
+            by_zone.iter().all(|v| !v.is_empty()),
+            "test cluster must straddle the zone boundary"
+        );
+        let servers: Vec<Arc<Server>> = by_zone.iter().map(|v| star_server(v)).collect();
+        let obs = skyobs::Registry::new();
+        let group = Arc::new(ShardGroup::new(
+            map,
+            servers,
+            &["objects"],
+            GatherPolicy::default()
+                .with_attempts(2)
+                .with_allow_partial(true),
+            &obs,
+        ));
+        let svc = QueryService::start_sharded(group.clone(), cfg(), &obs);
+
+        // Scatter-gather scan sees the union of both zones.
+        let FastOutcome::Done(res) = svc
+            .fast_query(
+                "alice",
+                Query::Scan {
+                    table: "objects".into(),
+                    filter: None,
+                },
+            )
+            .unwrap()
+        else {
+            panic!("demoted")
+        };
+        assert!(!res.partial);
+        assert_eq!(res.rows.len(), stars.len());
+
+        // Cone fans only to covering zones and matches brute force.
+        let FastOutcome::Done(res) = svc
+            .fast_query(
+                "alice",
+                Query::Cone {
+                    ra_deg: 150.0,
+                    dec_deg: 10.0,
+                    radius_arcmin: 5.0,
+                },
+            )
+            .unwrap()
+        else {
+            panic!("demoted")
+        };
+        let mut got: Vec<i64> = res.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        got.sort_unstable();
+        let mut want: Vec<i64> = stars
+            .iter()
+            .filter(|(_, ra, dec)| separation_deg(150.0, 10.0, *ra, *dec) * 60.0 <= 5.0)
+            .map(|(id, _, _)| *id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        // Point lookup routes (or broadcasts) to the owning zone.
+        let FastOutcome::Done(res) = svc
+            .fast_query(
+                "alice",
+                Query::PkLookup {
+                    table: "objects".into(),
+                    key: vec![Value::Int(stars[3].0)],
+                },
+            )
+            .unwrap()
+        else {
+            panic!("demoted")
+        };
+        assert_eq!(res.rows.len(), 1);
+
+        // Kill zone 1: scans degrade to an explicitly partial answer.
+        group.server(1).crash();
+        let FastOutcome::Done(res) = svc
+            .fast_query(
+                "alice",
+                Query::Scan {
+                    table: "objects".into(),
+                    filter: None,
+                },
+            )
+            .unwrap()
+        else {
+            panic!("demoted")
+        };
+        assert!(res.partial, "degraded read must carry the partial flag");
+        assert_eq!(res.missing_zones, vec![1]);
+        assert_eq!(res.rows.len(), by_zone[0].len());
+
+        // A slow job refuses to enshrine a partial answer in MyDB.
+        let job = svc
+            .submit_slow(
+                "alice",
+                Query::Scan {
+                    table: "objects".into(),
+                    filter: None,
+                },
+            )
+            .unwrap();
+        let JobState::Failed(msg) = svc.wait_job(job).unwrap() else {
+            panic!("partial slow job must fail loudly")
+        };
+        assert!(msg.contains("partial"), "got {msg}");
     }
 
     #[test]

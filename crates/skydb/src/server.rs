@@ -265,6 +265,15 @@ impl Server {
         self.crashed.load(Ordering::Acquire)
     }
 
+    /// Kill this server as an injected fault: every subsequent call fails
+    /// with [`DbError::ServerDown`] until a replacement is rebuilt from
+    /// the durable log. This is the shard-chaos hook — a `ShardCrash`
+    /// schedule takes a whole zone's engine down the same way a
+    /// crash-on-flush fault does, just from outside the call gate.
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::Release);
+    }
+
     fn note_fault(&self, kind: FaultKind) {
         self.fault_counts[kind.index()].inc();
     }

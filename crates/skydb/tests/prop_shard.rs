@@ -1,0 +1,166 @@
+//! Property tests for declination-zone sharding: the zone map is a total,
+//! stable, monotone partition of its band, zone boundaries round-trip,
+//! and a scatter-gather scan over a sharded group returns exactly the
+//! rows a single engine holding everything would.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use skydb::config::DbConfig;
+use skydb::schema::TableBuilder;
+use skydb::server::Server;
+use skydb::shard::{GatherPolicy, ShardGroup, ZoneMap};
+use skydb::value::{DataType, Value};
+
+fn band_strategy() -> impl Strategy<Value = (u32, f64, f64)> {
+    (1u32..12, -90.0f64..89.0, 0.01f64..40.0).prop_map(|(zones, lo, width)| {
+        let hi = (lo + width).min(90.0);
+        (zones, lo, hi)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every declination — in band, out of band, or pathological — maps
+    /// to exactly one valid zone, and the assignment is stable.
+    #[test]
+    fn zone_assignment_is_total_and_stable(
+        (zones, lo, hi) in band_strategy(),
+        decs in prop::collection::vec(-120.0f64..120.0, 1..64),
+    ) {
+        let map = ZoneMap::band(zones, lo, hi);
+        for dec in decs {
+            let z = map.zone_for_dec(dec);
+            prop_assert!(z < zones, "dec {dec} -> zone {z} of {zones}");
+            prop_assert_eq!(map.zone_for_dec(dec), z, "assignment must be stable");
+        }
+        prop_assert!(map.zone_for_dec(f64::NAN) < zones);
+        prop_assert!(map.zone_for_dec(f64::INFINITY) < zones);
+        prop_assert!(map.zone_for_dec(f64::NEG_INFINITY) < zones);
+    }
+
+    /// Zone assignment is monotone in declination: a larger dec never
+    /// lands in a smaller zone, so zones really are latitude bands.
+    #[test]
+    fn zone_assignment_is_monotone(
+        (zones, lo, hi) in band_strategy(),
+        mut decs in prop::collection::vec(-120.0f64..120.0, 2..64),
+    ) {
+        let map = ZoneMap::band(zones, lo, hi);
+        decs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let assigned: Vec<u32> = decs.iter().map(|d| map.zone_for_dec(*d)).collect();
+        for w in assigned.windows(2) {
+            prop_assert!(w[0] <= w[1], "zones out of order: {assigned:?}");
+        }
+    }
+
+    /// Each zone's lower bound maps back to that zone, bounds tile the
+    /// band without gaps, and `covering_zones` over a zone's own bounds
+    /// names exactly that zone.
+    #[test]
+    fn zone_boundaries_round_trip((zones, lo, hi) in band_strategy()) {
+        let map = ZoneMap::band(zones, lo, hi);
+        let (band_lo, band_hi) = map.dec_range();
+        prop_assert!(band_lo < band_hi);
+        let mut prev_hi = band_lo;
+        for z in 0..zones {
+            let (zlo, zhi) = map.bounds(z);
+            prop_assert_eq!(map.zone_for_dec(zlo), z, "lower bound of zone {}", z);
+            prop_assert!(zlo < zhi);
+            prop_assert!((zlo - prev_hi).abs() < 1e-9, "gap before zone {}", z);
+            prev_hi = zhi;
+            let covering = map.covering_zones(zlo, zhi - (zhi - zlo) * 1e-6);
+            prop_assert!(covering.contains(&z), "zone {} not in {:?}", z, covering);
+        }
+        prop_assert!((prev_hi - band_hi).abs() < 1e-9);
+    }
+}
+
+fn obj_server() -> Arc<Server> {
+    let s = Server::start(DbConfig::test());
+    let t = TableBuilder::new("objects")
+        .col("object_id", DataType::Int)
+        .col("dec", DataType::Float)
+        .pk(&["object_id"])
+        .build()
+        .unwrap();
+    s.engine().create_table(t).unwrap();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Ground truth for scatter-gather: a sharded group and a single
+    /// engine loaded with the same rows answer a full scan with the same
+    /// row multiset, shard-complete (no partial flag).
+    #[test]
+    fn scatter_gather_scan_matches_single_engine(
+        zones in 1u32..5,
+        raw_points in prop::collection::vec((0i64..500, -2.0f64..2.0), 1..48),
+    ) {
+        // Dedup by id: one row per primary key, first dec wins.
+        let mut points: std::collections::BTreeMap<i64, f64> = std::collections::BTreeMap::new();
+        for (id, dec) in raw_points {
+            points.entry(id).or_insert(dec);
+        }
+        let map = ZoneMap::band(zones, -2.0, 2.0);
+        let servers = (0..zones).map(|_| obj_server()).collect();
+        let group = ShardGroup::new(
+            map,
+            servers,
+            &["objects"],
+            GatherPolicy::default().with_attempts(2),
+            &skyobs::Registry::new(),
+        );
+        let single = obj_server();
+
+        for (&id, &dec) in &points {
+            let zone = map.zone_for_dec(dec);
+            let session = group.server(zone).connect();
+            session.set_fence(Some(group.write_fence(zone)));
+            let stmt = session.prepare_insert("objects").unwrap();
+            session
+                .execute(&stmt, vec![Value::Int(id), Value::Float(dec)])
+                .unwrap();
+            session.commit().unwrap();
+            group.note_pk_zone(id, zone);
+
+            let session = single.connect();
+            let stmt = session.prepare_insert("objects").unwrap();
+            session
+                .execute(&stmt, vec![Value::Int(id), Value::Float(dec)])
+                .unwrap();
+            session.commit().unwrap();
+        }
+
+        let sharded = group.scan("objects", None).unwrap();
+        prop_assert!(!sharded.partial, "healthy group must be shard-complete");
+        prop_assert!(sharded.missing_zones.is_empty());
+        let mut got: Vec<(i64, i64)> = sharded
+            .rows
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_f64().unwrap().to_bits() as i64))
+            .collect();
+        got.sort_unstable();
+
+        let tid = single.engine().table_id("objects").unwrap();
+        let mut want: Vec<(i64, i64)> = single
+            .engine()
+            .scan_where(tid, None)
+            .unwrap()
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_f64().unwrap().to_bits() as i64))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        // And every id is reachable through the routed pk path.
+        for &id in points.keys() {
+            let res = group.pk_lookup("objects", vec![Value::Int(id)]).unwrap();
+            prop_assert_eq!(res.rows.len(), 1, "pk {} not found", id);
+        }
+    }
+}

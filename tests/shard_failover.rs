@@ -1,0 +1,65 @@
+//! Shard failover end to end: a night live-ingested into declination
+//! zones while shards are killed and stalled mid-flush, the supervisor
+//! fences each dead generation and rebuilds it from its durable log,
+//! the coordinator itself restarts mid-night, and scatter-gather
+//! readers run throughout — asserting per-zone row-exact, exactly-once
+//! delivery against an independent single-engine reference load.
+
+use skyloader::{run_shard_chaos, ShardChaosConfig};
+
+#[test]
+fn shard_kill_mid_ingest_fences_rebuilds_and_lands_exactly_once() {
+    // Three distinct fixed seeds: a shard engine is crashed at the first
+    // shard-fault opportunity and another frozen past its lease at the
+    // second, on top of connection weather. The supervisor must fence
+    // the dead generation (so zombie flushes reject), rebuild it, and
+    // the night must still converge row-exact per zone.
+    for seed in [2005u64, 11, 77] {
+        let cfg = ShardChaosConfig {
+            seed,
+            files: 4,
+            shards: 3,
+            quick: true,
+            ..ShardChaosConfig::default()
+        };
+        let report = run_shard_chaos(&cfg).expect("soak runs");
+        assert!(
+            report.exactly_once(),
+            "seed {seed}: lost={} duplicated={} corrupt_served={} mismatches={:?}",
+            report.lost_rows,
+            report.duplicated_rows,
+            report.corrupt_rows_served,
+            report.mismatches,
+        );
+        assert!(report.shard_kills >= 1, "seed {seed}: no shard was killed");
+        assert!(
+            report.shard_stalls >= 1,
+            "seed {seed}: no shard was stalled"
+        );
+        assert!(
+            report.reclaims >= 1 && report.rebuilds >= 1,
+            "seed {seed}: supervisor never fenced+rebuilt (reclaims={} rebuilds={})",
+            report.reclaims,
+            report.rebuilds
+        );
+        assert_eq!(
+            report.coordinator_restarts, 1,
+            "seed {seed}: coordinator restart did not happen"
+        );
+        assert_eq!(
+            report.actual_rows, report.expected_rows,
+            "seed {seed}: row totals diverge"
+        );
+        // Every zone ended up owning real data — the partition is live,
+        // not one shard holding everything.
+        assert!(
+            report.per_zone_rows.iter().all(|&n| n > 0),
+            "seed {seed}: empty zone in {:?}",
+            report.per_zone_rows
+        );
+        // Readers ran, and any degraded answer was explicitly flagged —
+        // corrupt_rows_served == 0 (checked via exactly_once above)
+        // proves nothing was silently truncated or invented.
+        assert!(report.reads_total > 0, "seed {seed}: readers never ran");
+    }
+}
